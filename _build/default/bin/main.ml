@@ -1,0 +1,422 @@
+(* sdft — command-line front end for the SD fault tree toolkit. *)
+
+open Cmdliner
+
+let load_model path =
+  try
+    if Filename.check_suffix path ".xml" then
+      Ok (Sdft.static_only (Open_psa.of_file path))
+    else Ok (Sdft_format.of_file path)
+  with
+  | Sdft_format.Error m -> Error m
+  | Open_psa.Error m -> Error m
+  | Sys_error m -> Error m
+
+let or_die = function
+  | Ok v -> v
+  | Error m ->
+    Printf.eprintf "sdft: %s\n" m;
+    exit 1
+
+(* Shared arguments. *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Model file (SD fault tree text format).")
+
+let horizon_arg =
+  Arg.(value & opt float 24.0 & info [ "horizon"; "t" ] ~docv:"HOURS" ~doc:"Analysis horizon in hours.")
+
+let cutoff_arg =
+  Arg.(value & opt float 1e-15 & info [ "cutoff"; "c" ] ~docv:"P" ~doc:"Probabilistic cutoff $(i,c*) for cutset generation.")
+
+(* analyze *)
+
+let analyze_cmd =
+  let run file horizon cutoff top_n show_histogram engine domains =
+    let sd = or_die (load_model file) in
+    let options =
+      { Sdft_analysis.default_options with horizon; cutoff; engine; domains }
+    in
+    let result = Sdft_analysis.analyze ~options sd in
+    Format.printf "%a@." Sdft_analysis.pp_summary result;
+    if show_histogram then begin
+      print_endline "dynamic events per minimal cutset:";
+      Sdft_util.Histogram.print_ascii (Sdft_analysis.dynamic_histogram result)
+    end;
+    if top_n > 0 then begin
+      Printf.printf "top %d cutsets:\n" top_n;
+      let tree = Sdft.tree sd in
+      List.iteri
+        (fun i (info : Sdft_analysis.cutset_info) ->
+          if i < top_n then
+            Format.printf "  %.3e  %a  (%d dynamic, %d states)@."
+              info.probability (Cutset.pp tree) info.cutset info.n_dynamic
+              info.product_states)
+        result.cutsets
+    end
+  in
+  let top_n =
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"Print the $(docv) most important cutsets (0 disables).")
+  in
+  let histogram =
+    Arg.(value & flag & info [ "histogram" ] ~doc:"Print the dynamic-events-per-cutset histogram (Figure 2).")
+  in
+  let engine =
+    Arg.(value
+         & opt (enum [ ("mocus", Sdft_analysis.Mocus_sound);
+                       ("mocus-aggressive", Sdft_analysis.Mocus_aggressive);
+                       ("bdd", Sdft_analysis.Bdd_engine) ])
+             Sdft_analysis.Mocus_sound
+         & info [ "engine" ] ~docv:"ENGINE" ~doc:"Cutset engine: $(b,mocus), $(b,mocus-aggressive), or $(b,bdd).")
+  in
+  let domains =
+    Arg.(value & opt int 1 & info [ "domains"; "j" ] ~docv:"N" ~doc:"Worker domains for cutset quantification.")
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Run the full SD fault tree analysis (Section V).")
+    Term.(const run $ file_arg $ horizon_arg $ cutoff_arg $ top_n $ histogram $ engine $ domains)
+
+(* mcs *)
+
+let mcs_cmd =
+  let run file cutoff engine horizon =
+    let sd = or_die (load_model file) in
+    let translation = Sdft_translate.translate sd ~horizon in
+    let tree = translation.Sdft_translate.static_tree in
+    let cutsets =
+      match engine with
+      | `Mocus ->
+        let options = { Mocus.default_options with cutoff } in
+        Mocus.minimal_cutsets ~options tree
+      | `Bdd -> Minsol.fault_tree_cutsets tree
+    in
+    Printf.printf "%d minimal cutsets\n" (List.length cutsets);
+    List.iter
+      (fun c ->
+        Format.printf "%.3e  %a@." (Cutset.probability tree c) (Cutset.pp tree) c)
+      (Cutset.sort_by_probability tree cutsets)
+  in
+  let engine =
+    Arg.(value & opt (enum [ ("mocus", `Mocus); ("bdd", `Bdd) ]) `Mocus
+         & info [ "engine" ] ~docv:"ENGINE" ~doc:"Cutset engine: $(b,mocus) (with cutoff) or $(b,bdd) (exact).")
+  in
+  Cmd.v
+    (Cmd.info "mcs" ~doc:"Generate minimal cutsets of the translated static tree.")
+    Term.(const run $ file_arg $ cutoff_arg $ engine $ horizon_arg)
+
+(* classify *)
+
+let classify_cmd =
+  let run file =
+    let sd = or_die (load_model file) in
+    let report = Sdft_classify.report sd in
+    Format.printf "%a@." (Sdft_classify.pp_report sd) report
+  in
+  Cmd.v
+    (Cmd.info "classify" ~doc:"Classify every triggering gate (static branching / static joins / general).")
+    Term.(const run $ file_arg)
+
+(* simulate *)
+
+let simulate_cmd =
+  let run file horizon trials seed =
+    let sd = or_die (load_model file) in
+    let stats = Simulator.unreliability ~seed sd ~horizon ~trials in
+    let lo, hi = Simulator.confidence_95 stats in
+    Printf.printf
+      "failures: %d / %d\nestimate: %.4e (95%% CI [%.4e, %.4e])\n"
+      stats.Simulator.failures stats.trials stats.estimate lo hi
+  in
+  let trials =
+    Arg.(value & opt int 100_000 & info [ "trials"; "n" ] ~docv:"N" ~doc:"Number of Monte-Carlo trials.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.") in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Monte-Carlo estimate of the failure probability (full SD semantics).")
+    Term.(const run $ file_arg $ horizon_arg $ trials $ seed)
+
+(* exact *)
+
+let exact_cmd =
+  let run file horizon max_states =
+    let sd = or_die (load_model file) in
+    match Sdft_product.solve ~max_states sd ~horizon with
+    | p -> Printf.printf "p(FT, %gh) = %.6e\n" horizon p
+    | exception Sdft_product.Too_many_states n ->
+      Printf.eprintf
+        "sdft: product state space exceeds %d states; use 'analyze' or 'simulate'\n" n;
+      exit 1
+  in
+  let max_states =
+    Arg.(value & opt int 1_000_000 & info [ "max-states" ] ~docv:"N" ~doc:"State-space safety limit.")
+  in
+  Cmd.v
+    (Cmd.info "exact" ~doc:"Exact failure probability via the full product Markov chain (small models only).")
+    Term.(const run $ file_arg $ horizon_arg $ max_states)
+
+(* translate *)
+
+let translate_cmd =
+  let run file horizon =
+    let sd = or_die (load_model file) in
+    let translation = Sdft_translate.translate sd ~horizon in
+    print_string
+      (Sdft_format.to_string (Sdft.static_only translation.Sdft_translate.static_tree))
+  in
+  Cmd.v
+    (Cmd.info "translate" ~doc:"Print the static fault tree with equivalent minimal cutsets (Section V-B).")
+    Term.(const run $ file_arg $ horizon_arg)
+
+(* importance *)
+
+let importance_cmd =
+  let run file cutoff horizon top_n =
+    let sd = or_die (load_model file) in
+    let translation = Sdft_translate.translate sd ~horizon in
+    let tree = translation.Sdft_translate.static_tree in
+    let options = { Mocus.default_options with cutoff } in
+    let cutsets = Mocus.minimal_cutsets ~options tree in
+    let imp = Importance.compute tree cutsets in
+    Printf.printf "%-30s %12s %12s %10s %10s\n" "event" "FV" "Birnbaum" "RAW" "RRW";
+    List.iteri
+      (fun i a ->
+        if i < top_n then
+          Printf.printf "%-30s %12.4e %12.4e %10.3f %10.3f\n"
+            (Fault_tree.basic_name tree a)
+            (Importance.fussell_vesely imp a)
+            (Importance.birnbaum imp a) (Importance.raw imp a)
+            (Importance.rrw imp a))
+      (Importance.rank_by_fussell_vesely imp)
+  in
+  let top_n =
+    Arg.(value & opt int 25 & info [ "top" ] ~docv:"N" ~doc:"Show the $(docv) most important events.")
+  in
+  Cmd.v
+    (Cmd.info "importance" ~doc:"Importance measures (Fussell-Vesely, Birnbaum, RAW, RRW).")
+    Term.(const run $ file_arg $ cutoff_arg $ horizon_arg $ top_n)
+
+(* uncertainty *)
+
+let uncertainty_cmd =
+  let run file cutoff horizon samples seed error_factor =
+    let sd = or_die (load_model file) in
+    let translation = Sdft_translate.translate sd ~horizon in
+    let tree = translation.Sdft_translate.static_tree in
+    let options = { Mocus.default_options with cutoff } in
+    let cutsets = Mocus.minimal_cutsets ~options tree in
+    let spec _ = Uncertainty.Lognormal { error_factor } in
+    let stats = Uncertainty.propagate ~samples ~seed tree cutsets ~spec in
+    Format.printf "%a@." Uncertainty.pp_stats stats
+  in
+  let samples =
+    Arg.(value & opt int 2000 & info [ "samples"; "n" ] ~docv:"N" ~doc:"Monte-Carlo parameter samples.")
+  in
+  let seed = Arg.(value & opt int 20240 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.") in
+  let ef =
+    Arg.(value & opt float 3.0 & info [ "error-factor" ] ~docv:"EF" ~doc:"Lognormal error factor applied to every basic event.")
+  in
+  Cmd.v
+    (Cmd.info "uncertainty" ~doc:"Propagate lognormal parameter uncertainty over the cutset list.")
+    Term.(const run $ file_arg $ cutoff_arg $ horizon_arg $ samples $ seed $ ef)
+
+(* sensitivity *)
+
+let sensitivity_cmd =
+  let run file cutoff horizon factor top_n =
+    let sd = or_die (load_model file) in
+    let translation = Sdft_translate.translate sd ~horizon in
+    let tree = translation.Sdft_translate.static_tree in
+    let options = { Mocus.default_options with cutoff } in
+    let cutsets = Mocus.minimal_cutsets ~options tree in
+    let t = Sensitivity.tornado ~factor tree cutsets in
+    Sensitivity.print_ascii tree ~top:top_n t
+  in
+  let factor =
+    Arg.(value & opt float 10.0 & info [ "factor" ] ~docv:"F" ~doc:"Multiplicative swing applied to each probability.")
+  in
+  let top_n =
+    Arg.(value & opt int 15 & info [ "top" ] ~docv:"N" ~doc:"Show the $(docv) largest swings.")
+  in
+  Cmd.v
+    (Cmd.info "sensitivity" ~doc:"One-at-a-time tornado sensitivity over the cutset list.")
+    Term.(const run $ file_arg $ cutoff_arg $ horizon_arg $ factor $ top_n)
+
+(* convert *)
+
+let convert_cmd =
+  let run file output format =
+    let sd = or_die (load_model file) in
+    let contents =
+      match format with
+      | `Sdft -> Sdft_format.to_string sd
+      | `Opsa ->
+        (* The exchange format carries the static structure only; dynamic
+           annotations are dropped with a warning. *)
+        if Sdft.dynamic_basics sd <> [] then
+          prerr_endline
+            "sdft: note: Open-PSA output drops the dynamic annotations";
+        Open_psa.to_string (Sdft.tree sd)
+    in
+    match output with
+    | None -> print_string contents
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+          output_string oc contents)
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"PATH" ~doc:"Write to $(docv) instead of stdout.")
+  in
+  let format =
+    Arg.(value & opt (enum [ ("sdft", `Sdft); ("opsa", `Opsa) ]) `Sdft
+         & info [ "to" ] ~docv:"FORMAT" ~doc:"Output format: $(b,sdft) (native) or $(b,opsa) (Open-PSA XML, static part).")
+  in
+  Cmd.v
+    (Cmd.info "convert" ~doc:"Convert between the native text format and Open-PSA XML (input format by extension).")
+    Term.(const run $ file_arg $ output $ format)
+
+(* sequences *)
+
+let sequences_cmd =
+  let run file horizon cutoff top_n =
+    let sd = or_die (load_model file) in
+    let translation = Sdft_translate.translate sd ~horizon in
+    let options = { Mocus.default_options with cutoff } in
+    let cutsets =
+      Mocus.minimal_cutsets ~options translation.Sdft_translate.static_tree
+    in
+    let tree = Sdft.tree sd in
+    List.iteri
+      (fun i c ->
+        if i < top_n then begin
+          let r = Cut_sequences.of_cutset sd c ~horizon in
+          Format.printf "%a (p~ = %.3e):@." (Cutset.pp tree) c r.Cut_sequences.total;
+          List.iter
+            (fun s -> Format.printf "  %a@." (Cut_sequences.pp sd) s)
+            r.Cut_sequences.sequences
+        end)
+      (Cutset.sort_by_probability translation.Sdft_translate.static_tree cutsets)
+  in
+  let top_n =
+    Arg.(value & opt int 5 & info [ "top" ] ~docv:"N" ~doc:"Analyse the $(docv) most important cutsets.")
+  in
+  Cmd.v
+    (Cmd.info "sequences" ~doc:"Minimal cut sequences: failure orders of each cutset with their probabilities.")
+    Term.(const run $ file_arg $ horizon_arg $ cutoff_arg $ top_n)
+
+(* availability *)
+
+let availability_cmd =
+  let run file cutoff =
+    let sd = or_die (load_model file) in
+    match Availability.analyze ~cutoff sd with
+    | Some r ->
+      Printf.printf "steady-state unavailability (REA over %d cutsets): %.4e\n"
+        r.Availability.n_cutsets r.Availability.unavailability;
+      let tree = Sdft.tree sd in
+      List.iter
+        (fun (b, q) ->
+          Printf.printf "  %-30s q = %.4e\n" (Fault_tree.basic_name tree b) q)
+        r.Availability.per_event
+    | None ->
+      Printf.eprintf
+        "sdft: some dynamic event has no steady state (not repairable)\n";
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "availability" ~doc:"Long-run unavailability of a repairable SD fault tree.")
+    Term.(const run $ file_arg $ cutoff_arg)
+
+(* dot *)
+
+let dot_cmd =
+  let run file output =
+    let sd = or_die (load_model file) in
+    let tree = Sdft.tree sd in
+    let dot =
+      Dot.to_dot
+        ~dynamic_basics:(Sdft.is_dynamic sd)
+        ~trigger_edges:(Sdft.trigger_edges sd) tree
+    in
+    match output with
+    | None -> print_string dot
+    | Some path -> Dot.write_file path dot
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"PATH" ~doc:"Write to $(docv) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Export the model as a Graphviz graph.")
+    Term.(const run $ file_arg $ output)
+
+(* gen *)
+
+let gen_cmd =
+  let run which output =
+    let sd =
+      match which with
+      | `Pumps -> Pumps.sd_tree ()
+      | `Bwr ->
+        Bwr.build
+          {
+            Bwr.default_config with
+            repair_rate = Some 0.1;
+            triggers = Bwr.all_trigger_sites;
+          }
+      | `Small -> Sdft.static_only (Industrial.generate Industrial.small)
+      | `Medium -> Sdft.static_only (Industrial.generate Industrial.medium)
+      | `Model1 -> Sdft.static_only (Industrial.generate Industrial.model_1)
+      | `Model2 -> Sdft.static_only (Industrial.generate Industrial.model_2)
+    in
+    match output with
+    | None -> print_string (Sdft_format.to_string sd)
+    | Some path -> Sdft_format.to_file path sd
+  in
+  let which =
+    Arg.(
+      required
+      & pos 0
+          (some
+             (enum
+                [
+                  ("pumps", `Pumps);
+                  ("bwr", `Bwr);
+                  ("small", `Small);
+                  ("medium", `Medium);
+                  ("model1", `Model1);
+                  ("model2", `Model2);
+                ]))
+          None
+      & info [] ~docv:"MODEL" ~doc:"One of pumps, bwr, small, medium, model1, model2.")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"PATH" ~doc:"Write to $(docv) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Emit one of the bundled models in the text format.")
+    Term.(const run $ which $ output)
+
+let main_cmd =
+  let info =
+    Cmd.info "sdft" ~version:"1.0.0"
+      ~doc:"Scalable analysis of fault trees with dynamic features (SD fault trees)"
+  in
+  Cmd.group info
+    [
+      analyze_cmd;
+      mcs_cmd;
+      classify_cmd;
+      simulate_cmd;
+      exact_cmd;
+      translate_cmd;
+      importance_cmd;
+      uncertainty_cmd;
+      availability_cmd;
+      sequences_cmd;
+      convert_cmd;
+      sensitivity_cmd;
+      dot_cmd;
+      gen_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/availability_study.ml: Availability Ccf Fault_tree Format List Mocus Printf Sdft Sdft_analysis Templates Uncertainty

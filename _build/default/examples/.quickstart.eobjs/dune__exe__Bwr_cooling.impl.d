@@ -1,0 +1,1 @@
+examples/bwr_cooling.ml: Bwr Fault_tree Format List Sdft_analysis Sdft_classify Sdft_util

@@ -1,0 +1,1 @@
+examples/bwr_cooling.mli:

@@ -1,0 +1,1 @@
+examples/industrial_sweep.mli:

@@ -1,0 +1,1 @@
+examples/pumps_paper.ml: Bdd Ctmc Cutset Cutset_model Dbe Fault_tree Format List Minsol Mocus Option Pumps Sdft Sdft_analysis Sdft_product Sdft_translate Sdft_util

@@ -1,0 +1,1 @@
+examples/pumps_paper.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cutset Dbe Fault_tree Format List Sdft Sdft_analysis Sdft_classify Sdft_product Simulator

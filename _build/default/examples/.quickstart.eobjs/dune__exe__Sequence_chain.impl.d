@@ -1,0 +1,1 @@
+examples/sequence_chain.ml: Dbe Event_tree Fault_tree Format List Printf Sdft Sdft_analysis Sdft_classify

@@ -1,0 +1,70 @@
+(* A repairable-plant study combining the extension features: modeling
+   templates, beta-factor common-cause failures, mission unreliability vs
+   steady-state unavailability, and parameter uncertainty.
+
+   The plant: two cooling loops, each a running/standby pump pair built with
+   Templates.standby_pair; plant cooling is lost when both loops are down or
+   the shared heat sink is lost. The pump fail-to-start events of loop 1
+   form a common-cause group.
+
+   Run with: dune exec examples/availability_study.exe *)
+
+let () =
+  let b = Fault_tree.Builder.create () in
+  let loop1, p1 =
+    Templates.standby_pair b ~name:"loop1" ~p_start:2e-3 ~lambda:8e-4 ~mu:5e-2 ()
+  in
+  let loop2, p2 =
+    Templates.standby_pair b ~name:"loop2" ~p_start:2e-3 ~lambda:8e-4 ~mu:5e-2 ()
+  in
+  let sink = Fault_tree.Builder.basic b ~prob:5e-5 "heat_sink" in
+  let loops = Fault_tree.Builder.gate b "loops" Fault_tree.And [ loop1; loop2 ] in
+  let top = Fault_tree.Builder.gate b "cooling_lost" Fault_tree.Or [ loops; sink ] in
+  let pending = Templates.merge [ p1; p2 ] in
+  let sd = Templates.make_sdft b ~top pending in
+  Format.printf "%a@.@." Sdft.pp_summary sd;
+
+  (* Mission unreliability over growing horizons. *)
+  print_endline "mission unreliability (probability of losing cooling at least once):";
+  List.iter
+    (fun horizon ->
+      let options = { Sdft_analysis.default_options with horizon } in
+      let r = Sdft_analysis.analyze ~options sd in
+      Printf.printf "  %4.0fh: %.4e (%d cutsets)\n" horizon
+        r.Sdft_analysis.total r.Sdft_analysis.n_cutsets)
+    [ 24.0; 168.0; 720.0 ];
+
+  (* Long-run unavailability: repairs make it converge. *)
+  (match Availability.analyze sd with
+  | Some r ->
+    Printf.printf "\nsteady-state unavailability: %.4e\n" r.Availability.unavailability
+  | None -> print_endline "\nsteady-state unavailability undefined (unrepairable event)");
+
+  (* The effect of a common-cause group across the two loops' running
+     pumps, on the static study. *)
+  let tree = Sdft.tree sd in
+  let with_ccf =
+    Ccf.apply tree
+      [
+        {
+          Ccf.name = "pump_start";
+          members =
+            [ "loop1.A.start"; "loop1.B.start"; "loop2.A.start"; "loop2.B.start" ];
+          beta = 0.1;
+        };
+      ]
+  in
+  let rea_before, _ = Sdft_analysis.static_rare_event tree in
+  let rea_after, _ = Sdft_analysis.static_rare_event with_ccf in
+  Printf.printf
+    "\nstatic frequency without CCF: %.4e, with a beta=0.1 group across all \
+     four pumps' start failures: %.4e (x%.1f)\n"
+    rea_before rea_after (rea_after /. rea_before);
+
+  (* Parameter uncertainty on the CCF'd static model. *)
+  let cutsets = Mocus.minimal_cutsets with_ccf in
+  let stats =
+    Uncertainty.propagate with_ccf cutsets
+      ~spec:(fun _ -> Uncertainty.Lognormal { error_factor = 3.0 })
+  in
+  Format.printf "\nuncertainty (EF=3 on every event): %a@." Uncertainty.pp_stats stats

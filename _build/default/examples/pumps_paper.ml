@@ -1,0 +1,87 @@
+(* The paper's running example, end to end (Examples 1-11).
+
+   Walks through everything the paper demonstrates on the emergency cooling
+   system with a water tank and two redundant pumps: the static analysis
+   (scenarios, minimal cutsets, rare-event approximation), the SD version
+   with a dynamic running pump and a triggered spare, the translation to an
+   equivalent static tree, the per-cutset models, and the final numbers.
+
+   Run with: dune exec examples/pumps_paper.exe *)
+
+let section title = Format.printf "@.== %s ==@." title
+
+let () =
+  (* Example 1: the static fault tree. *)
+  section "Example 1: static fault tree";
+  let tree = Pumps.static_tree () in
+  Format.printf "%a@." Fault_tree.pp_stats (Fault_tree.stats tree);
+  let a = Option.get (Fault_tree.basic_index tree "a") in
+  let d = Option.get (Fault_tree.basic_index tree "d") in
+  let xi = Sdft_util.Int_set.of_list [ a; d ] in
+  Format.printf "p({a,d}) = %.4e (paper: 2.988e-6)@."
+    (Fault_tree.scenario_probability tree xi);
+
+  (* Examples 7-8: minimal cutsets by MOCUS, checked against the BDD. *)
+  section "Examples 7-8: minimal cutsets";
+  let mcs = Mocus.minimal_cutsets tree in
+  List.iter
+    (fun c ->
+      Format.printf "  %a  p = %.3e@." (Cutset.pp tree) c
+        (Cutset.probability tree c))
+    mcs;
+  let bdd_mcs = Minsol.fault_tree_cutsets tree in
+  Format.printf "BDD engine agrees: %b@."
+    (List.sort Sdft_util.Int_set.compare mcs
+    = List.sort Sdft_util.Int_set.compare bdd_mcs);
+  Format.printf "rare-event approximation: %.4e@."
+    (Cutset.rare_event_approximation tree mcs);
+  Format.printf "exact (BDD Shannon expansion): %.4e@."
+    (let m, root = Bdd.of_fault_tree tree in
+     Bdd.probability m (Fault_tree.prob tree) root);
+
+  (* Examples 2-3: the SD fault tree with dynamic b and triggered d. *)
+  section "Examples 2-3: the SD fault tree";
+  let sd = Pumps.sd_tree () in
+  Format.printf "%a@." Sdft.pp_summary sd;
+  let d_dbe = Sdft.dbe sd d in
+  Format.printf "spare pump model: %a@." Dbe.pp d_dbe;
+  Format.printf "worst-case failure probability within 24h: %.4e@."
+    (Dbe.worst_case_failure_probability d_dbe ~horizon:24.0);
+
+  (* Examples 4-6: the product Markov chain semantics, exact. *)
+  section "Examples 4-6: product chain semantics";
+  let built = Sdft_product.build sd in
+  Format.printf "product chain: %d states, %d transitions@."
+    built.Sdft_product.n_states
+    (Ctmc.n_transitions built.Sdft_product.chain);
+  let exact = Sdft_product.unreliability built ~horizon:24.0 in
+  Format.printf "p(FT, 24h) = %.6e@." exact;
+
+  (* Section V: translation and per-cutset quantification. *)
+  section "Section V: translation FT-bar";
+  let translation = Sdft_translate.translate sd ~horizon:24.0 in
+  Format.printf "translated tree: %a@." Fault_tree.pp_stats
+    (Fault_tree.stats translation.Sdft_translate.static_tree);
+  Format.printf "same minimal cutsets: %b@."
+    (List.sort Sdft_util.Int_set.compare
+       (Mocus.minimal_cutsets translation.Sdft_translate.static_tree)
+    = List.sort Sdft_util.Int_set.compare mcs);
+
+  section "Section V-C: per-cutset models";
+  List.iter
+    (fun c ->
+      let model = Cutset_model.build sd c in
+      let q = Cutset_model.quantify model ~horizon:24.0 in
+      Format.printf "  %a: p~ = %.4e (%d dynamic, %d added, %d states)@."
+        (Cutset.pp tree) c q.Cutset_model.probability
+        model.Cutset_model.n_dynamic_in_cutset
+        model.Cutset_model.n_added_dynamic q.Cutset_model.product_states)
+    mcs;
+
+  section "Full analysis";
+  let result = Sdft_analysis.analyze sd in
+  Format.printf "%a@." Sdft_analysis.pp_summary result;
+  Format.printf
+    "static would have said %.4e; the time-aware analysis says %.4e; exact is %.6e@."
+    (Cutset.rare_event_approximation tree mcs)
+    result.Sdft_analysis.total exact

@@ -1,0 +1,67 @@
+(* Quickstart: build a small SD fault tree with the public API, analyse it,
+   and cross-check the answer three ways.
+
+   The system: a primary cooling pump (runs from the start, repairable) and
+   a standby pump (switched on when the primary fails), plus a shared power
+   supply. Cooling is lost when both pumps are failed at the same time, or
+   when power is lost.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. Describe the static structure: basic events and gates. *)
+  let b = Fault_tree.Builder.create () in
+  let power = Fault_tree.Builder.basic b ~prob:1e-4 "power" in
+  let primary = Fault_tree.Builder.basic b "primary_pump" in
+  let standby = Fault_tree.Builder.basic b "standby_pump" in
+  let primary_down =
+    Fault_tree.Builder.gate b "primary_down" Fault_tree.Or [ primary ]
+  in
+  ignore primary_down;
+  let pumps_down =
+    Fault_tree.Builder.gate b "pumps_down" Fault_tree.And [ primary; standby ]
+  in
+  let top =
+    Fault_tree.Builder.gate b "cooling_lost" Fault_tree.Or [ pumps_down; power ]
+  in
+  let tree = Fault_tree.Builder.build b ~top in
+
+  (* 2. Make the pumps dynamic. The primary fails in operation about once
+     per 1000 hours and takes ~20 hours to repair. The standby is switched
+     on by the failure of the primary (the "primary_down" gate), does not
+     degrade while idle, and is repaired even while switched off. *)
+  let sd =
+    Sdft.make tree
+      ~dynamic:
+        [
+          ("primary_pump", Dbe.exponential ~lambda:1e-3 ~mu:5e-2 ());
+          ( "standby_pump",
+            Dbe.triggered_exponential ~lambda:1e-3 ~mu:5e-2 ~passive_factor:0.0
+              ~repair_when_off:true () );
+        ]
+      ~triggers:[ ("primary_down", "standby_pump") ]
+  in
+  Format.printf "model: %a@." Sdft.pp_summary sd;
+
+  (* 3. Check what the triggering structure costs (Section V-A). *)
+  Format.printf "%a@." (Sdft_classify.pp_report sd) (Sdft_classify.report sd);
+
+  (* 4. Run the scalable two-phase analysis over a 24-hour mission. *)
+  let options = { Sdft_analysis.default_options with horizon = 24.0 } in
+  let result = Sdft_analysis.analyze ~options sd in
+  Format.printf "@.%a@.@." Sdft_analysis.pp_summary result;
+  List.iter
+    (fun (info : Sdft_analysis.cutset_info) ->
+      Format.printf "  %a: p~ = %.3e (%d dynamic events, %d chain states)@."
+        (Cutset.pp tree) info.cutset info.probability info.n_dynamic
+        info.product_states)
+    result.cutsets;
+
+  (* 5. Cross-check: the model is small enough for the exact product chain
+     and for Monte-Carlo simulation. *)
+  let exact = Sdft_product.solve sd ~horizon:24.0 in
+  let mc = Simulator.unreliability sd ~horizon:24.0 ~trials:200_000 in
+  let lo, hi = Simulator.confidence_95 mc in
+  Format.printf
+    "@.cross-checks:@.  exact product chain: %.4e@.  Monte-Carlo (200k trials): %.4e (95%% CI [%.4e, %.4e])@."
+    exact mc.Simulator.estimate lo hi

@@ -1,0 +1,98 @@
+(* Event trees as a source of long triggering chains (Section V-A).
+
+   A loss-of-feedwater event tree demands four safety functions in order:
+   high-pressure injection, depressurisation, low-pressure injection and
+   long-term heat removal. Each function's standby equipment is started by
+   the failure of the previous function — the event-tree ordering becomes a
+   chain of triggers, which is exactly the modelling pattern the paper
+   advocates for SD fault trees.
+
+   Run with: dune exec examples/sequence_chain.exe *)
+
+let make_function name ~p_start ~n_extra =
+  {
+    Event_tree.name;
+    build_failure =
+      (fun b ->
+        let start =
+          Fault_tree.Builder.basic b ~prob:p_start (name ^ ".start")
+        in
+        let run = Fault_tree.Builder.basic b (name ^ ".run") in
+        let extras =
+          List.init n_extra (fun i ->
+              Fault_tree.Builder.basic b ~prob:5e-4
+                (Printf.sprintf "%s.aux%d" name (i + 1)))
+        in
+        Fault_tree.Builder.gate b (name ^ ".fail") Fault_tree.Or
+          (start :: run :: extras));
+    demand_started = [ name ^ ".run" ];
+  }
+
+let () =
+  let et =
+    {
+      Event_tree.initiator = "loss_of_feedwater";
+      initiator_prob = 1e-2;
+      functions =
+        [
+          make_function "HPI" ~p_start:2e-3 ~n_extra:2;
+          make_function "DEP" ~p_start:1e-3 ~n_extra:1;
+          make_function "LPI" ~p_start:2e-3 ~n_extra:2;
+          make_function "RHR" ~p_start:1e-3 ~n_extra:2;
+        ];
+      outcome_of =
+        (fun pattern ->
+          (* Core damage when all injection paths are lost or heat removal
+             fails after successful injection. *)
+          match pattern with
+          | [ true; true; _; _ ] -> Event_tree.Damage "CD"
+          | [ true; false; true; _ ] -> Event_tree.Damage "CD"
+          | [ _; _; _; true ] -> Event_tree.Damage "CD"
+          | _ -> Event_tree.Ok)
+    }
+  in
+  let n_damage =
+    List.length
+      (List.filter
+         (fun (_, o) -> o = Event_tree.Damage "CD")
+         (Event_tree.sequences et))
+  in
+  Format.printf "event tree: %d safety functions, %d damage sequences@."
+    (List.length et.Event_tree.functions)
+    n_damage;
+
+  let lambda = 1e-3 in
+  (* Baseline: every function's equipment runs (and can fail) from time
+     zero — the conservative static-style treatment. *)
+  let running name = (name ^ ".run", Dbe.exponential ~lambda ~mu:0.05 ()) in
+  let without_chain =
+    Event_tree.compile_sd et ~category:"CD"
+      ~dynamic:(List.map running [ "HPI"; "DEP"; "LPI"; "RHR" ])
+      ~demand_triggers:false ()
+  in
+  (* Chained: standby equipment is only demanded (and only degrades
+     meaningfully) once the previous function has failed. *)
+  let standby name =
+    ( name ^ ".run",
+      Dbe.triggered_exponential ~lambda ~mu:0.05 ~passive_factor:0.01 () )
+  in
+  let dynamic = running "HPI" :: List.map standby [ "DEP"; "LPI"; "RHR" ] in
+  let with_chain = Event_tree.compile_sd et ~category:"CD" ~dynamic () in
+  Format.printf "trigger chain: %d edges@."
+    (List.length (Sdft.trigger_edges with_chain));
+  Format.printf "%a@."
+    (Sdft_classify.pp_report with_chain)
+    (Sdft_classify.report with_chain);
+
+  let horizon = 72.0 in
+  let options = { Sdft_analysis.default_options with horizon } in
+  let r_without = Sdft_analysis.analyze ~options without_chain in
+  let r_with = Sdft_analysis.analyze ~options with_chain in
+  Format.printf
+    "@.core damage frequency over %gh:@.  all functions running from t=0:  %.4e@.  demand-triggered chain:          %.4e@."
+    horizon r_without.Sdft_analysis.total r_with.Sdft_analysis.total;
+  Format.printf
+    "the chain accounts for the sequencing of demands and removes %.0f%% of the conservatism@."
+    (100.0
+    *. (r_without.Sdft_analysis.total -. r_with.Sdft_analysis.total)
+    /. r_without.Sdft_analysis.total)

@@ -1,0 +1,1 @@
+lib/bdd/bdd.ml: Array Fault_tree Hashtbl Sdft_util

@@ -1,0 +1,1 @@
+lib/bdd/minsol.ml: Array Bdd Fault_tree Hashtbl List Sdft_util Zdd

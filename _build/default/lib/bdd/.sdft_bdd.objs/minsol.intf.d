@@ -1,0 +1,1 @@
+lib/bdd/minsol.mli: Bdd Fault_tree Sdft_util Zdd

@@ -1,0 +1,65 @@
+let minimal_cutsets_zdd bm root =
+  let n = Bdd.n_vars bm in
+  let order = Array.make n 0 in
+  for v = 0 to n - 1 do
+    order.(Bdd.level_of_var bm v) <- v
+  done;
+  let zm = Zdd.manager ~var_order:order ~n_vars:n () in
+  let memo : (Bdd.node, Zdd.node) Hashtbl.t = Hashtbl.create 256 in
+  (* Rauzy: at node (v, f0, f1) of a monotone function, the minimal cutsets
+     are those of f0 (without v) plus v joined to the minimal cutsets of f1
+     that no cutset of f0 subsumes. *)
+  let rec mcs (node : Bdd.node) : Zdd.node =
+    if (node :> int) = 0 then Zdd.bottom
+    else if (node :> int) = 1 then Zdd.top
+    else
+      match Hashtbl.find_opt memo node with
+      | Some z -> z
+      | None ->
+        let v = Bdd.node_var bm node in
+        let k0 = mcs (Bdd.node_low bm node) in
+        let k1 = Zdd.without zm (mcs (Bdd.node_high bm node)) k0 in
+        let z =
+          if k1 = Zdd.bottom then k0 else Zdd.make_node zm v k0 k1
+        in
+        Hashtbl.add memo node z;
+        z
+  in
+  let z = mcs root in
+  (zm, z)
+
+let minimal_cutsets bm root =
+  let zm, z = minimal_cutsets_zdd bm root in
+  let sets = Zdd.to_cutsets zm z in
+  List.sort Sdft_util.Int_set.compare sets
+
+let fault_tree_cutsets tree =
+  let bm, root = Bdd.of_fault_tree tree in
+  minimal_cutsets bm root
+
+let cutsets_above zm root ~probs ~cutoff =
+  let out = ref [] in
+  (* Paths carry the probability product of the included variables; a ZDD
+     node's high branch multiplies by p(var) <= 1, so pruning below the
+     cutoff is sound for the whole subtree. *)
+  let rec walk acc product node =
+    if product >= cutoff then begin
+      if node = Zdd.top then out := Sdft_util.Int_set.of_list acc :: !out
+      else if node <> Zdd.bottom then begin
+        let v = Zdd.node_var zm node in
+        walk acc product (Zdd.node_low zm node);
+        walk (v :: acc) (product *. probs v) (Zdd.node_high zm node)
+      end
+    end
+  in
+  walk [] 1.0 root;
+  List.sort Sdft_util.Int_set.compare !out
+
+let fault_tree_cutsets_above ?max_order tree ~cutoff =
+  let bm, root = Bdd.of_fault_tree tree in
+  let zm, z = minimal_cutsets_zdd bm root in
+  let sets = cutsets_above zm z ~probs:(Fault_tree.prob tree) ~cutoff in
+  match max_order with
+  | None -> sets
+  | Some k ->
+    List.filter (fun s -> Sdft_util.Int_set.cardinal s <= k) sets

@@ -1,0 +1,36 @@
+(** Minimal solutions of a coherent boolean function (Rauzy's algorithm).
+
+    Converts the BDD of a monotone structure function into the ZDD of its
+    minimal cutsets: at every node the cutsets of the high branch that are
+    already subsumed by a cutset of the low branch are dropped. Together
+    with {!Zdd.to_cutsets} this yields the exact minimal-cutset list — the
+    oracle against which the MOCUS implementation is validated, and the
+    engine used by the SD analysis to compute the trigger sets [A_1..A_k]
+    of Section V-C. *)
+
+val minimal_cutsets_zdd : Bdd.manager -> Bdd.node -> Zdd.manager * Zdd.node
+(** The returned ZDD manager shares the BDD manager's variable order. *)
+
+val minimal_cutsets : Bdd.manager -> Bdd.node -> Sdft_util.Int_set.t list
+(** Enumerated cutsets (exact, no cutoff), sorted by (size, lex). *)
+
+val fault_tree_cutsets : Fault_tree.t -> Sdft_util.Int_set.t list
+(** Compile the tree and extract all minimal cutsets. Exponential in the
+    worst case; intended for moderate trees and cross-checking. *)
+
+val cutsets_above :
+  Zdd.manager ->
+  Zdd.node ->
+  probs:(int -> float) ->
+  cutoff:float ->
+  Sdft_util.Int_set.t list
+(** Enumerate only the cutsets of the family whose probability product
+    exceeds [cutoff]. Along a ZDD path the product of included variables
+    only decreases, so whole subtrees are pruned soundly — this makes the
+    BDD pipeline usable as a cutset {e engine} on industrial models whose
+    total cutset count is astronomic. *)
+
+val fault_tree_cutsets_above :
+  ?max_order:int -> Fault_tree.t -> cutoff:float -> Sdft_util.Int_set.t list
+(** [of_fault_tree] + [minimal_cutsets_zdd] + [cutsets_above] with the
+    tree's own probabilities. *)

@@ -1,0 +1,266 @@
+(* Handles: 0 = bottom (empty family), 1 = top ({empty set}), >= 2 internal.
+   Node (v, low, high) denotes low ∪ { s ∪ {v} | s ∈ high }; zero-suppression
+   rule: high = bottom collapses to low. *)
+
+type node = int
+
+type manager = {
+  nv : int;
+  level_of : int array;
+  var_of : int array;
+  vars : int Sdft_util.Vec.t;
+  lows : int Sdft_util.Vec.t;
+  highs : int Sdft_util.Vec.t;
+  unique : (int * int * int, int) Hashtbl.t;
+  union_cache : (int * int, int) Hashtbl.t;
+  inter_cache : (int * int, int) Hashtbl.t;
+  diff_cache : (int * int, int) Hashtbl.t;
+  without_cache : (int * int, int) Hashtbl.t;
+  minimal_cache : (int, int) Hashtbl.t;
+}
+
+let bottom = 0
+
+let top = 1
+
+let is_terminal n = n < 2
+
+let manager ?var_order ~n_vars () =
+  let var_of =
+    match var_order with
+    | None -> Array.init n_vars (fun i -> i)
+    | Some order ->
+      if Array.length order <> n_vars then
+        invalid_arg "Zdd.manager: var_order has wrong length";
+      Array.copy order
+  in
+  let level_of = Array.make n_vars 0 in
+  Array.iteri (fun level v -> level_of.(v) <- level) var_of;
+  {
+    nv = n_vars;
+    level_of;
+    var_of;
+    vars = Sdft_util.Vec.create ();
+    lows = Sdft_util.Vec.create ();
+    highs = Sdft_util.Vec.create ();
+    unique = Hashtbl.create 1024;
+    union_cache = Hashtbl.create 1024;
+    inter_cache = Hashtbl.create 256;
+    diff_cache = Hashtbl.create 256;
+    without_cache = Hashtbl.create 1024;
+    minimal_cache = Hashtbl.create 256;
+  }
+
+let node_var m n = Sdft_util.Vec.get m.vars (n - 2)
+
+let node_low m n = Sdft_util.Vec.get m.lows (n - 2)
+
+let node_high m n = Sdft_util.Vec.get m.highs (n - 2)
+
+let level m n = if is_terminal n then max_int else m.level_of.(node_var m n)
+
+let mk m v low high =
+  if high = bottom then low
+  else begin
+    let key = (v, low, high) in
+    match Hashtbl.find_opt m.unique key with
+    | Some id -> id
+    | None ->
+      let id = Sdft_util.Vec.length m.vars + 2 in
+      Sdft_util.Vec.push m.vars v;
+      Sdft_util.Vec.push m.lows low;
+      Sdft_util.Vec.push m.highs high;
+      Hashtbl.add m.unique key id;
+      id
+  end
+
+let elem m v =
+  if v < 0 || v >= m.nv then invalid_arg "Zdd.elem: out of range";
+  mk m v bottom top
+
+let node_top_level m n = level m n
+
+let make_node m v low high =
+  if v < 0 || v >= m.nv then invalid_arg "Zdd.make_node: variable out of range";
+  let lv = m.level_of.(v) in
+  if lv >= level m low || lv >= level m high then
+    invalid_arg "Zdd.make_node: variable must be above both children";
+  mk m v low high
+
+let rec union m a b =
+  if a = bottom then b
+  else if b = bottom then a
+  else if a = b then a
+  else begin
+    let key = if a < b then (a, b) else (b, a) in
+    match Hashtbl.find_opt m.union_cache key with
+    | Some r -> r
+    | None ->
+      let la = level m a and lb = level m b in
+      let r =
+        if la < lb then mk m (node_var m a) (union m (node_low m a) b) (node_high m a)
+        else if lb < la then mk m (node_var m b) (union m a (node_low m b)) (node_high m b)
+        else
+          mk m (node_var m a)
+            (union m (node_low m a) (node_low m b))
+            (union m (node_high m a) (node_high m b))
+      in
+      Hashtbl.add m.union_cache key r;
+      r
+  end
+
+let rec inter m a b =
+  if a = bottom || b = bottom then bottom
+  else if a = b then a
+  else if a = top then if has_empty m b then top else bottom
+  else if b = top then if has_empty m a then top else bottom
+  else begin
+    let key = if a < b then (a, b) else (b, a) in
+    match Hashtbl.find_opt m.inter_cache key with
+    | Some r -> r
+    | None ->
+      let la = level m a and lb = level m b in
+      let r =
+        if la < lb then inter m (node_low m a) b
+        else if lb < la then inter m a (node_low m b)
+        else
+          mk m (node_var m a)
+            (inter m (node_low m a) (node_low m b))
+            (inter m (node_high m a) (node_high m b))
+      in
+      Hashtbl.add m.inter_cache key r;
+      r
+  end
+
+and has_empty m n =
+  if n = top then true
+  else if n = bottom then false
+  else has_empty m (node_low m n)
+
+let rec diff m a b =
+  if a = bottom then bottom
+  else if b = bottom then a
+  else if a = b then bottom
+  else begin
+    let key = (a, b) in
+    match Hashtbl.find_opt m.diff_cache key with
+    | Some r -> r
+    | None ->
+      let la = level m a and lb = level m b in
+      let r =
+        if la < lb then
+          if is_terminal a then a
+          else mk m (node_var m a) (diff m (node_low m a) b) (node_high m a)
+        else if lb < la then diff m a (node_low m b)
+        else
+          mk m (node_var m a)
+            (diff m (node_low m a) (node_low m b))
+            (diff m (node_high m a) (node_high m b))
+      in
+      Hashtbl.add m.diff_cache key r;
+      r
+  end
+
+(* Remove from [a] all sets that are supersets of some set in [b]. *)
+let rec without m a b =
+  if a = bottom then bottom
+  else if b = bottom then a
+  else if b = top then bottom (* the empty set subsumes everything *)
+  else if a = top then
+    (* the empty set is subsumed only by the empty set, which b may contain
+       deeper down its low chain even though b is not the top terminal *)
+    if has_empty m b then bottom else top
+  else if a = b then bottom (* every set subsumes itself *)
+  else begin
+    let key = (a, b) in
+    match Hashtbl.find_opt m.without_cache key with
+    | Some r -> r
+    | None ->
+      let la = level m a and lb = level m b in
+      let r =
+        if la < lb then
+          (* b's sets do not mention a's top variable; a set with or without
+             it is subsumed iff the rest is. *)
+          mk m (node_var m a) (without m (node_low m a) b) (without m (node_high m a) b)
+        else if lb < la then
+          (* a's sets never contain b's top variable, so only b's sets
+             without it can subsume. *)
+          without m a (node_low m b)
+        else begin
+          let v = node_var m a in
+          let low = without m (node_low m a) (node_low m b) in
+          let high =
+            without m (without m (node_high m a) (node_high m b)) (node_low m b)
+          in
+          mk m v low high
+        end
+      in
+      Hashtbl.add m.without_cache key r;
+      r
+  end
+
+let rec minimal m n =
+  if is_terminal n then n
+  else
+    match Hashtbl.find_opt m.minimal_cache n with
+    | Some r -> r
+    | None ->
+      let low = minimal m (node_low m n) in
+      let high = without m (minimal m (node_high m n)) low in
+      let r = mk m (node_var m n) low high in
+      Hashtbl.add m.minimal_cache n r;
+      r
+
+let count m n =
+  let memo = Hashtbl.create 64 in
+  let rec go n =
+    if n = bottom then 0
+    else if n = top then 1
+    else
+      match Hashtbl.find_opt memo n with
+      | Some c -> c
+      | None ->
+        let c = go (node_low m n) + go (node_high m n) in
+        Hashtbl.add memo n c;
+        c
+  in
+  go n
+
+let iter_sets m root f =
+  let rec go acc n =
+    if n = top then f (List.rev acc)
+    else if n <> bottom then begin
+      go acc (node_low m n);
+      go (node_var m n :: acc) (node_high m n)
+    end
+  in
+  go [] root
+
+let to_cutsets m root =
+  let out = ref [] in
+  iter_sets m root (fun s -> out := Sdft_util.Int_set.of_list s :: !out);
+  List.rev !out
+
+let of_sets m sets =
+  let of_set s =
+    (* Build from the deepest level upwards so that mk sees ordered vars. *)
+    let by_level =
+      List.sort
+        (fun a b -> compare m.level_of.(b) m.level_of.(a))
+        (Sdft_util.Int_set.to_list s)
+    in
+    List.fold_left (fun acc v -> mk m v bottom acc) top by_level
+  in
+  List.fold_left (fun acc s -> union m acc (of_set s)) bottom sets
+
+let size m n =
+  let seen = Hashtbl.create 64 in
+  let rec walk n =
+    if (not (is_terminal n)) && not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      walk (node_low m n);
+      walk (node_high m n)
+    end
+  in
+  walk n;
+  Hashtbl.length seen

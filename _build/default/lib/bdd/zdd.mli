@@ -1,0 +1,69 @@
+(** Zero-suppressed decision diagrams over families of sets.
+
+    Cutset collections are families of sets of basic events; ZDDs represent
+    them compactly and support the subsumption operations needed by the
+    minimal-solutions algorithm. Shares the variable-order convention of
+    {!Bdd} (levels from the root down). *)
+
+type manager
+
+type node = private int
+
+val manager : ?var_order:int array -> n_vars:int -> unit -> manager
+
+val bottom : node
+(** The empty family, {[ {} ]}. *)
+
+val top : node
+(** The family containing only the empty set, {[ {{}} ]}. *)
+
+val elem : manager -> int -> node
+(** The family [{{v}}]. *)
+
+val make_node : manager -> int -> node -> node -> node
+(** [make_node m v low high] is the canonical node for
+    [low ∪ { s ∪ {v} | s ∈ high }]. The variable [v] must sit strictly above
+    the top variables of [low] and [high] in the order.
+
+    @raise Invalid_argument when the level constraint is violated. *)
+
+val node_top_level : manager -> node -> int
+(** Level of the root variable; [max_int] for terminals. *)
+
+val node_var : manager -> node -> int
+(** Root variable of an internal node. *)
+
+val node_low : manager -> node -> node
+(** Sets not containing the root variable. *)
+
+val node_high : manager -> node -> node
+(** Rests of the sets containing the root variable. *)
+
+val is_terminal : node -> bool
+
+val union : manager -> node -> node -> node
+
+val inter : manager -> node -> node -> node
+
+val diff : manager -> node -> node -> node
+
+val without : manager -> node -> node -> node
+(** [without m u v] removes from [u] every set that is a (non-strict)
+    superset of some set in [v] — the subsumption difference at the heart of
+    minimal-solution extraction. *)
+
+val minimal : manager -> node -> node
+(** Keep only the inclusion-minimal sets of the family. *)
+
+val count : manager -> node -> int
+(** Number of sets in the family (may overflow for astronomically large
+    families; families of relevant cutsets are fine). *)
+
+val iter_sets : manager -> node -> (int list -> unit) -> unit
+(** Enumerate the sets; elements are produced in level order. *)
+
+val to_cutsets : manager -> node -> Sdft_util.Int_set.t list
+
+val of_sets : manager -> Sdft_util.Int_set.t list -> node
+
+val size : manager -> node -> int

@@ -1,0 +1,1 @@
+lib/core/availability.ml: Array Ctmc Dbe Fault_tree Fun List Mocus Sdft Sdft_analysis Sdft_translate Sdft_util Steady_state

@@ -1,0 +1,1 @@
+lib/core/availability.mli: Dbe Sdft Sdft_analysis

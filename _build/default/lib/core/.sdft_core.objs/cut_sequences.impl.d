@@ -1,0 +1,1 @@
+lib/core/cut_sequences.ml: Array Ctmc Cutset_model Fault_tree Format Hashtbl List Queue Sdft Sdft_product Sdft_util String Transient

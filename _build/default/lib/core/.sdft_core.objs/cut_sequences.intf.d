@@ -1,0 +1,1 @@
+lib/core/cut_sequences.mli: Cutset Cutset_model Format Sdft

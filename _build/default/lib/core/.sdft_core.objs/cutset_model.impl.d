@@ -1,0 +1,1 @@
+lib/core/cutset_model.ml: Bdd Fault_tree Hashtbl List Minsol Printf Queue Sdft Sdft_classify Sdft_product Sdft_util

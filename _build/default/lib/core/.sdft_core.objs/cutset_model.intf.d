@@ -1,0 +1,1 @@
+lib/core/cutset_model.mli: Cutset Sdft

@@ -1,0 +1,1 @@
+lib/core/dbe.ml: Array Ctmc Float Format Fun List Transient

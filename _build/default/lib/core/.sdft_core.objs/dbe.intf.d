@@ -1,0 +1,1 @@
+lib/core/dbe.mli: Ctmc Format

@@ -1,0 +1,1 @@
+lib/core/sdft.ml: Array Dbe Fault_tree Format List Printf Sdft_util

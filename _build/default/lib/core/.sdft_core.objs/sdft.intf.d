@@ -1,0 +1,1 @@
+lib/core/sdft.mli: Dbe Fault_tree Format Sdft_util

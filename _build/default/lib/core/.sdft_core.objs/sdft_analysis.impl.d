@@ -1,0 +1,1 @@
+lib/core/sdft_analysis.ml: Array Atomic Cutset Cutset_model Domain Fault_tree Format Fun List Minsol Mocus Option Sdft Sdft_product Sdft_translate Sdft_util

@@ -1,0 +1,1 @@
+lib/core/sdft_classify.ml: Array Fault_tree Format Hashtbl List Sdft Sdft_util

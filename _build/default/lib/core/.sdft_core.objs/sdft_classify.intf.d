@@ -1,0 +1,1 @@
+lib/core/sdft_classify.mli: Fault_tree Format Sdft

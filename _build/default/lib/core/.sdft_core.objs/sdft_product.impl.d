@@ -1,0 +1,1 @@
+lib/core/sdft_product.ml: Array Ctmc Dbe Fault_tree Fun Hashtbl List Queue Sdft Sdft_util Transient

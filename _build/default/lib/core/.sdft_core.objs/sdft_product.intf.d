@@ -1,0 +1,1 @@
+lib/core/sdft_product.mli: Ctmc Sdft Sdft_util

@@ -1,0 +1,1 @@
+lib/core/sdft_translate.ml: Array Dbe Fault_tree Sdft

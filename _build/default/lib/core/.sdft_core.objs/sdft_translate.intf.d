@@ -1,0 +1,1 @@
+lib/core/sdft_translate.mli: Fault_tree Sdft

@@ -1,0 +1,42 @@
+(** Minimal cut sequences: cutsets with temporal order information.
+
+    The paper's related work cites the extraction of minimal cut
+    {e sequences} from BDMP models — cutsets annotated with the order in
+    which their events fail. For an SD fault tree this order is governed by
+    the triggers: a spare can only fail after its trigger has fired, so some
+    orders carry all the probability and others none. This module splits a
+    cutset's time-aware probability [p~(C)] over the possible failure orders
+    of its dynamic events by tracking failure recency in the product chain.
+
+    The {e order} of a run is the sequence of the cutset's dynamic events
+    sorted by their most recent failure time at the first moment all of them
+    are failed together (repairs re-order: an event that fails, is repaired
+    and fails again counts by its last failure). *)
+
+type sequence = {
+  order : int list;
+      (** dynamic events of the cutset (original indices), first-failed
+          first *)
+  probability : float;  (** contribution to [p~(C)], static factor included *)
+}
+
+type result = {
+  sequences : sequence list;  (** decreasing probability *)
+  total : float;  (** [p~(C)] — equals the sum of the sequences *)
+}
+
+val of_cutset :
+  ?epsilon:float ->
+  ?max_states:int ->
+  ?rel_rule:Cutset_model.rel_rule ->
+  Sdft.t ->
+  Cutset.t ->
+  horizon:float ->
+  result
+(** Orders with zero probability are omitted; a purely static cutset yields
+    one empty-order sequence carrying its probability.
+
+    @raise Sdft_product.Too_many_states when the order-augmented chain
+    exceeds [max_states] (default 1_000_000). *)
+
+val pp : Sdft.t -> Format.formatter -> sequence -> unit

@@ -1,0 +1,238 @@
+module Int_set = Sdft_util.Int_set
+
+type t = {
+  model : Sdft.t option;
+  static_multiplier : float;
+  impossible : bool;
+  n_dynamic_in_cutset : int;
+  n_added_dynamic : int;
+  n_added_static : int;
+}
+
+type trigger_result =
+  [ `Never | `Always | `Sets of Int_set.t list ]
+
+type context = {
+  ctx_sd : Sdft.t;
+  class_memo : (int, Sdft_classify.gate_class) Hashtbl.t;
+  tsets_memo : (int * Int_set.t * Int_set.t, trigger_result) Hashtbl.t;
+}
+
+let context sd =
+  { ctx_sd = sd; class_memo = Hashtbl.create 16; tsets_memo = Hashtbl.create 64 }
+
+let classify_cached ctx g =
+  match Hashtbl.find_opt ctx.class_memo g with
+  | Some c -> c
+  | None ->
+    let c = Sdft_classify.classify ctx.ctx_sd g in
+    Hashtbl.add ctx.class_memo g c;
+    c
+
+(* Minimal subsets A_1..A_k of [rel] that, together with the assumed-failed
+   static events, fail the gate [g]: compile the gate's structure function
+   with everything outside [rel] fixed (statics of C to true, the rest to
+   false) and extract the minimal solutions. *)
+let trigger_sets_uncached sd ~gate ~rel ~assumed_true : trigger_result =
+  let assume b =
+    if Int_set.mem b assumed_true then Some true
+    else if Int_set.mem b rel then None
+    else Some false
+  in
+  let bm, root = Bdd.of_fault_tree_gate ~assume (Sdft.tree sd) gate in
+  if root = Bdd.zero then `Never
+  else if root = Bdd.one then `Always
+  else `Sets (Minsol.minimal_cutsets bm root)
+
+let trigger_sets ctx ~gate ~rel ~assumed_true =
+  (* Only the assumed statics below the gate influence the result; keying
+     on their restriction makes cutsets differing elsewhere share entries. *)
+  let relevant_true =
+    Int_set.inter assumed_true (Sdft.static_descendants ctx.ctx_sd gate)
+  in
+  let key = (gate, rel, relevant_true) in
+  match Hashtbl.find_opt ctx.tsets_memo key with
+  | Some r -> r
+  | None ->
+    let r =
+      trigger_sets_uncached ctx.ctx_sd ~gate ~rel ~assumed_true:relevant_true
+    in
+    Hashtbl.add ctx.tsets_memo key r;
+    r
+
+type rel_rule =
+  | Paper
+  | All_events
+
+let build ?context:ctx ?(rel_rule = Paper) sd cutset =
+  let ctx = match ctx with Some c -> c | None -> context sd in
+  let tree = Sdft.tree sd in
+  let c_dyn, c_stat =
+    List.partition (Sdft.is_dynamic sd) (Int_set.to_list cutset)
+  in
+  let c_stat_set = Int_set.of_list c_stat in
+  let static_multiplier =
+    List.fold_left (fun acc b -> acc *. Fault_tree.prob tree b) 1.0 c_stat
+  in
+  let n_dynamic_in_cutset = List.length c_dyn in
+  if c_dyn = [] then
+    {
+      model = None;
+      static_multiplier;
+      impossible = false;
+      n_dynamic_in_cutset;
+      n_added_dynamic = 0;
+      n_added_static = 0;
+    }
+  else begin
+    let builder = Fault_tree.Builder.create () in
+    let leaf_memo : (int, Fault_tree.node) Hashtbl.t = Hashtbl.create 16 in
+    let dynamic_assoc = ref [] in
+    let trigger_assoc = ref [] in
+    let queue = Queue.create () in
+    let n_added_dynamic = ref 0 and n_added_static = ref 0 in
+    let impossible = ref false in
+    let constant_leaf = Hashtbl.create 2 in
+    let constant name prob =
+      match Hashtbl.find_opt constant_leaf name with
+      | Some node -> node
+      | None ->
+        let node = Fault_tree.Builder.basic builder ~prob name in
+        Hashtbl.add constant_leaf name node;
+        node
+    in
+    let add_leaf ~from_cutset b =
+      match Hashtbl.find_opt leaf_memo b with
+      | Some node -> node
+      | None ->
+        let name = Fault_tree.basic_name tree b in
+        let is_dyn = Sdft.is_dynamic sd b in
+        let prob = if is_dyn then 0.0 else Fault_tree.prob tree b in
+        let node = Fault_tree.Builder.basic builder ~prob name in
+        Hashtbl.add leaf_memo b node;
+        if is_dyn then begin
+          dynamic_assoc := (name, Sdft.dbe sd b) :: !dynamic_assoc;
+          if not from_cutset then incr n_added_dynamic;
+          if Sdft.trigger_of sd b <> None then
+            Queue.add (b, from_cutset) queue
+        end
+        else if not from_cutset then incr n_added_static;
+        node
+    in
+    let cutset_leaves = List.map (add_leaf ~from_cutset:true) c_dyn in
+    (* One triggering gate is modeled once and shared by all events it
+       triggers (step 3 of the construction). *)
+    let modeled_gate : (int, string) Hashtbl.t = Hashtbl.create 8 in
+    let fresh = ref 0 in
+    let model_trigger_logic b first_round =
+      let g =
+        match Sdft.trigger_of sd b with
+        | Some g -> g
+        | None -> assert false (* only triggered events are enqueued *)
+      in
+      let basic_nm = Fault_tree.basic_name tree b in
+      match Hashtbl.find_opt modeled_gate g with
+      | Some gate_nm -> trigger_assoc := (gate_nm, basic_nm) :: !trigger_assoc
+      | None ->
+        let general_rel () =
+          Int_set.diff (Fault_tree.descendant_basics tree g) c_stat_set
+        in
+        let rel =
+          if not first_round then general_rel ()
+          else
+            match rel_rule with
+            | All_events -> general_rel ()
+            | Paper -> (
+              match classify_cached ctx g with
+              | Sdft_classify.Static_branching ->
+                Int_set.inter (Sdft.dynamic_descendants sd g) cutset
+              | Sdft_classify.Static_joins _ -> Sdft.dynamic_descendants sd g
+              | Sdft_classify.General -> general_rel ())
+        in
+        let gate_nm = Printf.sprintf "#trig:%s" (Fault_tree.gate_name tree g) in
+        let or_inputs =
+          match trigger_sets ctx ~gate:g ~rel ~assumed_true:c_stat_set with
+          | `Never ->
+            (* The event can never be switched on, hence never fail. *)
+            if first_round then impossible := true;
+            [ constant "#never" 0.0 ]
+          | `Always -> [ constant "#always" 1.0 ]
+          | `Sets sets ->
+            List.map
+              (fun a ->
+                let leaves =
+                  List.map (add_leaf ~from_cutset:false) (Int_set.to_list a)
+                in
+                match leaves with
+                | [ single ] -> single
+                | several ->
+                  incr fresh;
+                  Fault_tree.Builder.gate builder
+                    (Printf.sprintf "%s/and%d" gate_nm !fresh)
+                    Fault_tree.And several)
+              sets
+        in
+        let _node =
+          Fault_tree.Builder.gate builder gate_nm Fault_tree.Or or_inputs
+        in
+        Hashtbl.add modeled_gate g gate_nm;
+        trigger_assoc := (gate_nm, basic_nm) :: !trigger_assoc
+    in
+    while not (Queue.is_empty queue) && not !impossible do
+      let b, first_round = Queue.pop queue in
+      model_trigger_logic b first_round
+    done;
+    if !impossible then
+      {
+        model = None;
+        static_multiplier;
+        impossible = true;
+        n_dynamic_in_cutset;
+        n_added_dynamic = !n_added_dynamic;
+        n_added_static = !n_added_static;
+      }
+    else begin
+      let top =
+        Fault_tree.Builder.gate builder "#cutset" Fault_tree.And cutset_leaves
+      in
+      let tree_c = Fault_tree.Builder.build builder ~top in
+      let model =
+        Sdft.make tree_c ~dynamic:!dynamic_assoc ~triggers:!trigger_assoc
+      in
+      {
+        model = Some model;
+        static_multiplier;
+        impossible = false;
+        n_dynamic_in_cutset;
+        n_added_dynamic = !n_added_dynamic;
+        n_added_static = !n_added_static;
+      }
+    end
+  end
+
+type quantification = {
+  probability : float;
+  product_states : int;
+  seconds : float;
+}
+
+let quantify ?epsilon ?max_states t ~horizon =
+  let t0 = Sdft_util.Timer.start () in
+  if t.impossible then
+    { probability = 0.0; product_states = 0; seconds = Sdft_util.Timer.elapsed_s t0 }
+  else
+    match t.model with
+    | None ->
+      {
+        probability = t.static_multiplier;
+        product_states = 0;
+        seconds = Sdft_util.Timer.elapsed_s t0;
+      }
+    | Some sd_c ->
+      let built = Sdft_product.build ?max_states sd_c in
+      let p = Sdft_product.unreliability ?epsilon built ~horizon in
+      {
+        probability = p *. t.static_multiplier;
+        product_states = built.n_states;
+        seconds = Sdft_util.Timer.elapsed_s t0;
+      }

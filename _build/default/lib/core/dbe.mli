@@ -1,0 +1,112 @@
+(** Dynamic basic events: (triggered) continuous-time Markov chains
+    (Section III-A of the paper).
+
+    A dynamic basic event describes how one piece of equipment degrades,
+    fails and possibly gets repaired over time. An {e untriggered} event is a
+    plain CTMC that runs from time zero. A {e triggered} event additionally
+    partitions its states into switched-off states [S_off] and switched-on
+    states [S_on] with total maps [on : S_off -> S_on] and
+    [off : S_on -> S_off]; the event starts switched off, can be failed only
+    while switched on ([F ⊆ S_on]), and is instantaneously switched on/off
+    whenever its triggering gate fails/recovers. A broken component that is
+    untriggered stops counting as failed but returns to its broken on-state
+    when re-triggered. *)
+
+type mode =
+  | On
+  | Off
+
+type t
+
+(** {1 Construction} *)
+
+val make :
+  n_states:int ->
+  init:(int * float) list ->
+  transitions:(int * int * float) list ->
+  failed:int list ->
+  ?switch:(mode array * int array) ->
+  unit ->
+  t
+(** General constructor.
+
+    [init] must sum to 1 (within 1e-9). [switch], when present, provides the
+    mode of every state and a partner map sending every off-state to its
+    on-state and every on-state to its off-state (a single array [partner]
+    suffices because the maps go in opposite directions). Triggered events
+    must start in off-states and fail only in on-states.
+
+    @raise Invalid_argument when any of these conditions is violated. *)
+
+val exponential : lambda:float -> ?mu:float -> unit -> t
+(** Untriggered two-state event: fails with rate [lambda]; [mu] adds a
+    repair transition back to the working state. *)
+
+val erlang : phases:int -> lambda:float -> ?mu:float -> unit -> t
+(** Untriggered Erlang-[phases] failure (Section VI: phase [i] moves to
+    [i+1] with rate [phases * lambda], preserving the mean time to failure);
+    phase [phases] is the failed state; [mu] repairs back to phase 0. *)
+
+val triggered_erlang :
+  phases:int ->
+  lambda:float ->
+  ?mu:float ->
+  ?passive_factor:float ->
+  ?repair_when_off:bool ->
+  unit ->
+  t
+(** The paper's triggered model (Section VI): an off-copy and an on-copy of
+    the Erlang chain. Off-phases degrade with rate
+    [phases * lambda * passive_factor] (default factor [0.01], the paper's
+    "100 times lower"; [0.] disables passive failures as in Example 2).
+    Repair acts on the failed on-phase only — "the equipment cannot be
+    repaired before it gets triggered" — unless [repair_when_off] is set
+    (Example 2's spare pump). *)
+
+val triggered_exponential :
+  lambda:float ->
+  ?mu:float ->
+  ?passive_factor:float ->
+  ?repair_when_off:bool ->
+  unit ->
+  t
+(** [triggered_erlang ~phases:1]. *)
+
+(** {1 Accessors} *)
+
+val n_states : t -> int
+
+val chain : t -> Ctmc.t
+
+val init : t -> (int * float) list
+
+val is_failed : t -> int -> bool
+
+val is_triggered_model : t -> bool
+(** Does the event carry on/off structure? *)
+
+val mode_of : t -> int -> mode
+(** [On] everywhere for untriggered events. *)
+
+val switch_on : t -> int -> int
+(** Image of an off-state under [on]. @raise Invalid_argument on on-states
+    or untriggered events. *)
+
+val switch_off : t -> int -> int
+(** Image of an on-state under [off]. *)
+
+val initial_on : t -> (int * float) list
+(** The initial distribution shifted through [on] — the event as if
+    triggered at time zero (identity for untriggered events). *)
+
+(** {1 Analysis} *)
+
+val worst_case_failure_probability : ?epsilon:float -> t -> horizon:float -> float
+(** The static probability assigned by the translation of Section V-B2: the
+    probability that the event fails at least once within the horizon in the
+    worst triggering pattern — triggered at time zero and never untriggered
+    (failed states made absorbing, trigger edges ignored). For the monotone
+    repairable models built by the constructors above this dominates every
+    triggering pattern. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,169 @@
+module Int_set = Sdft_util.Int_set
+
+type t = {
+  tree : Fault_tree.t;
+  dynamic : Dbe.t option array; (* per basic event *)
+  trigger_of : int option array; (* basic -> triggering gate *)
+  triggered_by : int list array; (* gate -> triggered basics, increasing *)
+  mutable descendants_memo : (Int_set.t * Int_set.t) option array;
+      (* per gate: (dynamic, static) basic events of the subtree — computed
+         lazily because per-cutset model construction queries them for the
+         same trigger gates over and over *)
+}
+
+(* The fault tree graph with edges from every gate to its inputs, enriched
+   by an edge from every triggered basic event back to its triggering gate,
+   must be acyclic (Section III-B). Node encoding: gate g -> g, basic b ->
+   n_gates + b. *)
+let check_acyclic tree trigger_of =
+  let ng = Fault_tree.n_gates tree and nb = Fault_tree.n_basics tree in
+  let n = ng + nb in
+  let successors node =
+    if node < ng then
+      Array.to_list
+        (Array.map
+           (function
+             | Fault_tree.B b -> ng + b
+             | Fault_tree.G g -> g)
+           (Fault_tree.gate_inputs tree node))
+    else
+      match trigger_of.(node - ng) with
+      | Some g -> [ g ]
+      | None -> []
+  in
+  (* Colors: 0 unvisited, 1 on stack, 2 done. Recursion depth is bounded by
+     the tree depth plus the longest trigger chain. *)
+  let color = Array.make n 0 in
+  let rec visit node =
+    if color.(node) = 1 then
+      invalid_arg "Sdft.make: cyclic trigger structure"
+    else if color.(node) = 0 then begin
+      color.(node) <- 1;
+      List.iter visit (successors node);
+      color.(node) <- 2
+    end
+  in
+  for node = 0 to n - 1 do
+    visit node
+  done
+
+let of_indexed tree ~dynamic ~triggers =
+  let nb = Fault_tree.n_basics tree and ng = Fault_tree.n_gates tree in
+  let dyn = Array.make nb None in
+  List.iter
+    (fun (b, d) ->
+      if b < 0 || b >= nb then invalid_arg "Sdft.of_indexed: basic out of range";
+      if dyn.(b) <> None then
+        invalid_arg
+          (Printf.sprintf "Sdft.of_indexed: %s declared dynamic twice"
+             (Fault_tree.basic_name tree b));
+      dyn.(b) <- Some d)
+    dynamic;
+  let trig = Array.make nb None in
+  let by_gate = Array.make ng [] in
+  List.iter
+    (fun (g, b) ->
+      if g < 0 || g >= ng then invalid_arg "Sdft.of_indexed: gate out of range";
+      if b < 0 || b >= nb then invalid_arg "Sdft.of_indexed: basic out of range";
+      (match dyn.(b) with
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Sdft.of_indexed: triggered event %s is not dynamic"
+             (Fault_tree.basic_name tree b))
+      | Some d ->
+        if not (Dbe.is_triggered_model d) then
+          invalid_arg
+            (Printf.sprintf
+               "Sdft.of_indexed: %s is triggered but has no on/off structure"
+               (Fault_tree.basic_name tree b)));
+      if trig.(b) <> None then
+        invalid_arg
+          (Printf.sprintf "Sdft.of_indexed: %s triggered by two gates"
+             (Fault_tree.basic_name tree b));
+      trig.(b) <- Some g;
+      by_gate.(g) <- b :: by_gate.(g))
+    triggers;
+  let by_gate = Array.map (List.sort compare) by_gate in
+  check_acyclic tree trig;
+  {
+    tree;
+    dynamic = dyn;
+    trigger_of = trig;
+    triggered_by = by_gate;
+    descendants_memo = Array.make ng None;
+  }
+
+let make tree ~dynamic ~triggers =
+  let basic name =
+    match Fault_tree.basic_index tree name with
+    | Some b -> b
+    | None -> invalid_arg (Printf.sprintf "Sdft.make: unknown basic event %S" name)
+  in
+  let gate name =
+    match Fault_tree.gate_index tree name with
+    | Some g -> g
+    | None -> invalid_arg (Printf.sprintf "Sdft.make: unknown gate %S" name)
+  in
+  of_indexed tree
+    ~dynamic:(List.map (fun (n, d) -> (basic n, d)) dynamic)
+    ~triggers:(List.map (fun (g, b) -> (gate g, basic b)) triggers)
+
+let static_only tree = of_indexed tree ~dynamic:[] ~triggers:[]
+
+let tree t = t.tree
+
+let n_basics t = Fault_tree.n_basics t.tree
+
+let is_dynamic t b = t.dynamic.(b) <> None
+
+let dbe t b =
+  match t.dynamic.(b) with
+  | Some d -> d
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Sdft.dbe: %s is a static basic event"
+         (Fault_tree.basic_name t.tree b))
+
+let dynamic_basics t =
+  let out = ref [] in
+  for b = n_basics t - 1 downto 0 do
+    if t.dynamic.(b) <> None then out := b :: !out
+  done;
+  !out
+
+let trigger_of t b = t.trigger_of.(b)
+
+let triggered_by t g = t.triggered_by.(g)
+
+let trigger_edges t =
+  let out = ref [] in
+  Array.iteri
+    (fun g basics -> List.iter (fun b -> out := (g, b) :: !out) basics)
+    t.triggered_by;
+  List.rev !out
+
+let descendants t g =
+  match t.descendants_memo.(g) with
+  | Some pair -> pair
+  | None ->
+    let dyn, stat =
+      List.partition (is_dynamic t)
+        (Int_set.to_list (Fault_tree.descendant_basics t.tree g))
+    in
+    let pair = (Int_set.of_list dyn, Int_set.of_list stat) in
+    t.descendants_memo.(g) <- Some pair;
+    pair
+
+let dynamic_descendants t g = fst (descendants t g)
+
+let static_descendants t g = snd (descendants t g)
+
+let is_gate_dynamic t g = Int_set.cardinal (dynamic_descendants t g) > 0
+
+let pp_summary ppf t =
+  let n_dyn = List.length (dynamic_basics t) in
+  let n_trig = List.length (trigger_edges t) in
+  Format.fprintf ppf "SD fault tree: %a; %d dynamic events, %d trigger edges"
+    Fault_tree.pp_stats
+    (Fault_tree.stats t.tree)
+    n_dyn n_trig

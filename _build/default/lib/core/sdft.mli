@@ -1,0 +1,68 @@
+(** SD fault trees: static fault trees enriched with dynamic basic events and
+    triggers (Section III-B of the paper).
+
+    An SD fault tree is a static fault tree whose basic events are
+    partitioned into static ones (a failure probability, stored in the
+    underlying {!Fault_tree.t}) and dynamic ones (a {!Dbe.t}). A gate may
+    {e trigger} dynamic basic events: when the gate fails, the events are
+    switched on; when it recovers, they are switched off. Each dynamic event
+    is triggered by at most one gate, and the graph of tree edges plus
+    reversed trigger edges must be acyclic. *)
+
+type t
+
+val make :
+  Fault_tree.t ->
+  dynamic:(string * Dbe.t) list ->
+  triggers:(string * string) list ->
+  t
+(** [make tree ~dynamic ~triggers] marks the named basic events as dynamic
+    and installs the named [(gate, basic)] trigger edges.
+
+    @raise Invalid_argument when a name is unknown, a basic event is
+    triggered twice, a triggered event lacks on/off structure, or the
+    combined graph has a cycle. *)
+
+val of_indexed :
+  Fault_tree.t ->
+  dynamic:(int * Dbe.t) list ->
+  triggers:(int * int) list ->
+  t
+(** Same with raw indices ([(gate_index, basic_index)] for triggers). *)
+
+val static_only : Fault_tree.t -> t
+(** Embed a static fault tree (no dynamic events, no triggers). *)
+
+(** {1 Accessors} *)
+
+val tree : t -> Fault_tree.t
+
+val n_basics : t -> int
+
+val is_dynamic : t -> int -> bool
+
+val dbe : t -> int -> Dbe.t
+(** @raise Invalid_argument on static basic events. *)
+
+val dynamic_basics : t -> int list
+(** Indices of dynamic events, increasing. *)
+
+val trigger_of : t -> int -> int option
+(** The gate triggering the given basic event, if any. *)
+
+val triggered_by : t -> int -> int list
+(** Basic events triggered by the given gate ([trig(g)]). *)
+
+val trigger_edges : t -> (int * int) list
+(** All [(gate, basic)] trigger edges. *)
+
+val is_gate_dynamic : t -> int -> bool
+(** Does the subtree of the gate contain a dynamic basic event? *)
+
+val dynamic_descendants : t -> int -> Sdft_util.Int_set.t
+(** Dynamic basic events in the subtree of a gate ([Dyn_g]). *)
+
+val static_descendants : t -> int -> Sdft_util.Int_set.t
+(** Static basic events in the subtree of a gate ([Sta_g]). *)
+
+val pp_summary : Format.formatter -> t -> unit

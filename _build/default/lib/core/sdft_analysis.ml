@@ -1,0 +1,244 @@
+type engine =
+  | Mocus_sound
+  | Mocus_aggressive
+  | Bdd_engine
+
+type options = {
+  horizon : float;
+  cutoff : float;
+  transient_epsilon : float;
+  max_product_states : int;
+  max_cutset_order : int option;
+  engine : engine;
+  domains : int;
+  rel_rule : Cutset_model.rel_rule;
+}
+
+let default_options =
+  {
+    horizon = 24.0;
+    cutoff = 1e-15;
+    transient_epsilon = 1e-12;
+    max_product_states = 1_000_000;
+    max_cutset_order = None;
+    engine = Mocus_sound;
+    domains = 1;
+    rel_rule = Cutset_model.Paper;
+  }
+
+let generate_cutsets ?(cutoff = 1e-15) ?(max_order = None) engine tree =
+  match engine with
+  | Mocus_sound | Mocus_aggressive ->
+    let options =
+      {
+        Mocus.default_options with
+        cutoff;
+        max_order;
+        gate_bound_pruning = (engine = Mocus_aggressive);
+      }
+    in
+    Mocus.run ~options tree
+  | Bdd_engine ->
+    let cutsets = Minsol.fault_tree_cutsets_above ?max_order tree ~cutoff in
+    {
+      Mocus.cutsets;
+      generated = List.length cutsets;
+      pruned_by_cutoff = 0;
+      truncated = false;
+    }
+
+type cutset_info = {
+  cutset : Cutset.t;
+  probability : float;
+  n_dynamic : int;
+  n_added_dynamic : int;
+  product_states : int;
+  solve_seconds : float;
+  used_fallback : bool;
+}
+
+type result = {
+  total : float;
+  cutsets : cutset_info list;
+  n_cutsets : int;
+  n_dynamic_cutsets : int;
+  n_fallbacks : int;
+  mcs_generation_seconds : float;
+  quantification_seconds : float;
+  generation : Mocus.result;
+  translation : Sdft_translate.result;
+}
+
+let analyze ?(options = default_options) sd =
+  (* Phase 1: translation and cutset generation. *)
+  let (translation, mocus_result), mcs_generation_seconds =
+    Sdft_util.Timer.time (fun () ->
+        let translation =
+          Sdft_translate.translate ~epsilon:options.transient_epsilon sd
+            ~horizon:options.horizon
+        in
+        ( translation,
+          generate_cutsets ~cutoff:options.cutoff
+            ~max_order:options.max_cutset_order options.engine
+            translation.static_tree ))
+  in
+  (* Phase 2: per-cutset quantification. *)
+  let quantify_one context cutset =
+    let model = Cutset_model.build ~context ~rel_rule:options.rel_rule sd cutset in
+    match
+      Cutset_model.quantify ~epsilon:options.transient_epsilon
+        ~max_states:options.max_product_states model ~horizon:options.horizon
+    with
+    | q ->
+      {
+        cutset;
+        probability = q.Cutset_model.probability;
+        n_dynamic = model.Cutset_model.n_dynamic_in_cutset;
+        n_added_dynamic = model.Cutset_model.n_added_dynamic;
+        product_states = q.Cutset_model.product_states;
+        solve_seconds = q.Cutset_model.seconds;
+        used_fallback = false;
+      }
+    | exception Sdft_product.Too_many_states _ ->
+      (* Conservative fallback: the worst-case static product of the
+         translated probabilities upper-bounds p~(C). *)
+      let p =
+        Sdft_util.Int_set.fold
+          (fun b acc -> acc *. translation.Sdft_translate.worst_case.(b))
+          cutset 1.0
+      in
+      {
+        cutset;
+        probability = p;
+        n_dynamic = model.Cutset_model.n_dynamic_in_cutset;
+        n_added_dynamic = model.Cutset_model.n_added_dynamic;
+        product_states = 0;
+        solve_seconds = 0.0;
+        used_fallback = true;
+      }
+  in
+  let quantify_sequential cutsets =
+    let context = Cutset_model.context sd in
+    List.map (quantify_one context) cutsets
+  in
+  (* Parallel variant: the shared model is read-only once its lazy
+     descendant caches are forced, so workers only need their own
+     per-analysis context. Work is distributed by an atomic counter. *)
+  let quantify_parallel n_domains cutsets =
+    let tree = Sdft.tree sd in
+    for g = 0 to Fault_tree.n_gates tree - 1 do
+      ignore (Fault_tree.descendant_basics tree g);
+      ignore (Sdft.dynamic_descendants sd g)
+    done;
+    let work = Array.of_list cutsets in
+    let results = Array.make (Array.length work) None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let context = Cutset_model.context sd in
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < Array.length work then begin
+          results.(i) <- Some (quantify_one context work.(i));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let others = List.init (n_domains - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join others;
+    Array.to_list (Array.map Option.get results)
+  in
+  let infos, quantification_seconds =
+    Sdft_util.Timer.time (fun () ->
+        if options.domains > 1 then
+          quantify_parallel options.domains mocus_result.Mocus.cutsets
+        else quantify_sequential mocus_result.Mocus.cutsets)
+  in
+  let relevant =
+    List.filter (fun info -> info.probability > options.cutoff) infos
+  in
+  let total =
+    Sdft_util.Kahan.sum_list (List.map (fun info -> info.probability) relevant)
+  in
+  let sorted =
+    List.sort
+      (fun a b ->
+        let c = compare b.probability a.probability in
+        if c <> 0 then c else Sdft_util.Int_set.compare a.cutset b.cutset)
+      infos
+  in
+  {
+    total;
+    cutsets = sorted;
+    n_cutsets = List.length infos;
+    n_dynamic_cutsets =
+      List.length (List.filter (fun info -> info.n_dynamic > 0) infos);
+    n_fallbacks =
+      List.length (List.filter (fun info -> info.used_fallback) infos);
+    mcs_generation_seconds;
+    quantification_seconds;
+    generation = mocus_result;
+    translation;
+  }
+
+let static_rare_event ?(cutoff = 1e-15) ?(engine = Mocus_sound) tree =
+  let result = generate_cutsets ~cutoff engine tree in
+  let relevant =
+    List.filter
+      (fun c -> Cutset.probability tree c > cutoff)
+      result.Mocus.cutsets
+  in
+  (Cutset.rare_event_approximation tree relevant, List.length relevant)
+
+let dynamic_histogram result =
+  let h = Sdft_util.Histogram.create () in
+  List.iter
+    (fun info -> Sdft_util.Histogram.observe h info.n_dynamic)
+    result.cutsets;
+  h
+
+let mean_added_dynamic result =
+  let dynamic = List.filter (fun info -> info.n_dynamic > 0) result.cutsets in
+  match dynamic with
+  | [] -> 0.0
+  | _ ->
+    let added =
+      List.fold_left (fun acc info -> acc + info.n_added_dynamic) 0 dynamic
+    in
+    float_of_int added /. float_of_int (List.length dynamic)
+
+let fussell_vesely result a =
+  if result.total <= 0.0 then 0.0
+  else begin
+    let acc = Sdft_util.Kahan.create () in
+    List.iter
+      (fun info ->
+        if Sdft_util.Int_set.mem a info.cutset then
+          Sdft_util.Kahan.add acc info.probability)
+      result.cutsets;
+    Sdft_util.Kahan.total acc /. result.total
+  end
+
+let rank_by_fussell_vesely result ~n_basics =
+  let score = Array.make n_basics 0.0 in
+  List.iter
+    (fun info ->
+      Sdft_util.Int_set.iter
+        (fun a -> score.(a) <- score.(a) +. info.probability)
+        info.cutset)
+    result.cutsets;
+  List.sort
+    (fun a b ->
+      let c = compare score.(b) score.(a) in
+      if c <> 0 then c else compare a b)
+    (List.init n_basics Fun.id)
+
+let pp_summary ppf r =
+  Format.fprintf ppf
+    "@[<v>failure frequency (rare-event approx): %.3e@,\
+     minimal cutsets: %d (%d with dynamic events)@,\
+     MCS generation: %a, quantification: %a@]"
+    r.total r.n_cutsets r.n_dynamic_cutsets Sdft_util.Timer.pp_duration
+    r.mcs_generation_seconds Sdft_util.Timer.pp_duration
+    r.quantification_seconds

@@ -1,0 +1,234 @@
+module Int_set = Sdft_util.Int_set
+
+type built = {
+  chain : Ctmc.t;
+  init : (int * float) list;
+  failed : bool array;
+  participants : int array;
+  n_states : int;
+}
+
+exception Too_many_states of int
+
+(* Per-participant component data, extracted once from the Dbe / static
+   probability so the exploration loop works on plain arrays. *)
+type component = {
+  basic : int;
+  n_local : int;
+  rows : (int * float) array array;
+  init_local : (int * float) list;
+  failed_local : bool array;
+  trigger_gate : int; (* -1 when untriggered *)
+  mode_on : bool array; (* true = on *)
+  partner : int array; (* on <-> off; identity for untriggered *)
+}
+
+let component_of_basic sd b =
+  let tree = Sdft.tree sd in
+  if Sdft.is_dynamic sd b then begin
+    let d = Sdft.dbe sd b in
+    let n_local = Dbe.n_states d in
+    let chain = Dbe.chain d in
+    let rows = Array.init n_local (Ctmc.outgoing chain) in
+    let failed_local = Array.init n_local (Dbe.is_failed d) in
+    let triggered = Dbe.is_triggered_model d in
+    let mode_on = Array.init n_local (fun s -> Dbe.mode_of d s = Dbe.On) in
+    let partner =
+      Array.init n_local (fun s ->
+          if not triggered then s
+          else if mode_on.(s) then Dbe.switch_off d s
+          else Dbe.switch_on d s)
+    in
+    let trigger_gate =
+      match Sdft.trigger_of sd b with
+      | Some g -> g
+      | None -> -1
+    in
+    {
+      basic = b;
+      n_local;
+      rows;
+      init_local = List.filter (fun (_, p) -> p > 0.0) (Dbe.init d);
+      failed_local;
+      trigger_gate;
+      mode_on;
+      partner;
+    }
+  end
+  else begin
+    let p = Fault_tree.prob tree b in
+    let init_local =
+      List.filter (fun (_, m) -> m > 0.0) [ (0, 1.0 -. p); (1, p) ]
+    in
+    {
+      basic = b;
+      n_local = 2;
+      rows = [| [||]; [||] |];
+      init_local;
+      failed_local = [| false; true |];
+      trigger_gate = -1;
+      mode_on = [| true; true |];
+      partner = [| 0; 1 |];
+    }
+  end
+
+type semantics = {
+  sd : Sdft.t;
+  assumed_failed : Int_set.t;
+  components : component array;
+  slot_of_basic : int array;
+  n_triggered : int;
+}
+
+let semantics ?(assumed_failed = Int_set.empty) sd =
+  let tree = Sdft.tree sd in
+  Int_set.iter
+    (fun b ->
+      if Sdft.is_dynamic sd b then
+        invalid_arg "Sdft_product: assumed_failed must be static")
+    assumed_failed;
+  let participants =
+    Array.of_list
+      (List.filter
+         (fun b -> not (Int_set.mem b assumed_failed))
+         (List.init (Fault_tree.n_basics tree) Fun.id))
+  in
+  let components = Array.map (component_of_basic sd) participants in
+  let slot_of_basic = Array.make (Fault_tree.n_basics tree) (-1) in
+  Array.iteri (fun slot c -> slot_of_basic.(c.basic) <- slot) components;
+  let n_triggered =
+    Array.fold_left
+      (fun acc c -> if c.trigger_gate >= 0 then acc + 1 else acc)
+      0 components
+  in
+  { sd; assumed_failed; components; slot_of_basic; n_triggered }
+
+let sem_components sem = sem.components
+
+let eval sem state =
+  let basic_failed b =
+    if Int_set.mem b sem.assumed_failed then true
+    else
+      let slot = sem.slot_of_basic.(b) in
+      slot >= 0 && sem.components.(slot).failed_local.(state.(slot))
+  in
+  Fault_tree.eval_gates (Sdft.tree sem.sd) ~failed:basic_failed
+
+(* Update closure: switch triggered events until consistent. Each pass
+   settles at least the events whose triggers' values are final, so
+   n_triggered + 1 passes always suffice (trigger structure is acyclic). *)
+let sem_close sem state =
+  let passes = ref 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let gates = eval sem state in
+    Array.iteri
+      (fun slot c ->
+        if c.trigger_gate >= 0 then begin
+          let on = c.mode_on.(state.(slot)) in
+          let want_on = gates.(c.trigger_gate) in
+          if on <> want_on then begin
+            state.(slot) <- c.partner.(state.(slot));
+            changed := true
+          end
+        end)
+      sem.components;
+    incr passes;
+    if !passes > sem.n_triggered + 2 then
+      failwith "Sdft_product: update closure did not converge (cyclic triggers?)"
+  done
+
+let sem_fails_top sem state =
+  (eval sem state).(Fault_tree.top (Sdft.tree sem.sd))
+
+let sem_initial_states sem ~max_states =
+  let n_components = Array.length sem.components in
+  let masses : (int array, float) Hashtbl.t = Hashtbl.create 64 in
+  let rec enumerate slot prefix mass =
+    if mass > 0.0 then begin
+      if slot = n_components then begin
+        let state = Array.copy prefix in
+        sem_close sem state;
+        if Hashtbl.length masses >= max_states && not (Hashtbl.mem masses state)
+        then raise (Too_many_states (Hashtbl.length masses));
+        let prev = try Hashtbl.find masses state with Not_found -> 0.0 in
+        Hashtbl.replace masses state (prev +. mass)
+      end
+      else
+        List.iter
+          (fun (s, p) ->
+            prefix.(slot) <- s;
+            enumerate (slot + 1) prefix (mass *. p))
+          sem.components.(slot).init_local
+    end
+  in
+  enumerate 0 (Array.make n_components 0) 1.0;
+  Hashtbl.fold (fun state m acc -> (state, m) :: acc) masses []
+
+let build ?(max_states = 1_000_000) ?assumed_failed sd =
+  let sem = semantics ?assumed_failed sd in
+  let components = sem.components in
+  (* State interning. *)
+  let ids : (int array, int) Hashtbl.t = Hashtbl.create 1024 in
+  let states = Sdft_util.Vec.create () in
+  let failed_v = Sdft_util.Vec.create () in
+  let frontier = Queue.create () in
+  let intern state =
+    match Hashtbl.find_opt ids state with
+    | Some id -> id
+    | None ->
+      let id = Sdft_util.Vec.length states in
+      if id >= max_states then raise (Too_many_states id);
+      Hashtbl.add ids state id;
+      Sdft_util.Vec.push states state;
+      Sdft_util.Vec.push failed_v (sem_fails_top sem state);
+      Queue.add id frontier;
+      id
+  in
+  let init_mass : (int, float) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (state, m) ->
+      let id = intern state in
+      let prev = try Hashtbl.find init_mass id with Not_found -> 0.0 in
+      Hashtbl.replace init_mass id (prev +. m))
+    (sem_initial_states sem ~max_states);
+  (* Breadth-first exploration of consistent states. *)
+  let transitions = Sdft_util.Vec.create () in
+  while not (Queue.is_empty frontier) do
+    let src = Queue.pop frontier in
+    let state = Sdft_util.Vec.get states src in
+    Array.iteri
+      (fun slot c ->
+        Array.iter
+          (fun (dst_local, rate) ->
+            let next = Array.copy state in
+            next.(slot) <- dst_local;
+            sem_close sem next;
+            let dst = intern next in
+            if dst <> src then Sdft_util.Vec.push transitions (src, dst, rate))
+          c.rows.(state.(slot)))
+      components
+  done;
+  let n_states = Sdft_util.Vec.length states in
+  let chain =
+    Ctmc.make ~n_states ~transitions:(Sdft_util.Vec.to_list transitions)
+  in
+  let init = Hashtbl.fold (fun id m acc -> (id, m) :: acc) init_mass [] in
+  {
+    chain;
+    init;
+    failed = Sdft_util.Vec.to_array failed_v;
+    participants = Array.map (fun c -> c.basic) components;
+    n_states;
+  }
+
+let unreliability ?(epsilon = 1e-12) built ~horizon =
+  let options = { Transient.default_options with epsilon } in
+  Transient.reach_within ~options built.chain ~init:built.init
+    ~target:(fun s -> built.failed.(s))
+    ~t:horizon
+
+let solve ?max_states ?epsilon sd ~horizon =
+  let built = build ?max_states sd in
+  unreliability ?epsilon built ~horizon

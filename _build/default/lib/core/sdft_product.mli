@@ -1,0 +1,79 @@
+(** The product Markov chain semantics of an SD fault tree
+    (Section III-C of the paper).
+
+    Every basic event contributes a component: dynamic events their
+    (triggered) CTMC, static events a two-state zero-rate chain whose initial
+    distribution is the Bernoulli failure. Product states evolve by
+    interleaving component transitions; after each evolution the state is
+    {e updated} to a consistent one by switching triggered events on/off
+    until every trigger gate's failure status agrees with its events' modes
+    (the update closure terminates because the trigger structure is
+    acyclic). The failure probability within a horizon is the probability of
+    reaching a product state that fails the top gate.
+
+    This module is used in two roles: quantifying the small per-cutset
+    models [FT_C] (the paper's workhorse), and as the exact full-state-space
+    baseline that the paper argues is infeasible for industrial trees — it
+    is exponential in the number of basic events, so keep it to small
+    models. *)
+
+type built = {
+  chain : Ctmc.t;
+  init : (int * float) list;
+  failed : bool array;  (** per product state: does it fail the top gate? *)
+  participants : int array;  (** basic-event indices, in component order *)
+  n_states : int;
+}
+
+exception Too_many_states of int
+(** Raised when exploration exceeds [max_states]. *)
+
+val build : ?max_states:int -> ?assumed_failed:Sdft_util.Int_set.t -> Sdft.t -> built
+(** [build sd] explores the reachable consistent product states from the
+    initial distribution. [assumed_failed] names static basic events that
+    are conditioned to be failed — they leave the product and count as
+    failed in every gate evaluation (used by the cutset models, where the
+    static events of the cutset are factored out). [max_states] defaults to
+    1_000_000.
+
+    @raise Invalid_argument if [assumed_failed] contains a dynamic event. *)
+
+val unreliability : ?epsilon:float -> built -> horizon:float -> float
+(** [Pr(reach a failed product state within the horizon)]. *)
+
+val solve :
+  ?max_states:int -> ?epsilon:float -> Sdft.t -> horizon:float -> float
+(** [build] + [unreliability] on the whole tree — the exact semantics
+    [p(FT)] of Section III-C2. *)
+
+(** {1 Low-level semantics}
+
+    The component extraction and the trigger update closure, exposed so
+    that augmented explorations (e.g. the failure-order tracking of
+    {!Cut_sequences}) can reuse the exact same semantics. *)
+
+type component = {
+  basic : int;  (** basic-event index in the tree *)
+  n_local : int;
+  rows : (int * float) array array;  (** outgoing transitions per state *)
+  init_local : (int * float) list;
+  failed_local : bool array;
+  trigger_gate : int;  (** -1 when untriggered *)
+  mode_on : bool array;
+  partner : int array;
+}
+
+type semantics
+
+val semantics : ?assumed_failed:Sdft_util.Int_set.t -> Sdft.t -> semantics
+
+val sem_components : semantics -> component array
+
+val sem_close : semantics -> int array -> unit
+(** Apply the trigger update closure in place. *)
+
+val sem_fails_top : semantics -> int array -> bool
+(** Does the (consistent) state fail the top gate? *)
+
+val sem_initial_states : semantics -> max_states:int -> (int array * float) list
+(** Enumerate the closed initial product states with their masses. *)

@@ -1,0 +1,61 @@
+type result = {
+  static_tree : Fault_tree.t;
+  worst_case : float array;
+}
+
+let translate ?epsilon sd ~horizon =
+  let tree = Sdft.tree sd in
+  let nb = Fault_tree.n_basics tree in
+  let worst_case =
+    Array.init nb (fun b ->
+        if Sdft.is_dynamic sd b then
+          Dbe.worst_case_failure_probability ?epsilon (Sdft.dbe sd b) ~horizon
+        else Fault_tree.prob tree b)
+  in
+  let builder = Fault_tree.Builder.create () in
+  (* Basic events first, in index order, so indices are preserved. *)
+  let basic_nodes =
+    Array.init nb (fun b ->
+        Fault_tree.Builder.basic builder ~prob:worst_case.(b)
+          (Fault_tree.basic_name tree b))
+  in
+  let gate_memo = Array.make (Fault_tree.n_gates tree) None in
+  let wrapper_memo = Array.make nb None in
+  (* Mutual recursion across trigger edges terminates because the combined
+     graph is acyclic (checked by Sdft.make). *)
+  let rec translate_gate g =
+    match gate_memo.(g) with
+    | Some node -> node
+    | None ->
+      let inputs =
+        Array.to_list (Array.map translate_node (Fault_tree.gate_inputs tree g))
+      in
+      let node =
+        Fault_tree.Builder.gate builder
+          (Fault_tree.gate_name tree g)
+          (Fault_tree.gate_kind tree g)
+          inputs
+      in
+      gate_memo.(g) <- Some node;
+      node
+  and translate_node = function
+    | Fault_tree.G g -> translate_gate g
+    | Fault_tree.B b -> (
+      match Sdft.trigger_of sd b with
+      | None -> basic_nodes.(b)
+      | Some g -> (
+        match wrapper_memo.(b) with
+        | Some node -> node
+        | None ->
+          let trigger_node = translate_gate g in
+          let node =
+            Fault_tree.Builder.gate builder
+              (Fault_tree.basic_name tree b ^ "@trig")
+              Fault_tree.And
+              [ basic_nodes.(b); trigger_node ]
+          in
+          wrapper_memo.(b) <- Some node;
+          node))
+  in
+  let top = translate_gate (Fault_tree.top tree) in
+  { static_tree = Fault_tree.Builder.build builder ~top; worst_case }

@@ -1,0 +1,24 @@
+(** Translation of an SD fault tree into a static fault tree with the same
+    minimal cutsets (Section V-B of the paper).
+
+    Two dynamic features are compiled away: every trigger edge [g --> b]
+    becomes an AND gate with inputs [b] and [g] (the event can only
+    contribute to a failure when its trigger has failed), and every dynamic
+    basic event becomes a static one carrying its worst-case failure
+    probability within the horizon (Section V-B2). The cutoff applied to the
+    translated tree is then conservative for the SD tree: inequality (1) of
+    the paper. *)
+
+type result = {
+  static_tree : Fault_tree.t;
+      (** Basic events keep their indices and names; each trigger edge adds
+          one AND gate named ["<basic>@trig"]. *)
+  worst_case : float array;
+      (** Per basic event: the probability used in [static_tree] (the
+          original probability for static events, the worst-case failure
+          probability for dynamic ones). *)
+}
+
+val translate : ?epsilon:float -> Sdft.t -> horizon:float -> result
+(** [epsilon] is the transient-analysis precision for the worst-case
+    probabilities (default 1e-12). *)

@@ -1,0 +1,1 @@
+lib/ctmc/poisson.ml: Array Float Sdft_util

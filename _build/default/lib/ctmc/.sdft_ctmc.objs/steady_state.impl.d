@@ -1,0 +1,1 @@
+lib/ctmc/steady_state.ml: Array Ctmc Float List Poisson Sdft_util

@@ -1,0 +1,1 @@
+lib/ctmc/transient.ml: Array Ctmc Float List Poisson Sdft_util

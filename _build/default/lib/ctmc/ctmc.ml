@@ -1,0 +1,90 @@
+type t = {
+  n : int;
+  rows : (int * float) array array;
+  exit : float array;
+}
+
+let make ~n_states ~transitions =
+  if n_states <= 0 then invalid_arg "Ctmc.make: need at least one state";
+  let buckets = Array.make n_states [] in
+  List.iter
+    (fun (src, dst, rate) ->
+      if src < 0 || src >= n_states || dst < 0 || dst >= n_states then
+        invalid_arg "Ctmc.make: state out of range";
+      if src = dst then invalid_arg "Ctmc.make: self-loop";
+      if rate <= 0.0 || not (Float.is_finite rate) then
+        invalid_arg "Ctmc.make: rate must be positive and finite";
+      buckets.(src) <- (dst, rate) :: buckets.(src))
+    transitions;
+  let merge_row lst =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (dst, rate) ->
+        let prev = try Hashtbl.find tbl dst with Not_found -> 0.0 in
+        Hashtbl.replace tbl dst (prev +. rate))
+      lst;
+    let row = Hashtbl.fold (fun dst rate acc -> (dst, rate) :: acc) tbl [] in
+    let row = Array.of_list row in
+    Array.sort (fun (a, _) (b, _) -> compare a b) row;
+    row
+  in
+  let rows = Array.map merge_row buckets in
+  let exit =
+    Array.map (Array.fold_left (fun acc (_, r) -> acc +. r) 0.0) rows
+  in
+  { n = n_states; rows; exit }
+
+let n_states c = c.n
+
+let rate c i j =
+  if i < 0 || i >= c.n || j < 0 || j >= c.n then
+    invalid_arg "Ctmc.rate: state out of range";
+  let row = c.rows.(i) in
+  let rec loop k =
+    if k >= Array.length row then 0.0
+    else
+      let dst, r = row.(k) in
+      if dst = j then r else loop (k + 1)
+  in
+  loop 0
+
+let exit_rate c i =
+  if i < 0 || i >= c.n then invalid_arg "Ctmc.exit_rate: state out of range";
+  c.exit.(i)
+
+let max_exit_rate c = Array.fold_left max 0.0 c.exit
+
+let outgoing c i =
+  if i < 0 || i >= c.n then invalid_arg "Ctmc.outgoing: state out of range";
+  c.rows.(i)
+
+let n_transitions c =
+  Array.fold_left (fun acc row -> acc + Array.length row) 0 c.rows
+
+let iter_transitions c f =
+  Array.iteri (fun src row -> Array.iter (fun (dst, r) -> f src dst r) row) c.rows
+
+let restrict_absorbing c is_absorbing =
+  let rows =
+    Array.mapi (fun i row -> if is_absorbing i then [||] else row) c.rows
+  in
+  let exit =
+    Array.map (Array.fold_left (fun acc (_, r) -> acc +. r) 0.0) rows
+  in
+  { n = c.n; rows; exit }
+
+let embedded_dtmc_row c i =
+  let row = outgoing c i in
+  let e = c.exit.(i) in
+  if e = 0.0 then [||] else Array.map (fun (dst, r) -> (dst, r /. e)) row
+
+let pp ppf c =
+  Format.fprintf ppf "@[<v>CTMC with %d states, %d transitions@," c.n
+    (n_transitions c);
+  Array.iteri
+    (fun src row ->
+      Array.iter
+        (fun (dst, r) -> Format.fprintf ppf "  %d -> %d @@ %g@," src dst r)
+        row)
+    c.rows;
+  Format.fprintf ppf "@]"

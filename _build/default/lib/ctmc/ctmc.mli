@@ -1,0 +1,46 @@
+(** Finite continuous-time Markov chains with a sparse rate matrix.
+
+    A CTMC over states [0 .. n-1] is given by its outgoing transitions
+    [R(i,j) >= 0] for [i <> j]. Self-loops carry no semantics in a CTMC and
+    are rejected by the builder. *)
+
+type t
+
+val make : n_states:int -> transitions:(int * int * float) list -> t
+(** [make ~n_states ~transitions] builds a chain from [(src, dst, rate)]
+    triples. Parallel transitions between the same pair of states are merged
+    by summing their rates.
+
+    @raise Invalid_argument on out-of-range states, non-positive rates, or
+    self-loops. *)
+
+val n_states : t -> int
+
+val rate : t -> int -> int -> float
+(** [rate c i j] is [R(i,j)] (0 when there is no transition). *)
+
+val exit_rate : t -> int -> float
+(** Total outgoing rate of a state. *)
+
+val max_exit_rate : t -> float
+(** Uniformization constant [q >= max_i E(i)]. *)
+
+val outgoing : t -> int -> (int * float) array
+(** Outgoing transitions of a state as [(dst, rate)] pairs (shared array; do
+    not mutate). *)
+
+val n_transitions : t -> int
+
+val iter_transitions : t -> (int -> int -> float -> unit) -> unit
+
+val restrict_absorbing : t -> (int -> bool) -> t
+(** [restrict_absorbing c is_absorbing] removes every outgoing transition of
+    the states selected by [is_absorbing], making them absorbing. Used to
+    turn transient occupancy of a target set into time-bounded
+    reachability. *)
+
+val embedded_dtmc_row : t -> int -> (int * float) array
+(** Jump-chain probabilities of a state: outgoing rates normalised by the
+    exit rate. Empty for absorbing states. *)
+
+val pp : Format.formatter -> t -> unit

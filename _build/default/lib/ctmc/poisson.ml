@@ -1,0 +1,75 @@
+type window = {
+  left : int;
+  right : int;
+  weights : float array;
+}
+
+(* log k! by direct summation; k stays modest (window widths are
+   O(sqrt qt) around the mode). Memoized incrementally. *)
+let log_factorial =
+  let cache = ref [| 0.0 |] in
+  fun k ->
+    let c = !cache in
+    let n = Array.length c in
+    if k < n then c.(k)
+    else begin
+      let c' = Array.make (k + 1) 0.0 in
+      Array.blit c 0 c' 0 n;
+      for i = n to k do
+        c'.(i) <- c'.(i - 1) +. log (float_of_int i)
+      done;
+      cache := c';
+      c'.(k)
+    end
+
+let pmf qt k =
+  if k < 0 then 0.0
+  else if qt = 0.0 then if k = 0 then 1.0 else 0.0
+  else exp ((float_of_int k *. log qt) -. qt -. log_factorial k)
+
+let weights ?(epsilon = 1e-12) qt =
+  if qt < 0.0 || not (Float.is_finite qt) then
+    invalid_arg "Poisson.weights: mean must be finite and non-negative";
+  if qt = 0.0 then { left = 0; right = 0; weights = [| 1.0 |] }
+  else begin
+    let mode = int_of_float qt in
+    (* Unnormalized weights, w(mode) = 1. The per-term relative threshold
+       [tau] keeps each neglected term below epsilon / window_width of the
+       total, which bounds the neglected mass by epsilon. *)
+    let spread = 4.0 *. sqrt qt +. 40.0 in
+    let tau = epsilon /. (4.0 *. spread) in
+    let left_buf = Sdft_util.Vec.create () in
+    let w = ref 1.0 in
+    let k = ref mode in
+    while !k > 0 && !w > tau do
+      (* w(k-1) = w(k) * k / qt *)
+      w := !w *. float_of_int !k /. qt;
+      decr k;
+      Sdft_util.Vec.push left_buf !w
+    done;
+    let left = !k in
+    let right_buf = Sdft_util.Vec.create () in
+    let w = ref 1.0 in
+    let k = ref mode in
+    let continue = ref true in
+    while !continue do
+      let k' = !k + 1 in
+      let next = !w *. qt /. float_of_int k' in
+      if next <= tau then continue := false
+      else begin
+        w := next;
+        k := k';
+        Sdft_util.Vec.push right_buf next
+      end
+    done;
+    let right = !k in
+    let n = right - left + 1 in
+    let weights = Array.make n 0.0 in
+    weights.(mode - left) <- 1.0;
+    (* left_buf.(i) is w(mode - 1 - i) *)
+    Sdft_util.Vec.iteri (fun i v -> weights.(mode - left - 1 - i) <- v) left_buf;
+    Sdft_util.Vec.iteri (fun i v -> weights.(mode - left + 1 + i) <- v) right_buf;
+    let total = Sdft_util.Kahan.sum weights in
+    let weights = Array.map (fun v -> v /. total) weights in
+    { left; right; weights }
+  end

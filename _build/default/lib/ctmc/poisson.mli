@@ -1,0 +1,22 @@
+(** Truncated Poisson weights for uniformization (Fox–Glynn style).
+
+    For a Poisson distribution with mean [qt], computes a window
+    [left .. right] and normalized weights such that the probability mass
+    outside the window is below the requested [epsilon]. The weights are
+    computed by the numerically stable mode-centred recurrence, avoiding
+    under/overflow for large [qt]. *)
+
+type window = {
+  left : int;
+  right : int;
+  weights : float array;  (** [weights.(k - left)] approximates [P(N = k)]. *)
+}
+
+val weights : ?epsilon:float -> float -> window
+(** [weights qt] for [qt >= 0]. [epsilon] (default [1e-12]) bounds the total
+    truncated mass.
+
+    @raise Invalid_argument when [qt] is negative or not finite. *)
+
+val pmf : float -> int -> float
+(** Exact Poisson pmf via log-space evaluation, for testing. *)

@@ -1,0 +1,25 @@
+(** Long-run behaviour of CTMCs.
+
+    Repairable safety systems are often characterised by their steady-state
+    unavailability (the long-run fraction of time spent failed) in addition
+    to the mission unreliability computed by {!Transient}. This module
+    solves the global balance equations by Gauss–Seidel sweeps on the
+    embedded jump structure. *)
+
+val solve : ?max_iter:int -> ?tolerance:float -> Ctmc.t -> float array option
+(** [solve chain] is the stationary distribution [pi] with
+    [pi Q = 0, sum pi = 1], or [None] when the iteration does not converge
+    within [max_iter] (default 100_000) sweeps to [tolerance] (default
+    1e-12). Intended for irreducible chains; on reducible chains the result
+    depends on the (uniform) starting vector and is returned as-is. *)
+
+val unavailability : ?max_iter:int -> ?tolerance:float -> Ctmc.t -> failed:(int -> bool) -> float option
+(** Long-run probability mass of the failed states. *)
+
+val expected_occupancy :
+  ?epsilon:float -> Ctmc.t -> init:(int * float) list -> t:float -> float array
+(** [expected_occupancy chain ~init ~t] is the expected total time spent in
+    each state during [[0, t]] (the integral of the transient distribution),
+    computed by uniformization: the cumulative Poisson tail weights the
+    DTMC iterates. [Sum_i occupancy(i) = t]. The mission unavailability of a
+    repairable system is [occupancy(failed) / t]. *)

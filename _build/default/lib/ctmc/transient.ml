@@ -1,0 +1,137 @@
+type options = {
+  epsilon : float;
+  steady_state_detection : bool;
+}
+
+let default_options = { epsilon = 1e-12; steady_state_detection = true }
+
+let check_init n init =
+  let total =
+    List.fold_left
+      (fun acc (s, m) ->
+        if s < 0 || s >= n then
+          invalid_arg "Transient: initial state out of range";
+        if m < 0.0 || not (Float.is_finite m) then
+          invalid_arg "Transient: initial mass must be non-negative";
+        acc +. m)
+      0.0 init
+  in
+  if total > 1.0 +. 1e-9 then
+    invalid_arg "Transient: initial distribution sums to more than 1"
+
+(* One step of the uniformized DTMC P = I + Q/q: out := pi * P. *)
+let dtmc_step chain q pi out =
+  let n = Array.length pi in
+  Array.fill out 0 n 0.0;
+  for src = 0 to n - 1 do
+    let mass = pi.(src) in
+    if mass > 0.0 then begin
+      let exit = Ctmc.exit_rate chain src in
+      out.(src) <- out.(src) +. (mass *. (1.0 -. (exit /. q)));
+      let row = Ctmc.outgoing chain src in
+      Array.iter
+        (fun (dst, r) -> out.(dst) <- out.(dst) +. (mass *. r /. q))
+        row
+    end
+  done
+
+let max_abs_diff a b =
+  let d = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      let diff = Float.abs (x -. b.(i)) in
+      if diff > !d then d := diff)
+    a;
+  !d
+
+let distribution ?(options = default_options) chain ~init ~t =
+  if t < 0.0 || not (Float.is_finite t) then
+    invalid_arg "Transient.distribution: bad horizon";
+  let n = Ctmc.n_states chain in
+  check_init n init;
+  let pi0 = Array.make n 0.0 in
+  List.iter (fun (s, m) -> pi0.(s) <- pi0.(s) +. m) init;
+  let q = Ctmc.max_exit_rate chain in
+  if t = 0.0 || q = 0.0 then pi0
+  else begin
+    let window = Poisson.weights ~epsilon:options.epsilon (q *. t) in
+    let result = Array.make n 0.0 in
+    let accumulate weight pi =
+      if weight > 0.0 then
+        for i = 0 to n - 1 do
+          result.(i) <- result.(i) +. (weight *. pi.(i))
+        done
+    in
+    let pi = Array.copy pi0 in
+    let scratch = Array.make n 0.0 in
+    let weight_of k =
+      if k < window.left || k > window.right then 0.0
+      else window.weights.(k - window.left)
+    in
+    let k = ref 0 in
+    let remaining = ref 1.0 in
+    let stationary = ref false in
+    while !k <= window.right && not !stationary do
+      let w = weight_of !k in
+      accumulate w pi;
+      remaining := !remaining -. w;
+      if !k < window.right then begin
+        dtmc_step chain q pi scratch;
+        if
+          options.steady_state_detection
+          && max_abs_diff pi scratch < options.epsilon /. 8.0
+        then stationary := true
+        else Array.blit scratch 0 pi 0 n
+      end;
+      incr k
+    done;
+    if !stationary && !remaining > 0.0 then accumulate !remaining pi;
+    result
+  end
+
+let reach_within ?(options = default_options) chain ~init ~target ~t =
+  let absorbed = Ctmc.restrict_absorbing chain target in
+  let dist = distribution ~options absorbed ~init ~t in
+  let acc = Sdft_util.Kahan.create () in
+  Array.iteri (fun s m -> if target s then Sdft_util.Kahan.add acc m) dist;
+  (* Clamp tiny numerical overshoot. *)
+  Float.min 1.0 (Sdft_util.Kahan.total acc)
+
+let expected_time_to_absorption chain ~init =
+  let n = Ctmc.n_states chain in
+  check_init n init;
+  (* Solve (for transient states i): E(i) * h(i) = 1 + sum_j R(i,j) h(j),
+     i.e. h(i) = (1 + sum_j R(i,j) h(j)) / E(i), by Gauss-Seidel. *)
+  let h = Array.make n 0.0 in
+  let transient i = Ctmc.exit_rate chain i > 0.0 in
+  let max_iter = 100_000 and tol = 1e-12 in
+  let rec iterate round =
+    if round > max_iter then None
+    else begin
+      let delta = ref 0.0 in
+      for i = 0 to n - 1 do
+        if transient i then begin
+          let e = Ctmc.exit_rate chain i in
+          let acc = ref 1.0 in
+          Array.iter
+            (fun (dst, r) -> acc := !acc +. (r *. h.(dst)))
+            (Ctmc.outgoing chain i);
+          let v = !acc /. e in
+          let d = Float.abs (v -. h.(i)) in
+          if d > !delta then delta := d;
+          h.(i) <- v
+        end
+      done;
+      if !delta < tol then Some ()
+      else iterate (round + 1)
+    end
+  in
+  (* Reachability of absorption must be certain for the system to converge;
+     detect obviously divergent cases by bounding the iteration count. *)
+  match iterate 0 with
+  | None -> None
+  | Some () ->
+    let total =
+      List.fold_left (fun acc (s, m) -> acc +. (m *. h.(s))) 0.0 init
+    in
+    if Float.is_finite total then Some total else None

@@ -1,0 +1,40 @@
+(** Transient analysis of CTMCs by uniformization.
+
+    This is the numerical core used to quantify every minimal cutset: the
+    probability of reaching a target set within a time horizon, computed as
+    the transient mass of the target states after making them absorbing. *)
+
+type options = {
+  epsilon : float;  (** truncation error bound for the Poisson window *)
+  steady_state_detection : bool;
+      (** stop iterating the DTMC once the vector is numerically stationary *)
+}
+
+val default_options : options
+
+val distribution :
+  ?options:options -> Ctmc.t -> init:(int * float) list -> t:float -> float array
+(** [distribution chain ~init ~t] is the state distribution at time [t]
+    starting from the (sub)distribution [init] (pairs [(state, mass)]; masses
+    must be non-negative and sum to at most 1).
+
+    @raise Invalid_argument on a negative horizon or an invalid initial
+    distribution. *)
+
+val reach_within :
+  ?options:options ->
+  Ctmc.t ->
+  init:(int * float) list ->
+  target:(int -> bool) ->
+  t:float ->
+  float
+(** [reach_within chain ~init ~target ~t] is
+    [Pr(exists t' <= t. X(t') in target)]: target states are made absorbing
+    and their transient mass at [t] is summed. *)
+
+val expected_time_to_absorption :
+  Ctmc.t -> init:(int * float) list -> float option
+(** Mean time to reach the absorbing states, by solving the linear system on
+    the transient states with Gauss–Seidel; [None] if some initial mass can
+    never be absorbed (or the iteration does not converge). Used by tests and
+    by model exploration tooling. *)

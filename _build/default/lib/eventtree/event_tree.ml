@@ -1,0 +1,119 @@
+type function_spec = {
+  name : string;
+  build_failure : Fault_tree.Builder.t -> Fault_tree.node;
+  demand_started : string list;
+}
+
+type outcome =
+  | Ok
+  | Damage of string
+
+type t = {
+  initiator : string;
+  initiator_prob : float;
+  functions : function_spec list;
+  outcome_of : bool list -> outcome;
+}
+
+let sequences t =
+  let n = List.length t.functions in
+  let rec enumerate prefix k =
+    if k = n then
+      let pattern = List.rev prefix in
+      [ (pattern, t.outcome_of pattern) ]
+    else
+      enumerate (false :: prefix) (k + 1) @ enumerate (true :: prefix) (k + 1)
+  in
+  enumerate [] 0
+
+let compile_builder t ~category =
+  if List.length t.functions > 20 then
+    invalid_arg "Event_tree.compile: too many safety functions";
+  let builder = Fault_tree.Builder.create () in
+  let ie =
+    Fault_tree.Builder.basic builder ~prob:t.initiator_prob t.initiator
+  in
+  let function_gates =
+    List.map (fun f -> (f, f.build_failure builder)) t.functions
+  in
+  let damage_sequences =
+    List.filter_map
+      (fun (pattern, outcome) ->
+        match outcome with
+        | Damage c when c = category -> Some pattern
+        | Damage _ | Ok -> None)
+      (sequences t)
+  in
+  if damage_sequences = [] then
+    invalid_arg
+      (Printf.sprintf "Event_tree.compile: no sequence reaches category %S"
+         category);
+  let seq_gates =
+    List.mapi
+      (fun i pattern ->
+        let failed_functions =
+          List.filteri (fun j _ -> List.nth pattern j) function_gates
+        in
+        let inputs = ie :: List.map snd failed_functions in
+        Fault_tree.Builder.gate builder
+          (Printf.sprintf "seq%d" (i + 1))
+          Fault_tree.And inputs)
+      damage_sequences
+  in
+  let top =
+    Fault_tree.Builder.gate builder
+      (Printf.sprintf "top_%s" category)
+      Fault_tree.Or seq_gates
+  in
+  (Fault_tree.Builder.build builder ~top, function_gates)
+
+let compile t ~category = fst (compile_builder t ~category)
+
+let categories t =
+  List.sort_uniq compare
+    (List.filter_map
+       (fun (_, o) -> match o with Damage c -> Some c | Ok -> None)
+       (sequences t))
+
+let compile_sd t ~category ~dynamic ?(demand_triggers = true) () =
+  let tree, function_gates = compile_builder t ~category in
+  let dynamic_names = List.map fst dynamic in
+  let triggers =
+    if not demand_triggers then []
+    else begin
+      (* Function i's demand-started events are triggered by the failure
+         gate of the latest preceding function (function 0's events run
+         from time zero and stay untriggered). *)
+      let rec chain prev acc = function
+        | [] -> acc
+        | (f, gate_node) :: rest ->
+          let acc =
+            match prev with
+            | None -> acc
+            | Some prev_gate ->
+              let gate_name =
+                match prev_gate with
+                | Fault_tree.G g -> Fault_tree.gate_name tree g
+                | Fault_tree.B _ ->
+                  invalid_arg
+                    "Event_tree.compile_sd: function failure must be a gate"
+              in
+              List.fold_left
+                (fun acc ev ->
+                  if List.mem ev dynamic_names then (gate_name, ev) :: acc
+                  else acc)
+                acc f.demand_started
+          in
+          chain (Some gate_node) acc rest
+      in
+      List.rev (chain None [] function_gates)
+    end
+  in
+  Sdft.make tree ~dynamic ~triggers
+
+let analyze_categories t ~dynamic ?demand_triggers ?options () =
+  List.map
+    (fun category ->
+      let sd = compile_sd t ~category ~dynamic ?demand_triggers () in
+      (category, Sdft_analysis.analyze ?options sd))
+    (categories t)

@@ -1,0 +1,76 @@
+(** Event trees: the higher-level formalism that orders safety functions.
+
+    A (binary) event tree starts from an initiating event and asks, for each
+    safety function in order, whether it succeeds or fails; every path
+    through the branches is an {e accident sequence} ending in an outcome
+    (OK or a damage category). The paper points out (Section V-A) that this
+    ordering information is exactly what SD fault trees can exploit: the
+    demand of the next safety function coincides with the failure of the
+    previous one, so the failure gate of function [i] naturally triggers the
+    standby equipment of function [i+1], "offering a possibility for long
+    triggering chains".
+
+    This module compiles an event tree into a fault tree per damage category
+    (the standard coherent approximation: a sequence contributes the AND of
+    its initiating event and its failed functions; successful branches are
+    ignored) and, optionally, installs the demand-trigger chain to produce
+    an SD fault tree. *)
+
+type function_spec = {
+  name : string;
+  build_failure : Fault_tree.Builder.t -> Fault_tree.node;
+      (** failure logic of the safety function, built into the shared
+          builder; called exactly once *)
+  demand_started : string list;
+      (** names of (dynamic) basic events of this function that are started
+          on demand — targets for the trigger chain *)
+}
+
+type outcome =
+  | Ok
+  | Damage of string  (** damage category, e.g. "CD" *)
+
+type t = {
+  initiator : string;
+  initiator_prob : float;
+  functions : function_spec list;
+  outcome_of : bool list -> outcome;
+      (** maps the failure pattern (one bool per function, [true] = failed)
+          to the sequence outcome *)
+}
+
+val compile : t -> category:string -> Fault_tree.t
+(** Static fault tree whose top models reaching the given damage category.
+
+    @raise Invalid_argument when no sequence reaches the category or there
+    are more than 20 safety functions (sequences are enumerated). *)
+
+val compile_sd :
+  t ->
+  category:string ->
+  dynamic:(string * Dbe.t) list ->
+  ?demand_triggers:bool ->
+  unit ->
+  Sdft.t
+(** As [compile], declaring the given events dynamic. With [demand_triggers]
+    (default true), each demand-started event of function [i] is triggered
+    by the failure gate of the latest preceding function that has one —
+    the event-tree ordering turned into a triggering chain. Events of the
+    first function run from time zero. *)
+
+val sequences : t -> (bool list * outcome) list
+(** All failure patterns with their outcomes, in branching order. *)
+
+val categories : t -> string list
+(** Damage categories reachable by some sequence, sorted. *)
+
+val analyze_categories :
+  t ->
+  dynamic:(string * Dbe.t) list ->
+  ?demand_triggers:bool ->
+  ?options:Sdft_analysis.options ->
+  unit ->
+  (string * Sdft_analysis.result) list
+(** Compile and analyse every damage category (the per-category SD fault
+    trees share the function structure but are built independently; the
+    [dynamic] association is re-instantiated per category). *)

@@ -1,0 +1,1 @@
+lib/fault_tree/dot.ml: Array Buffer Fault_tree Fun List Printf String

@@ -1,0 +1,1 @@
+lib/fault_tree/dot.mli: Fault_tree

@@ -1,0 +1,1 @@
+lib/fault_tree/expand.ml: Array Fault_tree List Printf

@@ -1,0 +1,1 @@
+lib/fault_tree/expand.mli: Fault_tree

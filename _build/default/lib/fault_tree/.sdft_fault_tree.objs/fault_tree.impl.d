@@ -1,0 +1,1 @@
+lib/fault_tree/fault_tree.ml: Array Float Format Hashtbl List Printf Sdft_util

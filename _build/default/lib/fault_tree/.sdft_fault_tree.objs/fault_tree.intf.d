@@ -1,0 +1,1 @@
+lib/fault_tree/fault_tree.mli: Format Sdft_util

@@ -1,0 +1,1 @@
+lib/fault_tree/modules.ml: Array Fault_tree Fun Hashtbl List Sdft_util

@@ -1,0 +1,1 @@
+lib/fault_tree/modules.mli: Fault_tree

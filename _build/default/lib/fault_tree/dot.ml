@@ -1,0 +1,54 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c -> if c = '"' then Buffer.add_string buf "\\\"" else Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_dot ?(highlight_basics = fun _ -> false) ?(dynamic_basics = fun _ -> false)
+    ?(trigger_edges = []) tree =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph fault_tree {\n  rankdir=TB;\n";
+  for b = 0 to Fault_tree.n_basics tree - 1 do
+    let shape = if dynamic_basics b then "doublecircle" else "circle" in
+    let fill = if highlight_basics b then ", style=filled, fillcolor=lightcoral" else "" in
+    Buffer.add_string buf
+      (Printf.sprintf "  b%d [label=\"%s\", shape=%s%s];\n" b
+         (escape (Fault_tree.basic_name tree b))
+         shape fill)
+  done;
+  for g = 0 to Fault_tree.n_gates tree - 1 do
+    let kind =
+      match Fault_tree.gate_kind tree g with
+      | Fault_tree.And -> "AND"
+      | Fault_tree.Or -> "OR"
+      | Fault_tree.Atleast k ->
+        Printf.sprintf "%d/%d" k (Array.length (Fault_tree.gate_inputs tree g))
+    in
+    let peripheries = if g = Fault_tree.top tree then 2 else 1 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  g%d [label=\"%s\\n[%s]\", shape=box, peripheries=%d];\n" g
+         (escape (Fault_tree.gate_name tree g))
+         kind peripheries)
+  done;
+  for g = 0 to Fault_tree.n_gates tree - 1 do
+    Array.iter
+      (function
+        | Fault_tree.B b -> Buffer.add_string buf (Printf.sprintf "  g%d -> b%d;\n" g b)
+        | Fault_tree.G g' -> Buffer.add_string buf (Printf.sprintf "  g%d -> g%d;\n" g g'))
+      (Fault_tree.gate_inputs tree g)
+  done;
+  List.iter
+    (fun (g, b) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  g%d -> b%d [style=dashed, color=blue, constraint=false];\n" g b))
+    trigger_edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)

@@ -1,0 +1,15 @@
+(** Graphviz export of fault trees, for inspecting generated models. *)
+
+val to_dot :
+  ?highlight_basics:(int -> bool) ->
+  ?dynamic_basics:(int -> bool) ->
+  ?trigger_edges:(int * int) list ->
+  Fault_tree.t ->
+  string
+(** [to_dot tree] renders the DAG in Graphviz syntax. [highlight_basics]
+    fills matching leaves (e.g. a cutset), [dynamic_basics] draws leaves with
+    a double circle (the paper's notation), and [trigger_edges] draws dashed
+    [gate -> basic] trigger arrows. *)
+
+val write_file : string -> string -> unit
+(** [write_file path contents]. *)

@@ -1,0 +1,65 @@
+let has_atleast tree =
+  let rec loop g =
+    g < Fault_tree.n_gates tree
+    && (match Fault_tree.gate_kind tree g with
+       | Fault_tree.Atleast _ -> true
+       | Fault_tree.And | Fault_tree.Or -> loop (g + 1))
+  in
+  loop 0
+
+let expand_atleast tree =
+  if not (has_atleast tree) then tree
+  else begin
+    let b = Fault_tree.Builder.create () in
+    let basic_map =
+      Array.init (Fault_tree.n_basics tree) (fun i ->
+          Fault_tree.Builder.basic b
+            ~prob:(Fault_tree.prob tree i)
+            (Fault_tree.basic_name tree i))
+    in
+    let gate_map = Array.make (Fault_tree.n_gates tree) None in
+    let fresh = ref 0 in
+    let aux_name base =
+      incr fresh;
+      Printf.sprintf "%s#%d" base !fresh
+    in
+    let translate_node gate_of = function
+      | Fault_tree.B i -> basic_map.(i)
+      | Fault_tree.G g -> gate_of g
+    in
+    let rec gate_of g =
+      match gate_map.(g) with
+      | Some n -> n
+      | None ->
+        let name = Fault_tree.gate_name tree g in
+        let inputs =
+          Array.to_list
+            (Array.map (translate_node gate_of) (Fault_tree.gate_inputs tree g))
+        in
+        let n =
+          match Fault_tree.gate_kind tree g with
+          | Fault_tree.And -> Fault_tree.Builder.gate b name Fault_tree.And inputs
+          | Fault_tree.Or -> Fault_tree.Builder.gate b name Fault_tree.Or inputs
+          | Fault_tree.Atleast k -> atleast name k inputs
+        in
+        gate_map.(g) <- Some n;
+        n
+    (* atleast k xs with 1 <= k <= length xs, producing a gate node. *)
+    and atleast name k xs =
+      let n = List.length xs in
+      if k = 1 then Fault_tree.Builder.gate b name Fault_tree.Or xs
+      else if k = n then Fault_tree.Builder.gate b name Fault_tree.And xs
+      else
+        match xs with
+        | [] | [ _ ] -> assert false (* 1 < k < n implies n >= 2 *)
+        | x :: rest ->
+          let with_x =
+            let sub = atleast (aux_name name) (k - 1) rest in
+            Fault_tree.Builder.gate b (aux_name name) Fault_tree.And [ x; sub ]
+          in
+          let without_x = atleast (aux_name name) k rest in
+          Fault_tree.Builder.gate b name Fault_tree.Or [ with_x; without_x ]
+    in
+    let top = gate_of (Fault_tree.top tree) in
+    Fault_tree.Builder.build b ~top
+  end

@@ -1,0 +1,14 @@
+(** Expansion of K-of-N gates into AND/OR structure.
+
+    The paper's formalism (and the cutset algorithms) work on AND/OR trees;
+    this pass rewrites every [Atleast k] gate using the recursive identity
+    [atleast k (x :: rest) = (x AND atleast (k-1) rest) OR atleast k rest],
+    producing O(n*k) auxiliary gates per voting gate and preserving the
+    boolean function, hence the minimal cutsets. *)
+
+val expand_atleast : Fault_tree.t -> Fault_tree.t
+(** Identity (same physical tree) when no K-of-N gate is present. Auxiliary
+    gate names are suffixed with ["#k/i"] and do not clash with user
+    names. *)
+
+val has_atleast : Fault_tree.t -> bool

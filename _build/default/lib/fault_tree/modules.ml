@@ -1,0 +1,63 @@
+(* A gate g is a module iff every strict-subtree node has all its parents
+   inside the subtree (the gate itself may be referenced from anywhere). *)
+
+let subtree_nodes tree g =
+  let gates = Hashtbl.create 16 and basics = Hashtbl.create 16 in
+  let rec walk g =
+    if not (Hashtbl.mem gates g) then begin
+      Hashtbl.add gates g ();
+      Array.iter
+        (function
+          | Fault_tree.B b -> Hashtbl.replace basics b ()
+          | Fault_tree.G g' -> walk g')
+        (Fault_tree.gate_inputs tree g)
+    end
+  in
+  walk g;
+  (gates, basics)
+
+let is_module tree g =
+  let gates, basics = subtree_nodes tree g in
+  let inside_gate g' = Hashtbl.mem gates g' in
+  let ok = ref true in
+  Hashtbl.iter
+    (fun g' () ->
+      if g' <> g then
+        Array.iter
+          (fun parent -> if not (inside_gate parent) then ok := false)
+          (Fault_tree.gate_parents tree g'))
+    gates;
+  Hashtbl.iter
+    (fun b () ->
+      Array.iter
+        (fun parent -> if not (inside_gate parent) then ok := false)
+        (Fault_tree.basic_parents tree b))
+    basics;
+  !ok
+
+let reachable_gates tree =
+  let seen = Hashtbl.create 64 in
+  let rec walk g =
+    if not (Hashtbl.mem seen g) then begin
+      Hashtbl.add seen g ();
+      Array.iter
+        (function
+          | Fault_tree.B _ -> ()
+          | Fault_tree.G g' -> walk g')
+        (Fault_tree.gate_inputs tree g)
+    end
+  in
+  walk (Fault_tree.top tree);
+  seen
+
+let find tree =
+  let reachable = reachable_gates tree in
+  List.filter
+    (fun g -> Hashtbl.mem reachable g && is_module tree g)
+    (List.init (Fault_tree.n_gates tree) Fun.id)
+
+let dynamic_modules tree ~is_dynamic =
+  List.filter
+    (fun g ->
+      Sdft_util.Int_set.exists is_dynamic (Fault_tree.descendant_basics tree g))
+    (find tree)

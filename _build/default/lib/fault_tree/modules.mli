@@ -1,0 +1,20 @@
+(** Module (independent-subtree) detection.
+
+    A gate is a {e module} when no node strictly inside its subtree is
+    referenced from outside it — the subtree interacts with the rest of the
+    tree only through the gate itself. Classical fault tree tools exploit
+    modules to solve parts of the tree independently; here the detection is
+    exposed for tooling (the paper's related work contrasts SD fault trees
+    with approaches that isolate dynamic modules, which only help when the
+    dynamic parts happen to be modular). *)
+
+val find : Fault_tree.t -> int list
+(** Gates (by index, increasing) whose subtrees are modules. The top gate is
+    always one. Unreachable gates are not reported. *)
+
+val is_module : Fault_tree.t -> int -> bool
+
+val dynamic_modules : Fault_tree.t -> is_dynamic:(int -> bool) -> int list
+(** Modules whose subtree contains at least one event selected by
+    [is_dynamic] — the candidates for the modular dynamic/static split of
+    Gulati & Dugan discussed in the paper's related work. *)

@@ -1,0 +1,1 @@
+lib/importance/importance.ml: Array Cutset Fault_tree Float Fun List Sdft_util

@@ -1,0 +1,1 @@
+lib/importance/importance.mli: Cutset Fault_tree

@@ -1,0 +1,1 @@
+lib/importance/sensitivity.ml: Fault_tree Float List Printf Sdft_util String

@@ -1,0 +1,1 @@
+lib/importance/sensitivity.mli: Cutset Fault_tree

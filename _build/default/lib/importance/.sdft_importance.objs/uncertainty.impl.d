@@ -1,0 +1,1 @@
+lib/importance/uncertainty.ml: Array Fault_tree Float Format Hashtbl List Sdft_util

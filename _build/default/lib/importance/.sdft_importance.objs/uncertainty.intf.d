@@ -1,0 +1,1 @@
+lib/importance/uncertainty.mli: Cutset Fault_tree Format

@@ -1,0 +1,67 @@
+type t = {
+  total : float;
+  with_event : float array; (* sum of p(C) over cutsets containing a *)
+  birnbaum : float array; (* sum of p(C)/p(a) over cutsets containing a *)
+}
+
+let compute tree cutsets =
+  let nb = Fault_tree.n_basics tree in
+  let with_event = Array.make nb 0.0 in
+  let birnbaum = Array.make nb 0.0 in
+  let total = Sdft_util.Kahan.create () in
+  List.iter
+    (fun c ->
+      let p = Cutset.probability tree c in
+      Sdft_util.Kahan.add total p;
+      Sdft_util.Int_set.iter
+        (fun a ->
+          with_event.(a) <- with_event.(a) +. p;
+          (* Product of the other events' probabilities; recomputed rather
+             than divided so that p(a) = 0 stays meaningful. *)
+          let rest =
+            Sdft_util.Int_set.fold
+              (fun b acc -> if b = a then acc else acc *. Fault_tree.prob tree b)
+              c 1.0
+          in
+          birnbaum.(a) <- birnbaum.(a) +. rest)
+        c)
+    cutsets;
+  { total = Sdft_util.Kahan.total total; with_event; birnbaum }
+
+let total t = t.total
+
+let fussell_vesely t a =
+  if t.total = 0.0 then 0.0 else t.with_event.(a) /. t.total
+
+let birnbaum t a = t.birnbaum.(a)
+
+let raw t a =
+  if t.total = 0.0 then infinity
+  else (t.total -. t.with_event.(a) +. t.birnbaum.(a)) /. t.total
+
+let rrw t a =
+  let reduced = t.total -. t.with_event.(a) in
+  if reduced = 0.0 then infinity else t.total /. reduced
+
+let rank_by_fussell_vesely t =
+  let n = Array.length t.with_event in
+  let events = List.init n Fun.id in
+  List.sort
+    (fun a b ->
+      let c = compare (fussell_vesely t b) (fussell_vesely t a) in
+      if c <> 0 then c else compare a b)
+    events
+
+let groups_by_fussell_vesely ?(tolerance = 1e-12) t =
+  let ranked = rank_by_fussell_vesely t in
+  let rec group acc current last = function
+    | [] -> List.rev (List.rev current :: acc)
+    | a :: rest ->
+      let fv = fussell_vesely t a in
+      if Float.abs (fv -. last) <= tolerance *. Float.max 1.0 (Float.abs last)
+      then group acc (a :: current) last rest
+      else group (List.rev current :: acc) [ a ] fv rest
+  in
+  match ranked with
+  | [] -> []
+  | a :: rest -> group [] [ a ] (fussell_vesely t a) rest

@@ -1,0 +1,38 @@
+(** Importance measures over a minimal-cutset list.
+
+    The paper dynamizes its industrial models by replacing the basic events
+    with the highest Fussell-Vesely importance and building trigger chains
+    among events of equal importance (Section VI-B); this module provides
+    those measures. All quantities use the rare-event approximation, the
+    standard practice for large PSA models. *)
+
+type t
+
+val compute : Fault_tree.t -> Cutset.t list -> t
+(** Pre-computes per-event sums over the cutset list. *)
+
+val total : t -> float
+(** Rare-event approximation of the top probability. *)
+
+val fussell_vesely : t -> int -> float
+(** Fraction of the top probability carried by cutsets containing the
+    event. *)
+
+val birnbaum : t -> int -> float
+(** Marginal importance [dQ/dp(a)]: sum over cutsets containing [a] of the
+    product of the other events' probabilities. *)
+
+val raw : t -> int -> float
+(** Risk achievement worth [Q(p_a := 1) / Q]; infinite when [Q = 0]. *)
+
+val rrw : t -> int -> float
+(** Risk reduction worth [Q / Q(p_a := 0)]; infinite when removing the
+    event removes all risk. *)
+
+val rank_by_fussell_vesely : t -> int list
+(** All basic events, most important first; ties broken by index. *)
+
+val groups_by_fussell_vesely : ?tolerance:float -> t -> int list list
+(** Events partitioned into groups of (nearly) equal Fussell-Vesely
+    importance, most important group first. The paper uses such groups to
+    identify symmetric redundant trains. *)

@@ -1,0 +1,109 @@
+type distribution =
+  | Point
+  | Lognormal of { error_factor : float }
+  | Uniform of { lower : float; upper : float }
+  | Triangular of { lower : float; upper : float }
+
+type stats = {
+  samples : int;
+  mean : float;
+  std : float;
+  p05 : float;
+  median : float;
+  p95 : float;
+  point : float;
+}
+
+let clamp01 x = Float.max 0.0 (Float.min 1.0 x)
+
+let sample_value rng point = function
+  | Point -> point
+  | Lognormal { error_factor } ->
+    if point <= 0.0 then point
+    else clamp01 (Sdft_util.Rng.lognormal rng ~median:point ~error_factor)
+  | Uniform { lower; upper } ->
+    if upper < lower then invalid_arg "Uncertainty: empty uniform range";
+    clamp01 (lower +. (Sdft_util.Rng.float rng *. (upper -. lower)))
+  | Triangular { lower; upper } ->
+    if upper < lower || point < lower || point > upper then
+      invalid_arg "Uncertainty: bad triangular parameters";
+    (* Inverse-CDF sampling with mode = point. *)
+    let u = Sdft_util.Rng.float rng in
+    let fc = if upper = lower then 0.5 else (point -. lower) /. (upper -. lower) in
+    let v =
+      if u < fc then lower +. sqrt (u *. (upper -. lower) *. (point -. lower))
+      else upper -. sqrt ((1.0 -. u) *. (upper -. lower) *. (upper -. point))
+    in
+    clamp01 v
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else begin
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = pos -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let propagate ?(samples = 2000) ?(seed = 20240) tree cutsets ~spec =
+  if samples <= 0 then invalid_arg "Uncertainty.propagate: need samples";
+  let rng = Sdft_util.Rng.create seed in
+  (* Only events that occur in some cutset matter. *)
+  let involved =
+    List.fold_left
+      (fun acc c -> Sdft_util.Int_set.union acc c)
+      Sdft_util.Int_set.empty cutsets
+  in
+  let involved = (involved :> int array) in
+  let point_of = Array.map (Fault_tree.prob tree) involved in
+  let slot_of = Hashtbl.create (Array.length involved) in
+  Array.iteri (fun slot b -> Hashtbl.replace slot_of b slot) involved;
+  let cutset_slots =
+    List.map
+      (fun c ->
+        let members = Array.of_list (Sdft_util.Int_set.to_list c) in
+        Array.map (Hashtbl.find slot_of) members)
+      cutsets
+  in
+  let current = Array.copy point_of in
+  let rea () =
+    let acc = Sdft_util.Kahan.create () in
+    List.iter
+      (fun slots ->
+        let p = Array.fold_left (fun acc s -> acc *. current.(s)) 1.0 slots in
+        Sdft_util.Kahan.add acc p)
+      cutset_slots;
+    Sdft_util.Kahan.total acc
+  in
+  let point = rea () in
+  let values =
+    Array.init samples (fun _ ->
+        Array.iteri
+          (fun slot b ->
+            current.(slot) <- sample_value rng point_of.(slot) (spec b))
+          involved;
+        rea ())
+  in
+  let mean = Sdft_util.Kahan.sum values /. float_of_int samples in
+  let variance =
+    Array.fold_left (fun acc v -> acc +. ((v -. mean) ** 2.0)) 0.0 values
+    /. float_of_int (max 1 (samples - 1))
+  in
+  let sorted = Array.copy values in
+  Array.sort compare sorted;
+  {
+    samples;
+    mean;
+    std = sqrt variance;
+    p05 = percentile sorted 0.05;
+    median = percentile sorted 0.5;
+    p95 = percentile sorted 0.95;
+    point;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "point %.3e; mean %.3e (std %.3e); 5%% %.3e, median %.3e, 95%% %.3e (%d samples)"
+    s.point s.mean s.std s.p05 s.median s.p95 s.samples

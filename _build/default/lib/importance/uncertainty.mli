@@ -1,0 +1,42 @@
+(** Parameter-uncertainty propagation over a minimal-cutset list.
+
+    Probabilistic safety assessments attach an uncertainty distribution to
+    every basic-event probability (typically a lognormal characterised by an
+    error factor) and propagate it by Monte-Carlo: the cutset list is fixed
+    and re-quantified for every sampled parameter vector. The paper's
+    concluding remark — importance and uncertainty analyses "need to
+    evaluate the list of minimal cutsets many times" and are "easy to
+    parallelize" — is exactly this workload. *)
+
+type distribution =
+  | Point  (** no uncertainty; keep the point value *)
+  | Lognormal of { error_factor : float }
+      (** median = point value, 95th percentile = EF * median; samples are
+          clamped to 1 *)
+  | Uniform of { lower : float; upper : float }
+  | Triangular of { lower : float; upper : float }
+      (** mode = point value *)
+
+type stats = {
+  samples : int;
+  mean : float;
+  std : float;
+  p05 : float;  (** 5th percentile *)
+  median : float;
+  p95 : float;  (** 95th percentile *)
+  point : float;  (** rare-event approximation at the point values *)
+}
+
+val propagate :
+  ?samples:int ->
+  ?seed:int ->
+  Fault_tree.t ->
+  Cutset.t list ->
+  spec:(int -> distribution) ->
+  stats
+(** [propagate tree cutsets ~spec] resamples the basic-event probabilities
+    [samples] times (default 2000) and re-evaluates the rare-event
+    approximation over the fixed cutset list. [spec] gives each event's
+    distribution (events not in any cutset are never sampled). *)
+
+val pp_stats : Format.formatter -> stats -> unit

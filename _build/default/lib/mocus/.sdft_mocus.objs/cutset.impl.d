@@ -1,0 +1,1 @@
+lib/mocus/cutset.ml: Array Fault_tree Format Hashtbl List Sdft_util

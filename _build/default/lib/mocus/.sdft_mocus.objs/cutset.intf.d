@@ -1,0 +1,1 @@
+lib/mocus/cutset.mli: Fault_tree Format Sdft_util

@@ -1,0 +1,1 @@
+lib/mocus/mocus.mli: Cutset Fault_tree

@@ -1,0 +1,91 @@
+module Int_set = Sdft_util.Int_set
+
+type t = Int_set.t
+
+let probability tree c =
+  Int_set.fold (fun b acc -> acc *. Fault_tree.prob tree b) c 1.0
+
+let is_cutset tree c = Fault_tree.fails_top tree ~failed:(fun b -> Int_set.mem b c)
+
+let is_minimal_cutset tree c =
+  is_cutset tree c
+  && Int_set.for_all
+       (fun b ->
+         let without = Int_set.diff c (Int_set.singleton b) in
+         not (is_cutset tree without))
+       c
+
+let minimize sets =
+  let sets = List.sort_uniq Int_set.compare sets in
+  match sets with
+  | [] -> []
+  | first :: _ when Int_set.cardinal first = 0 ->
+    (* The empty set subsumes everything (and the occurrence-index test
+       below cannot see it, having no elements to index). *)
+    [ Int_set.empty ]
+  | _ ->
+    (* Scan in increasing cardinality; a set is kept unless some already
+       kept (hence no larger) set is a subset. The occurrence index maps a
+       basic event to the kept cutsets containing it, so the subset test
+       only counts hits among cutsets sharing elements with the candidate. *)
+    let max_elt =
+      List.fold_left
+        (fun acc s -> Int_set.fold (fun x m -> max x m) s acc)
+        0 sets
+    in
+    let occurrences = Array.make (max_elt + 1) [] in
+    let kept = Sdft_util.Vec.create () in
+    let kept_size = Sdft_util.Vec.create () in
+    let hit_count = Hashtbl.create 64 in
+    let subsumed candidate =
+      Hashtbl.reset hit_count;
+      let found = ref false in
+      Int_set.iter
+        (fun b ->
+          if not !found then
+            List.iter
+              (fun id ->
+                let c = (try Hashtbl.find hit_count id with Not_found -> 0) + 1 in
+                Hashtbl.replace hit_count id c;
+                if c = Sdft_util.Vec.get kept_size id then found := true)
+              occurrences.(b))
+        candidate;
+      !found
+    in
+    List.iter
+      (fun s ->
+        if not (subsumed s) then begin
+          let id = Sdft_util.Vec.length kept in
+          Sdft_util.Vec.push kept s;
+          Sdft_util.Vec.push kept_size (Int_set.cardinal s);
+          Int_set.iter (fun b -> occurrences.(b) <- id :: occurrences.(b)) s
+        end)
+      sets;
+    Sdft_util.Vec.to_list kept
+
+let rare_event_approximation tree sets =
+  Sdft_util.Kahan.sum_list (List.map (probability tree) sets)
+
+let mcub tree sets =
+  1.0 -. List.fold_left (fun acc c -> acc *. (1.0 -. probability tree c)) 1.0 sets
+
+let sort_by_probability tree sets =
+  let keyed = List.map (fun c -> (probability tree c, c)) sets in
+  let sorted =
+    List.sort
+      (fun (p1, c1) (p2, c2) ->
+        let cmp = compare p2 p1 in
+        if cmp <> 0 then cmp else Int_set.compare c1 c2)
+      keyed
+  in
+  List.map snd sorted
+
+let pp tree ppf c =
+  Format.fprintf ppf "{";
+  let first = ref true in
+  Int_set.iter
+    (fun b ->
+      if !first then first := false else Format.fprintf ppf ", ";
+      Format.pp_print_string ppf (Fault_tree.basic_name tree b))
+    c;
+  Format.fprintf ppf "}"

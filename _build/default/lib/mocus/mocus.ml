@@ -1,0 +1,179 @@
+module Int_set = Sdft_util.Int_set
+
+type options = {
+  cutoff : float;
+  max_order : int option;
+  max_cutsets : int option;
+  gate_bound_pruning : bool;
+}
+
+let default_options =
+  {
+    cutoff = 1e-15;
+    max_order = None;
+    max_cutsets = None;
+    gate_bound_pruning = false;
+  }
+
+type result = {
+  cutsets : Cutset.t list;
+  generated : int;
+  pruned_by_cutoff : int;
+  truncated : bool;
+}
+
+(* A partial cutset: basic events chosen to fail, gates still to be failed,
+   and the probability product of the chosen basics (an upper bound on the
+   probability of any cutset refining this partial one, since gates can only
+   add more basic events). *)
+type partial = {
+  basics : Int_set.t;
+  gates : Int_set.t;
+  prob : float;
+}
+
+(* Per-gate probability estimate, computed bottom-up: sum for OR, product
+   for AND, product of the k largest child estimates for K-of-N. Exact for
+   tree-shaped subtrees over independent events; for DAGs with shared
+   events the product rule can under-estimate, which is why pruning with it
+   is optional ("the RiskSpectrum-style heuristic") while the expansion
+   ORDER it induces is always safe. *)
+let gate_estimates tree =
+  let nb = Fault_tree.n_basics tree and ng = Fault_tree.n_gates tree in
+  ignore nb;
+  let est = Array.make ng 1.0 in
+  let node_est = function
+    | Fault_tree.B b -> Fault_tree.prob tree b
+    | Fault_tree.G g -> est.(g)
+  in
+  Array.iter
+    (fun g ->
+      let inputs = Fault_tree.gate_inputs tree g in
+      let v =
+        match Fault_tree.gate_kind tree g with
+        | Fault_tree.Or ->
+          Float.min 1.0 (Array.fold_left (fun acc n -> acc +. node_est n) 0.0 inputs)
+        | Fault_tree.And ->
+          Array.fold_left (fun acc n -> acc *. node_est n) 1.0 inputs
+        | Fault_tree.Atleast k ->
+          let vals = Array.map node_est inputs in
+          Array.sort (fun a b -> compare b a) vals;
+          let acc = ref 1.0 in
+          for i = 0 to k - 1 do
+            acc := !acc *. vals.(i)
+          done;
+          !acc
+      in
+      est.(g) <- v)
+    (Fault_tree.topological_gates tree);
+  est
+
+let run ?(options = default_options) tree =
+  let tree = Expand.expand_atleast tree in
+  let estimate = gate_estimates tree in
+  let out = Sdft_util.Vec.create () in
+  let pruned = ref 0 in
+  let truncated = ref false in
+  let seen : (Int_set.t * Int_set.t, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let stack = Stack.create () in
+  let push p =
+    let key = (p.basics, p.gates) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      Stack.push p stack
+    end
+  in
+  let over_order basics =
+    match options.max_order with
+    | None -> false
+    | Some k -> Int_set.cardinal basics > k
+  in
+  let budget_left () =
+    match options.max_cutsets with
+    | None -> true
+    | Some m -> Sdft_util.Vec.length out < m
+  in
+  (* Expand AND gates first (no branching); among OR gates pick the one
+     with the smallest probability estimate, so that improbable basics
+     accumulate early and the cutoff prunes as soon as possible. *)
+  let pick_gate gates =
+    let best = ref (-1) and best_cost = ref infinity and found_and = ref false in
+    Int_set.iter
+      (fun g ->
+        if not !found_and then
+          match Fault_tree.gate_kind tree g with
+          | Fault_tree.And ->
+            best := g;
+            found_and := true
+          | Fault_tree.Or ->
+            if estimate.(g) < !best_cost then begin
+              best := g;
+              best_cost := estimate.(g)
+            end
+          | Fault_tree.Atleast _ -> assert false (* expanded above *))
+      gates;
+    !best
+  in
+  let add_node p node =
+    match node with
+    | Fault_tree.B b ->
+      if Int_set.mem b p.basics then Some p
+      else
+        let prob = p.prob *. Fault_tree.prob tree b in
+        Some { p with basics = Int_set.add b p.basics; prob }
+    | Fault_tree.G g -> Some { p with gates = Int_set.add g p.gates }
+  in
+  let bound p =
+    if not options.gate_bound_pruning then p.prob
+    else Int_set.fold (fun g acc -> acc *. estimate.(g)) p.gates p.prob
+  in
+  let admit p =
+    if bound p < options.cutoff || over_order p.basics then begin
+      incr pruned;
+      false
+    end
+    else true
+  in
+  push
+    {
+      basics = Int_set.empty;
+      gates = Int_set.singleton (Fault_tree.top tree);
+      prob = 1.0;
+    };
+  while (not (Stack.is_empty stack)) && budget_left () do
+    let p = Stack.pop stack in
+    if Int_set.cardinal p.gates = 0 then Sdft_util.Vec.push out p.basics
+    else begin
+      let g = pick_gate p.gates in
+      let rest = Int_set.diff p.gates (Int_set.singleton g) in
+      let p = { p with gates = rest } in
+      let inputs = Fault_tree.gate_inputs tree g in
+      match Fault_tree.gate_kind tree g with
+      | Fault_tree.And ->
+        let refined =
+          Array.fold_left
+            (fun acc node ->
+              match acc with
+              | None -> None
+              | Some q -> add_node q node)
+            (Some p) inputs
+        in
+        (match refined with
+        | Some q when admit q -> push q
+        | Some _ | None -> ())
+      | Fault_tree.Or ->
+        Array.iter
+          (fun node ->
+            match add_node p node with
+            | Some q when admit q -> push q
+            | Some _ | None -> ())
+          inputs
+      | Fault_tree.Atleast _ -> assert false
+    end
+  done;
+  if not (Stack.is_empty stack) then truncated := true;
+  let generated = Sdft_util.Vec.length out in
+  let cutsets = Cutset.minimize (Sdft_util.Vec.to_list out) in
+  { cutsets; generated; pruned_by_cutoff = !pruned; truncated = !truncated }
+
+let minimal_cutsets ?options tree = (run ?options tree).cutsets

@@ -1,0 +1,45 @@
+(** The MOCUS minimal-cutset generation algorithm (Section IV-B).
+
+    MOCUS systematically refines {e partial cutsets} — sets of basic events
+    already chosen to fail plus gates still to be failed — starting from
+    [{g_top}]. An OR gate branches the partial cutset, an AND gate extends
+    it. Partial cutsets whose basic-event probability product falls below
+    the cutoff [c*] are discarded (the paper's "static cutoff"), which is
+    what makes the method scale to industrial trees. The surviving cutsets
+    are minimized by subsumption. *)
+
+type options = {
+  cutoff : float;
+      (** discard partial cutsets with probability below this (paper uses
+          [1e-15]); [0.] disables pruning *)
+  max_order : int option;
+      (** optionally discard cutsets with more basic events than this *)
+  max_cutsets : int option;
+      (** optional safety valve on the number of generated (pre-minimization)
+          cutsets; generation stops once reached *)
+  gate_bound_pruning : bool;
+      (** additionally prune partial cutsets whose product of basic-event
+          probabilities {e and} per-gate probability estimates falls below
+          the cutoff. The estimates (sum for OR, product for AND) are exact
+          for independent tree-shaped logic but can under-estimate when the
+          DAG shares events between the branches of an AND, so this mode —
+          the behaviour of commercial MOCUS solvers — may drop borderline
+          cutsets; the sound default uses only the paper's basics-only
+          product. *)
+}
+
+val default_options : options
+(** [cutoff = 1e-15], no order bound, no count bound, sound pruning only. *)
+
+type result = {
+  cutsets : Cutset.t list;  (** minimal cutsets, sorted by (size, lex) *)
+  generated : int;  (** cutsets produced before minimization *)
+  pruned_by_cutoff : int;  (** partial cutsets discarded by the cutoff *)
+  truncated : bool;  (** true when [max_cutsets] stopped the search *)
+}
+
+val run : ?options:options -> Fault_tree.t -> result
+(** K-of-N gates are expanded transparently. *)
+
+val minimal_cutsets : ?options:options -> Fault_tree.t -> Cutset.t list
+(** Shorthand for [(run tree).cutsets]. *)

@@ -1,0 +1,1 @@
+lib/models/bwr.ml: Array Dbe Fault_tree List Printf Sdft

@@ -1,0 +1,1 @@
+lib/models/bwr.mli: Fault_tree Sdft

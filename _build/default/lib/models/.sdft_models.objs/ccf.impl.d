@@ -1,0 +1,1 @@
+lib/models/ccf.ml: Array Fault_tree Float Hashtbl List Option Printf

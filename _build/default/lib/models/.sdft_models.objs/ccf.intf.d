@@ -1,0 +1,1 @@
+lib/models/ccf.mli: Fault_tree

@@ -1,0 +1,1 @@
+lib/models/dynamize.ml: Array Dbe Fault_tree Float Hashtbl Importance List Mocus Sdft Sdft_analysis Sdft_util

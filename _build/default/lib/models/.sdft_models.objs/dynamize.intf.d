@@ -1,0 +1,1 @@
+lib/models/dynamize.mli: Fault_tree Sdft Sdft_analysis

@@ -1,0 +1,1 @@
+lib/models/industrial.ml: Array Fault_tree Hashtbl List Printf Sdft_util String

@@ -1,0 +1,1 @@
+lib/models/industrial.mli: Fault_tree

@@ -1,0 +1,1 @@
+lib/models/pumps.ml: Dbe Fault_tree Sdft

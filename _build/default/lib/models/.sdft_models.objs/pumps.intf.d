@@ -1,0 +1,1 @@
+lib/models/pumps.mli: Fault_tree Sdft

@@ -1,0 +1,1 @@
+lib/models/random_tree.ml: Array Ctmc Dbe Fault_tree Fun Hashtbl List Printf Sdft Sdft_util

@@ -1,0 +1,1 @@
+lib/models/random_tree.mli: Fault_tree Sdft Sdft_util

@@ -1,0 +1,1 @@
+lib/models/templates.ml: Dbe Fault_tree List Sdft

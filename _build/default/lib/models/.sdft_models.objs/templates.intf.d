@@ -1,0 +1,1 @@
+lib/models/templates.mli: Dbe Fault_tree Sdft

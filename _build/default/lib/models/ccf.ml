@@ -1,0 +1,107 @@
+type group = {
+  name : string;
+  members : string list;
+  beta : float;
+}
+
+let apply tree groups =
+  let member_info = Hashtbl.create 16 in
+  (* member basic id -> (group index, beta) *)
+  List.iteri
+    (fun gi g ->
+      if List.length g.members < 2 then
+        invalid_arg
+          (Printf.sprintf "Ccf.apply: group %S needs at least two members" g.name);
+      if g.beta < 0.0 || g.beta > 1.0 then
+        invalid_arg (Printf.sprintf "Ccf.apply: group %S: beta out of [0,1]" g.name);
+      let probs =
+        List.map
+          (fun m ->
+            match Fault_tree.basic_index tree m with
+            | Some b -> Fault_tree.prob tree b
+            | None ->
+              invalid_arg
+                (Printf.sprintf "Ccf.apply: unknown member %S of group %S" m g.name))
+          g.members
+      in
+      (match probs with
+      | p :: rest ->
+        if List.exists (fun q -> Float.abs (q -. p) > 1e-12) rest then
+          invalid_arg
+            (Printf.sprintf
+               "Ccf.apply: group %S: members must have equal probabilities"
+               g.name)
+      | [] -> assert false);
+      List.iter
+        (fun m ->
+          let b = Option.get (Fault_tree.basic_index tree m) in
+          if Hashtbl.mem member_info b then
+            invalid_arg
+              (Printf.sprintf "Ccf.apply: %S belongs to two CCF groups" m);
+          Hashtbl.replace member_info b gi)
+        g.members)
+    groups;
+  let groups_arr = Array.of_list groups in
+  let builder = Fault_tree.Builder.create () in
+  (* Basic events in original order (indices preserved), with member
+     probabilities scaled down by (1 - beta). *)
+  let basic_nodes =
+    Array.init (Fault_tree.n_basics tree) (fun b ->
+        let p = Fault_tree.prob tree b in
+        let p =
+          match Hashtbl.find_opt member_info b with
+          | Some gi -> p *. (1.0 -. groups_arr.(gi).beta)
+          | None -> p
+        in
+        Fault_tree.Builder.basic builder ~prob:p (Fault_tree.basic_name tree b))
+  in
+  (* One shared CCF event per group. *)
+  let ccf_nodes =
+    Array.mapi
+      (fun _ g ->
+        let member = List.hd g.members in
+        let p = Fault_tree.prob tree (Option.get (Fault_tree.basic_index tree member)) in
+        Fault_tree.Builder.basic builder ~prob:(g.beta *. p) ("CCF:" ^ g.name))
+      groups_arr
+  in
+  (* Wrapper OR gates replacing the member occurrences. *)
+  let wrapper = Hashtbl.create 16 in
+  let node_of_basic b =
+    match Hashtbl.find_opt member_info b with
+    | None -> basic_nodes.(b)
+    | Some gi -> (
+      match Hashtbl.find_opt wrapper b with
+      | Some node -> node
+      | None ->
+        let node =
+          Fault_tree.Builder.gate builder
+            (Fault_tree.basic_name tree b ^ "+ccf")
+            Fault_tree.Or
+            [ basic_nodes.(b); ccf_nodes.(gi) ]
+        in
+        Hashtbl.replace wrapper b node;
+        node)
+  in
+  let gate_map = Array.make (Fault_tree.n_gates tree) None in
+  let rec gate_of g =
+    match gate_map.(g) with
+    | Some node -> node
+    | None ->
+      let inputs =
+        Array.to_list
+          (Array.map
+             (function
+               | Fault_tree.B b -> node_of_basic b
+               | Fault_tree.G g' -> gate_of g')
+             (Fault_tree.gate_inputs tree g))
+      in
+      let node =
+        Fault_tree.Builder.gate builder (Fault_tree.gate_name tree g)
+          (Fault_tree.gate_kind tree g)
+          inputs
+      in
+      gate_map.(g) <- Some node;
+      node
+  in
+  let top = gate_of (Fault_tree.top tree) in
+  Fault_tree.Builder.build builder ~top

@@ -1,0 +1,27 @@
+(** Common-cause failures by the beta-factor model.
+
+    Redundant trains defeat the AND logic of a fault tree only through
+    shared causes; PSA models capture this with parametric CCF models. The
+    beta-factor model splits each member's failure probability [p] into an
+    independent part [(1-beta) p] and a common part [beta p] failing all
+    members of the group at once. The paper notes CCFs "are less influenced
+    by timing dependencies and usually dominate the result", which is why
+    its dynamics experiment disregards them — this module lets a model
+    include or exclude them explicitly and quantifies that remark. *)
+
+type group = {
+  name : string;  (** the new CCF basic event is called ["CCF:" ^ name] *)
+  members : string list;  (** basic events of the group (at least two) *)
+  beta : float;  (** fraction of the failure probability that is common *)
+}
+
+val apply : Fault_tree.t -> group list -> Fault_tree.t
+(** Rebuild the tree: every member [b] of a group is replaced (everywhere it
+    occurs) by an OR gate ["b+ccf"] over [b] (probability scaled by
+    [1-beta]) and the group's shared CCF event (probability [beta * p],
+    where [p] is the members' common probability).
+
+    @raise Invalid_argument when a member is unknown or dynamic groups
+    overlap, when [beta] is outside [[0,1]], or when members of one group
+    have different probabilities (the beta-factor model assumes identical
+    redundant components). *)

@@ -1,0 +1,291 @@
+type params = {
+  seed : int;
+  n_frontline : int;
+  n_support : int;
+  trains_per_system : int * int;
+  components_per_train : int;
+  modes_per_component : int * int;
+  n_initiators : int;
+  n_sequences : int;
+  systems_per_sequence : int * int;
+  transfer_depth : int;
+  with_actuation : bool;
+  mission_hours : float;
+}
+
+let small =
+  {
+    seed = 7;
+    n_frontline = 5;
+    n_support = 3;
+    trains_per_system = (2, 2);
+    components_per_train = 3;
+    modes_per_component = (1, 2);
+    n_initiators = 3;
+    n_sequences = 8;
+    systems_per_sequence = (2, 3);
+    transfer_depth = 1;
+    with_actuation = false;
+    mission_hours = 24.0;
+  }
+
+let medium =
+  {
+    seed = 11;
+    n_frontline = 8;
+    n_support = 4;
+    trains_per_system = (2, 3);
+    components_per_train = 5;
+    modes_per_component = (1, 3);
+    n_initiators = 5;
+    n_sequences = 20;
+    systems_per_sequence = (2, 3);
+    transfer_depth = 2;
+    with_actuation = true;
+    mission_hours = 24.0;
+  }
+
+let model_1 =
+  {
+    seed = 1;
+    n_frontline = 16;
+    n_support = 8;
+    trains_per_system = (2, 3);
+    components_per_train = 8;
+    modes_per_component = (2, 3);
+    n_initiators = 10;
+    n_sequences = 48;
+    systems_per_sequence = (2, 4);
+    transfer_depth = 3;
+    with_actuation = true;
+    mission_hours = 24.0;
+  }
+
+let model_2 =
+  {
+    model_1 with
+    seed = 2;
+    n_sequences = 72;
+    systems_per_sequence = (3, 5);
+    transfer_depth = 4;
+  }
+
+let between rng (lo, hi) =
+  if hi < lo then invalid_arg "Industrial: empty range";
+  lo + Sdft_util.Rng.int rng (hi - lo + 1)
+
+(* Log-uniform probability in [lo, hi]. *)
+let log_uniform rng lo hi =
+  let u = Sdft_util.Rng.float rng in
+  exp (log lo +. (u *. (log hi -. log lo)))
+
+let mission_probability rate hours = 1.0 -. exp (-.rate *. hours)
+
+let generate p =
+  let rng = Sdft_util.Rng.create p.seed in
+  let b = Fault_tree.Builder.create () in
+  let basic = Fault_tree.Builder.basic b in
+  let gate = Fault_tree.Builder.gate b in
+  (* Pass-through transfer-gate chain, as used pervasively in real PSA
+     models to share subtrees across event-tree sequences. *)
+  let transfer name depth node =
+    let out = ref node in
+    for i = 1 to depth do
+      out := gate (Printf.sprintf "%s.xfer%d" name i) Fault_tree.Or [ !out ]
+    done;
+    !out
+  in
+  (* 2-of-3 actuation logic: three instrument channels vote. *)
+  let actuation name =
+    let channel i =
+      let sensor =
+        basic ~prob:(log_uniform rng 5e-5 5e-4) (Printf.sprintf "%s.ch%d.sensor" name i)
+      in
+      let relay =
+        basic ~prob:(log_uniform rng 5e-5 5e-4) (Printf.sprintf "%s.ch%d.relay" name i)
+      in
+      gate (Printf.sprintf "%s.ch%d" name i) Fault_tree.Or [ sensor; relay ]
+    in
+    gate
+      (Printf.sprintf "%s.actuation" name)
+      (Fault_tree.Atleast 2)
+      [ channel 1; channel 2; channel 3 ]
+  in
+  (* One component with several failure modes. Redundant trains carry
+     identical equipment, so the mode probabilities are drawn once per
+     component position and shared across the trains of a system. *)
+  let component name probs =
+    let modes =
+      List.mapi
+        (fun i prob -> basic ~prob (Printf.sprintf "%s.m%d" name (i + 1)))
+        probs
+    in
+    match modes with
+    | [ single ] -> single
+    | [] -> assert false
+    | several -> gate name Fault_tree.Or several
+  in
+  let draw_component_probs () =
+    let n_modes = between rng p.modes_per_component in
+    List.init n_modes (fun _ -> log_uniform rng 1e-5 1e-3)
+  in
+  (* Electric power: shared buses; a bus fails when offsite power is lost
+     and its diesel fails. *)
+  let loop = basic ~prob:1e-2 "LOOP" in
+  let n_buses = 3 in
+  let buses =
+    Array.init n_buses (fun i ->
+        let t = i + 1 in
+        let dg_start = basic ~prob:1e-2 (Printf.sprintf "DG%d.start" t) in
+        let dg_run =
+          basic
+            ~prob:(mission_probability 5e-4 p.mission_hours)
+            (Printf.sprintf "DG%d.run" t)
+        in
+        let dg =
+          gate (Printf.sprintf "DG%d.fail" t) Fault_tree.Or [ dg_start; dg_run ]
+        in
+        gate (Printf.sprintf "BUS%d" t) Fault_tree.And [ loop; dg ])
+  in
+  (* A pump train. [support] gives the train-level failure of support
+     systems feeding this train; [run_rate] and [component_probs] are shared
+     by all trains of the system (identical redundant equipment). *)
+  let train system t ~run_rate ~component_probs ~support =
+    let name = Printf.sprintf "%s.T%d" system t in
+    let start = basic ~prob:1e-3 (Printf.sprintf "%s.P%d.start" system t) in
+    let run =
+      basic
+        ~prob:(mission_probability run_rate p.mission_hours)
+        (Printf.sprintf "%s.P%d.run" system t)
+    in
+    let components =
+      List.mapi
+        (fun i probs -> component (Printf.sprintf "%s.C%d" name (i + 1)) probs)
+        component_probs
+    in
+    let bus = buses.(t mod n_buses) in
+    let node =
+      gate name Fault_tree.Or ([ start; run; bus ] @ components @ support)
+    in
+    transfer name p.transfer_depth node
+  in
+  (* A system: its trains must all fail (or K-of-N for voting systems),
+     plus optional actuation. Returns the per-train gates so support
+     systems can be wired train-to-train. *)
+  let system name ~support_of_train ~voting =
+    let n_trains = between rng p.trains_per_system in
+    let run_rate = log_uniform rng 1e-5 1e-4 in
+    let component_probs =
+      List.init p.components_per_train (fun _ -> draw_component_probs ())
+    in
+    let trains =
+      List.init n_trains (fun i ->
+          train name (i + 1) ~run_rate ~component_probs
+            ~support:(support_of_train i))
+    in
+    let kind =
+      if voting && n_trains >= 3 then Fault_tree.Atleast (n_trains - 1)
+      else Fault_tree.And
+    in
+    let trains_gate = gate (name ^ ".trains") kind trains in
+    let inputs =
+      if p.with_actuation then [ trains_gate; actuation name ]
+      else [ trains_gate ]
+    in
+    let fail = gate (name ^ ".fail") Fault_tree.Or inputs in
+    (fail, Array.of_list trains)
+  in
+  (* Support systems form a chain-structured DAG: system i may feed on a
+     deeper one. Built deepest-first. *)
+  let support_fail = Array.make p.n_support Fault_tree.(B 0) in
+  let support_trains = Array.make p.n_support [||] in
+  for i = p.n_support - 1 downto 0 do
+    let name = Printf.sprintf "SUP%d" (i + 1) in
+    let deeper = p.n_support - 1 - i in
+    let support_of_train t =
+      if deeper > 0 && Sdft_util.Rng.float rng < 0.6 then begin
+        (* Feed from the train of a deeper support system with matching
+           index (support chains are train-aligned in real plants). *)
+        let j = i + 1 + Sdft_util.Rng.int rng deeper in
+        let trains = support_trains.(j) in
+        [ trains.(t mod Array.length trains) ]
+      end
+      else []
+    in
+    let fail, trains =
+      system name ~support_of_train ~voting:(Sdft_util.Rng.float rng < 0.3)
+    in
+    support_fail.(i) <- fail;
+    support_trains.(i) <- trains
+  done;
+  ignore support_fail;
+  (* Frontline systems, each wired to one or two support systems. *)
+  let frontline =
+    Array.init p.n_frontline (fun i ->
+        let name = Printf.sprintf "SYS%d" (i + 1) in
+        let n_sup = if p.n_support = 0 then 0 else 1 + Sdft_util.Rng.int rng 2 in
+        let sups =
+          List.init n_sup (fun _ -> Sdft_util.Rng.int rng p.n_support)
+        in
+        let sups = List.sort_uniq compare sups in
+        let support_of_train t =
+          List.map
+            (fun j ->
+              let trains = support_trains.(j) in
+              trains.(t mod Array.length trains))
+            sups
+        in
+        let fail, _ = system name ~support_of_train ~voting:false in
+        fail)
+  in
+  (* Initiating events and accident sequences. *)
+  let initiators =
+    Array.init p.n_initiators (fun i ->
+        basic
+          ~prob:(log_uniform rng 1e-4 3e-3)
+          (Printf.sprintf "IE%d" (i + 1)))
+  in
+  let sequences =
+    List.init p.n_sequences (fun s ->
+        let ie = initiators.(Sdft_util.Rng.int rng p.n_initiators) in
+        let n_sys = between rng p.systems_per_sequence in
+        (* Cover every frontline system across the sequence set by cycling
+           the first pick; remaining picks are random. *)
+        let first = s mod p.n_frontline in
+        let picks = ref [ first ] in
+        while List.length !picks < min n_sys p.n_frontline do
+          let c = Sdft_util.Rng.int rng p.n_frontline in
+          if not (List.mem c !picks) then picks := c :: !picks
+        done;
+        let systems = List.map (fun i -> frontline.(i)) !picks in
+        gate (Printf.sprintf "SEQ%d" (s + 1)) Fault_tree.And (ie :: systems))
+  in
+  let top = gate "top" Fault_tree.Or sequences in
+  Fault_tree.Builder.build b ~top
+
+let run_events tree =
+  let out = ref [] in
+  for i = Fault_tree.n_basics tree - 1 downto 0 do
+    let name = Fault_tree.basic_name tree i in
+    let n = String.length name in
+    if n > 4 && String.sub name (n - 4) 4 = ".run" then out := i :: !out
+  done;
+  !out
+
+let run_event_groups tree =
+  (* "SYS3.P2.run" -> system "SYS3"; diesel generators ("DG1.run") have no
+     ".P" segment and each form their own group. *)
+  let system_of name =
+    match String.index_opt name '.' with
+    | Some dot -> String.sub name 0 dot
+    | None -> name
+  in
+  let groups : (string, int list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun i ->
+      let key = system_of (Fault_tree.basic_name tree i) in
+      let prev = try Hashtbl.find groups key with Not_found -> [] in
+      Hashtbl.replace groups key (i :: prev))
+    (run_events tree);
+  Hashtbl.fold (fun _ members acc -> List.rev members :: acc) groups []
+  |> List.sort compare

@@ -1,0 +1,38 @@
+let failure_rate = 1e-3
+
+let repair_rate = 5e-2
+
+let gate_pump1 = "pump1"
+
+let gate_pump2 = "pump2"
+
+let gate_pumps = "pumps"
+
+let gate_cooling = "cooling"
+
+let static_tree () =
+  let b = Fault_tree.Builder.create () in
+  let a = Fault_tree.Builder.basic b ~prob:3e-3 "a" in
+  let fb = Fault_tree.Builder.basic b ~prob:1e-3 "b" in
+  let c = Fault_tree.Builder.basic b ~prob:3e-3 "c" in
+  let d = Fault_tree.Builder.basic b ~prob:1e-3 "d" in
+  let e = Fault_tree.Builder.basic b ~prob:3e-6 "e" in
+  let pump1 = Fault_tree.Builder.gate b gate_pump1 Fault_tree.Or [ a; fb ] in
+  let pump2 = Fault_tree.Builder.gate b gate_pump2 Fault_tree.Or [ c; d ] in
+  let pumps = Fault_tree.Builder.gate b gate_pumps Fault_tree.And [ pump1; pump2 ] in
+  let top = Fault_tree.Builder.gate b gate_cooling Fault_tree.Or [ pumps; e ] in
+  Fault_tree.Builder.build b ~top
+
+let sd_tree () =
+  let tree = static_tree () in
+  (* Pump 1 operates from the start: plain repairable exponential failure.
+     Pump 2 is the spare: switched on when pump 1 fails, no failures while
+     off, repaired even while off (Example 2). *)
+  let b_dyn = Dbe.exponential ~lambda:failure_rate ~mu:repair_rate () in
+  let d_dyn =
+    Dbe.triggered_exponential ~lambda:failure_rate ~mu:repair_rate
+      ~passive_factor:0.0 ~repair_when_off:true ()
+  in
+  Sdft.make tree
+    ~dynamic:[ ("b", b_dyn); ("d", d_dyn) ]
+    ~triggers:[ (gate_pump1, "d") ]

@@ -1,0 +1,110 @@
+module Rng = Sdft_util.Rng
+
+let tree ?(max_prob = 0.3) rng ~n_basics ~n_gates =
+  if n_basics < 1 || n_gates < 1 then
+    invalid_arg "Random_tree.tree: need at least one basic and one gate";
+  let b = Fault_tree.Builder.create () in
+  let nodes = Sdft_util.Vec.create () in
+  for i = 0 to n_basics - 1 do
+    let prob = Rng.float rng *. max_prob in
+    Sdft_util.Vec.push nodes
+      (Fault_tree.Builder.basic b ~prob (Printf.sprintf "e%d" i))
+  done;
+  let used = Hashtbl.create 16 in
+  for g = 0 to n_gates - 2 do
+    let pool = Sdft_util.Vec.length nodes in
+    let arity = 2 + Rng.int rng (min 3 pool) in
+    let inputs = ref [] in
+    while List.length !inputs < min arity pool do
+      let candidate = Sdft_util.Vec.get nodes (Rng.int rng pool) in
+      if not (List.mem candidate !inputs) then inputs := candidate :: !inputs
+    done;
+    let n_inputs = List.length !inputs in
+    let kind =
+      match Rng.int rng (if n_inputs >= 3 then 5 else 4) with
+      | 0 | 1 -> Fault_tree.And
+      | 2 | 3 -> Fault_tree.Or
+      | _ -> Fault_tree.Atleast (2 + Rng.int rng (n_inputs - 2 + 1))
+    in
+    let node = Fault_tree.Builder.gate b (Printf.sprintf "g%d" g) kind !inputs in
+    List.iter (fun i -> Hashtbl.replace used i ()) !inputs;
+    Sdft_util.Vec.push nodes node
+  done;
+  (* Top: OR over everything not used as an input, so that no node is dead. *)
+  let orphans =
+    Sdft_util.Vec.fold_left
+      (fun acc node -> if Hashtbl.mem used node then acc else node :: acc)
+      [] nodes
+  in
+  let top = Fault_tree.Builder.gate b "top" Fault_tree.Or orphans in
+  Fault_tree.Builder.build b ~top
+
+let random_dbe rng =
+  let lambda = 0.01 +. (Rng.float rng *. 0.1) in
+  let mu = if Rng.bool rng then Some (0.05 +. (Rng.float rng *. 0.2)) else None in
+  let phases = 1 + Rng.int rng 2 in
+  if Rng.bool rng then Dbe.erlang ~phases ~lambda ?mu ()
+  else
+    Dbe.triggered_erlang ~phases ~lambda ?mu
+      ~passive_factor:(if Rng.bool rng then 0.0 else 0.01)
+      ()
+
+let sd ?max_prob ?(n_dynamic = 3) ?(n_triggers = 2) rng ~n_basics ~n_gates =
+  let t = tree ?max_prob rng ~n_basics ~n_gates in
+  let nb = Fault_tree.n_basics t in
+  let ng = Fault_tree.n_gates t in
+  let candidates = Array.init nb Fun.id in
+  Rng.shuffle rng candidates;
+  let dynamic_ids =
+    Array.to_list (Array.sub candidates 0 (min n_dynamic nb))
+  in
+  let dynamic =
+    List.map (fun i -> (i, random_dbe rng)) dynamic_ids
+  in
+  (* Only events with on/off structure can be triggered. *)
+  let triggerable =
+    List.filter_map
+      (fun (i, d) -> if Dbe.is_triggered_model d then Some i else None)
+      dynamic
+  in
+  (* Sample candidate edges and keep those that Sdft.make accepts; the
+     acyclicity and single-trigger rules are enforced by retrying. *)
+  let edges = ref [] in
+  let attempts = ref 0 in
+  while List.length !edges < n_triggers && !attempts < 50 do
+    incr attempts;
+    match triggerable with
+    | [] -> attempts := 50
+    | _ ->
+      let b = List.nth triggerable (Rng.int rng (List.length triggerable)) in
+      let g = Rng.int rng ng in
+      let candidate = (g, b) :: !edges in
+      if not (List.exists (fun (_, b') -> b' = b) !edges) then begin
+        match Sdft.of_indexed t ~dynamic ~triggers:candidate with
+        | _ -> edges := candidate
+        | exception Invalid_argument _ -> ()
+      end
+  done;
+  (* Untriggered events must not keep an off-mode initial state they can
+     never leave: replace triggered-model events that ended up untriggered
+     by their always-on equivalents. *)
+  let triggered_ids = List.map snd !edges in
+  let dynamic =
+    List.map
+      (fun (i, d) ->
+        if Dbe.is_triggered_model d && not (List.mem i triggered_ids) then
+          (i, Dbe.make ~n_states:(Dbe.n_states d)
+                ~init:(Dbe.initial_on d)
+                ~transitions:
+                  (let acc = ref [] in
+                   Ctmc.iter_transitions (Dbe.chain d) (fun s dst r ->
+                       acc := (s, dst, r) :: !acc);
+                   !acc)
+                ~failed:
+                  (List.filter (Dbe.is_failed d)
+                     (List.init (Dbe.n_states d) Fun.id))
+                ())
+        else (i, d))
+      dynamic
+  in
+  Sdft.of_indexed t ~dynamic ~triggers:!edges

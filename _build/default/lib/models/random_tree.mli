@@ -1,0 +1,30 @@
+(** Random fault trees and random SD fault trees for property-based
+    testing.
+
+    Trees are built bottom-up (each gate draws inputs among the nodes
+    created before it, so the DAG property holds by construction) and the
+    top gate is an OR over all orphan nodes, which guarantees every basic
+    event can influence the top. Trigger edges are sampled and checked
+    against the acyclicity rule; invalid candidates are skipped. *)
+
+val tree :
+  ?max_prob:float ->
+  Sdft_util.Rng.t ->
+  n_basics:int ->
+  n_gates:int ->
+  Fault_tree.t
+(** Random coherent tree with AND/OR/K-of-N gates; basic-event probabilities
+    are uniform in [[0, max_prob]] (default 0.3 — large enough that test
+    oracles see non-trivial numbers). *)
+
+val sd :
+  ?max_prob:float ->
+  ?n_dynamic:int ->
+  ?n_triggers:int ->
+  Sdft_util.Rng.t ->
+  n_basics:int ->
+  n_gates:int ->
+  Sdft.t
+(** Random SD fault tree: a random tree, a random subset of dynamic events
+    (exponential or two-phase Erlang, some repairable), and up to
+    [n_triggers] valid trigger edges. *)

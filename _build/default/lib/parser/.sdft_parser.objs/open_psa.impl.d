@@ -1,0 +1,1 @@
+lib/parser/open_psa.ml: Array Fault_tree Fun Hashtbl List Printf String Xml

@@ -1,0 +1,1 @@
+lib/parser/open_psa.mli: Fault_tree

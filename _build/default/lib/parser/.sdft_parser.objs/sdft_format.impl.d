@@ -1,0 +1,1 @@
+lib/parser/sdft_format.ml: Array Buffer Ctmc Dbe Fault_tree Fun List Printf Sdft Sexp

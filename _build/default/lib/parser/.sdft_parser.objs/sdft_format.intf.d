@@ -1,0 +1,1 @@
+lib/parser/sdft_format.mli: Sdft

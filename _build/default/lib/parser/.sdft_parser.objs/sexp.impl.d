@@ -1,0 +1,1 @@
+lib/parser/sexp.ml: Buffer Format Fun List Printf String

@@ -1,0 +1,1 @@
+lib/parser/xml.ml: Buffer Char Fun List Printf String

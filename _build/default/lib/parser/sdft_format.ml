@@ -1,0 +1,287 @@
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+let find_field name fields =
+  List.find_map
+    (function
+      | Sexp.List (Sexp.Atom key :: rest) when key = name -> Some rest
+      | Sexp.Atom key when key = name -> Some []
+      | _ -> None)
+    fields
+
+let field_float name fields =
+  match find_field name fields with
+  | Some [ v ] -> Some (Sexp.float_atom v)
+  | Some _ -> error "field %s expects one value" name
+  | None -> None
+
+let field_int name fields =
+  match find_field name fields with
+  | Some [ v ] -> Some (Sexp.int_atom v)
+  | Some _ -> error "field %s expects one value" name
+  | None -> None
+
+let require what = function
+  | Some v -> v
+  | None -> error "missing field %s" what
+
+let parse_dbe = function
+  | Sexp.List (Sexp.Atom "exponential" :: fields) ->
+    Dbe.exponential
+      ~lambda:(require "lambda" (field_float "lambda" fields))
+      ?mu:(field_float "mu" fields) ()
+  | Sexp.List (Sexp.Atom "erlang" :: fields) ->
+    Dbe.erlang
+      ~phases:(require "phases" (field_int "phases" fields))
+      ~lambda:(require "lambda" (field_float "lambda" fields))
+      ?mu:(field_float "mu" fields) ()
+  | Sexp.List (Sexp.Atom "triggered-erlang" :: fields) ->
+    Dbe.triggered_erlang
+      ~phases:(require "phases" (field_int "phases" fields))
+      ~lambda:(require "lambda" (field_float "lambda" fields))
+      ?mu:(field_float "mu" fields)
+      ?passive_factor:(field_float "passive" fields)
+      ?repair_when_off:
+        (match find_field "repair-when-off" fields with
+        | Some _ -> Some true
+        | None -> None)
+      ()
+  | Sexp.List (Sexp.Atom "ctmc" :: fields) ->
+    let n_states = require "states" (field_int "states" fields) in
+    let init =
+      match find_field "init" fields with
+      | Some entries ->
+        List.map
+          (function
+            | Sexp.List [ s; p ] -> (Sexp.int_atom s, Sexp.float_atom p)
+            | _ -> error "init entries must be (STATE PROB)")
+          entries
+      | None -> error "missing field init"
+    in
+    let transitions =
+      match find_field "transitions" fields with
+      | Some entries ->
+        List.map
+          (function
+            | Sexp.List [ s; d; r ] ->
+              (Sexp.int_atom s, Sexp.int_atom d, Sexp.float_atom r)
+            | _ -> error "transitions entries must be (SRC DST RATE)")
+          entries
+      | None -> []
+    in
+    let failed =
+      match find_field "failed" fields with
+      | Some entries -> List.map Sexp.int_atom entries
+      | None -> error "missing field failed"
+    in
+    let switch =
+      match find_field "switch" fields with
+      | None -> None
+      | Some sw_fields ->
+        let modes =
+          match find_field "modes" sw_fields with
+          | Some entries ->
+            Array.of_list
+              (List.map
+                 (fun e ->
+                   match Sexp.atom e with
+                   | "on" -> Dbe.On
+                   | "off" -> Dbe.Off
+                   | other -> error "bad mode %S" other)
+                 entries)
+          | None -> error "switch needs (modes ...)"
+        in
+        let partner =
+          match find_field "partner" sw_fields with
+          | Some entries -> Array.of_list (List.map Sexp.int_atom entries)
+          | None -> error "switch needs (partner ...)"
+        in
+        Some (modes, partner)
+    in
+    Dbe.make ~n_states ~init ~transitions ~failed ?switch ()
+  | other -> error "unknown dynamic event spec %s" (Sexp.to_string other)
+
+let parse_kind = function
+  | Sexp.Atom "and" -> Fault_tree.And
+  | Sexp.Atom "or" -> Fault_tree.Or
+  | Sexp.List [ Sexp.Atom "atleast"; k ] -> Fault_tree.Atleast (Sexp.int_atom k)
+  | other -> error "unknown gate kind %s" (Sexp.to_string other)
+
+let of_forms forms =
+  let builder = Fault_tree.Builder.create () in
+  let dynamic = ref [] in
+  let triggers = ref [] in
+  let top = ref None in
+  let node_of name =
+    match Fault_tree.Builder.node_of_name builder name with
+    | Some n -> n
+    | None -> error "unknown node %S (define before use)" name
+  in
+  List.iter
+    (fun form ->
+      match form with
+      | Sexp.List [ Sexp.Atom "basic"; name; prob ] ->
+        let _ =
+          Fault_tree.Builder.basic builder
+            ~prob:(Sexp.float_atom prob)
+            (Sexp.atom name)
+        in
+        ()
+      | Sexp.List [ Sexp.Atom "dynamic"; name; spec ] ->
+        let name = Sexp.atom name in
+        let _ = Fault_tree.Builder.basic builder ~prob:0.0 name in
+        dynamic := (name, parse_dbe spec) :: !dynamic
+      | Sexp.List (Sexp.Atom "gate" :: name :: kind :: inputs) ->
+        let inputs = List.map (fun i -> node_of (Sexp.atom i)) inputs in
+        let _ =
+          Fault_tree.Builder.gate builder (Sexp.atom name) (parse_kind kind)
+            inputs
+        in
+        ()
+      | Sexp.List [ Sexp.Atom "trigger"; g; b ] ->
+        triggers := (Sexp.atom g, Sexp.atom b) :: !triggers
+      | Sexp.List [ Sexp.Atom "top"; name ] -> top := Some (Sexp.atom name)
+      | other -> error "unknown form %s" (Sexp.to_string other))
+    forms;
+  let top_name = match !top with Some t -> t | None -> error "missing (top ...)" in
+  let tree = Fault_tree.Builder.build builder ~top:(node_of top_name) in
+  try Sdft.make tree ~dynamic:(List.rev !dynamic) ~triggers:(List.rev !triggers)
+  with Invalid_argument m -> error "%s" m
+
+(* Accessor helpers (Sexp.float_atom etc.) report through Parse_error as
+   well; translate everything into this module's Error. *)
+let of_forms_wrapped forms =
+  try of_forms forms with
+  | Sexp.Parse_error { message; _ } -> error "%s" message
+
+let of_string s =
+  match Sexp.parse_string s with
+  | forms -> of_forms_wrapped forms
+  | exception Sexp.Parse_error { line; message } ->
+    error "line %d: %s" line message
+
+let of_file path =
+  match Sexp.parse_file path with
+  | forms -> of_forms_wrapped forms
+  | exception Sexp.Parse_error { line; message } ->
+    error "%s, line %d: %s" path line message
+
+let dbe_to_sexp d =
+  let n = Dbe.n_states d in
+  let chain = Dbe.chain d in
+  let transitions = ref [] in
+  Ctmc.iter_transitions chain (fun s dst r ->
+      transitions :=
+        Sexp.List
+          [
+            Sexp.Atom (string_of_int s);
+            Sexp.Atom (string_of_int dst);
+            Sexp.Atom (Printf.sprintf "%.17g" r);
+          ]
+        :: !transitions);
+  let init =
+    List.map
+      (fun (s, p) ->
+        Sexp.List
+          [ Sexp.Atom (string_of_int s); Sexp.Atom (Printf.sprintf "%.17g" p) ])
+      (List.filter (fun (_, p) -> p > 0.0) (Dbe.init d))
+  in
+  let failed =
+    List.filter_map
+      (fun s -> if Dbe.is_failed d s then Some (Sexp.Atom (string_of_int s)) else None)
+      (List.init n Fun.id)
+  in
+  let base =
+    [
+      Sexp.List [ Sexp.Atom "states"; Sexp.Atom (string_of_int n) ];
+      Sexp.List (Sexp.Atom "init" :: init);
+      Sexp.List (Sexp.Atom "transitions" :: List.rev !transitions);
+      Sexp.List (Sexp.Atom "failed" :: failed);
+    ]
+  in
+  let switch =
+    if not (Dbe.is_triggered_model d) then []
+    else begin
+      let modes =
+        List.init n (fun s ->
+            Sexp.Atom (match Dbe.mode_of d s with Dbe.On -> "on" | Dbe.Off -> "off"))
+      in
+      let partner =
+        List.init n (fun s ->
+            let p =
+              match Dbe.mode_of d s with
+              | Dbe.On -> Dbe.switch_off d s
+              | Dbe.Off -> Dbe.switch_on d s
+            in
+            Sexp.Atom (string_of_int p))
+      in
+      [
+        Sexp.List
+          [
+            Sexp.Atom "switch";
+            Sexp.List (Sexp.Atom "modes" :: modes);
+            Sexp.List (Sexp.Atom "partner" :: partner);
+          ];
+      ]
+    end
+  in
+  Sexp.List (Sexp.Atom "ctmc" :: (base @ switch))
+
+let to_string sd =
+  let tree = Sdft.tree sd in
+  let buf = Buffer.create 1024 in
+  let emit s = Buffer.add_string buf (Sexp.to_string s ^ "\n") in
+  for b = 0 to Fault_tree.n_basics tree - 1 do
+    let name = Sexp.Atom (Fault_tree.basic_name tree b) in
+    if Sdft.is_dynamic sd b then
+      emit (Sexp.List [ Sexp.Atom "dynamic"; name; dbe_to_sexp (Sdft.dbe sd b) ])
+    else
+      emit
+        (Sexp.List
+           [
+             Sexp.Atom "basic";
+             name;
+             Sexp.Atom (Printf.sprintf "%.17g" (Fault_tree.prob tree b));
+           ])
+  done;
+  for g = 0 to Fault_tree.n_gates tree - 1 do
+    let kind =
+      match Fault_tree.gate_kind tree g with
+      | Fault_tree.And -> Sexp.Atom "and"
+      | Fault_tree.Or -> Sexp.Atom "or"
+      | Fault_tree.Atleast k ->
+        Sexp.List [ Sexp.Atom "atleast"; Sexp.Atom (string_of_int k) ]
+    in
+    let inputs =
+      Array.to_list
+        (Array.map
+           (function
+             | Fault_tree.B b -> Sexp.Atom (Fault_tree.basic_name tree b)
+             | Fault_tree.G g' -> Sexp.Atom (Fault_tree.gate_name tree g'))
+           (Fault_tree.gate_inputs tree g))
+    in
+    emit
+      (Sexp.List
+         (Sexp.Atom "gate" :: Sexp.Atom (Fault_tree.gate_name tree g) :: kind :: inputs))
+  done;
+  List.iter
+    (fun (g, b) ->
+      emit
+        (Sexp.List
+           [
+             Sexp.Atom "trigger";
+             Sexp.Atom (Fault_tree.gate_name tree g);
+             Sexp.Atom (Fault_tree.basic_name tree b);
+           ]))
+    (Sdft.trigger_edges sd);
+  emit
+    (Sexp.List
+       [ Sexp.Atom "top"; Sexp.Atom (Fault_tree.gate_name tree (Fault_tree.top tree)) ]);
+  Buffer.contents buf
+
+let to_file path sd =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string sd))

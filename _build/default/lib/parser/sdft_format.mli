@@ -1,0 +1,39 @@
+(** Text format for SD fault trees.
+
+    A model is a sequence of top-level forms; nodes must be defined before
+    they are used (gates reference earlier basics/gates, which also
+    guarantees the DAG is acyclic):
+
+    {v
+    (basic NAME PROB)
+    (dynamic NAME SPEC)
+    (gate NAME and|or|(atleast K) INPUT ...)
+    (trigger GATE BASIC)
+    (top GATE)
+    v}
+
+    where [SPEC] is one of
+
+    {v
+    (exponential (lambda L) [(mu M)])
+    (erlang (phases K) (lambda L) [(mu M)])
+    (triggered-erlang (phases K) (lambda L) [(mu M)] [(passive F)]
+                      [(repair-when-off)])
+    (ctmc (states N) (init (S P) ...) (transitions (SRC DST RATE) ...)
+          (failed S ...) [(switch (modes on|off ...) (partner I ...))])
+    v}
+
+    The printer always emits the lossless [ctmc] form; the reader accepts
+    both. *)
+
+exception Error of string
+
+val of_string : string -> Sdft.t
+(** @raise Error on syntactic or semantic problems. *)
+
+val of_file : string -> Sdft.t
+
+val to_string : Sdft.t -> string
+(** Round-trips: [of_string (to_string sd)] describes the same model. *)
+
+val to_file : string -> Sdft.t -> unit

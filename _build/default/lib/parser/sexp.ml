@@ -1,0 +1,169 @@
+type t =
+  | Atom of string
+  | List of t list
+
+exception Parse_error of { line : int; message : string }
+
+let error line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+type lexer = {
+  input : string;
+  mutable pos : int;
+  mutable line : int;
+}
+
+let peek lx = if lx.pos < String.length lx.input then Some lx.input.[lx.pos] else None
+
+let advance lx =
+  (match peek lx with
+  | Some '\n' -> lx.line <- lx.line + 1
+  | Some _ | None -> ());
+  lx.pos <- lx.pos + 1
+
+let rec skip_blanks lx =
+  match peek lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance lx;
+    skip_blanks lx
+  | Some ';' ->
+    let rec to_eol () =
+      match peek lx with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance lx;
+        to_eol ()
+    in
+    to_eol ();
+    skip_blanks lx
+  | Some _ | None -> ()
+
+let is_atom_char = function
+  | '(' | ')' | ' ' | '\t' | '\r' | '\n' | ';' | '"' -> false
+  | _ -> true
+
+let read_quoted lx =
+  let buf = Buffer.create 16 in
+  advance lx;
+  (* opening quote *)
+  let rec loop () =
+    match peek lx with
+    | None -> error lx.line "unterminated string"
+    | Some '"' -> advance lx
+    | Some '\\' ->
+      advance lx;
+      (match peek lx with
+      | Some c ->
+        Buffer.add_char buf c;
+        advance lx;
+        loop ()
+      | None -> error lx.line "unterminated escape")
+    | Some c ->
+      Buffer.add_char buf c;
+      advance lx;
+      loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let read_bare lx =
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek lx with
+    | Some c when is_atom_char c ->
+      Buffer.add_char buf c;
+      advance lx;
+      loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let rec read_expr lx =
+  skip_blanks lx;
+  match peek lx with
+  | None -> error lx.line "unexpected end of input"
+  | Some '(' ->
+    advance lx;
+    let items = ref [] in
+    let rec loop () =
+      skip_blanks lx;
+      match peek lx with
+      | Some ')' -> advance lx
+      | None -> error lx.line "unterminated list"
+      | Some _ ->
+        items := read_expr lx :: !items;
+        loop ()
+    in
+    loop ();
+    List (List.rev !items)
+  | Some ')' -> error lx.line "unexpected ')'"
+  | Some '"' -> Atom (read_quoted lx)
+  | Some _ -> Atom (read_bare lx)
+
+let parse_string input =
+  let lx = { input; pos = 0; line = 1 } in
+  let out = ref [] in
+  let rec loop () =
+    skip_blanks lx;
+    if peek lx <> None then begin
+      out := read_expr lx :: !out;
+      loop ()
+    end
+  in
+  loop ();
+  List.rev !out
+
+let parse_file path =
+  let ic = open_in path in
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse_string contents
+
+let needs_quotes s =
+  s = "" || not (String.for_all is_atom_char s)
+
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      if c = '"' || c = '\\' then Buffer.add_char buf '\\';
+      Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let rec to_string = function
+  | Atom s -> if needs_quotes s then quote s else s
+  | List items -> "(" ^ String.concat " " (List.map to_string items) ^ ")"
+
+let rec pp ppf = function
+  | Atom s -> Format.pp_print_string ppf (if needs_quotes s then quote s else s)
+  | List items ->
+    Format.fprintf ppf "@[<hov 1>(";
+    List.iteri
+      (fun i item ->
+        if i > 0 then Format.fprintf ppf "@ ";
+        pp ppf item)
+      items;
+    Format.fprintf ppf ")@]"
+
+let atom = function
+  | Atom s -> s
+  | List _ -> error 0 "expected an atom"
+
+let float_atom e =
+  let s = atom e in
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> error 0 "expected a number, got %S" s
+
+let int_atom e =
+  let s = atom e in
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> error 0 "expected an integer, got %S" s

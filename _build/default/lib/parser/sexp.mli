@@ -1,0 +1,30 @@
+(** Minimal s-expressions: the concrete syntax of the SD fault tree text
+    format. Atoms are bare words or double-quoted strings; [;] starts a
+    comment to end of line. *)
+
+type t =
+  | Atom of string
+  | List of t list
+
+exception Parse_error of { line : int; message : string }
+
+val parse_string : string -> t list
+(** All top-level expressions in the input.
+    @raise Parse_error on malformed input. *)
+
+val parse_file : string -> t list
+
+val to_string : t -> string
+(** Canonical rendering (quotes atoms when necessary). *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-printer with indentation for nested lists. *)
+
+(** {1 Accessor helpers} *)
+
+val atom : t -> string
+(** @raise Parse_error (line 0) when the expression is a list. *)
+
+val float_atom : t -> float
+
+val int_atom : t -> int

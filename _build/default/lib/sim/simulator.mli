@@ -1,0 +1,31 @@
+(** Discrete-event Monte-Carlo simulation of the full SD fault tree
+    semantics.
+
+    Simulates the product process of Section III-C directly — static events
+    sampled at time zero, dynamic events racing exponential transitions,
+    trigger updates applied instantaneously after every jump — without ever
+    building the product state space. Used as a statistical baseline to
+    validate the analytic pipeline (and as the only practical oracle for
+    models too large for {!Sdft_product.solve} but with failure
+    probabilities large enough to estimate). *)
+
+type stats = {
+  trials : int;
+  failures : int;
+  estimate : float;  (** failure fraction *)
+  std_error : float;  (** binomial standard error *)
+}
+
+val unreliability :
+  ?seed:int -> Sdft.t -> horizon:float -> trials:int -> stats
+(** [unreliability sd ~horizon ~trials] — probability that the top gate
+    fails within the horizon, estimated over independent trials. The
+    default seed is 42; results are deterministic per seed. *)
+
+val failure_time :
+  ?seed:int -> Sdft.t -> horizon:float -> trials:int -> float option
+(** Mean time to first top-gate failure among failing trials, [None] when
+    no trial failed. *)
+
+val confidence_95 : stats -> float * float
+(** Normal-approximation 95% interval, clamped to [[0, 1]]. *)

@@ -1,0 +1,52 @@
+type t = {
+  mutable counts : int array;
+  mutable total : int;
+  mutable max_bucket : int;
+}
+
+let create () = { counts = Array.make 8 0; total = 0; max_bucket = -1 }
+
+let ensure t bucket =
+  let n = Array.length t.counts in
+  if bucket >= n then begin
+    let counts = Array.make (max (bucket + 1) (2 * n)) 0 in
+    Array.blit t.counts 0 counts 0 n;
+    t.counts <- counts
+  end
+
+let observe t bucket =
+  if bucket < 0 then invalid_arg "Histogram.observe: negative bucket";
+  ensure t bucket;
+  t.counts.(bucket) <- t.counts.(bucket) + 1;
+  t.total <- t.total + 1;
+  if bucket > t.max_bucket then t.max_bucket <- bucket
+
+let count t bucket =
+  if bucket < 0 || bucket >= Array.length t.counts then 0 else t.counts.(bucket)
+
+let total t = t.total
+
+let max_bucket t = t.max_bucket
+
+let buckets t =
+  List.init (t.max_bucket + 1) (fun i -> (i, t.counts.(i)))
+
+let mean t =
+  if t.total = 0 then 0.0
+  else begin
+    let acc = ref 0 in
+    for i = 0 to t.max_bucket do
+      acc := !acc + (i * t.counts.(i))
+    done;
+    float_of_int !acc /. float_of_int t.total
+  end
+
+let print_ascii ?(label = "") t =
+  if label <> "" then Printf.printf "%s\n" label;
+  let peak = Array.fold_left max 1 t.counts in
+  let bar_width = 50 in
+  for i = 0 to t.max_bucket do
+    let c = t.counts.(i) in
+    let w = c * bar_width / peak in
+    Printf.printf "  %3d | %-*s %d\n" i bar_width (String.make w '#') c
+  done

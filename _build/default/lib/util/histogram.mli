@@ -1,0 +1,25 @@
+(** Integer-bucket histograms (Figure 2 of the paper counts how many minimal
+    cutsets contain 0, 1, 2, ... dynamic basic events). *)
+
+type t
+
+val create : unit -> t
+
+val observe : t -> int -> unit
+(** Count one observation of the given non-negative bucket. *)
+
+val count : t -> int -> int
+
+val total : t -> int
+
+val max_bucket : t -> int
+(** Largest bucket observed so far; [-1] when empty. *)
+
+val buckets : t -> (int * int) list
+(** All buckets from 0 to [max_bucket] with their counts. *)
+
+val mean : t -> float
+(** Mean bucket value, 0 when empty. *)
+
+val print_ascii : ?label:string -> t -> unit
+(** Horizontal bar chart on stdout, one line per bucket. *)

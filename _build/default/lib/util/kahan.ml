@@ -1,0 +1,24 @@
+type t = {
+  mutable sum : float;
+  mutable compensation : float;
+}
+
+let create () = { sum = 0.0; compensation = 0.0 }
+
+let add t x =
+  let y = x -. t.compensation in
+  let s = t.sum +. y in
+  t.compensation <- s -. t.sum -. y;
+  t.sum <- s
+
+let total t = t.sum
+
+let sum a =
+  let t = create () in
+  Array.iter (add t) a;
+  total t
+
+let sum_list l =
+  let t = create () in
+  List.iter (add t) l;
+  total t

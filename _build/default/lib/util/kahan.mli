@@ -1,0 +1,18 @@
+(** Compensated (Kahan) summation.
+
+    Rare-event sums add tens of thousands of terms spanning many orders of
+    magnitude; compensation keeps the accumulated rounding error at one ulp
+    of the result instead of growing linearly in the number of terms. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val total : t -> float
+
+val sum : float array -> float
+(** Compensated sum of a whole array. *)
+
+val sum_list : float list -> float

@@ -1,0 +1,18 @@
+type t = float
+
+let start () = Unix.gettimeofday ()
+
+let elapsed_s t0 = Unix.gettimeofday () -. t0
+
+let time f =
+  let t0 = start () in
+  let result = f () in
+  (result, elapsed_s t0)
+
+let pp_duration ppf seconds =
+  if seconds < 60.0 then Format.fprintf ppf "%.1fs" seconds
+  else begin
+    let minutes = int_of_float (seconds /. 60.0) in
+    let rest = seconds -. (float_of_int minutes *. 60.0) in
+    Format.fprintf ppf "%dm %.0fs" minutes rest
+  end

@@ -1,0 +1,14 @@
+(** Wall-clock timing helpers for the experiment harness. *)
+
+type t
+
+val start : unit -> t
+
+val elapsed_s : t -> float
+(** Seconds since [start]. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result with the elapsed seconds. *)
+
+val pp_duration : Format.formatter -> float -> unit
+(** Human-readable duration, e.g. ["7.9s"], ["1m 53s"], ["12m 47s"]. *)

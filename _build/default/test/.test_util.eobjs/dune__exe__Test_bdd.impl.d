@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Array Bdd Fault_tree Float Fun List Minsol Option Pumps QCheck QCheck_alcotest Random_tree Sdft_util Set Zdd

@@ -1,0 +1,1 @@
+test/test_ctmc.ml: Alcotest Array Ctmc Float List Poisson QCheck QCheck_alcotest Sdft_util Steady_state Transient

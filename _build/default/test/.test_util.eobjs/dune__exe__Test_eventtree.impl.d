@@ -1,0 +1,1 @@
+test/test_eventtree.ml: Alcotest Dbe Event_tree Fault_tree Float Fun List Option Sdft Sdft_analysis Sdft_product

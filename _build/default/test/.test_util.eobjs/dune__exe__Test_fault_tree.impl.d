@@ -1,0 +1,1 @@
+test/test_fault_tree.ml: Alcotest Array Dot Expand Fault_tree Float List Modules Option Printf Pumps QCheck QCheck_alcotest Random_tree Sdft Sdft_util String

@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Bwr Ccf Dbe Dynamize Fault_tree Float Industrial List Minsol Mocus Option Pumps Random_tree Sdft Sdft_analysis Sdft_classify Sdft_util String Templates

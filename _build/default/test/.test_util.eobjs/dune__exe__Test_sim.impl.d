@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Dbe Fault_tree Float Pumps Sdft Sdft_product Simulator

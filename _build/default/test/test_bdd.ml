@@ -1,0 +1,343 @@
+(* Tests for the BDD/ZDD engine: boolean operations against truth tables,
+   probabilities against enumeration, minimal solutions against a brute
+   force oracle. *)
+
+module Int_set = Sdft_util.Int_set
+
+let check_close ?(eps = 1e-12) msg expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+(* Basic BDD algebra *)
+
+let test_terminals () =
+  let m = Bdd.manager ~n_vars:2 () in
+  Alcotest.(check bool) "and zero" true (Bdd.apply_and m Bdd.zero Bdd.one = Bdd.zero);
+  Alcotest.(check bool) "or one" true (Bdd.apply_or m Bdd.zero Bdd.one = Bdd.one);
+  Alcotest.(check bool) "not zero" true (Bdd.apply_not m Bdd.zero = Bdd.one)
+
+let test_var_eval () =
+  let m = Bdd.manager ~n_vars:3 () in
+  let x = Bdd.var m 0 and y = Bdd.var m 2 in
+  let f = Bdd.apply_and m x (Bdd.apply_not m y) in
+  Alcotest.(check bool) "x & !y at (1,_,0)" true (Bdd.eval m (fun v -> v = 0) f);
+  Alcotest.(check bool) "x & !y at (1,_,1)" false (Bdd.eval m (fun _ -> true) f);
+  Alcotest.(check bool) "x & !y at (0,_,0)" false (Bdd.eval m (fun _ -> false) f)
+
+let test_hash_consing () =
+  let m = Bdd.manager ~n_vars:2 () in
+  let a = Bdd.apply_or m (Bdd.var m 0) (Bdd.var m 1) in
+  let b = Bdd.apply_or m (Bdd.var m 1) (Bdd.var m 0) in
+  Alcotest.(check bool) "canonical" true (a = b);
+  let double_neg = Bdd.apply_not m (Bdd.apply_not m a) in
+  Alcotest.(check bool) "double negation" true (double_neg = a)
+
+let test_restrict () =
+  let m = Bdd.manager ~n_vars:2 () in
+  let f = Bdd.apply_and m (Bdd.var m 0) (Bdd.var m 1) in
+  Alcotest.(check bool) "f|x0=1 = x1" true (Bdd.restrict m f 0 true = Bdd.var m 1);
+  Alcotest.(check bool) "f|x0=0 = 0" true (Bdd.restrict m f 0 false = Bdd.zero)
+
+let test_ite () =
+  let m = Bdd.manager ~n_vars:3 () in
+  let f = Bdd.ite m (Bdd.var m 0) (Bdd.var m 1) (Bdd.var m 2) in
+  let eval a0 a1 a2 =
+    Bdd.eval m (fun v -> [| a0; a1; a2 |].(v)) f
+  in
+  Alcotest.(check bool) "ite(1,x,_)" true (eval true true false);
+  Alcotest.(check bool) "ite(1,0,_)" false (eval true false true);
+  Alcotest.(check bool) "ite(0,_,x)" true (eval false false true);
+  Alcotest.(check bool) "ite(0,_,0)" false (eval false true false)
+
+(* qcheck: random 3-variable formulas vs truth tables. *)
+
+type formula =
+  | Var of int
+  | And of formula * formula
+  | Or of formula * formula
+  | Not of formula
+
+let rec gen_formula depth st =
+  let open QCheck.Gen in
+  if depth = 0 then Var (int_bound 3 st)
+  else
+    match int_bound 3 st with
+    | 0 -> Var (int_bound 3 st)
+    | 1 -> And (gen_formula (depth - 1) st, gen_formula (depth - 1) st)
+    | 2 -> Or (gen_formula (depth - 1) st, gen_formula (depth - 1) st)
+    | _ -> Not (gen_formula (depth - 1) st)
+
+let rec eval_formula assignment = function
+  | Var v -> assignment v
+  | And (a, b) -> eval_formula assignment a && eval_formula assignment b
+  | Or (a, b) -> eval_formula assignment a || eval_formula assignment b
+  | Not a -> not (eval_formula assignment a)
+
+let rec build_formula m = function
+  | Var v -> Bdd.var m v
+  | And (a, b) -> Bdd.apply_and m (build_formula m a) (build_formula m b)
+  | Or (a, b) -> Bdd.apply_or m (build_formula m a) (build_formula m b)
+  | Not a -> Bdd.apply_not m (build_formula m a)
+
+let prop_formula_semantics =
+  QCheck.Test.make ~name:"BDD agrees with truth table" ~count:300
+    (QCheck.make (gen_formula 4))
+    (fun f ->
+      let m = Bdd.manager ~n_vars:4 () in
+      let node = build_formula m f in
+      let ok = ref true in
+      for mask = 0 to 15 do
+        let assignment v = mask land (1 lsl v) <> 0 in
+        if Bdd.eval m assignment node <> eval_formula assignment f then ok := false
+      done;
+      !ok)
+
+let prop_probability_matches_enumeration =
+  QCheck.Test.make ~name:"BDD probability = enumeration" ~count:200
+    (QCheck.make (gen_formula 4))
+    (fun f ->
+      let m = Bdd.manager ~n_vars:4 () in
+      let node = build_formula m f in
+      let p v = [| 0.1; 0.35; 0.5; 0.81 |].(v) in
+      let exact = ref 0.0 in
+      for mask = 0 to 15 do
+        let assignment v = mask land (1 lsl v) <> 0 in
+        if eval_formula assignment f then begin
+          let w = ref 1.0 in
+          for v = 0 to 3 do
+            w := !w *. (if assignment v then p v else 1.0 -. p v)
+          done;
+          exact := !exact +. !w
+        end
+      done;
+      Float.abs (Bdd.probability m p node -. !exact) < 1e-12)
+
+(* Fault tree compilation: probability equals enumeration on the running
+   example, and with assumptions. *)
+
+let pumps = Pumps.static_tree ()
+
+let test_of_fault_tree_probability () =
+  let m, root = Bdd.of_fault_tree pumps in
+  check_close ~eps:1e-15 "pumps exact"
+    (Fault_tree.exact_top_probability_enumerate pumps)
+    (Bdd.probability m (Fault_tree.prob pumps) root)
+
+let test_of_fault_tree_assume () =
+  (* Conditioning on e = true makes the top certain. *)
+  let e = Option.get (Fault_tree.basic_index pumps "e") in
+  let m, root =
+    Bdd.of_fault_tree ~assume:(fun b -> if b = e then Some true else None) pumps
+  in
+  ignore m;
+  Alcotest.(check bool) "constant true" true (root = Bdd.one);
+  (* Conditioning e = false and a = false, c = false: top impossible only if
+     also b or d cannot happen... pumps requires (a|b)&(c|d); with a=c=false
+     it is b & d. *)
+  let a = Option.get (Fault_tree.basic_index pumps "a") in
+  let c = Option.get (Fault_tree.basic_index pumps "c") in
+  let m2, root2 =
+    Bdd.of_fault_tree
+      ~assume:(fun bb ->
+        if bb = e || bb = a || bb = c then Some false else None)
+      pumps
+  in
+  let b = Option.get (Fault_tree.basic_index pumps "b") in
+  let d = Option.get (Fault_tree.basic_index pumps "d") in
+  let expected = Bdd.apply_and m2 (Bdd.var m2 b) (Bdd.var m2 d) in
+  Alcotest.(check bool) "b & d" true (root2 = expected)
+
+let test_bdd_size_and_levels () =
+  let m = Bdd.manager ~var_order:[| 2; 0; 1 |] ~n_vars:3 () in
+  Alcotest.(check int) "level of 2" 0 (Bdd.level_of_var m 2);
+  Alcotest.(check int) "level of 1" 2 (Bdd.level_of_var m 1);
+  let f = Bdd.apply_or m (Bdd.var m 0) (Bdd.apply_and m (Bdd.var m 1) (Bdd.var m 2)) in
+  Alcotest.(check bool) "size positive" true (Bdd.size m f >= 3);
+  Alcotest.(check int) "terminal size" 0 (Bdd.size m Bdd.one)
+
+let test_bdd_gate_compilation () =
+  let t = Pumps.static_tree () in
+  let g = Option.get (Fault_tree.gate_index t "pump1") in
+  let m, root = Bdd.of_fault_tree_gate t g in
+  (* pump1 = a OR b. *)
+  let a = Option.get (Fault_tree.basic_index t "a") in
+  let b = Option.get (Fault_tree.basic_index t "b") in
+  Alcotest.(check bool) "a or b" true
+    (root = Bdd.apply_or m (Bdd.var m a) (Bdd.var m b))
+
+let test_zdd_make_node_validation () =
+  let zm = Zdd.manager ~n_vars:3 () in
+  let low = Zdd.elem zm 2 in
+  (* Variable 2 is at the deepest level; putting it above itself fails. *)
+  Alcotest.(check bool) "level violation" true
+    (match Zdd.make_node zm 2 low Zdd.top with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  (* Variable 0 above variable 2 is fine. *)
+  let n = Zdd.make_node zm 0 low Zdd.top in
+  Alcotest.(check int) "two sets" 2 (Zdd.count zm n)
+
+(* ZDD operations against a set-of-sets model. *)
+
+module SS = Set.Make (struct
+  type t = Int_set.t
+
+  let compare = Int_set.compare
+end)
+
+let to_model zm node = SS.of_list (Zdd.to_cutsets zm node)
+
+let sets_gen =
+  QCheck.Gen.(
+    list_size (0 -- 6) (list_size (0 -- 4) (int_bound 4))
+    >|= List.map Int_set.of_list)
+
+let with_zdd f (a, b) =
+  let zm = Zdd.manager ~n_vars:5 () in
+  let za = Zdd.of_sets zm a and zb = Zdd.of_sets zm b in
+  f zm za zb (SS.of_list a) (SS.of_list b)
+
+let prop_zdd_union =
+  QCheck.Test.make ~name:"Zdd.union" ~count:300
+    (QCheck.make QCheck.Gen.(pair sets_gen sets_gen))
+    (with_zdd (fun zm za zb ma mb ->
+         SS.equal (to_model zm (Zdd.union zm za zb)) (SS.union ma mb)))
+
+let prop_zdd_inter =
+  QCheck.Test.make ~name:"Zdd.inter" ~count:300
+    (QCheck.make QCheck.Gen.(pair sets_gen sets_gen))
+    (with_zdd (fun zm za zb ma mb ->
+         SS.equal (to_model zm (Zdd.inter zm za zb)) (SS.inter ma mb)))
+
+let prop_zdd_diff =
+  QCheck.Test.make ~name:"Zdd.diff" ~count:300
+    (QCheck.make QCheck.Gen.(pair sets_gen sets_gen))
+    (with_zdd (fun zm za zb ma mb ->
+         SS.equal (to_model zm (Zdd.diff zm za zb)) (SS.diff ma mb)))
+
+let prop_zdd_without =
+  QCheck.Test.make ~name:"Zdd.without removes exactly the subsumed sets"
+    ~count:300
+    (QCheck.make QCheck.Gen.(pair sets_gen sets_gen))
+    (with_zdd (fun zm za zb ma mb ->
+         let expected =
+           SS.filter
+             (fun s -> not (SS.exists (fun w -> Int_set.subset w s) mb))
+             ma
+         in
+         SS.equal (to_model zm (Zdd.without zm za zb)) expected))
+
+let prop_zdd_minimal =
+  QCheck.Test.make ~name:"Zdd.minimal keeps the inclusion-minimal sets"
+    ~count:300
+    (QCheck.make sets_gen)
+    (fun sets ->
+      let zm = Zdd.manager ~n_vars:5 () in
+      let z = Zdd.of_sets zm sets in
+      let model = SS.of_list sets in
+      let expected =
+        SS.filter
+          (fun s ->
+            not
+              (SS.exists
+                 (fun w -> Int_set.compare w s <> 0 && Int_set.subset w s)
+                 model))
+          model
+      in
+      SS.equal (to_model zm (Zdd.minimal zm z)) expected)
+
+let test_zdd_count () =
+  let zm = Zdd.manager ~n_vars:4 () in
+  let z =
+    Zdd.of_sets zm
+      [ Int_set.of_list [ 0 ]; Int_set.of_list [ 1; 2 ]; Int_set.of_list [ 0 ] ]
+  in
+  Alcotest.(check int) "distinct sets" 2 (Zdd.count zm z);
+  Alcotest.(check int) "bottom" 0 (Zdd.count zm Zdd.bottom);
+  Alcotest.(check int) "top" 1 (Zdd.count zm Zdd.top)
+
+(* Minimal solutions: brute force oracle over random fault trees. *)
+
+let brute_force_mcs tree =
+  let n = Fault_tree.n_basics tree in
+  assert (n <= 12);
+  let failing = ref [] in
+  for mask = 0 to (1 lsl n) - 1 do
+    let failed b = mask land (1 lsl b) <> 0 in
+    if Fault_tree.fails_top tree ~failed then begin
+      let set =
+        Int_set.of_list (List.filter (fun b -> failed b) (List.init n Fun.id))
+      in
+      failing := set :: !failing
+    end
+  done;
+  (* keep inclusion-minimal *)
+  List.filter
+    (fun s ->
+      not
+        (List.exists
+           (fun w -> Int_set.compare w s <> 0 && Int_set.subset w s)
+           !failing))
+    !failing
+  |> List.sort Int_set.compare
+
+let prop_minsol_matches_brute_force =
+  QCheck.Test.make ~name:"minsol = brute force minimal cutsets" ~count:150
+    (QCheck.make QCheck.Gen.(0 -- 100000))
+    (fun seed ->
+      let rng = Sdft_util.Rng.create seed in
+      let tree = Random_tree.tree rng ~n_basics:7 ~n_gates:6 in
+      let got = Minsol.fault_tree_cutsets tree in
+      let expected = brute_force_mcs tree in
+      got = expected)
+
+let test_cutsets_above_prunes_by_probability () =
+  (* pumps: MCS probabilities are 3e-6 (e), 9e-6 (a,c), 3e-6 (a,d and b,c),
+     1e-6 (b,d). Cutoff 2e-6 must keep exactly the four largest. *)
+  let sets = Minsol.fault_tree_cutsets_above pumps ~cutoff:2e-6 in
+  Alcotest.(check int) "4 cutsets above 2e-6" 4 (List.length sets);
+  let all = Minsol.fault_tree_cutsets_above pumps ~cutoff:0.0 in
+  Alcotest.(check int) "all 5 with cutoff 0" 5 (List.length all)
+
+let test_cutsets_above_max_order () =
+  let sets = Minsol.fault_tree_cutsets_above ~max_order:1 pumps ~cutoff:0.0 in
+  Alcotest.(check int) "only {e}" 1 (List.length sets)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "bdd"
+    [
+      ( "bdd",
+        [
+          Alcotest.test_case "terminals" `Quick test_terminals;
+          Alcotest.test_case "vars" `Quick test_var_eval;
+          Alcotest.test_case "hash consing" `Quick test_hash_consing;
+          Alcotest.test_case "restrict" `Quick test_restrict;
+          Alcotest.test_case "ite" `Quick test_ite;
+        ]
+        @ qc [ prop_formula_semantics; prop_probability_matches_enumeration ] );
+      ( "fault trees",
+        [
+          Alcotest.test_case "probability" `Quick test_of_fault_tree_probability;
+          Alcotest.test_case "assumptions" `Quick test_of_fault_tree_assume;
+          Alcotest.test_case "size and levels" `Quick test_bdd_size_and_levels;
+          Alcotest.test_case "gate compilation" `Quick test_bdd_gate_compilation;
+          Alcotest.test_case "zdd make_node" `Quick test_zdd_make_node_validation;
+        ] );
+      ( "zdd",
+        [ Alcotest.test_case "count" `Quick test_zdd_count ]
+        @ qc
+            [
+              prop_zdd_union;
+              prop_zdd_inter;
+              prop_zdd_diff;
+              prop_zdd_without;
+              prop_zdd_minimal;
+            ] );
+      ( "minsol",
+        [
+          Alcotest.test_case "cutoff pruning" `Quick test_cutsets_above_prunes_by_probability;
+          Alcotest.test_case "max order" `Quick test_cutsets_above_max_order;
+        ]
+        @ qc [ prop_minsol_matches_brute_force ] );
+    ]

@@ -1,0 +1,974 @@
+(* Tests for the core SD fault tree library: dynamic basic events, model
+   validation, trigger-gate classification, the static translation, product
+   semantics, per-cutset models and the full analysis pipeline.
+
+   The deepest checks compare the paper's decomposed analysis against the
+   exact full-product semantics and against closed-form solutions of
+   hand-built models. *)
+
+module Int_set = Sdft_util.Int_set
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Dbe *)
+
+let test_dbe_init_must_sum_to_one () =
+  Alcotest.check_raises "bad init"
+    (Invalid_argument "Dbe.make: initial distribution must sum to 1") (fun () ->
+      ignore (Dbe.make ~n_states:2 ~init:[ (0, 0.5) ] ~transitions:[] ~failed:[ 1 ] ()))
+
+let test_dbe_needs_failed_state () =
+  Alcotest.check_raises "no failed"
+    (Invalid_argument "Dbe.make: a dynamic event needs at least one failed state")
+    (fun () ->
+      ignore (Dbe.make ~n_states:2 ~init:[ (0, 1.0) ] ~transitions:[] ~failed:[] ()))
+
+let test_dbe_failed_must_be_on () =
+  (* 2 states: 0 off, 1 on; partner swaps; failed = 0 (off) is illegal. *)
+  Alcotest.check_raises "failed off"
+    (Invalid_argument "Dbe.make: failed states must be switched on") (fun () ->
+      ignore
+        (Dbe.make ~n_states:2 ~init:[ (0, 1.0) ] ~transitions:[] ~failed:[ 0 ]
+           ~switch:([| Dbe.Off; Dbe.On |], [| 1; 0 |])
+           ()))
+
+let test_dbe_triggered_starts_off () =
+  Alcotest.check_raises "init on"
+    (Invalid_argument "Dbe.make: triggered events must start switched off")
+    (fun () ->
+      ignore
+        (Dbe.make ~n_states:2 ~init:[ (1, 1.0) ] ~transitions:[] ~failed:[ 1 ]
+           ~switch:([| Dbe.Off; Dbe.On |], [| 1; 0 |])
+           ()))
+
+let test_dbe_partner_opposite_mode () =
+  Alcotest.check_raises "partner same mode"
+    (Invalid_argument "Dbe.make: switch partner must be in the opposite mode")
+    (fun () ->
+      ignore
+        (Dbe.make ~n_states:2 ~init:[ (0, 1.0) ] ~transitions:[] ~failed:[ 1 ]
+           ~switch:([| Dbe.Off; Dbe.On |], [| 0; 1 |])
+           ()))
+
+let test_dbe_exponential_worst_case () =
+  (* With the failed state absorbing, repairs are irrelevant for the first
+     failure: P = 1 - exp(-lambda t). *)
+  let lambda = 0.05 and t = 24.0 in
+  List.iter
+    (fun mu ->
+      let d = Dbe.exponential ~lambda ?mu () in
+      check_close ~eps:1e-10 "worst case"
+        (1.0 -. exp (-.lambda *. t))
+        (Dbe.worst_case_failure_probability d ~horizon:t))
+    [ None; Some 0.5 ]
+
+let test_dbe_erlang_worst_case () =
+  (* Erlang-2 with per-phase rate 2*lambda: CDF 1 - e^{-2lt}(1 + 2lt). *)
+  let lambda = 0.02 and t = 10.0 in
+  let d = Dbe.erlang ~phases:2 ~lambda () in
+  let r = 2.0 *. lambda in
+  check_close ~eps:1e-10 "erlang-2 cdf"
+    (1.0 -. (exp (-.r *. t) *. (1.0 +. (r *. t))))
+    (Dbe.worst_case_failure_probability d ~horizon:t)
+
+let test_dbe_triggered_equals_untriggered_worst_case () =
+  (* The worst case of a triggered event is "on from time zero", which for
+     the constructors matches the untriggered chain. *)
+  let lambda = 0.03 in
+  let plain = Dbe.erlang ~phases:3 ~lambda ~mu:0.2 () in
+  let triggered =
+    Dbe.triggered_erlang ~phases:3 ~lambda ~mu:0.2 ~passive_factor:0.01 ()
+  in
+  check_close ~eps:1e-10 "same worst case"
+    (Dbe.worst_case_failure_probability plain ~horizon:24.0)
+    (Dbe.worst_case_failure_probability triggered ~horizon:24.0)
+
+let test_dbe_triggered_structure () =
+  let d = Dbe.triggered_erlang ~phases:2 ~lambda:0.1 ~mu:0.5 () in
+  Alcotest.(check int) "states" 6 (Dbe.n_states d);
+  Alcotest.(check bool) "is triggered" true (Dbe.is_triggered_model d);
+  (* off-phases 0..2, on-phases 3..5 *)
+  Alcotest.(check bool) "0 is off" true (Dbe.mode_of d 0 = Dbe.Off);
+  Alcotest.(check bool) "3 is on" true (Dbe.mode_of d 3 = Dbe.On);
+  Alcotest.(check int) "on(0)" 3 (Dbe.switch_on d 0);
+  Alcotest.(check int) "off(5)" 2 (Dbe.switch_off d 5);
+  Alcotest.(check bool) "failed on-phase" true (Dbe.is_failed d 5);
+  Alcotest.(check bool) "broken off-phase not failed" false (Dbe.is_failed d 2);
+  Alcotest.(check (list (pair int (float 0.0)))) "initial on" [ (3, 1.0) ]
+    (Dbe.initial_on d)
+
+let test_dbe_repair_only_when_on () =
+  let d = Dbe.triggered_erlang ~phases:1 ~lambda:0.1 ~mu:0.5 () in
+  let chain = Dbe.chain d in
+  (* on-failed is state 3, on-ok is 2, off-failed is 1, off-ok is 0. *)
+  check_close "repair from on-failed" 0.5 (Ctmc.rate chain 3 2);
+  check_close "no repair off" 0.0 (Ctmc.rate chain 1 0)
+
+let test_dbe_repair_when_off () =
+  let d =
+    Dbe.triggered_erlang ~phases:1 ~lambda:0.1 ~mu:0.5 ~repair_when_off:true ()
+  in
+  let chain = Dbe.chain d in
+  check_close "repair when off too" 0.5 (Ctmc.rate chain 1 0)
+
+(* ------------------------------------------------------------------ *)
+(* Sdft validation *)
+
+let simple_dyn () = Dbe.exponential ~lambda:0.1 ()
+
+let triggered_dyn () =
+  Dbe.triggered_exponential ~lambda:0.1 ~passive_factor:0.0 ()
+
+let test_sdft_unknown_names () =
+  let tree = Pumps.static_tree () in
+  Alcotest.check_raises "unknown basic"
+    (Invalid_argument "Sdft.make: unknown basic event \"zz\"") (fun () ->
+      ignore (Sdft.make tree ~dynamic:[ ("zz", simple_dyn ()) ] ~triggers:[]));
+  Alcotest.check_raises "unknown gate"
+    (Invalid_argument "Sdft.make: unknown gate \"gg\"") (fun () ->
+      ignore
+        (Sdft.make tree
+           ~dynamic:[ ("b", triggered_dyn ()) ]
+           ~triggers:[ ("gg", "b") ]))
+
+let test_sdft_trigger_requires_switch () =
+  let tree = Pumps.static_tree () in
+  Alcotest.check_raises "no switch"
+    (Invalid_argument
+       "Sdft.of_indexed: d is triggered but has no on/off structure") (fun () ->
+      ignore
+        (Sdft.make tree
+           ~dynamic:[ ("d", simple_dyn ()) ]
+           ~triggers:[ ("pump1", "d") ]))
+
+let test_sdft_double_trigger_rejected () =
+  let tree = Pumps.static_tree () in
+  Alcotest.check_raises "two triggers"
+    (Invalid_argument "Sdft.of_indexed: d triggered by two gates") (fun () ->
+      ignore
+        (Sdft.make tree
+           ~dynamic:[ ("d", triggered_dyn ()) ]
+           ~triggers:[ ("pump1", "d"); ("pumps", "d") ]))
+
+let test_sdft_cyclic_trigger_rejected () =
+  (* d is under pump2; pump2 triggering d closes a cycle. *)
+  let tree = Pumps.static_tree () in
+  Alcotest.check_raises "cycle"
+    (Invalid_argument "Sdft.make: cyclic trigger structure") (fun () ->
+      ignore
+        (Sdft.make tree
+           ~dynamic:[ ("d", triggered_dyn ()) ]
+           ~triggers:[ ("pump2", "d") ]))
+
+let test_sdft_accessors () =
+  let sd = Pumps.sd_tree () in
+  let tree = Sdft.tree sd in
+  let b = Option.get (Fault_tree.basic_index tree "b") in
+  let d = Option.get (Fault_tree.basic_index tree "d") in
+  let pump1 = Option.get (Fault_tree.gate_index tree "pump1") in
+  Alcotest.(check bool) "b dynamic" true (Sdft.is_dynamic sd b);
+  Alcotest.(check bool) "a static" false (Sdft.is_dynamic sd 0);
+  Alcotest.(check (list int)) "dynamic list" [ b; d ] (Sdft.dynamic_basics sd);
+  Alcotest.(check (option int)) "trigger of d" (Some pump1) (Sdft.trigger_of sd d);
+  Alcotest.(check (option int)) "trigger of b" None (Sdft.trigger_of sd b);
+  Alcotest.(check (list int)) "triggered by pump1" [ d ] (Sdft.triggered_by sd pump1);
+  Alcotest.(check (list (pair int int))) "edges" [ (pump1, d) ] (Sdft.trigger_edges sd)
+
+(* ------------------------------------------------------------------ *)
+(* Classification (Section V-A shapes of Figure 1) *)
+
+(* Helper: tree with a trigger gate of a chosen shape. The triggered event
+   [tgt] sits beside the shape under the top AND. *)
+let classified_shape build_shape =
+  let b = Fault_tree.Builder.create () in
+  let tgt = Fault_tree.Builder.basic b "tgt" in
+  let shape, dynamic = build_shape b in
+  let top = Fault_tree.Builder.gate b "top" Fault_tree.And [ shape; tgt ] in
+  let tree = Fault_tree.Builder.build b ~top in
+  let sd =
+    Sdft.make tree
+      ~dynamic:(("tgt", triggered_dyn ()) :: dynamic)
+      ~triggers:
+        [ ((match shape with
+           | Fault_tree.G g -> Fault_tree.gate_name tree g
+           | Fault_tree.B _ -> assert false),
+           "tgt") ]
+  in
+  let g =
+    match shape with Fault_tree.G g -> g | Fault_tree.B _ -> assert false
+  in
+  (sd, g)
+
+let test_classify_static_branching () =
+  (* OR(dyn, static): one dynamic child per OR gate. *)
+  let sd, g =
+    classified_shape (fun b ->
+        let x = Fault_tree.Builder.basic b "x" in
+        let s = Fault_tree.Builder.basic b ~prob:0.1 "s" in
+        let gate = Fault_tree.Builder.gate b "g" Fault_tree.Or [ x; s ] in
+        (gate, [ ("x", simple_dyn ()) ]))
+  in
+  Alcotest.(check bool) "SB" true
+    (Sdft_classify.classify sd g = Sdft_classify.Static_branching)
+
+let test_classify_static_joins () =
+  (* OR(dyn1, dyn2): two dynamic children under an OR, no AND with dynamic
+     children — the simplest static-joins shape. *)
+  let sd, g =
+    classified_shape (fun b ->
+        let x = Fault_tree.Builder.basic b "x" in
+        let y = Fault_tree.Builder.basic b "y" in
+        let gate = Fault_tree.Builder.gate b "g" Fault_tree.Or [ x; y ] in
+        (gate, [ ("x", simple_dyn ()); ("y", simple_dyn ()) ]))
+  in
+  match Sdft_classify.classify sd g with
+  | Sdft_classify.Static_joins _ -> ()
+  | other ->
+    Alcotest.failf "expected static joins, got %s"
+      (Format.asprintf "%a" Sdft_classify.pp_class other)
+
+let test_classify_and_only_is_static_branching () =
+  (* AND(dyn1, dyn2): no OR gate in the subtree, so the static-branching
+     condition holds vacuously (the paper's condition constrains OR gates
+     only — Figure 1 left, case 3). *)
+  let sd, g =
+    classified_shape (fun b ->
+        let x = Fault_tree.Builder.basic b "x" in
+        let y = Fault_tree.Builder.basic b "y" in
+        let gate = Fault_tree.Builder.gate b "g" Fault_tree.And [ x; y ] in
+        (gate, [ ("x", simple_dyn ()); ("y", simple_dyn ()) ]))
+  in
+  Alcotest.(check bool) "vacuous SB" true
+    (Sdft_classify.classify sd g = Sdft_classify.Static_branching)
+
+let test_classify_general () =
+  (* AND(OR(dyn1, dyn2), dyn3): the OR violates static branching and the
+     AND (with dynamic children) violates static joins. *)
+  let sd, g =
+    classified_shape (fun b ->
+        let x = Fault_tree.Builder.basic b "x" in
+        let y = Fault_tree.Builder.basic b "y" in
+        let z = Fault_tree.Builder.basic b "z" in
+        let o = Fault_tree.Builder.gate b "o" Fault_tree.Or [ x; y ] in
+        let gate = Fault_tree.Builder.gate b "g" Fault_tree.And [ o; z ] in
+        ( gate,
+          [ ("x", simple_dyn ()); ("y", simple_dyn ()); ("z", simple_dyn ()) ]
+        ))
+  in
+  Alcotest.(check bool) "general" true
+    (Sdft_classify.classify sd g = Sdft_classify.General)
+
+let test_classify_pumps_running_example () =
+  let sd = Pumps.sd_tree () in
+  let tree = Sdft.tree sd in
+  let pump1 = Option.get (Fault_tree.gate_index tree "pump1") in
+  Alcotest.(check bool) "pump1 SB" true
+    (Sdft_classify.classify sd pump1 = Sdft_classify.Static_branching);
+  let r = Sdft_classify.report sd in
+  Alcotest.(check int) "one trigger gate" 1 (List.length r.Sdft_classify.per_trigger_gate);
+  Alcotest.(check int) "SB count" 1 r.Sdft_classify.n_static_branching
+
+let test_classify_uniform_triggering () =
+  (* Two triggered events under one OR, both triggered by the same external
+     gate: static joins with uniform triggering. *)
+  let b = Fault_tree.Builder.create () in
+  let x = Fault_tree.Builder.basic b "x" in
+  let y = Fault_tree.Builder.basic b "y" in
+  let s = Fault_tree.Builder.basic b ~prob:0.2 "s" in
+  let src = Fault_tree.Builder.gate b "src" Fault_tree.Or [ s ] in
+  let g = Fault_tree.Builder.gate b "g" Fault_tree.Or [ x; y ] in
+  let top = Fault_tree.Builder.gate b "top" Fault_tree.And [ src; g ] in
+  let tree = Fault_tree.Builder.build b ~top in
+  let sd =
+    Sdft.make tree
+      ~dynamic:[ ("x", triggered_dyn ()); ("y", triggered_dyn ()) ]
+      ~triggers:[ ("src", "x"); ("src", "y") ]
+  in
+  let g_id = Option.get (Fault_tree.gate_index tree "g") in
+  Alcotest.(check bool) "SJ uniform" true
+    (Sdft_classify.classify sd g_id
+    = Sdft_classify.Static_joins { uniform = true });
+  Alcotest.(check bool) "uniform check" true (Sdft_classify.has_uniform_triggering sd g_id)
+
+(* ------------------------------------------------------------------ *)
+(* Translation (Section V-B) *)
+
+let test_translate_pumps_preserves_mcs () =
+  let sd = Pumps.sd_tree () in
+  let tree = Sdft.tree sd in
+  let translation = Sdft_translate.translate sd ~horizon:24.0 in
+  let mcs_sd =
+    Mocus.minimal_cutsets ~options:{ Mocus.default_options with cutoff = 0.0 }
+      translation.Sdft_translate.static_tree
+  in
+  let expected =
+    Mocus.minimal_cutsets ~options:{ Mocus.default_options with cutoff = 0.0 }
+      tree
+  in
+  (* Basic-event indices are preserved by the translation. *)
+  Alcotest.(check int) "same count" (List.length expected) (List.length mcs_sd);
+  Alcotest.(check bool) "same sets" true
+    (List.sort Int_set.compare mcs_sd = List.sort Int_set.compare expected)
+
+let test_translate_worst_case_values () =
+  let sd = Pumps.sd_tree () in
+  let translation = Sdft_translate.translate sd ~horizon:24.0 in
+  let tree = Sdft.tree sd in
+  let b = Option.get (Fault_tree.basic_index tree "b") in
+  let a = Option.get (Fault_tree.basic_index tree "a") in
+  check_close ~eps:1e-10 "dynamic got worst case"
+    (1.0 -. exp (-.Pumps.failure_rate *. 24.0))
+    translation.Sdft_translate.worst_case.(b);
+  check_close ~eps:1e-15 "static kept" 3e-3 translation.Sdft_translate.worst_case.(a)
+
+let test_translate_adds_trigger_and () =
+  let sd = Pumps.sd_tree () in
+  let translation = Sdft_translate.translate sd ~horizon:24.0 in
+  let t = translation.Sdft_translate.static_tree in
+  Alcotest.(check bool) "wrapper gate exists" true
+    (Fault_tree.gate_index t "d@trig" <> None);
+  (* One extra gate compared to the original. *)
+  Alcotest.(check int) "gate count" 5 (Fault_tree.n_gates t)
+
+let test_translate_triggered_event_mcs_includes_trigger () =
+  (* top = OR(d); d triggered by gate over a static z: the MCS must include
+     z because d alone cannot fail. *)
+  let b = Fault_tree.Builder.create () in
+  let z = Fault_tree.Builder.basic b ~prob:0.3 "z" in
+  let d = Fault_tree.Builder.basic b "d" in
+  let src = Fault_tree.Builder.gate b "src" Fault_tree.Or [ z ] in
+  let top = Fault_tree.Builder.gate b "top" Fault_tree.Or [ d; src ] in
+  ignore src;
+  let tree = Fault_tree.Builder.build b ~top in
+  let sd =
+    Sdft.make tree ~dynamic:[ ("d", triggered_dyn ()) ] ~triggers:[ ("src", "d") ]
+  in
+  let translation = Sdft_translate.translate sd ~horizon:24.0 in
+  let mcs =
+    Mocus.minimal_cutsets ~options:{ Mocus.default_options with cutoff = 0.0 }
+      translation.Sdft_translate.static_tree
+  in
+  (* MCS: {z} alone (src fails top through OR). {d} is NOT an MCS; {d,z} is
+     subsumed by {z}. *)
+  Alcotest.(check (list (Alcotest.testable Int_set.pp Int_set.equal)))
+    "only {z}"
+    [ Int_set.singleton 0 ]
+    mcs
+
+(* ------------------------------------------------------------------ *)
+(* Product semantics (Section III-C) *)
+
+let test_product_static_tree_matches_exact () =
+  let tree = Pumps.static_tree () in
+  let sd = Sdft.static_only tree in
+  let p = Sdft_product.solve sd ~horizon:5.0 in
+  check_close ~eps:1e-12 "static product = enumeration"
+    (Fault_tree.exact_top_probability_enumerate tree)
+    p
+
+let test_product_trigger_sequence_is_erlang () =
+  (* top = AND(x, y), y triggered by a wrapper around x, both Exp(lambda)
+     with no repairs and no passive failures: the top fails exactly when
+     x fails and then y fails — an Erlang-2 time. *)
+  let lambda = 0.2 in
+  let b = Fault_tree.Builder.create () in
+  let x = Fault_tree.Builder.basic b "x" in
+  let y = Fault_tree.Builder.basic b "y" in
+  let wrap = Fault_tree.Builder.gate b "wrap" Fault_tree.Or [ x ] in
+  ignore wrap;
+  let top = Fault_tree.Builder.gate b "top" Fault_tree.And [ x; y ] in
+  let tree = Fault_tree.Builder.build b ~top in
+  let sd =
+    Sdft.make tree
+      ~dynamic:
+        [
+          ("x", Dbe.exponential ~lambda ());
+          ("y", Dbe.triggered_exponential ~lambda ~passive_factor:0.0 ());
+        ]
+      ~triggers:[ ("wrap", "y") ]
+  in
+  List.iter
+    (fun t ->
+      let p = Sdft_product.solve sd ~horizon:t in
+      let lt = lambda *. t in
+      check_close ~eps:1e-9 "erlang-2" (1.0 -. (exp (-.lt) *. (1.0 +. lt))) p)
+    [ 1.0; 5.0; 20.0 ]
+
+let test_product_untriggered_spare_never_fails () =
+  (* A triggered event whose trigger never fires (source probability 0)
+     cannot fail. *)
+  let b = Fault_tree.Builder.create () in
+  let z = Fault_tree.Builder.basic b ~prob:0.0 "z" in
+  let y = Fault_tree.Builder.basic b "y" in
+  let src = Fault_tree.Builder.gate b "src" Fault_tree.Or [ z ] in
+  ignore src;
+  let top = Fault_tree.Builder.gate b "top" Fault_tree.Or [ y ] in
+  let tree = Fault_tree.Builder.build b ~top in
+  let sd =
+    Sdft.make tree
+      ~dynamic:[ ("y", Dbe.triggered_exponential ~lambda:5.0 ~passive_factor:0.0 ()) ]
+      ~triggers:[ ("src", "y") ]
+  in
+  check_close ~eps:1e-12 "never" 0.0 (Sdft_product.solve sd ~horizon:100.0)
+
+let test_product_passive_failures_do_count () =
+  (* With passive failures enabled, the off-copy degrades too, but the
+     event only *counts* as failed once triggered; with a never-failing
+     trigger the top never fails. *)
+  let b = Fault_tree.Builder.create () in
+  let z = Fault_tree.Builder.basic b ~prob:0.0 "z" in
+  let y = Fault_tree.Builder.basic b "y" in
+  let src = Fault_tree.Builder.gate b "src" Fault_tree.Or [ z ] in
+  ignore src;
+  let top = Fault_tree.Builder.gate b "top" Fault_tree.Or [ y ] in
+  let tree = Fault_tree.Builder.build b ~top in
+  let sd =
+    Sdft.make tree
+      ~dynamic:[ ("y", Dbe.triggered_exponential ~lambda:5.0 ~passive_factor:1.0 ()) ]
+      ~triggers:[ ("src", "y") ]
+  in
+  check_close ~eps:1e-12 "broken but off is not failed" 0.0
+    (Sdft_product.solve sd ~horizon:100.0)
+
+let test_product_max_states_guard () =
+  let sd = Pumps.sd_tree () in
+  Alcotest.(check bool) "raises" true
+    (match Sdft_product.build ~max_states:2 sd with
+    | exception Sdft_product.Too_many_states _ -> true
+    | _ -> false)
+
+let test_product_pumps_value () =
+  (* Golden value cross-checked against the Monte-Carlo simulator and the
+     rare-event approximation. *)
+  let sd = Pumps.sd_tree () in
+  let p = Sdft_product.solve sd ~horizon:24.0 in
+  check_close ~eps:1e-8 "pumps 24h" 3.505477e-4 p
+
+(* ------------------------------------------------------------------ *)
+(* Cutset models (Section V-C) *)
+
+let pumps_sd = Pumps.sd_tree ()
+
+let pumps_tree = Sdft.tree pumps_sd
+
+let pidx name = Option.get (Fault_tree.basic_index pumps_tree name)
+
+let pset names = Int_set.of_list (List.map pidx names)
+
+let test_cutset_model_static_only () =
+  let m = Cutset_model.build pumps_sd (pset [ "a"; "c" ]) in
+  Alcotest.(check bool) "no model" true (m.Cutset_model.model = None);
+  check_close ~eps:1e-15 "multiplier" 9e-6 m.Cutset_model.static_multiplier;
+  let q = Cutset_model.quantify m ~horizon:24.0 in
+  check_close ~eps:1e-15 "prob" 9e-6 q.Cutset_model.probability;
+  Alcotest.(check int) "no chain" 0 q.Cutset_model.product_states
+
+let test_cutset_model_dynamic_pair () =
+  let m = Cutset_model.build pumps_sd (pset [ "b"; "d" ]) in
+  Alcotest.(check int) "2 dynamic" 2 m.Cutset_model.n_dynamic_in_cutset;
+  Alcotest.(check int) "0 added" 0 m.Cutset_model.n_added_dynamic;
+  check_close ~eps:1e-15 "multiplier 1" 1.0 m.Cutset_model.static_multiplier;
+  let q = Cutset_model.quantify m ~horizon:24.0 in
+  Alcotest.(check bool) "chain built" true (q.Cutset_model.product_states > 0);
+  Alcotest.(check bool) "nontrivial prob" true
+    (q.Cutset_model.probability > 0.0 && q.Cutset_model.probability < 1.0)
+
+let test_cutset_model_impossible () =
+  (* {d} alone: d is triggered by pump1 but nothing of pump1 is in the
+     cutset, so under static branching the trigger can never fire. *)
+  let m = Cutset_model.build pumps_sd (pset [ "d" ]) in
+  Alcotest.(check bool) "impossible" true m.Cutset_model.impossible;
+  let q = Cutset_model.quantify m ~horizon:24.0 in
+  check_close ~eps:0.0 "zero" 0.0 q.Cutset_model.probability
+
+let test_cutset_model_always_triggered () =
+  (* {a, d}: a (static, in C) fails pump1, so d is triggered from time 0;
+     p~ = p(a) * P(d fails within t | on from 0). *)
+  let m = Cutset_model.build pumps_sd (pset [ "a"; "d" ]) in
+  Alcotest.(check bool) "has model" true (m.Cutset_model.model <> None);
+  let q = Cutset_model.quantify m ~horizon:24.0 in
+  let d_worst =
+    Dbe.worst_case_failure_probability
+      (Sdft.dbe pumps_sd (pidx "d"))
+      ~horizon:24.0
+  in
+  check_close ~eps:1e-9 "p(a) * worst(d)" (3e-3 *. d_worst) q.Cutset_model.probability
+
+let test_cutset_model_rea_matches_exact_pumps () =
+  (* Sum of p~ over the five MCS vs the exact product semantics: the REA
+     over-approximates but stays within a percent on this model. *)
+  let r = Sdft_analysis.analyze pumps_sd in
+  let exact = Sdft_product.solve pumps_sd ~horizon:24.0 in
+  Alcotest.(check bool) "REA >= exact" true
+    (r.Sdft_analysis.total >= exact -. 1e-12);
+  Alcotest.(check bool) "REA within 1%" true
+    (r.Sdft_analysis.total -. exact < 0.01 *. exact)
+
+(* Static joins: the added event f must appear in FT_C, and the single-MCS
+   rare-event approximation must equal the exact value. *)
+let static_joins_model () =
+  let b = Fault_tree.Builder.create () in
+  let y = Fault_tree.Builder.basic b "y" in
+  let f = Fault_tree.Builder.basic b "f" in
+  let j = Fault_tree.Builder.basic b "j" in
+  let g = Fault_tree.Builder.gate b "g" Fault_tree.Or [ y; f ] in
+  ignore g;
+  let top = Fault_tree.Builder.gate b "top" Fault_tree.And [ y; j ] in
+  let tree = Fault_tree.Builder.build b ~top in
+  Sdft.make tree
+    ~dynamic:
+      [
+        ("y", Dbe.exponential ~lambda:0.08 ~mu:0.3 ());
+        ("f", Dbe.exponential ~lambda:0.05 ~mu:0.4 ());
+        ("j", Dbe.triggered_exponential ~lambda:0.1 ~mu:0.2 ~passive_factor:0.0 ());
+      ]
+    ~triggers:[ ("g", "j") ]
+
+let test_cutset_model_static_joins_adds_events () =
+  let sd = static_joins_model () in
+  let tree = Sdft.tree sd in
+  let y = Option.get (Fault_tree.basic_index tree "y") in
+  let j = Option.get (Fault_tree.basic_index tree "j") in
+  let g = Option.get (Fault_tree.gate_index tree "g") in
+  (match Sdft_classify.classify sd g with
+  | Sdft_classify.Static_joins _ -> ()
+  | c -> Alcotest.failf "expected SJ, got %a" Sdft_classify.pp_class c);
+  let m = Cutset_model.build sd (Int_set.of_list [ y; j ]) in
+  Alcotest.(check int) "f added" 1 m.Cutset_model.n_added_dynamic;
+  (* Exactness: {y, j} is the only MCS, and Failed({y,j}) is exactly the
+     top-failure set, so p~ must equal the full product probability. *)
+  let q = Cutset_model.quantify m ~horizon:24.0 in
+  let exact = Sdft_product.solve sd ~horizon:24.0 in
+  check_close ~eps:1e-9 "p~ = exact" exact q.Cutset_model.probability
+
+(* The same comparison on a general-case trigger: the trigger gate is an
+   AND over an OR of two dynamic events and a static guard that is not in
+   the cutset, forcing the general Rel rule to pull the guard in. *)
+let test_cutset_model_general_trigger_exact () =
+  let b = Fault_tree.Builder.create () in
+  let x1 = Fault_tree.Builder.basic b "x1" in
+  let x2 = Fault_tree.Builder.basic b "x2" in
+  let s = Fault_tree.Builder.basic b ~prob:0.6 "s" in
+  let j = Fault_tree.Builder.basic b "j" in
+  let o = Fault_tree.Builder.gate b "o" Fault_tree.Or [ x1; x2 ] in
+  let g = Fault_tree.Builder.gate b "g" Fault_tree.And [ o; s ] in
+  ignore g;
+  let top = Fault_tree.Builder.gate b "top" Fault_tree.And [ x1; j ] in
+  let tree = Fault_tree.Builder.build b ~top in
+  let sd =
+    Sdft.make tree
+      ~dynamic:
+        [
+          ("x1", Dbe.exponential ~lambda:0.07 ~mu:0.25 ());
+          ("x2", Dbe.exponential ~lambda:0.09 ~mu:0.35 ());
+          ("j", Dbe.triggered_exponential ~lambda:0.2 ~mu:0.1 ~passive_factor:0.0 ());
+        ]
+      ~triggers:[ ("g", "j") ]
+  in
+  let g_id = Option.get (Fault_tree.gate_index tree "g") in
+  Alcotest.(check bool) "general" true
+    (Sdft_classify.classify sd g_id = Sdft_classify.General);
+  let ids names = List.map (fun n -> Option.get (Fault_tree.basic_index tree n)) names in
+  let m = Cutset_model.build sd (Int_set.of_list (ids [ "x1"; "j" ])) in
+  (* x2 (dynamic) and s (static, not in C) are both pulled into FT_C. *)
+  Alcotest.(check int) "x2 added" 1 m.Cutset_model.n_added_dynamic;
+  Alcotest.(check int) "s added" 1 m.Cutset_model.n_added_static;
+  let q = Cutset_model.quantify m ~horizon:12.0 in
+  let exact = Sdft_product.solve sd ~horizon:12.0 in
+  check_close ~eps:1e-9 "p~ = exact" exact q.Cutset_model.probability
+
+(* ------------------------------------------------------------------ *)
+(* Full analysis pipeline *)
+
+let test_analysis_pumps_summary () =
+  let r = Sdft_analysis.analyze pumps_sd in
+  Alcotest.(check int) "5 cutsets" 5 r.Sdft_analysis.n_cutsets;
+  Alcotest.(check int) "3 dynamic cutsets" 3 r.Sdft_analysis.n_dynamic_cutsets;
+  check_close ~eps:1e-7 "golden total" 3.522e-4 r.Sdft_analysis.total;
+  let h = Sdft_analysis.dynamic_histogram r in
+  Alcotest.(check int) "hist 0" 2 (Sdft_util.Histogram.count h 0);
+  Alcotest.(check int) "hist 1" 2 (Sdft_util.Histogram.count h 1);
+  Alcotest.(check int) "hist 2" 1 (Sdft_util.Histogram.count h 2);
+  check_close ~eps:1e-12 "no added events" 0.0 (Sdft_analysis.mean_added_dynamic r)
+
+let test_analysis_cutoff_excludes () =
+  let options =
+    { Sdft_analysis.default_options with cutoff = 1e-4 }
+  in
+  let r = Sdft_analysis.analyze ~options pumps_sd in
+  (* Only {b,d} (1.98e-4) survives a 1e-4 cutoff in the final sum. *)
+  Alcotest.(check bool) "total ~ 1.98e-4" true
+    (Float.abs (r.Sdft_analysis.total -. 1.979e-4) < 1e-6)
+
+let test_analysis_static_rare_event () =
+  let tree = Pumps.static_tree () in
+  let rea, n = Sdft_analysis.static_rare_event tree in
+  Alcotest.(check int) "5 relevant" 5 n;
+  check_close ~eps:1e-12 "rea" 1.9e-5 rea
+
+let test_analysis_dynamic_importance () =
+  let r = Sdft_analysis.analyze pumps_sd in
+  (* FV of d: cutsets {b,d} and {a,d} carry its weight. *)
+  let p_of names =
+    let s = pset names in
+    (List.find
+       (fun (i : Sdft_analysis.cutset_info) -> Int_set.equal i.cutset s)
+       r.Sdft_analysis.cutsets)
+      .probability
+  in
+  let expected = (p_of [ "b"; "d" ] +. p_of [ "a"; "d" ]) /. r.Sdft_analysis.total in
+  check_close ~eps:1e-12 "FV(d)" expected
+    (Sdft_analysis.fussell_vesely r (pidx "d"));
+  (* Ranking: the dynamic events dominate the static ones here. *)
+  match Sdft_analysis.rank_by_fussell_vesely r ~n_basics:5 with
+  | first :: _ ->
+    Alcotest.(check bool) "most important is dynamic" true
+      (Sdft.is_dynamic pumps_sd first)
+  | [] -> Alcotest.fail "empty ranking"
+
+let test_analysis_parallel_matches_sequential () =
+  let sequential = Sdft_analysis.analyze pumps_sd in
+  let options = { Sdft_analysis.default_options with domains = 3 } in
+  let parallel = Sdft_analysis.analyze ~options pumps_sd in
+  check_close ~eps:1e-15 "same total" sequential.Sdft_analysis.total
+    parallel.Sdft_analysis.total;
+  Alcotest.(check int) "same cutsets" sequential.Sdft_analysis.n_cutsets
+    parallel.Sdft_analysis.n_cutsets
+
+let test_analysis_engines_agree () =
+  let total engine =
+    let options = { Sdft_analysis.default_options with engine } in
+    (Sdft_analysis.analyze ~options pumps_sd).Sdft_analysis.total
+  in
+  let reference = total Sdft_analysis.Mocus_sound in
+  check_close ~eps:1e-12 "aggressive" reference (total Sdft_analysis.Mocus_aggressive);
+  check_close ~eps:1e-12 "bdd" reference (total Sdft_analysis.Bdd_engine)
+
+(* Soundness properties on random SD fault trees (cutoff 0):
+
+   - with the exact [All_events] relevant sets, the rare-event sum
+     upper-bounds the exact product probability (property (i) of Section V:
+     the failed runs are covered by the per-cutset reach events);
+   - the paper's reduced relevant sets never yield more than the exact
+     rule (they model a subset of the triggering paths);
+   - untriggered models need no trigger logic at all, so there the paper
+     rule itself upper-bounds the exact value. *)
+let random_sd ?(n_triggers = 1) seed =
+  let rng = Sdft_util.Rng.create seed in
+  Random_tree.sd rng ~max_prob:0.2 ~n_basics:5 ~n_gates:4 ~n_dynamic:2
+    ~n_triggers
+
+let analyze_with ?(rel_rule = Cutset_model.Paper) sd =
+  let options =
+    { Sdft_analysis.default_options with cutoff = 0.0; horizon = 8.0; rel_rule }
+  in
+  (Sdft_analysis.analyze ~options sd).Sdft_analysis.total
+
+let prop_analysis_bounds_exact_untriggered =
+  QCheck.Test.make ~name:"REA >= exact (untriggered models)" ~count:60
+    (QCheck.make QCheck.Gen.(0 -- 100000))
+    (fun seed ->
+      let sd = random_sd ~n_triggers:0 seed in
+      match Sdft_product.solve sd ~horizon:8.0 with
+      | exact -> analyze_with sd >= exact -. 1e-7
+      | exception Sdft_product.Too_many_states _ -> QCheck.assume_fail ())
+
+let prop_analysis_all_events_bounds_exact =
+  QCheck.Test.make ~name:"REA (All_events rule) >= exact" ~count:60
+    (QCheck.make QCheck.Gen.(0 -- 100000))
+    (fun seed ->
+      let sd = random_sd seed in
+      match Sdft_product.solve sd ~horizon:8.0 with
+      | exact ->
+        analyze_with ~rel_rule:Cutset_model.All_events sd >= exact -. 1e-7
+      | exception Sdft_product.Too_many_states _ -> QCheck.assume_fail ())
+
+let prop_paper_rule_below_exact_rule =
+  QCheck.Test.make ~name:"paper rule <= All_events rule" ~count:60
+    (QCheck.make QCheck.Gen.(0 -- 100000))
+    (fun seed ->
+      let sd = random_sd seed in
+      analyze_with sd <= analyze_with ~rel_rule:Cutset_model.All_events sd +. 1e-9)
+
+let prop_analysis_single_mcs_exact =
+  (* With a single minimal cutset and the exact relevant sets, the analysis
+     equals the exact probability; the paper rule never exceeds it. *)
+  QCheck.Test.make ~name:"single-MCS models are quantified exactly" ~count:60
+    (QCheck.make QCheck.Gen.(0 -- 100000))
+    (fun seed ->
+      let rng = Sdft_util.Rng.create seed in
+      let sd =
+        Random_tree.sd rng ~max_prob:0.2 ~n_basics:4 ~n_gates:3 ~n_dynamic:2
+          ~n_triggers:1
+      in
+      let options =
+        { Sdft_analysis.default_options with cutoff = 0.0; horizon = 6.0;
+          rel_rule = Cutset_model.All_events }
+      in
+      let r = Sdft_analysis.analyze ~options sd in
+      if r.Sdft_analysis.n_cutsets <> 1 then QCheck.assume_fail ()
+      else begin
+        let exact = Sdft_product.solve sd ~horizon:6.0 in
+        let paper =
+          (Sdft_analysis.analyze
+             ~options:{ options with rel_rule = Cutset_model.Paper }
+             sd)
+            .Sdft_analysis.total
+        in
+        Float.abs (r.Sdft_analysis.total -. exact) < 1e-7
+        && paper <= exact +. 1e-7
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Cut sequences *)
+
+let test_sequences_triggered_order_forced () =
+  (* {b, d}: the spare pump d can only fail after b has failed, so the only
+     order is b -> d and it carries all of p~(C). *)
+  let r = Cut_sequences.of_cutset pumps_sd (pset [ "b"; "d" ]) ~horizon:24.0 in
+  Alcotest.(check int) "one order" 1 (List.length r.Cut_sequences.sequences);
+  let s = List.hd r.Cut_sequences.sequences in
+  Alcotest.(check (list int)) "b then d" [ pidx "b"; pidx "d" ] s.Cut_sequences.order;
+  let m = Cutset_model.build pumps_sd (pset [ "b"; "d" ]) in
+  let q = Cutset_model.quantify m ~horizon:24.0 in
+  check_close ~eps:1e-12 "total = p~" q.Cutset_model.probability r.Cut_sequences.total
+
+let test_sequences_symmetric_split () =
+  let b = Fault_tree.Builder.create () in
+  let x = Fault_tree.Builder.basic b "x" in
+  let y = Fault_tree.Builder.basic b "y" in
+  let top = Fault_tree.Builder.gate b "top" Fault_tree.And [ x; y ] in
+  let tree = Fault_tree.Builder.build b ~top in
+  let sd =
+    Sdft.make tree
+      ~dynamic:
+        [ ("x", Dbe.exponential ~lambda:0.1 ()); ("y", Dbe.exponential ~lambda:0.1 ()) ]
+      ~triggers:[]
+  in
+  let r =
+    Cut_sequences.of_cutset sd (Int_set.of_list [ 0; 1 ]) ~horizon:10.0
+  in
+  Alcotest.(check int) "two orders" 2 (List.length r.Cut_sequences.sequences);
+  (match r.Cut_sequences.sequences with
+  | [ s1; s2 ] -> check_close ~eps:1e-12 "50/50" s1.Cut_sequences.probability s2.Cut_sequences.probability
+  | _ -> Alcotest.fail "expected two sequences");
+  (* total = (1 - e^-1)^2 *)
+  let p1 = 1.0 -. exp (-1.0) in
+  check_close ~eps:1e-9 "closed form" (p1 *. p1) r.Cut_sequences.total
+
+let test_sequences_static_cutset () =
+  let r = Cut_sequences.of_cutset pumps_sd (pset [ "a"; "c" ]) ~horizon:24.0 in
+  Alcotest.(check int) "one empty order" 1 (List.length r.Cut_sequences.sequences);
+  check_close ~eps:1e-15 "static probability" 9e-6 r.Cut_sequences.total
+
+let test_sequences_asymmetric_rates () =
+  (* x fails much faster than y: the order x -> y must dominate. *)
+  let b = Fault_tree.Builder.create () in
+  let x = Fault_tree.Builder.basic b "x" in
+  let y = Fault_tree.Builder.basic b "y" in
+  let top = Fault_tree.Builder.gate b "top" Fault_tree.And [ x; y ] in
+  let tree = Fault_tree.Builder.build b ~top in
+  let sd =
+    Sdft.make tree
+      ~dynamic:
+        [ ("x", Dbe.exponential ~lambda:1.0 ()); ("y", Dbe.exponential ~lambda:0.05 ()) ]
+      ~triggers:[]
+  in
+  let r = Cut_sequences.of_cutset sd (Int_set.of_list [ 0; 1 ]) ~horizon:10.0 in
+  match r.Cut_sequences.sequences with
+  | s1 :: _ ->
+    Alcotest.(check (list int)) "x first dominates" [ 0; 1 ] s1.Cut_sequences.order;
+    Alcotest.(check bool) "dominant" true
+      (s1.Cut_sequences.probability > 0.8 *. r.Cut_sequences.total)
+  | [] -> Alcotest.fail "no sequences"
+
+let test_sequences_sum_matches_quantification () =
+  (* On the static-joins model the sequence masses must add up to p~. *)
+  let sd = static_joins_model () in
+  let tree = Sdft.tree sd in
+  let ids = List.map (fun n -> Option.get (Fault_tree.basic_index tree n)) in
+  let cutset = Int_set.of_list (ids [ "y"; "j" ]) in
+  let r = Cut_sequences.of_cutset sd cutset ~horizon:24.0 in
+  let q = Cutset_model.quantify (Cutset_model.build sd cutset) ~horizon:24.0 in
+  check_close ~eps:1e-9 "sum = p~" q.Cutset_model.probability r.Cut_sequences.total;
+  Alcotest.(check bool) "several orders" true (List.length r.Cut_sequences.sequences >= 2)
+
+(* ------------------------------------------------------------------ *)
+(* Steady-state availability *)
+
+let test_availability_exponential () =
+  let lambda = 0.02 and mu = 0.4 in
+  let d = Dbe.exponential ~lambda ~mu () in
+  match Availability.event_unavailability d with
+  | Some q -> check_close ~eps:1e-9 "q" (lambda /. (lambda +. mu)) q
+  | None -> Alcotest.fail "expected steady state"
+
+let test_availability_unrepairable () =
+  let d = Dbe.exponential ~lambda:0.02 () in
+  Alcotest.(check bool) "no steady state" true
+    (Availability.event_unavailability d = None)
+
+let test_availability_triggered () =
+  (* The on-copy of a triggered exponential with repair is the plain
+     repairable machine. *)
+  let lambda = 0.05 and mu = 0.3 in
+  let d = Dbe.triggered_exponential ~lambda ~mu ~passive_factor:0.0 () in
+  match Availability.event_unavailability d with
+  | Some q -> check_close ~eps:1e-9 "q" (lambda /. (lambda +. mu)) q
+  | None -> Alcotest.fail "expected steady state"
+
+let test_availability_analyze () =
+  (* top = AND(x, y), both repairable: long-run unavailability is the
+     product of the two steady-state unavailabilities (REA over one
+     cutset). *)
+  let b = Fault_tree.Builder.create () in
+  let x = Fault_tree.Builder.basic b "x" in
+  let y = Fault_tree.Builder.basic b "y" in
+  let top = Fault_tree.Builder.gate b "top" Fault_tree.And [ x; y ] in
+  let tree = Fault_tree.Builder.build b ~top in
+  let sd =
+    Sdft.make tree
+      ~dynamic:
+        [
+          ("x", Dbe.exponential ~lambda:0.02 ~mu:0.5 ());
+          ("y", Dbe.exponential ~lambda:0.03 ~mu:0.4 ());
+        ]
+      ~triggers:[]
+  in
+  match Availability.analyze ~cutoff:0.0 sd with
+  | Some r ->
+    let qx = 0.02 /. 0.52 and qy = 0.03 /. 0.43 in
+    check_close ~eps:1e-9 "product" (qx *. qy) r.Availability.unavailability;
+    Alcotest.(check int) "one cutset" 1 r.Availability.n_cutsets
+  | None -> Alcotest.fail "expected result"
+
+let test_availability_mixed_static () =
+  (* OR of a static event and a repairable one. *)
+  let b = Fault_tree.Builder.create () in
+  let s = Fault_tree.Builder.basic b ~prob:1e-3 "s" in
+  let x = Fault_tree.Builder.basic b "x" in
+  let top = Fault_tree.Builder.gate b "top" Fault_tree.Or [ s; x ] in
+  let tree = Fault_tree.Builder.build b ~top in
+  let sd =
+    Sdft.make tree ~dynamic:[ ("x", Dbe.exponential ~lambda:0.01 ~mu:1.0 ()) ] ~triggers:[]
+  in
+  match Availability.analyze ~cutoff:0.0 sd with
+  | Some r ->
+    check_close ~eps:1e-9 "sum" (1e-3 +. (0.01 /. 1.01)) r.Availability.unavailability
+  | None -> Alcotest.fail "expected result"
+
+let test_availability_rejects_unrepairable_model () =
+  let sd = Pumps.sd_tree () in
+  ignore sd;
+  (* pumps has repairable dynamics, so it should work... build an
+     unrepairable one instead. *)
+  let b = Fault_tree.Builder.create () in
+  let x = Fault_tree.Builder.basic b "x" in
+  let top = Fault_tree.Builder.gate b "top" Fault_tree.Or [ x ] in
+  let tree = Fault_tree.Builder.build b ~top in
+  let bad =
+    Sdft.make tree ~dynamic:[ ("x", Dbe.exponential ~lambda:0.01 ()) ] ~triggers:[]
+  in
+  Alcotest.(check bool) "None for unrepairable" true (Availability.analyze bad = None)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "core"
+    [
+      ( "dbe",
+        [
+          Alcotest.test_case "init sums to 1" `Quick test_dbe_init_must_sum_to_one;
+          Alcotest.test_case "needs failed state" `Quick test_dbe_needs_failed_state;
+          Alcotest.test_case "failed must be on" `Quick test_dbe_failed_must_be_on;
+          Alcotest.test_case "starts off" `Quick test_dbe_triggered_starts_off;
+          Alcotest.test_case "partner modes" `Quick test_dbe_partner_opposite_mode;
+          Alcotest.test_case "exponential worst case" `Quick test_dbe_exponential_worst_case;
+          Alcotest.test_case "erlang worst case" `Quick test_dbe_erlang_worst_case;
+          Alcotest.test_case "triggered = untriggered worst case" `Quick
+            test_dbe_triggered_equals_untriggered_worst_case;
+          Alcotest.test_case "triggered structure" `Quick test_dbe_triggered_structure;
+          Alcotest.test_case "repair only on" `Quick test_dbe_repair_only_when_on;
+          Alcotest.test_case "repair when off" `Quick test_dbe_repair_when_off;
+        ] );
+      ( "sdft",
+        [
+          Alcotest.test_case "unknown names" `Quick test_sdft_unknown_names;
+          Alcotest.test_case "trigger needs switch" `Quick test_sdft_trigger_requires_switch;
+          Alcotest.test_case "double trigger" `Quick test_sdft_double_trigger_rejected;
+          Alcotest.test_case "cyclic trigger" `Quick test_sdft_cyclic_trigger_rejected;
+          Alcotest.test_case "accessors" `Quick test_sdft_accessors;
+        ] );
+      ( "classify",
+        [
+          Alcotest.test_case "static branching" `Quick test_classify_static_branching;
+          Alcotest.test_case "static joins" `Quick test_classify_static_joins;
+          Alcotest.test_case "AND-only is SB" `Quick test_classify_and_only_is_static_branching;
+          Alcotest.test_case "general" `Quick test_classify_general;
+          Alcotest.test_case "running example" `Quick test_classify_pumps_running_example;
+          Alcotest.test_case "uniform triggering" `Quick test_classify_uniform_triggering;
+        ] );
+      ( "translate",
+        [
+          Alcotest.test_case "preserves MCS" `Quick test_translate_pumps_preserves_mcs;
+          Alcotest.test_case "worst-case values" `Quick test_translate_worst_case_values;
+          Alcotest.test_case "adds AND gates" `Quick test_translate_adds_trigger_and;
+          Alcotest.test_case "trigger in MCS" `Quick test_translate_triggered_event_mcs_includes_trigger;
+        ] );
+      ( "product",
+        [
+          Alcotest.test_case "static = enumeration" `Quick test_product_static_tree_matches_exact;
+          Alcotest.test_case "trigger sequence = Erlang" `Quick test_product_trigger_sequence_is_erlang;
+          Alcotest.test_case "unfired trigger" `Quick test_product_untriggered_spare_never_fails;
+          Alcotest.test_case "passive failure not failed" `Quick test_product_passive_failures_do_count;
+          Alcotest.test_case "max states guard" `Quick test_product_max_states_guard;
+          Alcotest.test_case "pumps golden" `Quick test_product_pumps_value;
+        ] );
+      ( "cutset model",
+        [
+          Alcotest.test_case "static only" `Quick test_cutset_model_static_only;
+          Alcotest.test_case "dynamic pair" `Quick test_cutset_model_dynamic_pair;
+          Alcotest.test_case "impossible" `Quick test_cutset_model_impossible;
+          Alcotest.test_case "always triggered" `Quick test_cutset_model_always_triggered;
+          Alcotest.test_case "REA vs exact (pumps)" `Quick test_cutset_model_rea_matches_exact_pumps;
+          Alcotest.test_case "static joins adds events" `Quick test_cutset_model_static_joins_adds_events;
+          Alcotest.test_case "general trigger exact" `Quick test_cutset_model_general_trigger_exact;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "pumps summary" `Quick test_analysis_pumps_summary;
+          Alcotest.test_case "cutoff" `Quick test_analysis_cutoff_excludes;
+          Alcotest.test_case "static rare event" `Quick test_analysis_static_rare_event;
+          Alcotest.test_case "engines agree" `Quick test_analysis_engines_agree;
+          Alcotest.test_case "parallel = sequential" `Quick
+            test_analysis_parallel_matches_sequential;
+          Alcotest.test_case "dynamic importance" `Quick test_analysis_dynamic_importance;
+        ]
+        @ qc
+            [
+              prop_analysis_bounds_exact_untriggered;
+              prop_analysis_all_events_bounds_exact;
+              prop_paper_rule_below_exact_rule;
+              prop_analysis_single_mcs_exact;
+            ] );
+      ( "cut sequences",
+        [
+          Alcotest.test_case "triggered order forced" `Quick test_sequences_triggered_order_forced;
+          Alcotest.test_case "symmetric split" `Quick test_sequences_symmetric_split;
+          Alcotest.test_case "static cutset" `Quick test_sequences_static_cutset;
+          Alcotest.test_case "asymmetric rates" `Quick test_sequences_asymmetric_rates;
+          Alcotest.test_case "sum = quantification" `Quick test_sequences_sum_matches_quantification;
+        ] );
+      ( "availability",
+        [
+          Alcotest.test_case "exponential" `Quick test_availability_exponential;
+          Alcotest.test_case "unrepairable" `Quick test_availability_unrepairable;
+          Alcotest.test_case "triggered" `Quick test_availability_triggered;
+          Alcotest.test_case "analyze" `Quick test_availability_analyze;
+          Alcotest.test_case "mixed static" `Quick test_availability_mixed_static;
+          Alcotest.test_case "rejects unrepairable" `Quick
+            test_availability_rejects_unrepairable_model;
+        ] );
+    ]

@@ -1,0 +1,206 @@
+(* Tests for the event-tree layer: sequence enumeration, compilation to
+   fault trees, demand-trigger chains. *)
+
+(* A two-function event tree: after the initiator, function A runs; if it
+   fails, function B is demanded. Damage when both fail. *)
+let two_function_tree ?(category = "CD") () =
+  ignore category;
+  {
+    Event_tree.initiator = "IE";
+    initiator_prob = 0.01;
+    functions =
+      [
+        {
+          Event_tree.name = "A";
+          build_failure =
+            (fun b ->
+              let a1 = Fault_tree.Builder.basic b ~prob:0.1 "A.static" in
+              let a2 = Fault_tree.Builder.basic b "A.run" in
+              Fault_tree.Builder.gate b "A.fail" Fault_tree.Or [ a1; a2 ]);
+          demand_started = [ "A.run" ];
+        };
+        {
+          Event_tree.name = "B";
+          build_failure =
+            (fun b ->
+              let b1 = Fault_tree.Builder.basic b ~prob:0.2 "B.static" in
+              let b2 = Fault_tree.Builder.basic b "B.run" in
+              Fault_tree.Builder.gate b "B.fail" Fault_tree.Or [ b1; b2 ]);
+          demand_started = [ "B.run" ];
+        };
+      ];
+    outcome_of =
+      (fun pattern ->
+        match pattern with
+        | [ true; true ] -> Event_tree.Damage "CD"
+        | _ -> Event_tree.Ok);
+  }
+
+let test_sequences_enumeration () =
+  let et = two_function_tree () in
+  let seqs = Event_tree.sequences et in
+  Alcotest.(check int) "four sequences" 4 (List.length seqs);
+  let damage =
+    List.filter (fun (_, o) -> o = Event_tree.Damage "CD") seqs
+  in
+  Alcotest.(check int) "one damage sequence" 1 (List.length damage)
+
+let test_compile_static () =
+  let et = two_function_tree () in
+  let tree = Event_tree.compile et ~category:"CD" in
+  (* Damage = IE and A.fail and B.fail. With run events at probability 0,
+     p = 0.01 * 0.1 * 0.2. *)
+  let p = Fault_tree.exact_top_probability_enumerate tree in
+  if Float.abs (p -. (0.01 *. 0.1 *. 0.2)) > 1e-12 then
+    Alcotest.failf "probability %.6e" p
+
+let test_compile_unknown_category () =
+  let et = two_function_tree () in
+  Alcotest.(check bool) "raises" true
+    (match Event_tree.compile et ~category:"nope" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_compile_sd_triggers_chain () =
+  let et = two_function_tree () in
+  let sd =
+    Event_tree.compile_sd et ~category:"CD"
+      ~dynamic:
+        [
+          ("A.run", Dbe.exponential ~lambda:0.05 ());
+          ( "B.run",
+            Dbe.triggered_exponential ~lambda:0.05 ~passive_factor:0.0 () );
+        ]
+      ()
+  in
+  let tree = Sdft.tree sd in
+  let b_run = Option.get (Fault_tree.basic_index tree "B.run") in
+  let a_fail = Option.get (Fault_tree.gate_index tree "A.fail") in
+  (* B's demand-started event is triggered by A's failure gate; A's own
+     event runs from time zero (no trigger). *)
+  Alcotest.(check (option int)) "B triggered by A" (Some a_fail)
+    (Sdft.trigger_of sd b_run);
+  let a_run = Option.get (Fault_tree.basic_index tree "A.run") in
+  Alcotest.(check (option int)) "A untriggered" None (Sdft.trigger_of sd a_run)
+
+let test_compile_sd_no_triggers () =
+  let et = two_function_tree () in
+  let sd =
+    Event_tree.compile_sd et ~category:"CD"
+      ~dynamic:[ ("A.run", Dbe.exponential ~lambda:0.05 ()) ]
+      ~demand_triggers:false ()
+  in
+  Alcotest.(check (list (pair int int))) "no edges" [] (Sdft.trigger_edges sd)
+
+let test_compile_sd_analysis_shape () =
+  (* The demanded function's event starts later, so the dynamic analysis
+     must give a lower frequency than the untriggered one. *)
+  let et = two_function_tree () in
+  let dynamic () =
+    [
+      ("A.run", Dbe.exponential ~lambda:0.05 ());
+      ("B.run", Dbe.triggered_exponential ~lambda:0.05 ~passive_factor:0.0 ());
+    ]
+  in
+  let with_chain =
+    Event_tree.compile_sd et ~category:"CD" ~dynamic:(dynamic ()) ()
+  in
+  let sd_chain = Sdft_analysis.analyze with_chain in
+  (* Exact reference. *)
+  let exact = Sdft_product.solve with_chain ~horizon:24.0 in
+  Alcotest.(check bool) "REA >= exact" true
+    (sd_chain.Sdft_analysis.total >= exact -. 1e-12);
+  (* The basic events here are not rare (tenths), so the rare-event
+     approximation visibly over-counts overlapping cutsets; it must still
+     stay within ~50%. *)
+  Alcotest.(check bool) "within 50%" true
+    (sd_chain.Sdft_analysis.total <= exact *. 1.5)
+
+let test_three_function_chain () =
+  (* Chain of three functions: C's event is triggered by B's failure gate,
+     B's by A's. *)
+  let make_fn name prob =
+    {
+      Event_tree.name;
+      build_failure =
+        (fun b ->
+          let s = Fault_tree.Builder.basic b ~prob (name ^ ".static") in
+          let r = Fault_tree.Builder.basic b (name ^ ".run") in
+          Fault_tree.Builder.gate b (name ^ ".fail") Fault_tree.Or [ s; r ]);
+      demand_started = [ name ^ ".run" ];
+    }
+  in
+  let et =
+    {
+      Event_tree.initiator = "IE";
+      initiator_prob = 0.05;
+      functions = [ make_fn "A" 0.1; make_fn "B" 0.1; make_fn "C" 0.1 ];
+      outcome_of =
+        (fun pattern ->
+          if List.for_all Fun.id pattern then Event_tree.Damage "CD"
+          else Event_tree.Ok);
+    }
+  in
+  let trig_dbe () = Dbe.triggered_exponential ~lambda:0.02 ~passive_factor:0.0 () in
+  let sd =
+    Event_tree.compile_sd et ~category:"CD"
+      ~dynamic:
+        [
+          ("A.run", Dbe.exponential ~lambda:0.02 ());
+          ("B.run", trig_dbe ());
+          ("C.run", trig_dbe ());
+        ]
+      ()
+  in
+  Alcotest.(check int) "two trigger edges" 2 (List.length (Sdft.trigger_edges sd));
+  (* End-to-end: analysis bounded by exact. *)
+  let r = Sdft_analysis.analyze sd in
+  let exact = Sdft_product.solve sd ~horizon:24.0 in
+  Alcotest.(check bool) "REA >= exact" true (r.Sdft_analysis.total >= exact -. 1e-12)
+
+let test_categories () =
+  let et = two_function_tree () in
+  Alcotest.(check (list string)) "one category" [ "CD" ] (Event_tree.categories et)
+
+let test_analyze_categories () =
+  let et =
+    {
+      (two_function_tree ()) with
+      Event_tree.outcome_of =
+        (fun pattern ->
+          match pattern with
+          | [ true; true ] -> Event_tree.Damage "CD"
+          | [ true; false ] -> Event_tree.Damage "minor"
+          | _ -> Event_tree.Ok);
+    }
+  in
+  let results =
+    Event_tree.analyze_categories et
+      ~dynamic:
+        [
+          ("A.run", Dbe.exponential ~lambda:0.002 ());
+          ("B.run", Dbe.triggered_exponential ~lambda:0.002 ~passive_factor:0.0 ());
+        ]
+      ()
+  in
+  Alcotest.(check int) "two categories" 2 (List.length results);
+  let freq c = (List.assoc c results).Sdft_analysis.total in
+  (* "minor" (A fails, B recovers) is far more likely than full damage. *)
+  Alcotest.(check bool) "minor > CD" true (freq "minor" > freq "CD")
+
+let () =
+  Alcotest.run "eventtree"
+    [
+      ( "event trees",
+        [
+          Alcotest.test_case "sequences" `Quick test_sequences_enumeration;
+          Alcotest.test_case "compile static" `Quick test_compile_static;
+          Alcotest.test_case "unknown category" `Quick test_compile_unknown_category;
+          Alcotest.test_case "demand triggers" `Quick test_compile_sd_triggers_chain;
+          Alcotest.test_case "no triggers" `Quick test_compile_sd_no_triggers;
+          Alcotest.test_case "analysis shape" `Quick test_compile_sd_analysis_shape;
+          Alcotest.test_case "three-function chain" `Quick test_three_function_chain;
+          Alcotest.test_case "categories" `Quick test_categories;
+          Alcotest.test_case "analyze categories" `Quick test_analyze_categories;
+        ] );
+    ]

@@ -1,0 +1,357 @@
+(* Tests for the s-expression reader and the SD fault tree text format. *)
+
+(* Sexp *)
+
+let sexp = Alcotest.testable Sexp.pp (fun a b -> a = b)
+
+let test_sexp_atoms_and_lists () =
+  Alcotest.(check (list sexp)) "flat"
+    [ Sexp.Atom "a"; Sexp.List [ Sexp.Atom "b"; Sexp.Atom "c" ] ]
+    (Sexp.parse_string "a (b c)")
+
+let test_sexp_nesting () =
+  Alcotest.(check (list sexp)) "nested"
+    [ Sexp.List [ Sexp.Atom "a"; Sexp.List [ Sexp.List [ Sexp.Atom "b" ] ] ] ]
+    (Sexp.parse_string "(a ((b)))")
+
+let test_sexp_comments_and_whitespace () =
+  Alcotest.(check (list sexp)) "comments"
+    [ Sexp.Atom "x"; Sexp.Atom "y" ]
+    (Sexp.parse_string "; header\n x ; trailing\n\t y\n; eof")
+
+let test_sexp_quoted_strings () =
+  Alcotest.(check (list sexp)) "quoted"
+    [ Sexp.Atom "hello world"; Sexp.Atom "quo\"te" ]
+    (Sexp.parse_string "\"hello world\" \"quo\\\"te\"")
+
+let test_sexp_errors () =
+  let fails s =
+    match Sexp.parse_string s with
+    | exception Sexp.Parse_error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "unterminated list" true (fails "(a b");
+  Alcotest.(check bool) "stray paren" true (fails ")");
+  Alcotest.(check bool) "unterminated string" true (fails "\"abc")
+
+let test_sexp_error_line_number () =
+  match Sexp.parse_string "a\nb\n(" with
+  | exception Sexp.Parse_error { line; _ } -> Alcotest.(check int) "line 3" 3 line
+  | _ -> Alcotest.fail "expected error"
+
+let test_sexp_roundtrip () =
+  let original = "(gate top and (x y) \"sp ace\")" in
+  let parsed = Sexp.parse_string original in
+  let printed = String.concat " " (List.map Sexp.to_string parsed) in
+  Alcotest.(check (list sexp)) "roundtrip" parsed (Sexp.parse_string printed)
+
+let prop_sexp_roundtrip =
+  let rec gen_sexp depth st =
+    let open QCheck.Gen in
+    if depth = 0 then Sexp.Atom (string_size ~gen:(char_range 'a' 'z') (1 -- 6) st)
+    else if bool st then
+      Sexp.Atom (string_size ~gen:(char_range 'a' 'z') (1 -- 6) st)
+    else Sexp.List (list_size (0 -- 4) (gen_sexp (depth - 1)) st)
+  in
+  QCheck.Test.make ~name:"sexp print/parse roundtrip" ~count:300
+    (QCheck.make (gen_sexp 3))
+    (fun e -> Sexp.parse_string (Sexp.to_string e) = [ e ])
+
+(* Sdft format *)
+
+let analyze sd = (Sdft_analysis.analyze sd).Sdft_analysis.total
+
+let test_format_roundtrip_pumps () =
+  let sd = Pumps.sd_tree () in
+  let sd' = Sdft_format.of_string (Sdft_format.to_string sd) in
+  (* Same structure... *)
+  Alcotest.(check int) "basics" (Sdft.n_basics sd) (Sdft.n_basics sd');
+  Alcotest.(check int) "dynamic"
+    (List.length (Sdft.dynamic_basics sd))
+    (List.length (Sdft.dynamic_basics sd'));
+  Alcotest.(check int) "triggers"
+    (List.length (Sdft.trigger_edges sd))
+    (List.length (Sdft.trigger_edges sd'));
+  (* ... and same semantics. *)
+  let a = analyze sd and b = analyze sd' in
+  if Float.abs (a -. b) > 1e-12 then Alcotest.failf "semantics changed: %g vs %g" a b
+
+let test_format_roundtrip_bwr () =
+  let sd =
+    Bwr.build
+      {
+        Bwr.default_config with
+        repair_rate = Some 0.1;
+        triggers = [ Bwr.Feed_and_bleed; Bwr.Ccw_second_train ];
+        phases = 2;
+      }
+  in
+  let sd' = Sdft_format.of_string (Sdft_format.to_string sd) in
+  let a = analyze sd and b = analyze sd' in
+  if Float.abs (a -. b) > 1e-15 +. (1e-9 *. a) then
+    Alcotest.failf "semantics changed: %g vs %g" a b
+
+let test_format_shorthand_specs () =
+  let text =
+    {|
+(basic z 0.25)
+(dynamic x (exponential (lambda 0.1) (mu 0.4)))
+(dynamic y (triggered-erlang (phases 2) (lambda 0.2) (passive 0.0)))
+(gate src or z)
+(gate top and z x y)
+(trigger src y)
+(top top)
+|}
+  in
+  let sd = Sdft_format.of_string text in
+  Alcotest.(check int) "3 basics" 3 (Sdft.n_basics sd);
+  Alcotest.(check int) "2 dynamic" 2 (List.length (Sdft.dynamic_basics sd));
+  let tree = Sdft.tree sd in
+  let y = Option.get (Fault_tree.basic_index tree "y") in
+  Alcotest.(check bool) "y triggered" true (Sdft.trigger_of sd y <> None);
+  Alcotest.(check int) "y has 6 states" 6 (Dbe.n_states (Sdft.dbe sd y))
+
+let test_format_erlang_shorthand () =
+  let text =
+    {|
+(dynamic x (erlang (phases 3) (lambda 0.5) (mu 1.0)))
+(gate top or x)
+(top top)
+|}
+  in
+  let sd = Sdft_format.of_string text in
+  let x = Option.get (Fault_tree.basic_index (Sdft.tree sd) "x") in
+  Alcotest.(check int) "4 states" 4 (Dbe.n_states (Sdft.dbe sd x))
+
+let test_format_atleast () =
+  let text =
+    {|
+(basic a 0.5) (basic b 0.5) (basic c 0.5)
+(gate vote (atleast 2) a b c)
+(top vote)
+|}
+  in
+  let sd = Sdft_format.of_string text in
+  let tree = Sdft.tree sd in
+  match Fault_tree.gate_kind tree (Fault_tree.top tree) with
+  | Fault_tree.Atleast 2 -> ()
+  | _ -> Alcotest.fail "expected 2-of-3"
+
+let test_format_errors () =
+  let fails text =
+    match Sdft_format.of_string text with
+    | exception Sdft_format.Error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "missing top" true (fails "(basic a 0.1)");
+  Alcotest.(check bool) "unknown node" true (fails "(gate g or nope) (top g)");
+  Alcotest.(check bool) "unknown form" true (fails "(frobnicate) (top g)");
+  Alcotest.(check bool) "trigger without switch" true
+    (fails
+       "(dynamic x (exponential (lambda 1.0))) (gate g or x) (trigger g x) (top g)");
+  Alcotest.(check bool) "bad number" true (fails "(basic a abc) (gate g or a) (top g)")
+
+let test_format_file_io () =
+  let path = Filename.temp_file "sdft" ".sdft" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let sd = Pumps.sd_tree () in
+      Sdft_format.to_file path sd;
+      let sd' = Sdft_format.of_file path in
+      Alcotest.(check int) "basics" (Sdft.n_basics sd) (Sdft.n_basics sd'))
+
+let prop_random_sd_roundtrip =
+  QCheck.Test.make ~name:"random SD fault trees roundtrip" ~count:50
+    (QCheck.make QCheck.Gen.(0 -- 100000))
+    (fun seed ->
+      let rng = Sdft_util.Rng.create seed in
+      let sd = Random_tree.sd rng ~n_basics:6 ~n_gates:5 ~n_dynamic:2 ~n_triggers:1 in
+      let sd' = Sdft_format.of_string (Sdft_format.to_string sd) in
+      let p = Sdft_product.solve sd ~horizon:3.0 in
+      let p' = Sdft_product.solve sd' ~horizon:3.0 in
+      Float.abs (p -. p') < 1e-12)
+
+(* Xml *)
+
+let test_xml_basic () =
+  let root = Xml.parse_string "<a x=\"1\"><b/><c>text</c></a>" in
+  Alcotest.(check string) "tag" "a" root.Xml.tag;
+  Alcotest.(check (option string)) "attr" (Some "1") (Xml.attribute root "x");
+  Alcotest.(check int) "children" 2 (List.length (Xml.elements root));
+  let c = Option.get (Xml.find_opt root "c") in
+  Alcotest.(check string) "text" "text" (Xml.text c)
+
+let test_xml_prologue_comments () =
+  let root =
+    Xml.parse_string
+      "<?xml version=\"1.0\"?><!-- hi --><root><!-- inner --><x/></root>"
+  in
+  Alcotest.(check string) "root" "root" root.Xml.tag;
+  Alcotest.(check int) "one child" 1 (List.length (Xml.elements root))
+
+let test_xml_entities () =
+  let root = Xml.parse_string "<a t=\"&lt;&amp;&gt;\">x &amp; y</a>" in
+  Alcotest.(check (option string)) "attr entities" (Some "<&>") (Xml.attribute root "t");
+  Alcotest.(check string) "text entities" "x & y" (Xml.text root)
+
+let test_xml_cdata () =
+  let root = Xml.parse_string "<a><![CDATA[1 < 2 & 3]]></a>" in
+  Alcotest.(check string) "cdata" "1 < 2 & 3" (Xml.text root)
+
+let test_xml_errors () =
+  let fails s =
+    match Xml.parse_string s with
+    | exception Xml.Parse_error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "unclosed" true (fails "<a><b></a>");
+  Alcotest.(check bool) "unterminated" true (fails "<a>");
+  Alcotest.(check bool) "trailing" true (fails "<a/><b/>");
+  Alcotest.(check bool) "bad attr" true (fails "<a x></a>")
+
+let test_xml_roundtrip () =
+  let root = Xml.parse_string "<a x=\"q&quot;q\"><b><c y=\"2\"/></b>txt</a>" in
+  let again = Xml.parse_string (Xml.to_string root) in
+  Alcotest.(check bool) "same" true (root = again)
+
+(* Open-PSA *)
+
+let opsa_doc =
+  {|<?xml version="1.0"?>
+<opsa-mef>
+  <define-fault-tree name="demo">
+    <define-gate name="top"><or><gate name="g1"/><basic-event name="e"/></or></define-gate>
+    <define-gate name="g1"><and><event name="a"/><atleast min="2">
+      <basic-event name="x"/><basic-event name="y"/><basic-event name="z"/>
+    </atleast></and></define-gate>
+  </define-fault-tree>
+  <model-data>
+    <define-basic-event name="a"><float value="0.1"/></define-basic-event>
+    <define-basic-event name="e"><float value="0.01"/></define-basic-event>
+    <define-basic-event name="x"><float value="0.2"/></define-basic-event>
+    <define-basic-event name="y"><float value="0.2"/></define-basic-event>
+    <define-basic-event name="z"><float value="0.2"/></define-basic-event>
+  </model-data>
+</opsa-mef>|}
+
+let test_opsa_parse () =
+  let tree = Open_psa.of_string opsa_doc in
+  Alcotest.(check int) "basics" 5 (Fault_tree.n_basics tree);
+  Alcotest.(check string) "top name" "top"
+    (Fault_tree.gate_name tree (Fault_tree.top tree));
+  (* Exact probability: top = e OR (a AND 2-of-3(x,y,z)). *)
+  let p_vote = (3.0 *. 0.2 *. 0.2 *. 0.8) +. (0.2 ** 3.0) in
+  let expected = 1.0 -. ((1.0 -. 0.01) *. (1.0 -. (0.1 *. p_vote))) in
+  let got = Fault_tree.exact_top_probability_enumerate tree in
+  if Float.abs (got -. expected) > 1e-12 then
+    Alcotest.failf "probability %.8f vs %.8f" got expected
+
+let test_opsa_top_inference () =
+  (* Without a top attribute the unreferenced gate wins. *)
+  let doc =
+    {|<opsa-mef><define-fault-tree name="d">
+        <define-gate name="root"><or><gate name="sub"/></or></define-gate>
+        <define-gate name="sub"><or><basic-event name="e"/></or></define-gate>
+      </define-fault-tree></opsa-mef>|}
+  in
+  let tree = Open_psa.of_string doc in
+  Alcotest.(check string) "inferred" "root"
+    (Fault_tree.gate_name tree (Fault_tree.top tree))
+
+let test_opsa_errors () =
+  let fails s =
+    match Open_psa.of_string s with
+    | exception Open_psa.Error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "cyclic" true
+    (fails
+       {|<opsa-mef><define-fault-tree name="d" top="a">
+          <define-gate name="a"><or><gate name="b"/></or></define-gate>
+          <define-gate name="b"><or><gate name="a"/></or></define-gate>
+        </define-fault-tree></opsa-mef>|});
+  Alcotest.(check bool) "undefined gate" true
+    (fails
+       {|<opsa-mef><define-fault-tree name="d" top="a">
+          <define-gate name="a"><or><gate name="nope"/></or></define-gate>
+        </define-fault-tree></opsa-mef>|});
+  Alcotest.(check bool) "no fault tree" true (fails "<opsa-mef/>");
+  Alcotest.(check bool) "bad root" true (fails "<something/>")
+
+let test_opsa_roundtrip_pumps () =
+  let tree = Pumps.static_tree () in
+  let tree' = Open_psa.of_string (Open_psa.to_string tree) in
+  Alcotest.(check int) "basics" (Fault_tree.n_basics tree) (Fault_tree.n_basics tree');
+  Alcotest.(check int) "gates" (Fault_tree.n_gates tree) (Fault_tree.n_gates tree');
+  let p = Fault_tree.exact_top_probability_enumerate tree in
+  let p' = Fault_tree.exact_top_probability_enumerate tree' in
+  if Float.abs (p -. p') > 1e-15 then Alcotest.failf "prob changed %g vs %g" p p'
+
+let prop_opsa_roundtrip_random =
+  QCheck.Test.make ~name:"Open-PSA roundtrip preserves cutsets" ~count:50
+    (QCheck.make QCheck.Gen.(0 -- 100000))
+    (fun seed ->
+      let rng = Sdft_util.Rng.create seed in
+      let tree = Random_tree.tree rng ~n_basics:7 ~n_gates:6 in
+      let tree' = Open_psa.of_string (Open_psa.to_string tree) in
+      let mcs t =
+        List.sort Sdft_util.Int_set.compare
+          (Mocus.minimal_cutsets ~options:{ Mocus.default_options with cutoff = 0.0 } t)
+      in
+      (* Basic indices survive (creation order differs), so compare by
+         names. *)
+      let names t =
+        List.map
+          (fun c ->
+            List.sort compare
+              (List.map (Fault_tree.basic_name t) (Sdft_util.Int_set.to_list c)))
+          (mcs t)
+        |> List.sort compare
+      in
+      names tree = names tree')
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "parser"
+    [
+      ( "sexp",
+        [
+          Alcotest.test_case "atoms and lists" `Quick test_sexp_atoms_and_lists;
+          Alcotest.test_case "nesting" `Quick test_sexp_nesting;
+          Alcotest.test_case "comments" `Quick test_sexp_comments_and_whitespace;
+          Alcotest.test_case "quoting" `Quick test_sexp_quoted_strings;
+          Alcotest.test_case "errors" `Quick test_sexp_errors;
+          Alcotest.test_case "error line" `Quick test_sexp_error_line_number;
+          Alcotest.test_case "roundtrip" `Quick test_sexp_roundtrip;
+        ]
+        @ qc [ prop_sexp_roundtrip ] );
+      ( "format",
+        [
+          Alcotest.test_case "pumps roundtrip" `Quick test_format_roundtrip_pumps;
+          Alcotest.test_case "bwr roundtrip" `Slow test_format_roundtrip_bwr;
+          Alcotest.test_case "shorthand" `Quick test_format_shorthand_specs;
+          Alcotest.test_case "erlang" `Quick test_format_erlang_shorthand;
+          Alcotest.test_case "atleast" `Quick test_format_atleast;
+          Alcotest.test_case "errors" `Quick test_format_errors;
+          Alcotest.test_case "file io" `Quick test_format_file_io;
+        ]
+        @ qc [ prop_random_sd_roundtrip ] );
+      ( "xml",
+        [
+          Alcotest.test_case "basic" `Quick test_xml_basic;
+          Alcotest.test_case "prologue/comments" `Quick test_xml_prologue_comments;
+          Alcotest.test_case "entities" `Quick test_xml_entities;
+          Alcotest.test_case "cdata" `Quick test_xml_cdata;
+          Alcotest.test_case "errors" `Quick test_xml_errors;
+          Alcotest.test_case "roundtrip" `Quick test_xml_roundtrip;
+        ] );
+      ( "open-psa",
+        [
+          Alcotest.test_case "parse" `Quick test_opsa_parse;
+          Alcotest.test_case "top inference" `Quick test_opsa_top_inference;
+          Alcotest.test_case "errors" `Quick test_opsa_errors;
+          Alcotest.test_case "pumps roundtrip" `Quick test_opsa_roundtrip_pumps;
+        ]
+        @ qc [ prop_opsa_roundtrip_random ] );
+    ]

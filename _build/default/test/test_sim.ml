@@ -1,0 +1,102 @@
+(* Tests for the Monte-Carlo simulator: statistical agreement with the exact
+   product semantics and with closed forms. *)
+
+let check_within_sigma ?(sigma = 4.0) exact (stats : Simulator.stats) =
+  let err = Float.abs (stats.Simulator.estimate -. exact) in
+  let bound = sigma *. Float.max stats.Simulator.std_error 1e-9 in
+  if err > bound then
+    Alcotest.failf "estimate %.5f vs exact %.5f (>%g sigma)"
+      stats.Simulator.estimate exact sigma
+
+let test_static_tree_estimate () =
+  (* Static tree: simulation is just Bernoulli sampling of the scenarios. *)
+  let b = Fault_tree.Builder.create () in
+  let x = Fault_tree.Builder.basic b ~prob:0.3 "x" in
+  let y = Fault_tree.Builder.basic b ~prob:0.4 "y" in
+  let top = Fault_tree.Builder.gate b "top" Fault_tree.Or [ x; y ] in
+  let tree = Fault_tree.Builder.build b ~top in
+  let sd = Sdft.static_only tree in
+  let stats = Simulator.unreliability ~seed:1 sd ~horizon:1.0 ~trials:100_000 in
+  check_within_sigma (1.0 -. (0.7 *. 0.6)) stats
+
+let test_exponential_event () =
+  let b = Fault_tree.Builder.create () in
+  let x = Fault_tree.Builder.basic b "x" in
+  let top = Fault_tree.Builder.gate b "top" Fault_tree.Or [ x ] in
+  let tree = Fault_tree.Builder.build b ~top in
+  let sd = Sdft.make tree ~dynamic:[ ("x", Dbe.exponential ~lambda:0.1 ()) ] ~triggers:[] in
+  let t = 8.0 in
+  let stats = Simulator.unreliability ~seed:2 sd ~horizon:t ~trials:100_000 in
+  check_within_sigma (1.0 -. exp (-0.1 *. t)) stats
+
+let test_simulator_vs_product_with_triggers () =
+  (* A model that exercises triggering, untriggering after repair, and
+     re-triggering: top = AND(x, y), y triggered by x's wrapper, x
+     repairable. Scaled-up rates so failures are frequent enough to
+     estimate. *)
+  let b = Fault_tree.Builder.create () in
+  let x = Fault_tree.Builder.basic b "x" in
+  let y = Fault_tree.Builder.basic b "y" in
+  let wrap = Fault_tree.Builder.gate b "wrap" Fault_tree.Or [ x ] in
+  ignore wrap;
+  let top = Fault_tree.Builder.gate b "top" Fault_tree.And [ x; y ] in
+  let tree = Fault_tree.Builder.build b ~top in
+  let sd =
+    Sdft.make tree
+      ~dynamic:
+        [
+          ("x", Dbe.exponential ~lambda:0.3 ~mu:0.5 ());
+          ("y", Dbe.triggered_exponential ~lambda:0.4 ~mu:0.2 ~passive_factor:0.01 ());
+        ]
+      ~triggers:[ ("wrap", "y") ]
+  in
+  let horizon = 10.0 in
+  let exact = Sdft_product.solve sd ~horizon in
+  let stats = Simulator.unreliability ~seed:3 sd ~horizon ~trials:60_000 in
+  check_within_sigma exact stats
+
+let test_simulator_pumps_running_example () =
+  let sd = Pumps.sd_tree () in
+  let exact = Sdft_product.solve sd ~horizon:24.0 in
+  let stats = Simulator.unreliability ~seed:42 sd ~horizon:24.0 ~trials:300_000 in
+  check_within_sigma exact stats
+
+let test_simulator_deterministic () =
+  let sd = Pumps.sd_tree () in
+  let a = Simulator.unreliability ~seed:9 sd ~horizon:24.0 ~trials:20_000 in
+  let b = Simulator.unreliability ~seed:9 sd ~horizon:24.0 ~trials:20_000 in
+  Alcotest.(check int) "same failures" a.Simulator.failures b.Simulator.failures
+
+let test_simulator_failure_time () =
+  (* Single exponential event: conditional mean failure time within a long
+     horizon approaches 1/lambda. *)
+  let b = Fault_tree.Builder.create () in
+  let x = Fault_tree.Builder.basic b "x" in
+  let top = Fault_tree.Builder.gate b "top" Fault_tree.Or [ x ] in
+  let tree = Fault_tree.Builder.build b ~top in
+  let sd = Sdft.make tree ~dynamic:[ ("x", Dbe.exponential ~lambda:0.5 ()) ] ~triggers:[] in
+  match Simulator.failure_time ~seed:4 sd ~horizon:200.0 ~trials:50_000 with
+  | Some mean ->
+    if Float.abs (mean -. 2.0) > 0.05 then
+      Alcotest.failf "mean failure time %.3f far from 2.0" mean
+  | None -> Alcotest.fail "expected failures"
+
+let test_simulator_rejects_zero_trials () =
+  let sd = Pumps.sd_tree () in
+  Alcotest.check_raises "trials" (Invalid_argument "Simulator: need at least one trial")
+    (fun () -> ignore (Simulator.unreliability sd ~horizon:1.0 ~trials:0))
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "simulator",
+        [
+          Alcotest.test_case "static tree" `Slow test_static_tree_estimate;
+          Alcotest.test_case "exponential" `Slow test_exponential_event;
+          Alcotest.test_case "triggers vs product" `Slow test_simulator_vs_product_with_triggers;
+          Alcotest.test_case "pumps example" `Slow test_simulator_pumps_running_example;
+          Alcotest.test_case "deterministic" `Quick test_simulator_deterministic;
+          Alcotest.test_case "failure time" `Slow test_simulator_failure_time;
+          Alcotest.test_case "zero trials" `Quick test_simulator_rejects_zero_trials;
+        ] );
+    ]

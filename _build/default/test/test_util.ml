@@ -1,0 +1,348 @@
+(* Tests for the utility library: vectors, RNG, compensated sums, sorted
+   integer sets, histograms, tables. *)
+
+open Sdft_util
+
+let check_float = Alcotest.(check (float 1e-12))
+
+(* Vec *)
+
+let test_vec_push_get () =
+  let v = Vec.create () in
+  Alcotest.(check bool) "fresh is empty" true (Vec.is_empty v);
+  for i = 0 to 99 do
+    Vec.push v (i * i)
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get 7" 49 (Vec.get v 7);
+  Alcotest.(check int) "get 99" 9801 (Vec.get v 99)
+
+let test_vec_pop () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  Alcotest.(check (option int)) "pop 3" (Some 3) (Vec.pop v);
+  Alcotest.(check (option int)) "pop 2" (Some 2) (Vec.pop v);
+  Alcotest.(check int) "length after pops" 1 (Vec.length v);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Vec.pop v);
+  Alcotest.(check (option int)) "pop empty" None (Vec.pop v)
+
+let test_vec_set_out_of_bounds () =
+  let v = Vec.of_list [ 1 ] in
+  Alcotest.check_raises "set out of bounds"
+    (Invalid_argument "Vec.set: index out of bounds") (fun () -> Vec.set v 1 0);
+  Alcotest.check_raises "get out of bounds"
+    (Invalid_argument "Vec.get: index out of bounds") (fun () ->
+      ignore (Vec.get v (-1)))
+
+let test_vec_iter_fold () =
+  let v = Vec.of_list [ 1; 2; 3; 4 ] in
+  let sum = Vec.fold_left ( + ) 0 v in
+  Alcotest.(check int) "fold" 10 sum;
+  let seen = ref [] in
+  Vec.iteri (fun i x -> seen := (i, x) :: !seen) v;
+  Alcotest.(check (list (pair int int)))
+    "iteri order"
+    [ (0, 1); (1, 2); (2, 3); (3, 4) ]
+    (List.rev !seen)
+
+let test_vec_clear_reuse () =
+  let v = Vec.of_list [ 1; 2 ] in
+  Vec.clear v;
+  Alcotest.(check int) "cleared" 0 (Vec.length v);
+  Vec.push v 9;
+  Alcotest.(check int) "reused" 9 (Vec.get v 0)
+
+let test_vec_sort () =
+  let v = Vec.of_list [ 3; 1; 2 ] in
+  Vec.sort compare v;
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3 ] (Vec.to_list v)
+
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 123 and b = Rng.create 123 in
+  for _ = 1 to 50 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_float_range () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let f = Rng.float rng in
+    if f < 0.0 || f >= 1.0 then Alcotest.failf "float out of range: %f" f
+  done
+
+let test_rng_int_range () =
+  let rng = Rng.create 9 in
+  for _ = 1 to 1000 do
+    let i = Rng.int rng 17 in
+    if i < 0 || i >= 17 then Alcotest.failf "int out of range: %d" i
+  done
+
+let test_rng_int_bad_bound () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 4 in
+  let n = 50_000 in
+  let rate = 2.5 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng rate
+  done;
+  let mean = !sum /. float_of_int n in
+  (* mean of Exp(2.5) is 0.4; tolerance ~4 sigma *)
+  Alcotest.(check bool) "mean close to 1/rate" true (Float.abs (mean -. 0.4) < 0.01)
+
+let test_rng_split_independent () =
+  let rng = Rng.create 5 in
+  let child = Rng.split rng in
+  let a = Rng.int64 rng and b = Rng.int64 child in
+  Alcotest.(check bool) "streams differ" true (a <> b)
+
+let test_rng_normal_moments () =
+  let rng = Rng.create 11 in
+  let n = 50_000 in
+  let sum = ref 0.0 and sq = ref 0.0 in
+  for _ = 1 to n do
+    let z = Rng.normal rng in
+    sum := !sum +. z;
+    sq := !sq +. (z *. z)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sq /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean ~ 0" true (Float.abs mean < 0.02);
+  Alcotest.(check bool) "variance ~ 1" true (Float.abs (var -. 1.0) < 0.03)
+
+let test_rng_lognormal_median () =
+  let rng = Rng.create 12 in
+  let n = 20_001 in
+  let samples =
+    Array.init n (fun _ -> Rng.lognormal rng ~median:3e-3 ~error_factor:5.0)
+  in
+  Array.sort compare samples;
+  let median = samples.(n / 2) in
+  Alcotest.(check bool) "median ~ 3e-3" true
+    (Float.abs (median -. 3e-3) < 3e-4);
+  (* ~95% of samples below EF * median. *)
+  let below = Array.fold_left (fun acc x -> if x < 15e-3 then acc + 1 else acc) 0 samples in
+  let frac = float_of_int below /. float_of_int n in
+  Alcotest.(check bool) "EF is the 95th percentile" true (Float.abs (frac -. 0.95) < 0.01)
+
+let test_rng_lognormal_validation () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "bad median"
+    (Invalid_argument "Rng.lognormal: median must be positive") (fun () ->
+      ignore (Rng.lognormal rng ~median:0.0 ~error_factor:2.0));
+  Alcotest.check_raises "bad EF"
+    (Invalid_argument "Rng.lognormal: error factor must be at least 1") (fun () ->
+      ignore (Rng.lognormal rng ~median:0.1 ~error_factor:0.5))
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 6 in
+  let a = Array.init 20 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 20 Fun.id) sorted
+
+(* Kahan *)
+
+let test_kahan_simple () =
+  check_float "sum" 6.0 (Kahan.sum [| 1.0; 2.0; 3.0 |])
+
+let test_kahan_compensation () =
+  (* Adding 1e-16 ten million times to 1.0: naive summation loses it all. *)
+  let k = Kahan.create () in
+  Kahan.add k 1.0;
+  for _ = 1 to 10_000_000 do
+    Kahan.add k 1e-16
+  done;
+  let expected = 1.0 +. 1e-9 in
+  Alcotest.(check bool)
+    "compensated sum keeps small terms" true
+    (Float.abs (Kahan.total k -. expected) < 1e-12)
+
+let test_kahan_list () =
+  check_float "sum_list" 1.0 (Kahan.sum_list [ 0.25; 0.25; 0.5 ])
+
+(* Int_set *)
+
+let iset = Alcotest.testable Int_set.pp Int_set.equal
+
+let test_int_set_of_array_dedup () =
+  Alcotest.check iset "dedup + sort"
+    (Int_set.of_list [ 1; 2; 3 ])
+    (Int_set.of_array [| 3; 1; 2; 3; 1 |])
+
+let test_int_set_mem () =
+  let s = Int_set.of_list [ 2; 5; 9; 40 ] in
+  Alcotest.(check bool) "mem 5" true (Int_set.mem 5 s);
+  Alcotest.(check bool) "mem 40" true (Int_set.mem 40 s);
+  Alcotest.(check bool) "mem 3" false (Int_set.mem 3 s);
+  Alcotest.(check bool) "mem empty" false (Int_set.mem 3 Int_set.empty)
+
+let test_int_set_ops () =
+  let a = Int_set.of_list [ 1; 3; 5 ] and b = Int_set.of_list [ 3; 4; 5; 6 ] in
+  Alcotest.check iset "union" (Int_set.of_list [ 1; 3; 4; 5; 6 ]) (Int_set.union a b);
+  Alcotest.check iset "inter" (Int_set.of_list [ 3; 5 ]) (Int_set.inter a b);
+  Alcotest.check iset "diff" (Int_set.of_list [ 1 ]) (Int_set.diff a b);
+  Alcotest.check iset "diff rev" (Int_set.of_list [ 4; 6 ]) (Int_set.diff b a)
+
+let test_int_set_subset () =
+  let a = Int_set.of_list [ 1; 3 ] and b = Int_set.of_list [ 1; 2; 3 ] in
+  Alcotest.(check bool) "a subset b" true (Int_set.subset a b);
+  Alcotest.(check bool) "b not subset a" false (Int_set.subset b a);
+  Alcotest.(check bool) "empty subset" true (Int_set.subset Int_set.empty a);
+  Alcotest.(check bool) "self subset" true (Int_set.subset a a)
+
+let test_int_set_compare_by_cardinality () =
+  let small = Int_set.of_list [ 9 ] and big = Int_set.of_list [ 1; 2 ] in
+  Alcotest.(check bool) "smaller first" true (Int_set.compare small big < 0)
+
+(* qcheck properties for Int_set against the stdlib Set. *)
+
+module IS = Set.Make (Int)
+
+let to_stdlib s = IS.of_list (Int_set.to_list s)
+
+let small_list = QCheck.(list_of_size Gen.(0 -- 12) (int_bound 30))
+
+let prop_union =
+  QCheck.Test.make ~name:"Int_set.union agrees with Set.union" ~count:500
+    (QCheck.pair small_list small_list) (fun (a, b) ->
+      let sa = Int_set.of_list a and sb = Int_set.of_list b in
+      IS.equal (to_stdlib (Int_set.union sa sb)) (IS.union (to_stdlib sa) (to_stdlib sb)))
+
+let prop_inter =
+  QCheck.Test.make ~name:"Int_set.inter agrees with Set.inter" ~count:500
+    (QCheck.pair small_list small_list) (fun (a, b) ->
+      let sa = Int_set.of_list a and sb = Int_set.of_list b in
+      IS.equal (to_stdlib (Int_set.inter sa sb)) (IS.inter (to_stdlib sa) (to_stdlib sb)))
+
+let prop_diff =
+  QCheck.Test.make ~name:"Int_set.diff agrees with Set.diff" ~count:500
+    (QCheck.pair small_list small_list) (fun (a, b) ->
+      let sa = Int_set.of_list a and sb = Int_set.of_list b in
+      IS.equal (to_stdlib (Int_set.diff sa sb)) (IS.diff (to_stdlib sa) (to_stdlib sb)))
+
+let prop_subset =
+  QCheck.Test.make ~name:"Int_set.subset agrees with Set.subset" ~count:500
+    (QCheck.pair small_list small_list) (fun (a, b) ->
+      let sa = Int_set.of_list a and sb = Int_set.of_list b in
+      Int_set.subset sa sb = IS.subset (to_stdlib sa) (to_stdlib sb))
+
+let prop_mem =
+  QCheck.Test.make ~name:"Int_set.mem agrees with Set.mem" ~count:500
+    (QCheck.pair (QCheck.int_bound 30) small_list) (fun (x, l) ->
+      Int_set.mem x (Int_set.of_list l) = IS.mem x (IS.of_list l))
+
+(* Histogram *)
+
+let test_histogram_counts () =
+  let h = Histogram.create () in
+  List.iter (Histogram.observe h) [ 0; 1; 1; 2; 2; 2; 5 ];
+  Alcotest.(check int) "count 0" 1 (Histogram.count h 0);
+  Alcotest.(check int) "count 1" 2 (Histogram.count h 1);
+  Alcotest.(check int) "count 2" 3 (Histogram.count h 2);
+  Alcotest.(check int) "count 3" 0 (Histogram.count h 3);
+  Alcotest.(check int) "count 5" 1 (Histogram.count h 5);
+  Alcotest.(check int) "total" 7 (Histogram.total h);
+  Alcotest.(check int) "max bucket" 5 (Histogram.max_bucket h)
+
+let test_histogram_mean () =
+  let h = Histogram.create () in
+  List.iter (Histogram.observe h) [ 1; 2; 3 ];
+  check_float "mean" 2.0 (Histogram.mean h);
+  let empty = Histogram.create () in
+  check_float "empty mean" 0.0 (Histogram.mean empty)
+
+let test_histogram_negative () =
+  let h = Histogram.create () in
+  Alcotest.check_raises "negative bucket"
+    (Invalid_argument "Histogram.observe: negative bucket") (fun () ->
+      Histogram.observe h (-1))
+
+(* Table *)
+
+let test_table_renders () =
+  let t = Table.create ~title:"demo" ~columns:[ "a"; "bbbb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_row t [ "333"; "4" ];
+  let s = Table.to_string t in
+  Alcotest.(check bool) "title present" true
+    (String.length s > 0 && String.sub s 0 7 = "== demo");
+  Alcotest.(check bool) "row present" true
+    (String.length (String.concat "" (String.split_on_char '3' s)) < String.length s)
+
+let test_table_cells () =
+  Alcotest.(check string) "sci" "4.090e-09" (Table.cell_sci 4.09e-9);
+  Alcotest.(check string) "float" "3.14" (Table.cell_float 3.14159);
+  Alcotest.(check string) "duration short" "7.9s" (Table.cell_duration 7.9);
+  Alcotest.(check string) "duration long" "1m 53s" (Table.cell_duration 113.0)
+
+(* Timer *)
+
+let test_timer_monotone () =
+  let t = Timer.start () in
+  let x = ref 0 in
+  for i = 1 to 100_000 do
+    x := !x + i
+  done;
+  Alcotest.(check bool) "elapsed non-negative" true (Timer.elapsed_s t >= 0.0)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "util"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "push/get" `Quick test_vec_push_get;
+          Alcotest.test_case "pop" `Quick test_vec_pop;
+          Alcotest.test_case "bounds" `Quick test_vec_set_out_of_bounds;
+          Alcotest.test_case "iter/fold" `Quick test_vec_iter_fold;
+          Alcotest.test_case "clear/reuse" `Quick test_vec_clear_reuse;
+          Alcotest.test_case "sort" `Quick test_vec_sort;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "int range" `Quick test_rng_int_range;
+          Alcotest.test_case "bad bound" `Quick test_rng_int_bad_bound;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "normal moments" `Slow test_rng_normal_moments;
+          Alcotest.test_case "lognormal median" `Slow test_rng_lognormal_median;
+          Alcotest.test_case "lognormal validation" `Quick test_rng_lognormal_validation;
+        ] );
+      ( "kahan",
+        [
+          Alcotest.test_case "simple" `Quick test_kahan_simple;
+          Alcotest.test_case "compensation" `Quick test_kahan_compensation;
+          Alcotest.test_case "sum_list" `Quick test_kahan_list;
+        ] );
+      ( "int_set",
+        [
+          Alcotest.test_case "of_array dedup" `Quick test_int_set_of_array_dedup;
+          Alcotest.test_case "mem" `Quick test_int_set_mem;
+          Alcotest.test_case "union/inter/diff" `Quick test_int_set_ops;
+          Alcotest.test_case "subset" `Quick test_int_set_subset;
+          Alcotest.test_case "compare" `Quick test_int_set_compare_by_cardinality;
+        ]
+        @ qc [ prop_union; prop_inter; prop_diff; prop_subset; prop_mem ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "counts" `Quick test_histogram_counts;
+          Alcotest.test_case "mean" `Quick test_histogram_mean;
+          Alcotest.test_case "negative" `Quick test_histogram_negative;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_renders;
+          Alcotest.test_case "cells" `Quick test_table_cells;
+        ] );
+      ("timer", [ Alcotest.test_case "monotone" `Quick test_timer_monotone ]);
+    ]
