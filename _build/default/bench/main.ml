@@ -324,22 +324,29 @@ let e8_horizon () =
   let d = Dynamize.run ~config tree in
   let t =
     Table.create ~title:"E8: failure frequency and time vs horizon (model 2)"
-      ~columns:[ "horizon"; "failure freq."; "analysis time" ]
+      ~columns:[ "horizon"; "failure freq."; "analysis time"; "cache h/m" ]
   in
+  let option_sets =
+    List.map (fun horizon -> { bdd_options with horizon }) [ 24.0; 48.0; 72.0; 96.0 ]
+  in
+  let points, _cache = Sdft_analysis.sweep d.Dynamize.sd option_sets in
   List.iter
-    (fun horizon ->
-      let options = { bdd_options with horizon } in
-      let result, seconds =
-        Timer.time (fun () -> Sdft_analysis.analyze ~options d.Dynamize.sd)
-      in
+    (fun (p : Sdft_analysis.sweep_point) ->
       Table.add_row t
         [
-          Printf.sprintf "%.0fh" horizon;
-          Table.cell_sci result.Sdft_analysis.total;
-          Table.cell_duration seconds;
+          Printf.sprintf "%.0fh" p.Sdft_analysis.sweep_options.Sdft_analysis.horizon;
+          Table.cell_sci p.Sdft_analysis.sweep_result.Sdft_analysis.total;
+          Table.cell_duration
+            (p.Sdft_analysis.sweep_result.Sdft_analysis.mcs_generation_seconds
+            +. p.Sdft_analysis.sweep_result.Sdft_analysis.quantification_seconds);
+          Printf.sprintf "%d/%d" p.Sdft_analysis.cache_hits
+            p.Sdft_analysis.cache_misses;
         ])
-    [ 24.0; 48.0; 72.0; 96.0 ];
-  Table.print t
+    points;
+  Table.print t;
+  print_endline
+    "(points share one quantification cache: identical cutset sub-models are\n\
+    \ solved once per horizon, repeated component models once overall)"
 
 (* ------------------------------------------------------------------ *)
 (* V1: validation — analytic pipeline vs exact product chain vs
@@ -604,20 +611,31 @@ let experiments =
   ]
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
   let micro = ref true in
   let selected = ref [] in
-  List.iter
-    (fun arg ->
-      match arg with
-      | "--full" -> full_scale := true
-      | "--no-micro" -> micro := false
-      | name when List.mem_assoc name experiments ->
-        selected := name :: !selected
-      | other ->
-        Printf.eprintf "unknown argument %S\n" other;
-        exit 2)
-    args;
+  let metrics_file = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--full" :: rest ->
+      full_scale := true;
+      parse rest
+    | "--no-micro" :: rest ->
+      micro := false;
+      parse rest
+    | "--metrics" :: path :: rest ->
+      metrics_file := Some path;
+      parse rest
+    | [ "--metrics" ] ->
+      prerr_endline "--metrics needs a file argument";
+      exit 2
+    | name :: rest when List.mem_assoc name experiments ->
+      selected := name :: !selected;
+      parse rest
+    | other :: _ ->
+      Printf.eprintf "unknown argument %S\n" other;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
   let to_run =
     match List.rev !selected with
     | [] ->
@@ -630,4 +648,12 @@ let () =
       print_newline ();
       (List.assoc name experiments) ())
     to_run;
-  if !micro && !selected = [] then run_micro ()
+  if !micro && !selected = [] then run_micro ();
+  match !metrics_file with
+  | None -> ()
+  | Some path ->
+    (try Sdft_util.Metrics.write_file path
+     with Sys_error m ->
+       Printf.eprintf "bench: %s\n" m;
+       exit 1);
+    Printf.printf "\nmetrics written to %s\n" path

@@ -29,10 +29,19 @@ let horizon_arg =
 let cutoff_arg =
   Arg.(value & opt float 1e-15 & info [ "cutoff"; "c" ] ~docv:"P" ~doc:"Probabilistic cutoff $(i,c*) for cutset generation.")
 
+let metrics_arg =
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc:"Dump internal counters and span timers as JSON to $(docv) on exit.")
+
+let write_metrics = function
+  | None -> ()
+  | Some path ->
+    (try Sdft_util.Metrics.write_file path
+     with Sys_error m -> or_die (Error m))
+
 (* analyze *)
 
 let analyze_cmd =
-  let run file horizon cutoff top_n show_histogram engine domains =
+  let run file horizon cutoff top_n show_histogram engine domains metrics =
     let sd = or_die (load_model file) in
     let options =
       { Sdft_analysis.default_options with horizon; cutoff; engine; domains }
@@ -53,7 +62,8 @@ let analyze_cmd =
               info.probability (Cutset.pp tree) info.cutset info.n_dynamic
               info.product_states)
         result.cutsets
-    end
+    end;
+    write_metrics metrics
   in
   let top_n =
     Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"Print the $(docv) most important cutsets (0 disables).")
@@ -74,12 +84,56 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run the full SD fault tree analysis (Section V).")
-    Term.(const run $ file_arg $ horizon_arg $ cutoff_arg $ top_n $ histogram $ engine $ domains)
+    Term.(const run $ file_arg $ horizon_arg $ cutoff_arg $ top_n $ histogram $ engine $ domains $ metrics_arg)
+
+(* sweep *)
+
+let sweep_cmd =
+  let run file horizons cutoff engine domains metrics =
+    let sd = or_die (load_model file) in
+    let option_sets =
+      List.map
+        (fun horizon ->
+          { Sdft_analysis.default_options with horizon; cutoff; engine; domains })
+        horizons
+    in
+    let points, cache = Sdft_analysis.sweep sd option_sets in
+    Printf.printf "%10s %14s %9s %11s %11s\n" "horizon" "frequency"
+      "cutsets" "cache-hits" "cache-miss";
+    List.iter
+      (fun (p : Sdft_analysis.sweep_point) ->
+        Printf.printf "%10g %14.6e %9d %11d %11d\n"
+          p.sweep_options.Sdft_analysis.horizon p.sweep_result.Sdft_analysis.total
+          p.sweep_result.Sdft_analysis.n_cutsets p.cache_hits p.cache_misses)
+      points;
+    Printf.printf "cache: %d hits / %d misses\n" (Quant_cache.hits cache)
+      (Quant_cache.misses cache);
+    write_metrics metrics
+  in
+  let horizons =
+    Arg.(value & opt (list float) [ 8.0; 24.0; 72.0 ]
+         & info [ "horizons" ] ~docv:"H1,H2,.." ~doc:"Comma-separated analysis horizons in hours.")
+  in
+  let engine =
+    Arg.(value
+         & opt (enum [ ("mocus", Sdft_analysis.Mocus_sound);
+                       ("mocus-aggressive", Sdft_analysis.Mocus_aggressive);
+                       ("bdd", Sdft_analysis.Bdd_engine) ])
+             Sdft_analysis.Mocus_sound
+         & info [ "engine" ] ~docv:"ENGINE" ~doc:"Cutset engine: $(b,mocus), $(b,mocus-aggressive), or $(b,bdd).")
+  in
+  let domains =
+    Arg.(value & opt int 1 & info [ "domains"; "j" ] ~docv:"N" ~doc:"Worker domains for cutset quantification.")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Analyze one model over several horizons, sharing the quantification cache across points.")
+    Term.(const run $ file_arg $ horizons $ cutoff_arg $ engine $ domains $ metrics_arg)
 
 (* mcs *)
 
 let mcs_cmd =
-  let run file cutoff engine horizon =
+  let run file cutoff engine horizon metrics =
     let sd = or_die (load_model file) in
     let translation = Sdft_translate.translate sd ~horizon in
     let tree = translation.Sdft_translate.static_tree in
@@ -94,7 +148,8 @@ let mcs_cmd =
     List.iter
       (fun c ->
         Format.printf "%.3e  %a@." (Cutset.probability tree c) (Cutset.pp tree) c)
-      (Cutset.sort_by_probability tree cutsets)
+      (Cutset.sort_by_probability tree cutsets);
+    write_metrics metrics
   in
   let engine =
     Arg.(value & opt (enum [ ("mocus", `Mocus); ("bdd", `Bdd) ]) `Mocus
@@ -102,7 +157,7 @@ let mcs_cmd =
   in
   Cmd.v
     (Cmd.info "mcs" ~doc:"Generate minimal cutsets of the translated static tree.")
-    Term.(const run $ file_arg $ cutoff_arg $ engine $ horizon_arg)
+    Term.(const run $ file_arg $ cutoff_arg $ engine $ horizon_arg $ metrics_arg)
 
 (* classify *)
 
@@ -138,10 +193,12 @@ let simulate_cmd =
 (* exact *)
 
 let exact_cmd =
-  let run file horizon max_states =
+  let run file horizon max_states metrics =
     let sd = or_die (load_model file) in
     match Sdft_product.solve ~max_states sd ~horizon with
-    | p -> Printf.printf "p(FT, %gh) = %.6e\n" horizon p
+    | p ->
+      Printf.printf "p(FT, %gh) = %.6e\n" horizon p;
+      write_metrics metrics
     | exception Sdft_product.Too_many_states n ->
       Printf.eprintf
         "sdft: product state space exceeds %d states; use 'analyze' or 'simulate'\n" n;
@@ -152,7 +209,7 @@ let exact_cmd =
   in
   Cmd.v
     (Cmd.info "exact" ~doc:"Exact failure probability via the full product Markov chain (small models only).")
-    Term.(const run $ file_arg $ horizon_arg $ max_states)
+    Term.(const run $ file_arg $ horizon_arg $ max_states $ metrics_arg)
 
 (* translate *)
 
@@ -404,6 +461,7 @@ let main_cmd =
   Cmd.group info
     [
       analyze_cmd;
+      sweep_cmd;
       mcs_cmd;
       classify_cmd;
       simulate_cmd;

@@ -1,1 +1,1 @@
-examples/industrial_sweep.ml: Array Dynamize Fault_tree Format Industrial List Printf Sdft_analysis Sdft_util Sys
+examples/industrial_sweep.ml: Array Dynamize Fault_tree Format Industrial List Printf Quant_cache Sdft_analysis Sdft_util Sys

@@ -1,0 +1,1 @@
+lib/core/quant_cache.ml: Array Atomic Buffer Ctmc Cutset_model Dbe Fault_tree Fun Hashtbl List Mutex Printf Sdft Sdft_product Sdft_util

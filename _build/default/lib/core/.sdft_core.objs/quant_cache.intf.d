@@ -1,0 +1,1 @@
+lib/core/quant_cache.mli: Cutset_model Sdft

@@ -1,1 +1,1 @@
-lib/core/sdft_analysis.ml: Array Atomic Cutset Cutset_model Domain Fault_tree Format Fun List Minsol Mocus Option Sdft Sdft_product Sdft_translate Sdft_util
+lib/core/sdft_analysis.ml: Array Cutset Cutset_model Fault_tree Format Fun List Minsol Mocus Quant_cache Sdft Sdft_product Sdft_translate Sdft_util

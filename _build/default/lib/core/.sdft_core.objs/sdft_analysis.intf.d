@@ -1,1 +1,1 @@
-lib/core/sdft_analysis.mli: Cutset Cutset_model Fault_tree Format Mocus Sdft Sdft_translate Sdft_util
+lib/core/sdft_analysis.mli: Cutset Cutset_model Fault_tree Format Mocus Quant_cache Sdft Sdft_translate Sdft_util

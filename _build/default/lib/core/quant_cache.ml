@@ -1,0 +1,141 @@
+module Metrics = Sdft_util.Metrics
+
+let m_hits = Metrics.counter "quant_cache.hits"
+let m_misses = Metrics.counter "quant_cache.misses"
+
+type t = {
+  table : (string, float * int) Hashtbl.t;
+      (* key -> (dynamic probability, product states) *)
+  lock : Mutex.t;
+  hit_count : int Atomic.t;
+  miss_count : int Atomic.t;
+}
+
+let create () =
+  {
+    table = Hashtbl.create 256;
+    lock = Mutex.create ();
+    hit_count = Atomic.make 0;
+    miss_count = Atomic.make 0;
+  }
+
+let hits t = Atomic.get t.hit_count
+
+let misses t = Atomic.get t.miss_count
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Deterministic DFS serialization with first-visit indices in place of
+   names. Equal fingerprints imply isomorphic models, hence equal p~; the
+   converse need not hold (a reordered-but-equal model just misses). *)
+let fingerprint sd =
+  let tree = Sdft.tree sd in
+  let buf = Buffer.create 512 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let emit_dbe d =
+    pf "n=%d;i=" (Dbe.n_states d);
+    List.iter (fun (s, m) -> pf "%d:%h," s m) (Dbe.init d);
+    Buffer.add_string buf ";t=";
+    Ctmc.iter_transitions (Dbe.chain d) (fun src dst r -> pf "%d>%d:%h," src dst r);
+    Buffer.add_string buf ";f=";
+    for s = 0 to Dbe.n_states d - 1 do
+      if Dbe.is_failed d s then pf "%d," s
+    done;
+    if Dbe.is_triggered_model d then begin
+      Buffer.add_string buf ";sw=";
+      for s = 0 to Dbe.n_states d - 1 do
+        match Dbe.mode_of d s with
+        | Dbe.Off -> pf "o%d>%d," s (Dbe.switch_on d s)
+        | Dbe.On -> pf "n%d>%d," s (Dbe.switch_off d s)
+      done
+    end
+  in
+  let basic_ids : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let gate_ids : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let next_basic = ref 0 and next_gate = ref 0 in
+  let rec emit_basic b =
+    match Hashtbl.find_opt basic_ids b with
+    | Some id -> pf "b%d" id
+    | None ->
+      let id = !next_basic in
+      incr next_basic;
+      Hashtbl.add basic_ids b id;
+      if Sdft.is_dynamic sd b then begin
+        pf "B%d[D:" id;
+        emit_dbe (Sdft.dbe sd b);
+        (match Sdft.trigger_of sd b with
+        | None -> Buffer.add_string buf ";untrig"
+        | Some g ->
+          Buffer.add_string buf ";trig=";
+          emit_gate g);
+        Buffer.add_char buf ']'
+      end
+      else pf "B%d[p=%h]" id (Fault_tree.prob tree b)
+  and emit_gate g =
+    match Hashtbl.find_opt gate_ids g with
+    | Some id -> pf "g%d" id
+    | None ->
+      let id = !next_gate in
+      incr next_gate;
+      Hashtbl.add gate_ids g id;
+      let kind =
+        match Fault_tree.gate_kind tree g with
+        | Fault_tree.And -> "&"
+        | Fault_tree.Or -> "|"
+        | Fault_tree.Atleast k -> Printf.sprintf ">=%d" k
+      in
+      pf "G%d(%s" id kind;
+      Array.iter
+        (fun node ->
+          Buffer.add_char buf ',';
+          match node with
+          | Fault_tree.B b -> emit_basic b
+          | Fault_tree.G g' -> emit_gate g')
+        (Fault_tree.gate_inputs tree g);
+      Buffer.add_char buf ')'
+  in
+  (* Trigger gates hang off dynamic basics rather than off the top gate, so
+     the recursion through [emit_basic] is what reaches them. *)
+  emit_gate (Fault_tree.top tree);
+  Buffer.contents buf
+
+let find t key = locked t (fun () -> Hashtbl.find_opt t.table key)
+
+let store t key v =
+  locked t (fun () ->
+      if not (Hashtbl.mem t.table key) then Hashtbl.add t.table key v)
+
+let quantify t ~epsilon ~max_states (cm : Cutset_model.t) ~horizon =
+  match cm.Cutset_model.model with
+  | None ->
+    (* Purely static or impossible: quantification is a multiplication. *)
+    Cutset_model.quantify ~epsilon ~max_states cm ~horizon
+  | Some sd_c ->
+    let t0 = Sdft_util.Timer.start () in
+    let key =
+      Printf.sprintf "%s|e=%h|s=%d|t=%h" (fingerprint sd_c) epsilon max_states
+        horizon
+    in
+    (match find t key with
+    | Some (p_dyn, product_states) ->
+      Atomic.incr t.hit_count;
+      Metrics.incr m_hits;
+      {
+        Cutset_model.probability = p_dyn *. cm.Cutset_model.static_multiplier;
+        product_states;
+        seconds = Sdft_util.Timer.elapsed_s t0;
+      }
+    | None ->
+      Atomic.incr t.miss_count;
+      Metrics.incr m_misses;
+      (* Too_many_states propagates before anything is stored. *)
+      let built = Sdft_product.build ~max_states sd_c in
+      let p_dyn = Sdft_product.unreliability ~epsilon built ~horizon in
+      store t key (p_dyn, built.n_states);
+      {
+        Cutset_model.probability = p_dyn *. cm.Cutset_model.static_multiplier;
+        product_states = built.n_states;
+        seconds = Sdft_util.Timer.elapsed_s t0;
+      })

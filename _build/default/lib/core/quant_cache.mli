@@ -1,0 +1,51 @@
+(** Cross-analysis cache for per-cutset quantification.
+
+    A horizon/parameter sweep re-quantifies the same cutset sub-models over
+    and over: industrial trees repeat the same component models across
+    trains, so many cutsets build {e isomorphic} [FT_C] models, and repeated
+    [Sdft_analysis.analyze] calls over one model rebuild identical ones.
+    This cache keys the expensive part of {!Cutset_model.quantify} — the
+    product-chain construction and transient solve — on a canonical
+    fingerprint of the [FT_C] sub-model together with the numerical
+    parameters (epsilon, state bound, horizon). The static multiplier is
+    factored {e out} of the key, so cutsets that differ only in their static
+    events share one entry.
+
+    The fingerprint is a deterministic serialization of the model reached
+    from its top gate: gate kinds and input order, static probabilities,
+    full CTMC descriptors of dynamic events (states, transitions, initial
+    distribution, failed set, on/off structure) and trigger wiring, with
+    names replaced by first-visit indices. Two models with equal
+    fingerprints are isomorphic up to renaming and therefore have equal
+    time-aware probabilities. The rel-rule does not appear in the key
+    because it acts upstream, during model {e construction}: its effect is
+    already captured by the fingerprinted structure.
+
+    Safe to share across domains: lookups and inserts take a per-cache lock
+    (negligible next to a CTMC solve), hit/miss tallies are atomics. *)
+
+type t
+
+val create : unit -> t
+
+val hits : t -> int
+
+val misses : t -> int
+(** Misses count only quantifications that were {e cacheable} (the cutset
+    had a dynamic sub-model); purely static cutsets bypass the cache and
+    count as neither. *)
+
+val fingerprint : Sdft.t -> string
+(** Canonical fingerprint of a model (exposed for tests). *)
+
+val quantify :
+  t ->
+  epsilon:float ->
+  max_states:int ->
+  Cutset_model.t ->
+  horizon:float ->
+  Cutset_model.quantification
+(** Drop-in replacement for {!Cutset_model.quantify}. On a hit,
+    [product_states] reports the size of the originally solved chain.
+    [Sdft_product.Too_many_states] propagates uncached, so retrying with a
+    larger bound is never poisoned by a previous failure. *)

@@ -1,3 +1,12 @@
+module Metrics = Sdft_util.Metrics
+
+let m_runs = Metrics.counter "analysis.runs"
+let m_mcs_span = Metrics.span "analysis.mcs_generation"
+let m_quant_span = Metrics.span "analysis.quantification"
+let m_fallbacks = Metrics.counter "analysis.fallbacks"
+let m_product_states = Metrics.counter "analysis.product_states"
+let m_cutsets = Metrics.counter "analysis.cutsets_quantified"
+
 type engine =
   | Mocus_sound
   | Mocus_aggressive
@@ -59,6 +68,7 @@ type cutset_info = {
 
 type result = {
   total : float;
+  cutoff : float;
   cutsets : cutset_info list;
   n_cutsets : int;
   n_dynamic_cutsets : int;
@@ -69,26 +79,34 @@ type result = {
   translation : Sdft_translate.result;
 }
 
-let analyze ?(options = default_options) sd =
+let analyze ?(options = default_options) ?cache sd =
+  Metrics.incr m_runs;
   (* Phase 1: translation and cutset generation. *)
   let (translation, mocus_result), mcs_generation_seconds =
     Sdft_util.Timer.time (fun () ->
-        let translation =
-          Sdft_translate.translate ~epsilon:options.transient_epsilon sd
-            ~horizon:options.horizon
-        in
-        ( translation,
-          generate_cutsets ~cutoff:options.cutoff
-            ~max_order:options.max_cutset_order options.engine
-            translation.static_tree ))
+        Metrics.time m_mcs_span (fun () ->
+            let translation =
+              Sdft_translate.translate ~epsilon:options.transient_epsilon sd
+                ~horizon:options.horizon
+            in
+            ( translation,
+              generate_cutsets ~cutoff:options.cutoff
+                ~max_order:options.max_cutset_order options.engine
+                translation.static_tree )))
   in
   (* Phase 2: per-cutset quantification. *)
+  let quantify_model model ~horizon =
+    match cache with
+    | Some c ->
+      Quant_cache.quantify c ~epsilon:options.transient_epsilon
+        ~max_states:options.max_product_states model ~horizon
+    | None ->
+      Cutset_model.quantify ~epsilon:options.transient_epsilon
+        ~max_states:options.max_product_states model ~horizon
+  in
   let quantify_one context cutset =
     let model = Cutset_model.build ~context ~rel_rule:options.rel_rule sd cutset in
-    match
-      Cutset_model.quantify ~epsilon:options.transient_epsilon
-        ~max_states:options.max_product_states model ~horizon:options.horizon
-    with
+    match quantify_model model ~horizon:options.horizon with
     | q ->
       {
         cutset;
@@ -123,37 +141,27 @@ let analyze ?(options = default_options) sd =
   in
   (* Parallel variant: the shared model is read-only once its lazy
      descendant caches are forced, so workers only need their own
-     per-analysis context. Work is distributed by an atomic counter. *)
+     per-analysis context. [Parallel.map_init] distributes work by an
+     atomic counter and re-raises the first worker exception after all
+     domains have joined (a crashed worker must not surface as an
+     [Option.get] failure on its unfilled result slots). *)
   let quantify_parallel n_domains cutsets =
     let tree = Sdft.tree sd in
     for g = 0 to Fault_tree.n_gates tree - 1 do
       ignore (Fault_tree.descendant_basics tree g);
       ignore (Sdft.dynamic_descendants sd g)
     done;
-    let work = Array.of_list cutsets in
-    let results = Array.make (Array.length work) None in
-    let next = Atomic.make 0 in
-    let worker () =
-      let context = Cutset_model.context sd in
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < Array.length work then begin
-          results.(i) <- Some (quantify_one context work.(i));
-          loop ()
-        end
-      in
-      loop ()
-    in
-    let others = List.init (n_domains - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join others;
-    Array.to_list (Array.map Option.get results)
+    Array.to_list
+      (Sdft_util.Parallel.map_init ~domains:n_domains
+         (fun () -> Cutset_model.context sd)
+         quantify_one (Array.of_list cutsets))
   in
   let infos, quantification_seconds =
     Sdft_util.Timer.time (fun () ->
-        if options.domains > 1 then
-          quantify_parallel options.domains mocus_result.Mocus.cutsets
-        else quantify_sequential mocus_result.Mocus.cutsets)
+        Metrics.time m_quant_span (fun () ->
+            if options.domains > 1 then
+              quantify_parallel options.domains mocus_result.Mocus.cutsets
+            else quantify_sequential mocus_result.Mocus.cutsets))
   in
   let relevant =
     List.filter (fun info -> info.probability > options.cutoff) infos
@@ -168,14 +176,21 @@ let analyze ?(options = default_options) sd =
         if c <> 0 then c else Sdft_util.Int_set.compare a.cutset b.cutset)
       infos
   in
+  let n_fallbacks =
+    List.length (List.filter (fun info -> info.used_fallback) infos)
+  in
+  Metrics.add m_cutsets (List.length infos);
+  Metrics.add m_fallbacks n_fallbacks;
+  Metrics.add m_product_states
+    (List.fold_left (fun acc info -> acc + info.product_states) 0 infos);
   {
     total;
+    cutoff = options.cutoff;
     cutsets = sorted;
     n_cutsets = List.length infos;
     n_dynamic_cutsets =
       List.length (List.filter (fun info -> info.n_dynamic > 0) infos);
-    n_fallbacks =
-      List.length (List.filter (fun info -> info.used_fallback) infos);
+    n_fallbacks;
     mcs_generation_seconds;
     quantification_seconds;
     generation = mocus_result;
@@ -208,6 +223,12 @@ let mean_added_dynamic result =
     in
     float_of_int added /. float_of_int (List.length dynamic)
 
+(* [total] sums only the cutsets above the cutoff, so the importance sums
+   must apply the same filter — otherwise the numerator can include mass
+   the denominator lacks and the fraction exceeds 1. *)
+let relevant_cutsets result =
+  List.filter (fun info -> info.probability > result.cutoff) result.cutsets
+
 let fussell_vesely result a =
   if result.total <= 0.0 then 0.0
   else begin
@@ -216,7 +237,7 @@ let fussell_vesely result a =
       (fun info ->
         if Sdft_util.Int_set.mem a info.cutset then
           Sdft_util.Kahan.add acc info.probability)
-      result.cutsets;
+      (relevant_cutsets result);
     Sdft_util.Kahan.total acc /. result.total
   end
 
@@ -227,12 +248,36 @@ let rank_by_fussell_vesely result ~n_basics =
       Sdft_util.Int_set.iter
         (fun a -> score.(a) <- score.(a) +. info.probability)
         info.cutset)
-    result.cutsets;
+    (relevant_cutsets result);
   List.sort
     (fun a b ->
       let c = compare score.(b) score.(a) in
       if c <> 0 then c else compare a b)
     (List.init n_basics Fun.id)
+
+type sweep_point = {
+  sweep_options : options;
+  sweep_result : result;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+let sweep ?cache sd option_sets =
+  let cache = match cache with Some c -> c | None -> Quant_cache.create () in
+  let points =
+    List.map
+      (fun opts ->
+        let h0 = Quant_cache.hits cache and m0 = Quant_cache.misses cache in
+        let r = analyze ~options:opts ~cache sd in
+        {
+          sweep_options = opts;
+          sweep_result = r;
+          cache_hits = Quant_cache.hits cache - h0;
+          cache_misses = Quant_cache.misses cache - m0;
+        })
+      option_sets
+  in
+  (points, cache)
 
 let pp_summary ppf r =
   Format.fprintf ppf

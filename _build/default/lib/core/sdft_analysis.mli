@@ -65,6 +65,10 @@ type result = {
   total : float;
       (** rare-event approximation: sum of [p~(C)] over cutsets above the
           cutoff *)
+  cutoff : float;
+      (** the cutoff the analysis ran with — the filter behind [total],
+          reused by the importance functions so numerator and denominator
+          agree *)
   cutsets : cutset_info list;  (** sorted by decreasing probability *)
   n_cutsets : int;
   n_dynamic_cutsets : int;  (** cutsets needing Markov analysis *)
@@ -79,7 +83,30 @@ type result = {
   translation : Sdft_translate.result;
 }
 
-val analyze : ?options:options -> Sdft.t -> result
+val analyze : ?options:options -> ?cache:Quant_cache.t -> Sdft.t -> result
+(** [cache], when given, routes per-cutset quantification through a
+    {!Quant_cache.t} so that isomorphic cutset sub-models — within this call
+    or across calls sharing the cache — are solved once. Results are
+    bit-identical to the uncached path for models with equal fingerprints. *)
+
+type sweep_point = {
+  sweep_options : options;
+  sweep_result : result;
+  cache_hits : int;  (** cache hits attributable to this point *)
+  cache_misses : int;
+}
+
+val sweep :
+  ?cache:Quant_cache.t ->
+  Sdft.t ->
+  options list ->
+  sweep_point list * Quant_cache.t
+(** [sweep sd option_sets] runs {!analyze} once per option set against [sd],
+    sharing one quantification cache across the whole sweep (a fresh one
+    unless [cache] is given, which lets several sweeps share). Returns the
+    per-point results with their cache-traffic deltas, plus the cache for
+    reuse or inspection. Aggregate hit/miss totals are also published on the
+    ["quant_cache.hits"/"quant_cache.misses"] metrics counters. *)
 
 val static_rare_event :
   ?cutoff:float -> ?engine:engine -> Fault_tree.t -> float * int

@@ -1,3 +1,10 @@
+module Metrics = Sdft_util.Metrics
+
+let m_solves = Metrics.counter "transient.solves"
+let m_steps = Metrics.counter "transient.uniformization_steps"
+let m_window = Metrics.counter "transient.window_width_total"
+let m_steady = Metrics.counter "transient.steady_state_exits"
+
 type options = {
   epsilon : float;
   steady_state_detection : bool;
@@ -55,6 +62,8 @@ let distribution ?(options = default_options) chain ~init ~t =
   if t = 0.0 || q = 0.0 then pi0
   else begin
     let window = Poisson.weights ~epsilon:options.epsilon (q *. t) in
+    Metrics.incr m_solves;
+    Metrics.add m_window (window.right - window.left + 1);
     let result = Array.make n 0.0 in
     let accumulate weight pi =
       if weight > 0.0 then
@@ -85,6 +94,9 @@ let distribution ?(options = default_options) chain ~init ~t =
       end;
       incr k
     done;
+    (* One atomic add per solve, not per step. *)
+    Metrics.add m_steps !k;
+    if !stationary then Metrics.incr m_steady;
     if !stationary && !remaining > 0.0 then accumulate !remaining pi;
     result
   end

@@ -1,1 +1,1 @@
-lib/mocus/mocus.ml: Array Cutset Expand Fault_tree Float Hashtbl Sdft_util Stack
+lib/mocus/mocus.ml: Array Cutset Expand Fault_tree Float Hashtbl List Sdft_util Stack

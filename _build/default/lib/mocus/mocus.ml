@@ -1,4 +1,12 @@
 module Int_set = Sdft_util.Int_set
+module Metrics = Sdft_util.Metrics
+
+let m_run_span = Metrics.span "mocus.run"
+let m_runs = Metrics.counter "mocus.runs"
+let m_generated = Metrics.counter "mocus.partials_generated"
+let m_pruned = Metrics.counter "mocus.partials_pruned"
+let m_deduped = Metrics.counter "mocus.partials_deduped"
+let m_cutsets = Metrics.counter "mocus.cutsets"
 
 type options = {
   cutoff : float;
@@ -68,17 +76,21 @@ let gate_estimates tree =
     (Fault_tree.topological_gates tree);
   est
 
-let run ?(options = default_options) tree =
+let run_inner ~options tree =
   let tree = Expand.expand_atleast tree in
   let estimate = gate_estimates tree in
   let out = Sdft_util.Vec.create () in
   let pruned = ref 0 in
+  let deduped = ref 0 in
+  let pushes = ref 0 in
   let truncated = ref false in
   let seen : (Int_set.t * Int_set.t, unit) Hashtbl.t = Hashtbl.create 4096 in
   let stack = Stack.create () in
   let push p =
+    incr pushes;
     let key = (p.basics, p.gates) in
-    if not (Hashtbl.mem seen key) then begin
+    if Hashtbl.mem seen key then incr deduped
+    else begin
       Hashtbl.add seen key ();
       Stack.push p stack
     end
@@ -97,21 +109,24 @@ let run ?(options = default_options) tree =
      with the smallest probability estimate, so that improbable basics
      accumulate early and the cutoff prunes as soon as possible. *)
   let pick_gate gates =
-    let best = ref (-1) and best_cost = ref infinity and found_and = ref false in
-    Int_set.iter
-      (fun g ->
-        if not !found_and then
-          match Fault_tree.gate_kind tree g with
-          | Fault_tree.And ->
-            best := g;
-            found_and := true
-          | Fault_tree.Or ->
-            if estimate.(g) < !best_cost then begin
-              best := g;
-              best_cost := estimate.(g)
-            end
-          | Fault_tree.Atleast _ -> assert false (* expanded above *))
-      gates;
+    let gates = (gates : Int_set.t :> int array) in
+    let n = Array.length gates in
+    let best = ref (-1) and best_cost = ref infinity in
+    let i = ref 0 in
+    while !i < n do
+      let g = gates.(!i) in
+      (match Fault_tree.gate_kind tree g with
+      | Fault_tree.And ->
+        best := g;
+        i := n (* AND wins outright: stop scanning *)
+      | Fault_tree.Or ->
+        if estimate.(g) < !best_cost then begin
+          best := g;
+          best_cost := estimate.(g)
+        end
+      | Fault_tree.Atleast _ -> assert false (* expanded above *));
+      incr i
+    done;
     !best
   in
   let add_node p node =
@@ -145,7 +160,7 @@ let run ?(options = default_options) tree =
     if Int_set.cardinal p.gates = 0 then Sdft_util.Vec.push out p.basics
     else begin
       let g = pick_gate p.gates in
-      let rest = Int_set.diff p.gates (Int_set.singleton g) in
+      let rest = Int_set.remove g p.gates in
       let p = { p with gates = rest } in
       let inputs = Fault_tree.gate_inputs tree g in
       match Fault_tree.gate_kind tree g with
@@ -174,6 +189,15 @@ let run ?(options = default_options) tree =
   if not (Stack.is_empty stack) then truncated := true;
   let generated = Sdft_util.Vec.length out in
   let cutsets = Cutset.minimize (Sdft_util.Vec.to_list out) in
+  (* Publish the locally accumulated tallies with one atomic add each. *)
+  Metrics.incr m_runs;
+  Metrics.add m_generated !pushes;
+  Metrics.add m_pruned !pruned;
+  Metrics.add m_deduped !deduped;
+  Metrics.add m_cutsets (List.length cutsets);
   { cutsets; generated; pruned_by_cutoff = !pruned; truncated = !truncated }
+
+let run ?(options = default_options) tree =
+  Metrics.time m_run_span (fun () -> run_inner ~options tree)
 
 let minimal_cutsets ?options tree = (run ?options tree).cutsets

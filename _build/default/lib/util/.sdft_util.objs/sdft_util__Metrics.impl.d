@@ -1,0 +1,1 @@
+lib/util/metrics.ml: Atomic Buffer Char Float Fun Hashtbl List Mutex Printf String Timer

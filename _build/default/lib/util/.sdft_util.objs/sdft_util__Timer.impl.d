@@ -1,1 +1,1 @@
-lib/util/timer.ml: Format Unix
+lib/util/timer.ml: Float Format Unix

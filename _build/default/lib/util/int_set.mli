@@ -24,6 +24,9 @@ val mem : int -> t -> bool
 
 val add : int -> t -> t
 
+val remove : int -> t -> t
+(** Returns the argument unchanged (no copy) if the element is absent. *)
+
 val union : t -> t -> t
 
 val subset : t -> t -> bool

@@ -1,0 +1,183 @@
+type counter = int Atomic.t
+
+type gauge = float Atomic.t
+
+type span = {
+  total : float Atomic.t;
+  count : int Atomic.t;
+}
+
+(* The registry maps kind-prefixed names to instruments; the lock guards
+   registration only — updates go straight to the atomics. *)
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Span of span
+
+let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+
+let registry_lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
+
+let register key make =
+  locked (fun () ->
+      match Hashtbl.find_opt registry key with
+      | Some i -> i
+      | None ->
+        let i = make () in
+        Hashtbl.add registry key i;
+        i)
+
+let counter name =
+  match register ("c:" ^ name) (fun () -> Counter (Atomic.make 0)) with
+  | Counter c -> c
+  | Gauge _ | Span _ -> assert false (* "c:" keys only hold counters *)
+
+let gauge name =
+  match register ("g:" ^ name) (fun () -> Gauge (Atomic.make 0.0)) with
+  | Gauge g -> g
+  | Counter _ | Span _ -> assert false
+
+let span name =
+  match
+    register ("s:" ^ name) (fun () ->
+        Span { total = Atomic.make 0.0; count = Atomic.make 0 })
+  with
+  | Span s -> s
+  | Counter _ | Gauge _ -> assert false
+
+let incr c = ignore (Atomic.fetch_and_add c 1)
+
+let add c n = ignore (Atomic.fetch_and_add c n)
+
+let set g v = Atomic.set g v
+
+(* Boxed-float CAS loop: [compare_and_set] compares physically, and the
+   value read by [get] is the stored box, so the retry is sound. *)
+let rec atomic_add_float a x =
+  let old = Atomic.get a in
+  if not (Atomic.compare_and_set a old (old +. x)) then atomic_add_float a x
+
+let record s seconds =
+  atomic_add_float s.total seconds;
+  ignore (Atomic.fetch_and_add s.count 1)
+
+let time s f =
+  let t0 = Timer.start () in
+  Fun.protect ~finally:(fun () -> record s (Timer.elapsed_s t0)) f
+
+let counter_value c = Atomic.get c
+
+let gauge_value g = Atomic.get g
+
+let span_seconds s = Atomic.get s.total
+
+let span_count s = Atomic.get s.count
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  spans : (string * (float * int)) list;
+}
+
+let strip key = String.sub key 2 (String.length key - 2)
+
+let snapshot () =
+  let instruments =
+    locked (fun () -> Hashtbl.fold (fun k i acc -> (k, i) :: acc) registry [])
+  in
+  let counters = ref [] and gauges = ref [] and spans = ref [] in
+  List.iter
+    (fun (key, i) ->
+      let name = strip key in
+      match i with
+      | Counter c -> counters := (name, Atomic.get c) :: !counters
+      | Gauge g -> gauges := (name, Atomic.get g) :: !gauges
+      | Span s ->
+        spans := (name, (Atomic.get s.total, Atomic.get s.count)) :: !spans)
+    instruments;
+  let by_name (a, _) (b, _) = String.compare a b in
+  {
+    counters = List.sort by_name !counters;
+    gauges = List.sort by_name !gauges;
+    spans = List.sort by_name !spans;
+  }
+
+let reset () =
+  locked (fun () ->
+      Hashtbl.iter
+        (fun _ i ->
+          match i with
+          | Counter c -> Atomic.set c 0
+          | Gauge g -> Atomic.set g 0.0
+          | Span s ->
+            Atomic.set s.total 0.0;
+            Atomic.set s.count 0)
+        registry)
+
+(* Hand-rolled JSON: names are code-controlled but escape them anyway. *)
+let add_json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_json_float buf v =
+  if Float.is_finite v then Buffer.add_string buf (Printf.sprintf "%.17g" v)
+  else Buffer.add_string buf "null"
+
+let to_json () =
+  let s = snapshot () in
+  let buf = Buffer.create 1024 in
+  let obj fields =
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (name, emit) ->
+        if i > 0 then Buffer.add_string buf ", ";
+        add_json_string buf name;
+        Buffer.add_string buf ": ";
+        emit ())
+      fields;
+    Buffer.add_char buf '}'
+  in
+  Buffer.add_string buf "{\"counters\": ";
+  obj
+    (List.map
+       (fun (n, v) -> (n, fun () -> Buffer.add_string buf (string_of_int v)))
+       s.counters);
+  Buffer.add_string buf ", \"gauges\": ";
+  obj (List.map (fun (n, v) -> (n, fun () -> add_json_float buf v)) s.gauges);
+  Buffer.add_string buf ", \"spans\": ";
+  obj
+    (List.map
+       (fun (n, (secs, count)) ->
+         ( n,
+           fun () ->
+             Buffer.add_string buf "{\"seconds\": ";
+             add_json_float buf secs;
+             Buffer.add_string buf ", \"count\": ";
+             Buffer.add_string buf (string_of_int count);
+             Buffer.add_char buf '}' ))
+       s.spans);
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let write_file path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_json ());
+      output_char oc '\n')

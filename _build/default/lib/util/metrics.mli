@@ -1,0 +1,93 @@
+(** Lightweight process-global metrics: named monotonic counters, gauges and
+    span timers, with JSON serialization.
+
+    The registry is shared by the whole process so that library code
+    ([Mocus.run], [Transient.distribution], [Sdft_analysis.analyze]) can
+    publish counters without threading handles through every call, and the
+    harnesses ([bin/main.ml --metrics], [bench/main.ml]) can dump one
+    consolidated snapshot at the end.
+
+    All updates are thread-safe under multiple domains: counters and spans
+    are updated with [Atomic] read-modify-write loops (no global mutex on
+    the hot path); only registration of a {e new} name takes a lock.
+    Instruments are cheap enough to update from parallel workers, but code
+    with a very hot inner loop should accumulate locally and publish once
+    per call (see {!add}). *)
+
+type counter
+(** A monotonically increasing integer. *)
+
+type gauge
+(** A last-write-wins float. *)
+
+type span
+(** An accumulating wall-clock timer: total seconds plus a count of the
+    recorded intervals. *)
+
+(** {1 Registration}
+
+    Registering the same name twice returns the same instrument, so
+    instruments can be created at module-initialization time or lazily.
+    Names are namespaced by convention, e.g. ["mocus.partials_generated"].
+    A name may be reused across kinds (counters, gauges and spans live in
+    separate namespaces). *)
+
+val counter : string -> counter
+
+val gauge : string -> gauge
+
+val span : string -> span
+
+(** {1 Updates} *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+(** [add c n] bumps the counter by [n >= 0]. Use this to publish a locally
+    accumulated total with a single atomic update. *)
+
+val set : gauge -> float -> unit
+
+val record : span -> float -> unit
+(** [record s seconds] adds one interval of the given length. *)
+
+val time : span -> (unit -> 'a) -> 'a
+(** [time s f] runs [f] and records its wall-clock duration on [s]. The
+    duration is recorded whether [f] returns or raises. *)
+
+(** {1 Reads} *)
+
+val counter_value : counter -> int
+
+val gauge_value : gauge -> float
+
+val span_seconds : span -> float
+(** Total recorded seconds. *)
+
+val span_count : span -> int
+(** Number of recorded intervals. *)
+
+(** {1 Snapshots} *)
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  spans : (string * (float * int)) list;
+      (** name -> (total seconds, interval count) *)
+}
+(** All lists are sorted by name. *)
+
+val snapshot : unit -> snapshot
+
+val reset : unit -> unit
+(** Zero every registered instrument (the registrations themselves are
+    kept, so handles created earlier remain valid). Meant for tests and
+    for harnesses that dump several windows from one process. *)
+
+val to_json : unit -> string
+(** The current snapshot as a JSON object:
+    [{"counters": {..}, "gauges": {..}, "spans": {"name": {"seconds": s,
+    "count": n}, ..}}]. *)
+
+val write_file : string -> unit
+(** Write {!to_json} (plus a trailing newline) to the given path. *)

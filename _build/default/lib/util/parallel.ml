@@ -1,0 +1,51 @@
+let map_init ~domains init f work =
+  let n = Array.length work in
+  if n = 0 then [||]
+  else if domains <= 1 then begin
+    let state = init () in
+    Array.map (f state) work
+  end
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    (* First worker exception wins; everyone else drains and exits. *)
+    let failure :
+        (exn * Printexc.raw_backtrace) option Atomic.t =
+      Atomic.make None
+    in
+    let fail exn bt =
+      ignore (Atomic.compare_and_set failure None (Some (exn, bt)))
+    in
+    let worker () =
+      match init () with
+      | exception exn -> fail exn (Printexc.get_raw_backtrace ())
+      | state ->
+        let continue = ref true in
+        while !continue do
+          if Atomic.get failure <> None then continue := false
+          else begin
+            let i = Atomic.fetch_and_add next 1 in
+            if i >= n then continue := false
+            else
+              match f state work.(i) with
+              | r -> results.(i) <- Some r
+              | exception exn -> fail exn (Printexc.get_raw_backtrace ())
+          end
+        done
+    in
+    let spawned =
+      Array.init (domains - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Domain.join spawned;
+    match Atomic.get failure with
+    | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+    | None ->
+      Array.map
+        (function
+          | Some r -> r
+          | None -> assert false (* no failure ⟹ every slot was filled *))
+        results
+  end
+
+let map ~domains f work = map_init ~domains ignore (fun () x -> f x) work

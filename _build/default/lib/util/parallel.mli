@@ -1,0 +1,25 @@
+(** Parallel map over domains with sound exception propagation.
+
+    [Domain.join] re-raises a worker's exception, but a naive
+    spawn/join/collect loop then trips over the slots the dead worker never
+    filled, masking the original failure behind an [Option.get] error. This
+    module captures the {e first} worker exception, lets every domain wind
+    down, and re-raises the original with its backtrace. *)
+
+val map_init :
+  domains:int -> (unit -> 'state) -> ('state -> 'a -> 'b) -> 'a array -> 'b array
+(** [map_init ~domains init f work] maps [f] over [work] using [domains]
+    domains in total (the calling domain participates, so [domains - 1] are
+    spawned; [domains <= 1] runs sequentially). Each domain calls [init ()]
+    once and passes the resulting state to every [f] call it executes; use
+    this for per-domain scratch space. Work items are claimed dynamically
+    from a shared counter, so the output order always matches the input
+    order but the assignment of items to domains does not.
+
+    If any [f] or [init] call raises, the first exception (by completion
+    order) is re-raised in the caller after all domains have joined;
+    remaining unclaimed work is skipped. *)
+
+val map : domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~domains f work] is [map_init ~domains ignore (fun () x -> f x)
+    work]. *)

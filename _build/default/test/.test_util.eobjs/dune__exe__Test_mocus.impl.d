@@ -1,1 +1,1 @@
-test/test_mocus.ml: Alcotest Cutset Fault_tree Float Importance List Minsol Mocus Option Pumps QCheck QCheck_alcotest Random_tree Sdft_util Sensitivity Uncertainty
+test/test_mocus.ml: Alcotest Bwr Cutset Fault_tree Float Importance List Minsol Mocus Option Pumps QCheck QCheck_alcotest Random_tree Sdft_util Sensitivity Uncertainty

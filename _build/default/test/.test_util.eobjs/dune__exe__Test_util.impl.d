@@ -1,1 +1,1 @@
-test/test_util.ml: Alcotest Array Float Fun Gen Histogram Int Int_set Kahan List QCheck QCheck_alcotest Rng Sdft_util Set String Table Timer Vec
+test/test_util.ml: Alcotest Array Buffer Domain Float Format Fun Gen Histogram Int Int_set Kahan List Metrics Parallel QCheck QCheck_alcotest Rng Sdft_util Set String Table Timer Vec

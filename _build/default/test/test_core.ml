@@ -647,6 +647,170 @@ let test_analysis_engines_agree () =
   check_close ~eps:1e-12 "aggressive" reference (total Sdft_analysis.Mocus_aggressive);
   check_close ~eps:1e-12 "bdd" reference (total Sdft_analysis.Bdd_engine)
 
+let test_analysis_fv_respects_cutoff () =
+  (* With cutoff 1e-4 only {b,d} survives into [total]; the FV sums must
+     apply the same filter or fractions exceed 1 ({a,d} used to leak into
+     FV(d)'s numerator but not into the denominator). *)
+  let options = { Sdft_analysis.default_options with cutoff = 1e-4 } in
+  let r = Sdft_analysis.analyze ~options pumps_sd in
+  for a = 0 to 4 do
+    let fv = Sdft_analysis.fussell_vesely r a in
+    if fv < 0.0 || fv > 1.0 then Alcotest.failf "FV out of [0,1]: %f" fv
+  done;
+  check_close ~eps:1e-12 "FV(d) = 1 (sole surviving cutset)" 1.0
+    (Sdft_analysis.fussell_vesely r (pidx "d"));
+  check_close ~eps:1e-12 "FV(a) = 0 (all its cutsets below cutoff)" 0.0
+    (Sdft_analysis.fussell_vesely r (pidx "a"));
+  (* The ranking must be driven by the same filtered sums. *)
+  (match Sdft_analysis.rank_by_fussell_vesely r ~n_basics:5 with
+  | first :: second :: _ ->
+    let top2 = List.sort compare [ first; second ] in
+    Alcotest.(check (list int)) "b and d lead" [ pidx "b"; pidx "d" ] top2
+  | _ -> Alcotest.fail "short ranking");
+  (* Sanity: without a binding cutoff the fractions are unchanged. *)
+  let r0 = Sdft_analysis.analyze pumps_sd in
+  let sum_fv =
+    List.fold_left
+      (fun acc a -> acc +. Sdft_analysis.fussell_vesely r0 a)
+      0.0 [ 0; 1; 2; 3; 4 ]
+  in
+  Alcotest.(check bool) "each event's FV still positive" true (sum_fv > 0.0)
+
+let test_analysis_parallel_4_identical_probabilities () =
+  let seq = Sdft_analysis.analyze pumps_sd in
+  let options = { Sdft_analysis.default_options with domains = 4 } in
+  let par = Sdft_analysis.analyze ~options pumps_sd in
+  let key (i : Sdft_analysis.cutset_info) = (i.cutset, i.probability) in
+  Alcotest.(check int) "same count" seq.Sdft_analysis.n_cutsets
+    par.Sdft_analysis.n_cutsets;
+  (* Per-cutset probabilities must be bit-identical, not merely close:
+     the work distribution cannot change any numerical path. *)
+  List.iter2
+    (fun a b ->
+      let ca, pa = key a and cb, pb = key b in
+      Alcotest.(check bool) "same cutset" true (Int_set.equal ca cb);
+      Alcotest.(check bool) "identical probability" true (pa = pb))
+    seq.Sdft_analysis.cutsets par.Sdft_analysis.cutsets
+
+(* Quantification cache *)
+
+let sweep_options_for horizon =
+  { Sdft_analysis.default_options with horizon }
+
+let test_cache_sweep_second_pass_hits () =
+  let option_sets = List.map sweep_options_for [ 12.0; 24.0 ] in
+  let cache = Quant_cache.create () in
+  let first, _ = Sdft_analysis.sweep ~cache pumps_sd option_sets in
+  let misses_after_first = Quant_cache.misses cache in
+  Alcotest.(check bool) "first pass misses" true (misses_after_first > 0);
+  let second, _ = Sdft_analysis.sweep ~cache pumps_sd option_sets in
+  Alcotest.(check int) "second pass: no new misses" misses_after_first
+    (Quant_cache.misses cache);
+  Alcotest.(check bool) "second pass: hits" true
+    (List.for_all (fun (p : Sdft_analysis.sweep_point) -> p.cache_hits > 0) second);
+  (* Cached results must match independent uncached runs to 1e-12. *)
+  List.iter2
+    (fun (p : Sdft_analysis.sweep_point) opts ->
+      let uncached = Sdft_analysis.analyze ~options:opts pumps_sd in
+      check_close ~eps:1e-12 "cached total = uncached total"
+        uncached.Sdft_analysis.total p.sweep_result.Sdft_analysis.total;
+      List.iter2
+        (fun (a : Sdft_analysis.cutset_info) (b : Sdft_analysis.cutset_info) ->
+          Alcotest.(check bool) "same cutset" true (Int_set.equal a.cutset b.cutset);
+          check_close ~eps:1e-12 "cached p~ = uncached p~" a.probability b.probability)
+        uncached.Sdft_analysis.cutsets p.sweep_result.Sdft_analysis.cutsets)
+    (first @ second) (option_sets @ option_sets)
+
+let test_cache_isomorphic_cutsets_share () =
+  (* OR(AND(x1,y1), AND(x2,y2)) with identical DBE descriptors: the two
+     cutsets build isomorphic FT_C models, so one analyze call needs only
+     one transient solve. *)
+  let b = Fault_tree.Builder.create () in
+  let mk name = Fault_tree.Builder.basic b name in
+  let x1 = mk "x1" and y1 = mk "y1" and x2 = mk "x2" and y2 = mk "y2" in
+  let a1 = Fault_tree.Builder.gate b "a1" Fault_tree.And [ x1; y1 ] in
+  let a2 = Fault_tree.Builder.gate b "a2" Fault_tree.And [ x2; y2 ] in
+  let top = Fault_tree.Builder.gate b "top" Fault_tree.Or [ a1; a2 ] in
+  let tree = Fault_tree.Builder.build b ~top in
+  let dbe () = Dbe.erlang ~phases:2 ~lambda:1e-3 ~mu:0.05 () in
+  let sd =
+    Sdft.make tree
+      ~dynamic:[ ("x1", dbe ()); ("y1", dbe ()); ("x2", dbe ()); ("y2", dbe ()) ]
+      ~triggers:[]
+  in
+  let cache = Quant_cache.create () in
+  let r = Sdft_analysis.analyze ~cache sd in
+  Alcotest.(check int) "two cutsets" 2 r.Sdft_analysis.n_cutsets;
+  Alcotest.(check int) "one miss" 1 (Quant_cache.misses cache);
+  Alcotest.(check int) "one hit" 1 (Quant_cache.hits cache);
+  let uncached = Sdft_analysis.analyze sd in
+  check_close ~eps:1e-12 "total matches uncached" uncached.Sdft_analysis.total
+    r.Sdft_analysis.total
+
+let test_cache_industrial_sweep_matches_uncached () =
+  (* The acceptance scenario: a ≥3-horizon sweep on the (dynamized)
+     industrial model must hit the cache and agree with independent
+     uncached runs to 1e-12. *)
+  let tree = Industrial.generate Industrial.small in
+  let config =
+    {
+      Dynamize.default_config with
+      dynamic_fraction = 0.3;
+      trigger_fraction = 0.03;
+      repair_rate = Some 0.05;
+      chain_groups = Some (Industrial.run_event_groups tree);
+    }
+  in
+  let sd = (Dynamize.run ~config tree).Dynamize.sd in
+  let option_sets =
+    List.map
+      (fun horizon ->
+        {
+          Sdft_analysis.default_options with
+          engine = Sdft_analysis.Bdd_engine;
+          horizon;
+        })
+      [ 8.0; 24.0; 72.0 ]
+  in
+  let points, cache = Sdft_analysis.sweep sd option_sets in
+  Alcotest.(check bool) "nonzero hit rate" true (Quant_cache.hits cache > 0);
+  List.iter2
+    (fun (p : Sdft_analysis.sweep_point) opts ->
+      let uncached = Sdft_analysis.analyze ~options:opts sd in
+      check_close ~eps:1e-12 "total matches uncached"
+        uncached.Sdft_analysis.total p.sweep_result.Sdft_analysis.total;
+      List.iter2
+        (fun (a : Sdft_analysis.cutset_info) (b : Sdft_analysis.cutset_info) ->
+          Alcotest.(check bool) "same cutset" true (Int_set.equal a.cutset b.cutset);
+          check_close ~eps:1e-12 "p~ matches uncached" a.probability b.probability)
+        uncached.Sdft_analysis.cutsets p.sweep_result.Sdft_analysis.cutsets)
+    points option_sets
+
+let test_cache_fingerprint_name_independent () =
+  let model names =
+    let b = Fault_tree.Builder.create () in
+    let leaves = List.map (fun n -> Fault_tree.Builder.basic b n) names in
+    let top = Fault_tree.Builder.gate b "g" Fault_tree.And leaves in
+    let tree = Fault_tree.Builder.build b ~top in
+    Sdft.make tree
+      ~dynamic:(List.map (fun n -> (n, Dbe.exponential ~lambda:2e-3 ())) names)
+      ~triggers:[]
+  in
+  Alcotest.(check string) "renaming preserves the fingerprint"
+    (Quant_cache.fingerprint (model [ "u"; "v" ]))
+    (Quant_cache.fingerprint (model [ "p"; "q" ]));
+  Alcotest.(check bool) "different rates change it" true
+    (Quant_cache.fingerprint (model [ "u"; "v" ])
+    <> Quant_cache.fingerprint
+         (let b = Fault_tree.Builder.create () in
+          let leaves = [ Fault_tree.Builder.basic b "u"; Fault_tree.Builder.basic b "v" ] in
+          let top = Fault_tree.Builder.gate b "g" Fault_tree.And leaves in
+          let tree = Fault_tree.Builder.build b ~top in
+          Sdft.make tree
+            ~dynamic:[ ("u", Dbe.exponential ~lambda:2e-3 ());
+                       ("v", Dbe.exponential ~lambda:3e-3 ()) ]
+            ~triggers:[]))
+
 (* Soundness properties on random SD fault trees (cutoff 0):
 
    - with the exact [All_events] relevant sets, the rare-event sum
@@ -944,7 +1108,10 @@ let () =
           Alcotest.test_case "engines agree" `Quick test_analysis_engines_agree;
           Alcotest.test_case "parallel = sequential" `Quick
             test_analysis_parallel_matches_sequential;
+          Alcotest.test_case "parallel(4) identical probabilities" `Quick
+            test_analysis_parallel_4_identical_probabilities;
           Alcotest.test_case "dynamic importance" `Quick test_analysis_dynamic_importance;
+          Alcotest.test_case "FV respects cutoff" `Quick test_analysis_fv_respects_cutoff;
         ]
         @ qc
             [
@@ -953,6 +1120,17 @@ let () =
               prop_paper_rule_below_exact_rule;
               prop_analysis_single_mcs_exact;
             ] );
+      ( "quant cache",
+        [
+          Alcotest.test_case "sweep second pass hits" `Quick
+            test_cache_sweep_second_pass_hits;
+          Alcotest.test_case "isomorphic cutsets share" `Quick
+            test_cache_isomorphic_cutsets_share;
+          Alcotest.test_case "fingerprint name-independent" `Quick
+            test_cache_fingerprint_name_independent;
+          Alcotest.test_case "industrial sweep matches uncached" `Slow
+            test_cache_industrial_sweep_matches_uncached;
+        ] );
       ( "cut sequences",
         [
           Alcotest.test_case "triggered order forced" `Quick test_sequences_triggered_order_forced;

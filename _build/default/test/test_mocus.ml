@@ -104,6 +104,30 @@ let test_zero_cutoff_exhaustive () =
   let r = Mocus.run ~options pumps in
   Alcotest.(check int) "all 5" 5 (List.length r.Mocus.cutsets)
 
+(* Regression for the pick_gate early-exit and Int_set.remove hot-path
+   changes: MOCUS output on the seed models must still match the exact BDD
+   engine exactly (the expansion order may legally change, the cutset list
+   may not). *)
+let test_seed_models_mocus_equals_bdd () =
+  let check_model name tree =
+    let cutoff = 1e-15 in
+    let above = List.filter (fun c -> Cutset.probability tree c > cutoff) in
+    let options = { Mocus.default_options with cutoff } in
+    let mocus =
+      List.sort Int_set.compare (above (Mocus.minimal_cutsets ~options tree))
+    in
+    let bdd =
+      List.sort Int_set.compare (above (Minsol.fault_tree_cutsets_above tree ~cutoff))
+    in
+    Alcotest.(check int) (name ^ ": same count") (List.length bdd) (List.length mocus);
+    List.iter2
+      (fun a b ->
+        if not (Int_set.equal a b) then Alcotest.failf "%s: cutset lists differ" name)
+      mocus bdd
+  in
+  check_model "pumps" pumps;
+  check_model "bwr" (Bwr.static_tree ())
+
 (* Agreement with the exact BDD engine on random trees — the central
    correctness property of the MOCUS implementation. *)
 
@@ -328,6 +352,7 @@ let () =
           Alcotest.test_case "max order" `Quick test_max_order;
           Alcotest.test_case "max cutsets" `Quick test_max_cutsets_truncates;
           Alcotest.test_case "exhaustive" `Quick test_zero_cutoff_exhaustive;
+          Alcotest.test_case "seed models = BDD" `Quick test_seed_models_mocus_equals_bdd;
         ] );
       ( "properties",
         qc

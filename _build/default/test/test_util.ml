@@ -282,6 +282,22 @@ let test_table_cells () =
   Alcotest.(check string) "duration short" "7.9s" (Table.cell_duration 7.9);
   Alcotest.(check string) "duration long" "1m 53s" (Table.cell_duration 113.0)
 
+let test_int_set_remove () =
+  let s = Int_set.of_list [ 1; 3; 5 ] in
+  Alcotest.check iset "remove middle" (Int_set.of_list [ 1; 5 ]) (Int_set.remove 3 s);
+  Alcotest.check iset "remove first" (Int_set.of_list [ 3; 5 ]) (Int_set.remove 1 s);
+  Alcotest.check iset "remove last" (Int_set.of_list [ 1; 3 ]) (Int_set.remove 5 s);
+  Alcotest.check iset "remove absent" s (Int_set.remove 4 s);
+  Alcotest.check iset "remove to empty" Int_set.empty
+    (Int_set.remove 7 (Int_set.singleton 7));
+  Alcotest.check iset "remove from empty" Int_set.empty (Int_set.remove 7 Int_set.empty)
+
+let prop_remove =
+  QCheck.Test.make ~name:"Int_set.remove agrees with Set.remove" ~count:500
+    (QCheck.pair (QCheck.int_bound 30) small_list) (fun (x, l) ->
+      let s = Int_set.of_list l in
+      IS.equal (to_stdlib (Int_set.remove x s)) (IS.remove x (to_stdlib s)))
+
 (* Timer *)
 
 let test_timer_monotone () =
@@ -291,6 +307,143 @@ let test_timer_monotone () =
     x := !x + i
   done;
   Alcotest.(check bool) "elapsed non-negative" true (Timer.elapsed_s t >= 0.0)
+
+let dur s = Format.asprintf "%a" Timer.pp_duration s
+
+let test_pp_duration_boundaries () =
+  Alcotest.(check string) "short" "7.9s" (dur 7.9);
+  Alcotest.(check string) "long" "1m 53s" (dur 113.0);
+  Alcotest.(check string) "exact minute" "1m 0s" (dur 60.0);
+  (* 119.96 used to print as "1m 60s": minutes truncated, seconds rounded
+     independently. *)
+  Alcotest.(check string) "rounds to next minute" "2m 0s" (dur 119.96);
+  Alcotest.(check string) "rounds within minute" "1m 59s" (dur 119.4);
+  Alcotest.(check string) "rounds up across 60s" "1m 0s" (dur 59.97);
+  Alcotest.(check string) "stays below 60s" "59.9s" (dur 59.94)
+
+(* Metrics *)
+
+let test_metrics_counter () =
+  let c = Metrics.counter "test.counter" in
+  Alcotest.(check int) "fresh" 0 (Metrics.counter_value c);
+  Metrics.incr c;
+  Metrics.add c 41;
+  Alcotest.(check int) "42" 42 (Metrics.counter_value c);
+  (* Registration is idempotent: same name, same instrument. *)
+  Metrics.incr (Metrics.counter "test.counter");
+  Alcotest.(check int) "shared" 43 (Metrics.counter_value c)
+
+let test_metrics_gauge_span () =
+  let g = Metrics.gauge "test.gauge" in
+  Metrics.set g 2.5;
+  Metrics.set g 1.5;
+  check_float "gauge last write" 1.5 (Metrics.gauge_value g);
+  let s = Metrics.span "test.span" in
+  Metrics.record s 0.25;
+  Metrics.record s 0.5;
+  check_float "span total" 0.75 (Metrics.span_seconds s);
+  Alcotest.(check int) "span count" 2 (Metrics.span_count s);
+  let v = Metrics.time s (fun () -> 7) in
+  Alcotest.(check int) "time result" 7 v;
+  Alcotest.(check int) "time recorded" 3 (Metrics.span_count s);
+  (* The duration is recorded even when the timed function raises. *)
+  Alcotest.check_raises "raise passes through" Exit (fun () ->
+      Metrics.time s (fun () -> raise Exit));
+  Alcotest.(check int) "raise recorded" 4 (Metrics.span_count s)
+
+let test_metrics_snapshot_json_reset () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.snap_counter" in
+  Metrics.add c 5;
+  let s = Metrics.span "test.snap_span" in
+  Metrics.record s 1.5;
+  let snap = Metrics.snapshot () in
+  Alcotest.(check (option int))
+    "counter in snapshot" (Some 5)
+    (List.assoc_opt "test.snap_counter" snap.Metrics.counters);
+  Alcotest.(check bool)
+    "span in snapshot" true
+    (List.assoc_opt "test.snap_span" snap.Metrics.spans = Some (1.5, 1));
+  let names = List.map fst snap.Metrics.counters in
+  Alcotest.(check (list string)) "sorted" (List.sort compare names) names;
+  let json = Metrics.to_json () in
+  let contains needle =
+    let n = String.length needle and h = String.length json in
+    let rec loop i = i + n <= h && (String.sub json i n = needle || loop (i + 1)) in
+    loop 0
+  in
+  Alcotest.(check bool) "json counters" true (contains "\"counters\"");
+  Alcotest.(check bool) "json counter entry" true (contains "\"test.snap_counter\": 5");
+  Alcotest.(check bool) "json span fields" true (contains "\"count\": 1");
+  Metrics.reset ();
+  Alcotest.(check int) "reset zeroes" 0 (Metrics.counter_value c);
+  Alcotest.(check int) "reset keeps handle" 0 (Metrics.span_count s)
+
+let test_metrics_concurrent () =
+  let c = Metrics.counter "test.concurrent_counter" in
+  let s = Metrics.span "test.concurrent_span" in
+  let before_c = Metrics.counter_value c in
+  let before_total = Metrics.span_seconds s in
+  let before_n = Metrics.span_count s in
+  let per_domain = 10_000 in
+  let worker () =
+    for _ = 1 to per_domain do
+      Metrics.incr c;
+      Metrics.record s 0.001
+    done
+  in
+  let domains = Array.init 3 (fun _ -> Domain.spawn worker) in
+  worker ();
+  Array.iter Domain.join domains;
+  Alcotest.(check int) "no lost increments" (before_c + (4 * per_domain))
+    (Metrics.counter_value c);
+  Alcotest.(check int) "no lost records" (before_n + (4 * per_domain))
+    (Metrics.span_count s);
+  Alcotest.(check bool) "no lost float mass" true
+    (Float.abs (Metrics.span_seconds s -. before_total -. (0.001 *. float_of_int (4 * per_domain)))
+     < 1e-6)
+
+(* Parallel *)
+
+let test_parallel_map_matches_sequential () =
+  let work = Array.init 100 Fun.id in
+  let f x = (x * x) + 1 in
+  Alcotest.(check (array int))
+    "domains=4 matches map" (Array.map f work)
+    (Parallel.map ~domains:4 f work);
+  Alcotest.(check (array int))
+    "domains=1 matches map" (Array.map f work)
+    (Parallel.map ~domains:1 f work);
+  Alcotest.(check (array int)) "empty" [||] (Parallel.map ~domains:4 f [||])
+
+let test_parallel_map_init () =
+  (* Each domain gets its own scratch buffer; results must not depend on
+     which domain claimed which item. *)
+  let work = Array.init 50 Fun.id in
+  let init () = Buffer.create 8 in
+  let f buf x =
+    Buffer.clear buf;
+    Buffer.add_string buf (string_of_int (x * 2));
+    Buffer.contents buf
+  in
+  Alcotest.(check (array string))
+    "per-domain state" (Array.map (fun x -> string_of_int (x * 2)) work)
+    (Parallel.map_init ~domains:4 init f work)
+
+let test_parallel_worker_exception () =
+  (* The original exception must surface — not Invalid_argument from
+     collecting unfilled result slots. *)
+  let work = Array.init 64 Fun.id in
+  let f x = if x = 37 then failwith "boom" else x in
+  Alcotest.check_raises "original exception" (Failure "boom") (fun () ->
+      ignore (Parallel.map ~domains:4 f work));
+  Alcotest.check_raises "sequential path too" (Failure "boom") (fun () ->
+      ignore (Parallel.map ~domains:1 f work))
+
+let test_parallel_init_exception () =
+  let work = Array.init 8 Fun.id in
+  Alcotest.check_raises "init failure surfaces" (Failure "bad init") (fun () ->
+      ignore (Parallel.map_init ~domains:4 (fun () -> failwith "bad init") (fun () x -> x) work))
 
 let () =
   let qc = List.map QCheck_alcotest.to_alcotest in
@@ -331,8 +484,9 @@ let () =
           Alcotest.test_case "union/inter/diff" `Quick test_int_set_ops;
           Alcotest.test_case "subset" `Quick test_int_set_subset;
           Alcotest.test_case "compare" `Quick test_int_set_compare_by_cardinality;
+          Alcotest.test_case "remove" `Quick test_int_set_remove;
         ]
-        @ qc [ prop_union; prop_inter; prop_diff; prop_subset; prop_mem ] );
+        @ qc [ prop_union; prop_inter; prop_diff; prop_subset; prop_mem; prop_remove ] );
       ( "histogram",
         [
           Alcotest.test_case "counts" `Quick test_histogram_counts;
@@ -344,5 +498,23 @@ let () =
           Alcotest.test_case "render" `Quick test_table_renders;
           Alcotest.test_case "cells" `Quick test_table_cells;
         ] );
-      ("timer", [ Alcotest.test_case "monotone" `Quick test_timer_monotone ]);
+      ( "timer",
+        [
+          Alcotest.test_case "monotone" `Quick test_timer_monotone;
+          Alcotest.test_case "pp_duration boundaries" `Quick test_pp_duration_boundaries;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter" `Quick test_metrics_counter;
+          Alcotest.test_case "gauge/span" `Quick test_metrics_gauge_span;
+          Alcotest.test_case "snapshot/json/reset" `Quick test_metrics_snapshot_json_reset;
+          Alcotest.test_case "concurrent updates" `Quick test_metrics_concurrent;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "map matches sequential" `Quick test_parallel_map_matches_sequential;
+          Alcotest.test_case "map_init state" `Quick test_parallel_map_init;
+          Alcotest.test_case "worker exception" `Quick test_parallel_worker_exception;
+          Alcotest.test_case "init exception" `Quick test_parallel_init_exception;
+        ] );
     ]

@@ -59,6 +59,21 @@ let union a b =
 
 let add x a = if mem x a then a else union (singleton x) a
 
+let remove x a =
+  if not (mem x a) then a
+  else begin
+    let n = Array.length a in
+    let out = Array.make (n - 1) 0 in
+    let k = ref 0 in
+    for i = 0 to n - 1 do
+      if a.(i) <> x then begin
+        out.(!k) <- a.(i);
+        incr k
+      end
+    done;
+    out
+  end
+
 let subset a b =
   let na = Array.length a and nb = Array.length b in
   if na > nb then false

@@ -10,9 +10,11 @@ let time f =
   (result, elapsed_s t0)
 
 let pp_duration ppf seconds =
-  if seconds < 60.0 then Format.fprintf ppf "%.1fs" seconds
+  (* Round once, then split: otherwise 119.96 would print as "1m 60s"
+     (minutes truncated, rest rounded independently). *)
+  let tenths = Float.round (seconds *. 10.0) /. 10.0 in
+  if tenths < 60.0 then Format.fprintf ppf "%.1fs" tenths
   else begin
-    let minutes = int_of_float (seconds /. 60.0) in
-    let rest = seconds -. (float_of_int minutes *. 60.0) in
-    Format.fprintf ppf "%dm %.0fs" minutes rest
+    let total = int_of_float (Float.round seconds) in
+    Format.fprintf ppf "%dm %ds" (total / 60) (total mod 60)
   end
