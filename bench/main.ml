@@ -592,6 +592,279 @@ let u1_uncertainty () =
     (Table.cell_sci (Cutset.rare_event_approximation tree cutsets))
 
 (* ------------------------------------------------------------------ *)
+(* Kernel benchmarks: the flat-kernel quantification path against the
+   retained pre-CSR implementation (Reference). Three layers:
+     - dtmc_step: one uniformization step on a product chain;
+     - product build: packed mixed-radix exploration vs the array-keyed
+       generic path;
+     - end-to-end per-cutset quantification (product build + transient
+       solve; the shared Cutset_model.build is excluded) over the BWR and
+       scaled model-1 cutset lists, single domain.
+   Results go to stdout and optionally to a JSON file (--json PATH). *)
+
+let time_ns ?(warmup = 2) ~reps f =
+  for _ = 1 to warmup do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  let t0 = Timer.start () in
+  for _ = 1 to reps do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  Timer.elapsed_s t0 *. 1e9 /. float_of_int reps
+
+(* n AND-ed Erlang-k events — the e6 per-cutset model family. *)
+let erlang_cutset_sd ~n_dyn ~phases =
+  let b = Fault_tree.Builder.create () in
+  let leaves =
+    List.init n_dyn (fun i -> Fault_tree.Builder.basic b (Printf.sprintf "x%d" i))
+  in
+  let top = Fault_tree.Builder.gate b "top" Fault_tree.And leaves in
+  let tree = Fault_tree.Builder.build b ~top in
+  Sdft.make tree
+    ~dynamic:
+      (List.init n_dyn (fun i ->
+           (Printf.sprintf "x%d" i, Dbe.erlang ~phases ~lambda:1e-3 ~mu:0.05 ())))
+    ~triggers:[]
+
+(* The pre-PR quantification pipeline, reconstructed end to end from the
+   public semantics API so the benchmark measures new-vs-old rather than
+   new-vs-new: allocating gate evaluation per closure pass (no triggered
+   shortcut, no reused buffer), array-keyed interning with a state copy per
+   explored transition, a transitions list fed to the historical
+   hashtable-merge chain builder, and the boxed-row solver with fresh
+   vectors per call. *)
+type baseline_built = {
+  b_chain : Reference.t;
+  b_init : (int * float) list;
+  b_failed : bool array;
+}
+
+let baseline_build sd_c ~max_states =
+  let sem = Sdft_product.semantics sd_c in
+  let components = Sdft_product.sem_components sem in
+  let tree = Sdft.tree sd_c in
+  let slot_of_basic = Array.make (Fault_tree.n_basics tree) (-1) in
+  Array.iteri
+    (fun slot (c : Sdft_product.component) -> slot_of_basic.(c.basic) <- slot)
+    components;
+  let n_triggered =
+    Array.fold_left
+      (fun acc (c : Sdft_product.component) ->
+        if c.trigger_gate >= 0 then acc + 1 else acc)
+      0 components
+  in
+  let eval state =
+    Fault_tree.eval_gates tree ~failed:(fun b ->
+        let slot = slot_of_basic.(b) in
+        slot >= 0 && components.(slot).Sdft_product.failed_local.(state.(slot)))
+  in
+  let close state =
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      let gates = eval state in
+      Array.iteri
+        (fun slot (c : Sdft_product.component) ->
+          if c.trigger_gate >= 0 then begin
+            let on = c.mode_on.(state.(slot)) in
+            if on <> gates.(c.trigger_gate) then begin
+              state.(slot) <- c.partner.(state.(slot));
+              changed := true
+            end
+          end)
+        components
+    done;
+    ignore n_triggered
+  in
+  let fails_top state = (eval state).(Fault_tree.top tree) in
+  let ids : (int array, int) Hashtbl.t = Hashtbl.create 1024 in
+  let states = Sdft_util.Vec.create () in
+  let failed_v = Sdft_util.Vec.create () in
+  let frontier = Queue.create () in
+  let intern state =
+    match Hashtbl.find_opt ids state with
+    | Some id -> id
+    | None ->
+      let id = Sdft_util.Vec.length states in
+      if id >= max_states then raise (Sdft_product.Too_many_states id);
+      Hashtbl.add ids state id;
+      Sdft_util.Vec.push states state;
+      Sdft_util.Vec.push failed_v (fails_top state);
+      Queue.add id frontier;
+      id
+  in
+  let init_mass : (int, float) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (state, m) ->
+      let id = intern state in
+      let prev = try Hashtbl.find init_mass id with Not_found -> 0.0 in
+      Hashtbl.replace init_mass id (prev +. m))
+    (Sdft_product.sem_initial_states sem ~max_states);
+  let transitions = Sdft_util.Vec.create () in
+  while not (Queue.is_empty frontier) do
+    let src = Queue.pop frontier in
+    let state = Sdft_util.Vec.get states src in
+    Array.iteri
+      (fun slot (c : Sdft_product.component) ->
+        Array.iter
+          (fun (dst_local, rate) ->
+            let next = Array.copy state in
+            next.(slot) <- dst_local;
+            close next;
+            let dst = intern next in
+            if dst <> src then Sdft_util.Vec.push transitions (src, dst, rate))
+          c.Sdft_product.rows.(state.(slot)))
+      components
+  done;
+  let n_states = Sdft_util.Vec.length states in
+  let chain =
+    Reference.make ~n_states ~transitions:(Sdft_util.Vec.to_list transitions)
+  in
+  {
+    b_chain = chain;
+    b_init = Hashtbl.fold (fun id m acc -> (id, m) :: acc) init_mass [];
+    b_failed = Sdft_util.Vec.to_array failed_v;
+  }
+
+let quantify_baseline sd_c ~horizon =
+  let b = baseline_build sd_c ~max_states:1_000_000 in
+  Reference.reach_within b.b_chain ~init:b.b_init
+    ~target:(fun s -> b.b_failed.(s))
+    ~t:horizon
+
+let quantify_new ~workspace sd_c ~horizon =
+  let built = Sdft_product.build sd_c in
+  Sdft_product.unreliability ~workspace built ~horizon
+
+(* Dynamic sub-models of every cutset of [sd], shared-context build. *)
+let cutset_submodels sd =
+  let translation = Sdft_translate.translate sd ~horizon:24.0 in
+  let generated =
+    Sdft_analysis.generate_cutsets ~cutoff:1e-15 Sdft_analysis.Bdd_engine
+      translation.Sdft_translate.static_tree
+  in
+  let context = Cutset_model.context sd in
+  List.filter_map
+    (fun cutset ->
+      let m = Cutset_model.build ~context sd cutset in
+      m.Cutset_model.model)
+    generated.Mocus.cutsets
+
+let bench_kernels ~json_path () =
+  let t =
+    Table.create ~title:"Kernel benchmarks: flat path vs pre-CSR reference"
+      ~columns:[ "kernel"; "baseline ns/op"; "flat ns/op"; "speedup" ]
+  in
+  let results = ref [] in
+  let record name baseline_ns new_ns =
+    let speedup = baseline_ns /. new_ns in
+    results := (name, baseline_ns, new_ns, speedup) :: !results;
+    Table.add_row t
+      [
+        name;
+        Printf.sprintf "%.0f" baseline_ns;
+        Printf.sprintf "%.0f" new_ns;
+        Printf.sprintf "%.2fx" speedup;
+      ]
+  in
+  (* 1. Uniformization step on a 6-event Erlang-2 product chain (729
+     states), the Figure-3 family's mid-size representative. *)
+  let sd6 = erlang_cutset_sd ~n_dyn:6 ~phases:2 in
+  let built6 = Sdft_product.build sd6 in
+  let chain6 = built6.Sdft_product.chain in
+  let ref6 = Reference.of_ctmc chain6 in
+  let n6 = Ctmc.n_states chain6 in
+  let q6 = Ctmc.max_exit_rate chain6 in
+  let pi = Array.make n6 (1.0 /. float_of_int n6) in
+  let out = Array.make n6 0.0 in
+  Printf.printf "dtmc_step chain: %d states, %d transitions\n" n6
+    (Ctmc.n_transitions chain6);
+  let step_ref =
+    time_ns ~warmup:50 ~reps:2000 (fun () -> Reference.dtmc_step ref6 q6 pi out)
+  in
+  let step_csr =
+    time_ns ~warmup:50 ~reps:2000 (fun () -> Transient.dtmc_step chain6 q6 pi out)
+  in
+  record "dtmc_step (729 states)" step_ref step_csr;
+  (* 2. Product-state exploration: packed vs the pre-PR build. *)
+  let build_old =
+    time_ns ~warmup:2 ~reps:10 (fun () -> baseline_build sd6 ~max_states:1_000_000)
+  in
+  let build_packed =
+    time_ns ~warmup:2 ~reps:20 (fun () -> Sdft_product.build sd6)
+  in
+  record "product build (erlang-2 x6)" build_old build_packed;
+  (* 3. End-to-end per-cutset quantification, single domain. *)
+  let per_cutset name sd ~reps =
+    let models = cutset_submodels sd in
+    let n = List.length models in
+    Printf.printf "%s: %d dynamic cutset sub-models\n%!" name n;
+    let ws = Transient.workspace () in
+    let horizon = 24.0 in
+    (* Sanity: the reconstructed pre-PR pipeline and the flat path must
+       agree, or the comparison is meaningless. *)
+    List.iteri
+      (fun i m ->
+        if i < 25 then begin
+          let a = quantify_baseline m ~horizon in
+          let b = quantify_new ~workspace:ws m ~horizon in
+          if Float.abs (a -. b) > 1e-12 then
+            failwith
+              (Printf.sprintf "%s: baseline %.17g <> flat %.17g" name a b)
+        end)
+      models;
+    let baseline_ns =
+      time_ns ~warmup:1 ~reps (fun () ->
+          List.iter (fun m -> ignore (quantify_baseline m ~horizon)) models)
+    in
+    let new_ns =
+      time_ns ~warmup:1 ~reps (fun () ->
+          List.iter (fun m -> ignore (quantify_new ~workspace:ws m ~horizon)) models)
+    in
+    record
+      (Printf.sprintf "quantify/cutset (%s)" name)
+      (baseline_ns /. float_of_int n)
+      (new_ns /. float_of_int n)
+  in
+  let bwr =
+    Bwr.build
+      { Bwr.default_config with repair_rate = Some 0.1; triggers = Bwr.all_trigger_sites }
+  in
+  per_cutset "bwr" bwr ~reps:3;
+  let m1 =
+    let tree = scaled_model_1 () in
+    let config =
+      {
+        Dynamize.default_config with
+        dynamic_fraction = 0.3;
+        trigger_fraction = 0.03;
+        repair_rate = Some 0.05;
+        chain_groups = Some (Industrial.run_event_groups tree);
+      }
+    in
+    (Dynamize.run ~config tree).Dynamize.sd
+  in
+  per_cutset "model-1" m1 ~reps:2;
+  Table.print t;
+  match json_path with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc "{\n";
+    let entries = List.rev !results in
+    List.iteri
+      (fun i (name, baseline_ns, new_ns, speedup) ->
+        Printf.fprintf oc
+          "  %S: {\"baseline_ns_per_op\": %.1f, \"flat_ns_per_op\": %.1f, \
+           \"speedup\": %.3f}%s\n"
+          name baseline_ns new_ns speedup
+          (if i = List.length entries - 1 then "" else ","))
+      entries;
+    output_string oc "}\n";
+    close_out oc;
+    Printf.printf "kernel benchmark results written to %s\n" path
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -610,12 +883,32 @@ let experiments =
     ("u1", u1_uncertainty);
   ]
 
+let kernels_main args =
+  let json_path = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: path :: rest ->
+      json_path := Some path;
+      parse rest
+    | [ "--json" ] ->
+      prerr_endline "kernels: --json needs a file argument";
+      exit 2
+    | other :: _ ->
+      Printf.eprintf "kernels: unknown argument %S\n" other;
+      exit 2
+  in
+  parse args;
+  bench_kernels ~json_path:!json_path ()
+
 let () =
   let micro = ref true in
   let selected = ref [] in
   let metrics_file = ref None in
   let rec parse = function
     | [] -> ()
+    | "kernels" :: rest ->
+      kernels_main rest;
+      exit 0
     | "--full" :: rest ->
       full_scale := true;
       parse rest

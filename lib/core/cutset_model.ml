@@ -216,7 +216,7 @@ type quantification = {
   seconds : float;
 }
 
-let quantify ?epsilon ?max_states t ~horizon =
+let quantify ?epsilon ?max_states ?workspace t ~horizon =
   let t0 = Sdft_util.Timer.start () in
   if t.impossible then
     { probability = 0.0; product_states = 0; seconds = Sdft_util.Timer.elapsed_s t0 }
@@ -230,7 +230,7 @@ let quantify ?epsilon ?max_states t ~horizon =
       }
     | Some sd_c ->
       let built = Sdft_product.build ?max_states sd_c in
-      let p = Sdft_product.unreliability ?epsilon built ~horizon in
+      let p = Sdft_product.unreliability ?epsilon ?workspace built ~horizon in
       {
         probability = p *. t.static_multiplier;
         product_states = built.n_states;

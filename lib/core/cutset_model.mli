@@ -70,6 +70,13 @@ type quantification = {
 }
 
 val quantify :
-  ?epsilon:float -> ?max_states:int -> t -> horizon:float -> quantification
+  ?epsilon:float ->
+  ?max_states:int ->
+  ?workspace:Transient.workspace ->
+  t ->
+  horizon:float ->
+  quantification
 (** Builds the product chain of [model] (when present), runs the transient
-    analysis and multiplies by [static_multiplier]. *)
+    analysis and multiplies by [static_multiplier]. [workspace] lets
+    back-to-back quantifications reuse the solver's scratch vectors; do not
+    share one workspace across domains. *)

@@ -107,7 +107,7 @@ let store t key v =
   locked t (fun () ->
       if not (Hashtbl.mem t.table key) then Hashtbl.add t.table key v)
 
-let quantify t ~epsilon ~max_states (cm : Cutset_model.t) ~horizon =
+let quantify t ~epsilon ~max_states ?workspace (cm : Cutset_model.t) ~horizon =
   match cm.Cutset_model.model with
   | None ->
     (* Purely static or impossible: quantification is a multiplication. *)
@@ -132,7 +132,7 @@ let quantify t ~epsilon ~max_states (cm : Cutset_model.t) ~horizon =
       Metrics.incr m_misses;
       (* Too_many_states propagates before anything is stored. *)
       let built = Sdft_product.build ~max_states sd_c in
-      let p_dyn = Sdft_product.unreliability ~epsilon built ~horizon in
+      let p_dyn = Sdft_product.unreliability ~epsilon ?workspace built ~horizon in
       store t key (p_dyn, built.n_states);
       {
         Cutset_model.probability = p_dyn *. cm.Cutset_model.static_multiplier;

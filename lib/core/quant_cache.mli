@@ -42,10 +42,13 @@ val quantify :
   t ->
   epsilon:float ->
   max_states:int ->
+  ?workspace:Transient.workspace ->
   Cutset_model.t ->
   horizon:float ->
   Cutset_model.quantification
 (** Drop-in replacement for {!Cutset_model.quantify}. On a hit,
     [product_states] reports the size of the originally solved chain.
     [Sdft_product.Too_many_states] propagates uncached, so retrying with a
-    larger bound is never poisoned by a previous failure. *)
+    larger bound is never poisoned by a previous failure. [workspace] is
+    per-caller solver scratch (see {!Cutset_model.quantify}); the cache
+    itself stays shareable across domains. *)

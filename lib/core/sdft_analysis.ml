@@ -95,18 +95,18 @@ let analyze ?(options = default_options) ?cache sd =
                 translation.static_tree )))
   in
   (* Phase 2: per-cutset quantification. *)
-  let quantify_model model ~horizon =
+  let quantify_model ~workspace model ~horizon =
     match cache with
     | Some c ->
       Quant_cache.quantify c ~epsilon:options.transient_epsilon
-        ~max_states:options.max_product_states model ~horizon
+        ~max_states:options.max_product_states ~workspace model ~horizon
     | None ->
       Cutset_model.quantify ~epsilon:options.transient_epsilon
-        ~max_states:options.max_product_states model ~horizon
+        ~max_states:options.max_product_states ~workspace model ~horizon
   in
-  let quantify_one context cutset =
+  let quantify_one (context, workspace) cutset =
     let model = Cutset_model.build ~context ~rel_rule:options.rel_rule sd cutset in
-    match quantify_model model ~horizon:options.horizon with
+    match quantify_model ~workspace model ~horizon:options.horizon with
     | q ->
       {
         cutset;
@@ -136,25 +136,61 @@ let analyze ?(options = default_options) ?cache sd =
       }
   in
   let quantify_sequential cutsets =
-    let context = Cutset_model.context sd in
-    List.map (quantify_one context) cutsets
+    let worker = (Cutset_model.context sd, Transient.workspace ()) in
+    List.map (quantify_one worker) cutsets
   in
   (* Parallel variant: the shared model is read-only once its lazy
      descendant caches are forced, so workers only need their own
-     per-analysis context. [Parallel.map_init] distributes work by an
-     atomic counter and re-raises the first worker exception after all
-     domains have joined (a crashed worker must not surface as an
-     [Option.get] failure on its unfilled result slots). *)
+     per-analysis context and solver workspace. [Parallel.map_init]
+     distributes work by an atomic counter and re-raises the first worker
+     exception after all domains have joined (a crashed worker must not
+     surface as an [Option.get] failure on its unfilled result slots). *)
   let quantify_parallel n_domains cutsets =
     let tree = Sdft.tree sd in
     for g = 0 to Fault_tree.n_gates tree - 1 do
       ignore (Fault_tree.descendant_basics tree g);
       ignore (Sdft.dynamic_descendants sd g)
     done;
-    Array.to_list
-      (Sdft_util.Parallel.map_init ~domains:n_domains
-         (fun () -> Cutset_model.context sd)
-         quantify_one (Array.of_list cutsets))
+    let arr = Array.of_list cutsets in
+    let n = Array.length arr in
+    (* Cost-descending schedule: with an atomic-counter scheduler, a big
+       cutset picked up last leaves one domain solving alone while the
+       others idle. Hand out the expensive cutsets first — more dynamic
+       events means a (multiplicatively) larger product chain, ties broken
+       by static probability as a proxy for the remaining work. Results
+       are restored to input order, so the Kahan total sums in exactly the
+       sequential order and stays bit-identical. *)
+    let n_dyn =
+      Array.map
+        (fun c ->
+          Sdft_util.Int_set.fold
+            (fun b acc -> if Sdft.is_dynamic sd b then acc + 1 else acc)
+            c 0)
+        arr
+    in
+    let static_p =
+      Array.map
+        (fun c -> Cutset.probability translation.Sdft_translate.static_tree c)
+        arr
+    in
+    let order = Array.init n Fun.id in
+    Array.sort
+      (fun i j ->
+        let c = compare n_dyn.(j) n_dyn.(i) in
+        if c <> 0 then c
+        else
+          let c = compare static_p.(j) static_p.(i) in
+          if c <> 0 then c else compare i j)
+      order;
+    let scheduled = Array.map (fun i -> arr.(i)) order in
+    let results =
+      Sdft_util.Parallel.map_init ~domains:n_domains
+        (fun () -> (Cutset_model.context sd, Transient.workspace ()))
+        quantify_one scheduled
+    in
+    let restored = Array.make n None in
+    Array.iteri (fun pos r -> restored.(order.(pos)) <- Some r) results;
+    List.init n (fun i -> Option.get restored.(i))
   in
   let infos, quantification_seconds =
     Sdft_util.Timer.time (fun () ->

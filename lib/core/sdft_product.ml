@@ -75,9 +75,14 @@ let component_of_basic sd b =
 type semantics = {
   sd : Sdft.t;
   assumed_failed : Int_set.t;
+  assumed_arr : bool array; (* assumed_failed as a flat lookup *)
   components : component array;
   slot_of_basic : int array;
   n_triggered : int;
+  gates_buf : bool array;
+      (* scratch for gate evaluations; closure passes stop allocating a
+         gates array per call. One semantics must not be shared between
+         domains. *)
 }
 
 let semantics ?(assumed_failed = Int_set.empty) sd =
@@ -101,23 +106,44 @@ let semantics ?(assumed_failed = Int_set.empty) sd =
       (fun acc c -> if c.trigger_gate >= 0 then acc + 1 else acc)
       0 components
   in
-  { sd; assumed_failed; components; slot_of_basic; n_triggered }
+  let assumed_arr = Array.make (Fault_tree.n_basics tree) false in
+  Int_set.iter (fun b -> assumed_arr.(b) <- true) assumed_failed;
+  {
+    sd;
+    assumed_failed;
+    assumed_arr;
+    components;
+    slot_of_basic;
+    n_triggered;
+    gates_buf = Array.make (Fault_tree.n_gates tree) false;
+  }
 
 let sem_components sem = sem.components
 
+(* Evaluates into the semantics' scratch buffer; the returned array is
+   overwritten by the next [eval] on the same semantics. *)
 let eval sem state =
+  let assumed = sem.assumed_arr in
+  let slots = sem.slot_of_basic in
+  let comps = sem.components in
   let basic_failed b =
-    if Int_set.mem b sem.assumed_failed then true
-    else
-      let slot = sem.slot_of_basic.(b) in
-      slot >= 0 && sem.components.(slot).failed_local.(state.(slot))
+    assumed.(b)
+    ||
+    let slot = slots.(b) in
+    slot >= 0 && comps.(slot).failed_local.(state.(slot))
   in
-  Fault_tree.eval_gates (Sdft.tree sem.sd) ~failed:basic_failed
+  Fault_tree.eval_gates_into (Sdft.tree sem.sd) ~failed:basic_failed
+    sem.gates_buf;
+  sem.gates_buf
 
 (* Update closure: switch triggered events until consistent. Each pass
    settles at least the events whose triggers' values are final, so
-   n_triggered + 1 passes always suffice (trigger structure is acyclic). *)
+   n_triggered + 1 passes always suffice (trigger structure is acyclic).
+   Without triggered events every state is already consistent, and the
+   exploration loops skip the gate evaluations entirely. *)
 let sem_close sem state =
+  if sem.n_triggered = 0 then ()
+  else begin
   let passes = ref 0 in
   let changed = ref true in
   while !changed do
@@ -138,6 +164,7 @@ let sem_close sem state =
     if !passes > sem.n_triggered + 2 then
       failwith "Sdft_product: update closure did not converge (cyclic triggers?)"
   done
+  end
 
 let sem_fails_top sem state =
   (eval sem state).(Fault_tree.top (Sdft.tree sem.sd))
@@ -166,11 +193,116 @@ let sem_initial_states sem ~max_states =
   enumerate 0 (Array.make n_components 0) 1.0;
   Hashtbl.fold (fun state m acc -> (state, m) :: acc) masses []
 
-let build ?(max_states = 1_000_000) ?assumed_failed sd =
-  let sem = semantics ?assumed_failed sd in
+(* Mixed-radix packing: the component state vector fits one OCaml int when
+   the product of the local state counts does (FT_C components have 2-6
+   local states, so this is virtually always true). Packed states intern
+   through an int-keyed table and the successor loop reuses two scratch
+   vectors — no per-transition array allocation or polymorphic hashing. *)
+let radix_strides components =
+  let n = Array.length components in
+  let strides = Array.make n 1 in
+  let rec fits i acc =
+    if i = n then Some strides
+    else begin
+      strides.(i) <- acc;
+      let r = components.(i).n_local in
+      if r = 0 || acc > max_int / r then None else fits (i + 1) (acc * r)
+    end
+  in
+  fits 0 1
+
+let pack strides state =
+  let key = ref 0 in
+  for i = 0 to Array.length state - 1 do
+    key := !key + (state.(i) * strides.(i))
+  done;
+  !key
+
+let unpack strides key state =
+  let k = ref key in
+  for i = Array.length state - 1 downto 0 do
+    let q = !k / strides.(i) in
+    state.(i) <- q;
+    k := !k - (q * strides.(i))
+  done
+
+(* Exploration produces identical state numbering (and hence bit-identical
+   chains) on both paths: initial states are interned in the same order and
+   the successor loops visit (slot, local transition) pairs identically. *)
+let build_packed sem ~max_states strides =
   let components = sem.components in
-  (* State interning. *)
-  let ids : (int array, int) Hashtbl.t = Hashtbl.create 1024 in
+  let n_components = Array.length components in
+  let ids : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let keys : int Sdft_util.Vec.t = Sdft_util.Vec.create () in
+  let failed_v = Sdft_util.Vec.create () in
+  let frontier = Queue.create () in
+  let intern key state =
+    match Hashtbl.find_opt ids key with
+    | Some id -> id
+    | None ->
+      let id = Sdft_util.Vec.length keys in
+      if id >= max_states then raise (Too_many_states id);
+      Hashtbl.add ids key id;
+      Sdft_util.Vec.push keys key;
+      Sdft_util.Vec.push failed_v (sem_fails_top sem state);
+      Queue.add id frontier;
+      id
+  in
+  let init_mass : (int, float) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (state, m) ->
+      let id = intern (pack strides state) state in
+      let prev = try Hashtbl.find init_mass id with Not_found -> 0.0 in
+      Hashtbl.replace init_mass id (prev +. m))
+    (sem_initial_states sem ~max_states);
+  (* Breadth-first exploration of consistent states over two reused scratch
+     vectors: [state] is the decoded source, [next] the successor being
+     closed. *)
+  let srcs : int Sdft_util.Vec.t = Sdft_util.Vec.create () in
+  let dsts : int Sdft_util.Vec.t = Sdft_util.Vec.create () in
+  let trates : float Sdft_util.Vec.t = Sdft_util.Vec.create () in
+  let state = Array.make n_components 0 in
+  let next = Array.make n_components 0 in
+  while not (Queue.is_empty frontier) do
+    let src = Queue.pop frontier in
+    unpack strides (Sdft_util.Vec.get keys src) state;
+    for slot = 0 to n_components - 1 do
+      let row = components.(slot).rows.(state.(slot)) in
+      Array.iter
+        (fun (dst_local, rate) ->
+          Array.blit state 0 next 0 n_components;
+          next.(slot) <- dst_local;
+          sem_close sem next;
+          let dst = intern (pack strides next) next in
+          if dst <> src then begin
+            Sdft_util.Vec.push srcs src;
+            Sdft_util.Vec.push dsts dst;
+            Sdft_util.Vec.push trates rate
+          end)
+        row
+    done
+  done;
+  let n_states = Sdft_util.Vec.length keys in
+  let chain =
+    Ctmc.of_arrays ~n_states
+      ~srcs:(Sdft_util.Vec.to_array srcs)
+      ~dsts:(Sdft_util.Vec.to_array dsts)
+      ~rates:(Sdft_util.Vec.to_array trates)
+  in
+  let init = Hashtbl.fold (fun id m acc -> (id, m) :: acc) init_mass [] in
+  {
+    chain;
+    init;
+    failed = Sdft_util.Vec.to_array failed_v;
+    participants = Array.map (fun c -> c.basic) components;
+    n_states;
+  }
+
+(* Generic fallback for oversized radix products: array-keyed interning with
+   a state copy per explored transition. *)
+let build_generic sem ~max_states =
+  let components = sem.components in
+  let ids : (int array, int) Hashtbl.t = Hashtbl.create 64 in
   let states = Sdft_util.Vec.create () in
   let failed_v = Sdft_util.Vec.create () in
   let frontier = Queue.create () in
@@ -223,9 +355,17 @@ let build ?(max_states = 1_000_000) ?assumed_failed sd =
     n_states;
   }
 
-let unreliability ?(epsilon = 1e-12) built ~horizon =
+let build ?(max_states = 1_000_000) ?assumed_failed ?(generic = false) sd =
+  let sem = semantics ?assumed_failed sd in
+  if generic then build_generic sem ~max_states
+  else
+    match radix_strides sem.components with
+    | Some strides -> build_packed sem ~max_states strides
+    | None -> build_generic sem ~max_states
+
+let unreliability ?(epsilon = 1e-12) ?workspace built ~horizon =
   let options = { Transient.default_options with epsilon } in
-  Transient.reach_within ~options built.chain ~init:built.init
+  Transient.reach_within ~options ?workspace built.chain ~init:built.init
     ~target:(fun s -> built.failed.(s))
     ~t:horizon
 

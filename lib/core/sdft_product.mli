@@ -28,7 +28,12 @@ type built = {
 exception Too_many_states of int
 (** Raised when exploration exceeds [max_states]. *)
 
-val build : ?max_states:int -> ?assumed_failed:Sdft_util.Int_set.t -> Sdft.t -> built
+val build :
+  ?max_states:int ->
+  ?assumed_failed:Sdft_util.Int_set.t ->
+  ?generic:bool ->
+  Sdft.t ->
+  built
 (** [build sd] explores the reachable consistent product states from the
     initial distribution. [assumed_failed] names static basic events that
     are conditioned to be failed — they leave the product and count as
@@ -36,10 +41,18 @@ val build : ?max_states:int -> ?assumed_failed:Sdft_util.Int_set.t -> Sdft.t -> 
     static events of the cutset are factored out). [max_states] defaults to
     1_000_000.
 
+    States are packed into single integers (mixed-radix) whenever the radix
+    product fits in an OCaml int, which makes exploration allocation-light;
+    [generic:true] forces the array-keyed fallback path instead (used by
+    tests and benchmarks — both paths produce bit-identical results).
+
     @raise Invalid_argument if [assumed_failed] contains a dynamic event. *)
 
-val unreliability : ?epsilon:float -> built -> horizon:float -> float
-(** [Pr(reach a failed product state within the horizon)]. *)
+val unreliability :
+  ?epsilon:float -> ?workspace:Transient.workspace -> built -> horizon:float ->
+  float
+(** [Pr(reach a failed product state within the horizon)]. [workspace]
+    removes the solver's per-call vector allocations. *)
 
 val solve :
   ?max_states:int -> ?epsilon:float -> Sdft.t -> horizon:float -> float

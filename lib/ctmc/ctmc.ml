@@ -1,52 +1,157 @@
+(* Flat CSR representation: row [i] owns the index range
+   [row_ptr.(i) .. row_end.(i) - 1] of [cols]/[rates]. For freshly built
+   chains [row_end.(i) = row_ptr.(i + 1)]; [restrict_absorbing] produces
+   views that share [row_ptr]/[cols]/[rates] and only replace [row_end]
+   (emptied rows) and [exit]. [rates] is an unboxed float array, so the hot
+   uniformization loop is two flat-array reads per transition instead of a
+   pointer chase through boxed [(int * float)] pairs. *)
 type t = {
   n : int;
-  rows : (int * float) array array;
+  row_ptr : int array; (* length n + 1 *)
+  row_end : int array; (* length n *)
+  cols : int array;
+  rates : float array;
   exit : float array;
 }
 
+let validate_transition n_states (src, dst, rate) =
+  if src < 0 || src >= n_states || dst < 0 || dst >= n_states then
+    invalid_arg "Ctmc.make: state out of range";
+  if src = dst then invalid_arg "Ctmc.make: self-loop";
+  if rate <= 0.0 || not (Float.is_finite rate) then
+    invalid_arg "Ctmc.make: rate must be positive and finite"
+
+(* Stable insertion sort of the row segment [lo, hi) by destination, keeping
+   [cols] and [rates] in step. Rows are tiny (a handful of entries), and an
+   int comparison avoids the polymorphic [compare] on boxed pairs. *)
+let sort_row_segment cols rates lo hi =
+  for k = lo + 1 to hi - 1 do
+    let c = cols.(k) and r = rates.(k) in
+    let j = ref k in
+    while !j > lo && cols.(!j - 1) > c do
+      cols.(!j) <- cols.(!j - 1);
+      rates.(!j) <- rates.(!j - 1);
+      decr j
+    done;
+    cols.(!j) <- c;
+    rates.(!j) <- r
+  done
+
+(* Shared merge pass: rows have been bucket-filled in input order into
+   [cols]/[rates] delimited by [row_ptr]; sort each row and merge duplicate
+   destinations in place (compacting towards the front). Duplicates are
+   summed last-to-first within each run, matching the historical
+   hashtable-accumulator order bit for bit. *)
+let finish ~n_states row_ptr cols rates =
+  let merged_ptr = Array.make (n_states + 1) 0 in
+  let w = ref 0 in
+  for i = 0 to n_states - 1 do
+    merged_ptr.(i) <- !w;
+    let lo = row_ptr.(i) and hi = row_ptr.(i + 1) in
+    sort_row_segment cols rates lo hi;
+    let k = ref lo in
+    while !k < hi do
+      let dst = cols.(!k) in
+      let last = ref !k in
+      while !last + 1 < hi && cols.(!last + 1) = dst do incr last done;
+      let acc = ref rates.(!last) in
+      for p = !last - 1 downto !k do
+        acc := !acc +. rates.(p)
+      done;
+      cols.(!w) <- dst;
+      rates.(!w) <- !acc;
+      incr w;
+      k := !last + 1
+    done
+  done;
+  merged_ptr.(n_states) <- !w;
+  let cols = Array.sub cols 0 !w and rates = Array.sub rates 0 !w in
+  let exit = Array.make n_states 0.0 in
+  for i = 0 to n_states - 1 do
+    let acc = ref 0.0 in
+    for k = merged_ptr.(i) to merged_ptr.(i + 1) - 1 do
+      acc := !acc +. rates.(k)
+    done;
+    exit.(i) <- !acc
+  done;
+  {
+    n = n_states;
+    row_ptr = merged_ptr;
+    row_end = Array.sub merged_ptr 1 n_states;
+    cols;
+    rates;
+    exit;
+  }
+
 let make ~n_states ~transitions =
   if n_states <= 0 then invalid_arg "Ctmc.make: need at least one state";
-  let buckets = Array.make n_states [] in
+  (* Counting pass + fill: no per-state hashtable, no intermediate lists. *)
+  let row_ptr = Array.make (n_states + 1) 0 in
+  List.iter
+    (fun ((src, _, _) as tr) ->
+      validate_transition n_states tr;
+      row_ptr.(src + 1) <- row_ptr.(src + 1) + 1)
+    transitions;
+  for i = 0 to n_states - 1 do
+    row_ptr.(i + 1) <- row_ptr.(i + 1) + row_ptr.(i)
+  done;
+  let total = row_ptr.(n_states) in
+  let cols = Array.make total 0 and rates = Array.make total 0.0 in
+  let fill = Array.sub row_ptr 0 n_states in
   List.iter
     (fun (src, dst, rate) ->
-      if src < 0 || src >= n_states || dst < 0 || dst >= n_states then
-        invalid_arg "Ctmc.make: state out of range";
-      if src = dst then invalid_arg "Ctmc.make: self-loop";
-      if rate <= 0.0 || not (Float.is_finite rate) then
-        invalid_arg "Ctmc.make: rate must be positive and finite";
-      buckets.(src) <- (dst, rate) :: buckets.(src))
+      let k = fill.(src) in
+      cols.(k) <- dst;
+      rates.(k) <- rate;
+      fill.(src) <- k + 1)
     transitions;
-  let merge_row lst =
-    let tbl = Hashtbl.create 8 in
-    List.iter
-      (fun (dst, rate) ->
-        let prev = try Hashtbl.find tbl dst with Not_found -> 0.0 in
-        Hashtbl.replace tbl dst (prev +. rate))
-      lst;
-    let row = Hashtbl.fold (fun dst rate acc -> (dst, rate) :: acc) tbl [] in
-    let row = Array.of_list row in
-    Array.sort (fun (a, _) (b, _) -> compare a b) row;
-    row
-  in
-  let rows = Array.map merge_row buckets in
-  let exit =
-    Array.map (Array.fold_left (fun acc (_, r) -> acc +. r) 0.0) rows
-  in
-  { n = n_states; rows; exit }
+  finish ~n_states row_ptr cols rates
+
+let of_arrays ~n_states ~srcs ~dsts ~rates:in_rates =
+  if n_states <= 0 then invalid_arg "Ctmc.make: need at least one state";
+  let total = Array.length srcs in
+  if Array.length dsts <> total || Array.length in_rates <> total then
+    invalid_arg "Ctmc.of_arrays: mismatched array lengths";
+  let row_ptr = Array.make (n_states + 1) 0 in
+  for k = 0 to total - 1 do
+    validate_transition n_states (srcs.(k), dsts.(k), in_rates.(k));
+    row_ptr.(srcs.(k) + 1) <- row_ptr.(srcs.(k) + 1) + 1
+  done;
+  for i = 0 to n_states - 1 do
+    row_ptr.(i + 1) <- row_ptr.(i + 1) + row_ptr.(i)
+  done;
+  let cols = Array.make total 0 and rates = Array.make total 0.0 in
+  let fill = Array.sub row_ptr 0 n_states in
+  for k = 0 to total - 1 do
+    let src = srcs.(k) in
+    let slot = fill.(src) in
+    cols.(slot) <- dsts.(k);
+    rates.(slot) <- in_rates.(k);
+    fill.(src) <- slot + 1
+  done;
+  finish ~n_states row_ptr cols rates
 
 let n_states c = c.n
+
+let row_ptr c = c.row_ptr
+
+let row_end c = c.row_end
+
+let cols c = c.cols
+
+let rates c = c.rates
+
+let exit_rates c = c.exit
 
 let rate c i j =
   if i < 0 || i >= c.n || j < 0 || j >= c.n then
     invalid_arg "Ctmc.rate: state out of range";
-  let row = c.rows.(i) in
   let rec loop k =
-    if k >= Array.length row then 0.0
-    else
-      let dst, r = row.(k) in
-      if dst = j then r else loop (k + 1)
+    if k >= c.row_end.(i) then 0.0
+    else if c.cols.(k) = j then c.rates.(k)
+    else loop (k + 1)
   in
-  loop 0
+  loop c.row_ptr.(i)
 
 let exit_rate c i =
   if i < 0 || i >= c.n then invalid_arg "Ctmc.exit_rate: state out of range";
@@ -54,37 +159,52 @@ let exit_rate c i =
 
 let max_exit_rate c = Array.fold_left max 0.0 c.exit
 
+let iter_row c i f =
+  if i < 0 || i >= c.n then invalid_arg "Ctmc.iter_row: state out of range";
+  for k = c.row_ptr.(i) to c.row_end.(i) - 1 do
+    f c.cols.(k) c.rates.(k)
+  done
+
 let outgoing c i =
   if i < 0 || i >= c.n then invalid_arg "Ctmc.outgoing: state out of range";
-  c.rows.(i)
+  let lo = c.row_ptr.(i) in
+  Array.init (c.row_end.(i) - lo) (fun k -> (c.cols.(lo + k), c.rates.(lo + k)))
 
 let n_transitions c =
-  Array.fold_left (fun acc row -> acc + Array.length row) 0 c.rows
+  let acc = ref 0 in
+  for i = 0 to c.n - 1 do
+    acc := !acc + (c.row_end.(i) - c.row_ptr.(i))
+  done;
+  !acc
 
 let iter_transitions c f =
-  Array.iteri (fun src row -> Array.iter (fun (dst, r) -> f src dst r) row) c.rows
+  for src = 0 to c.n - 1 do
+    for k = c.row_ptr.(src) to c.row_end.(src) - 1 do
+      f src c.cols.(k) c.rates.(k)
+    done
+  done
 
 let restrict_absorbing c is_absorbing =
-  let rows =
-    Array.mapi (fun i row -> if is_absorbing i then [||] else row) c.rows
+  (* Share [row_ptr]/[cols]/[rates]; only the per-row end markers and the
+     exit rates change. The parent chain is never mutated. *)
+  let row_end =
+    Array.init c.n (fun i -> if is_absorbing i then c.row_ptr.(i) else c.row_end.(i))
   in
-  let exit =
-    Array.map (Array.fold_left (fun acc (_, r) -> acc +. r) 0.0) rows
-  in
-  { n = c.n; rows; exit }
+  let exit = Array.init c.n (fun i -> if is_absorbing i then 0.0 else c.exit.(i)) in
+  { c with row_end; exit }
 
 let embedded_dtmc_row c i =
-  let row = outgoing c i in
   let e = c.exit.(i) in
-  if e = 0.0 then [||] else Array.map (fun (dst, r) -> (dst, r /. e)) row
+  if e = 0.0 then [||]
+  else begin
+    let lo = c.row_ptr.(i) in
+    Array.init (c.row_end.(i) - lo) (fun k ->
+        (c.cols.(lo + k), c.rates.(lo + k) /. e))
+  end
 
 let pp ppf c =
   Format.fprintf ppf "@[<v>CTMC with %d states, %d transitions@," c.n
     (n_transitions c);
-  Array.iteri
-    (fun src row ->
-      Array.iter
-        (fun (dst, r) -> Format.fprintf ppf "  %d -> %d @@ %g@," src dst r)
-        row)
-    c.rows;
+  iter_transitions c (fun src dst r ->
+      Format.fprintf ppf "  %d -> %d @@ %g@," src dst r);
   Format.fprintf ppf "@]"

@@ -2,7 +2,13 @@
 
     A CTMC over states [0 .. n-1] is given by its outgoing transitions
     [R(i,j) >= 0] for [i <> j]. Self-loops carry no semantics in a CTMC and
-    are rejected by the builder. *)
+    are rejected by the builder.
+
+    The matrix is stored in CSR form: three flat arrays [row_ptr]/[cols]/
+    [rates] (the rate array is unboxed), plus per-row end markers so that
+    {!restrict_absorbing} can share the transition arrays of its parent.
+    Hot numeric loops should fetch the arrays once and index directly;
+    {!outgoing} remains as an allocating compatibility view. *)
 
 type t
 
@@ -13,6 +19,12 @@ val make : n_states:int -> transitions:(int * int * float) list -> t
 
     @raise Invalid_argument on out-of-range states, non-positive rates, or
     self-loops. *)
+
+val of_arrays :
+  n_states:int -> srcs:int array -> dsts:int array -> rates:float array -> t
+(** [make] from parallel arrays instead of a list of triples: same
+    validation and duplicate merging, without building the intermediate
+    list. The input arrays are not retained. *)
 
 val n_states : t -> int
 
@@ -25,9 +37,37 @@ val exit_rate : t -> int -> float
 val max_exit_rate : t -> float
 (** Uniformization constant [q >= max_i E(i)]. *)
 
+(** {1 Flat CSR access}
+
+    The returned arrays are the chain's internals, shared with the chain
+    (and possibly with chains derived by {!restrict_absorbing}): do not
+    mutate them. Row [i] spans [row_ptr.(i) .. row_end.(i) - 1] of
+    [cols]/[rates]; destinations are sorted in increasing order. *)
+
+val row_ptr : t -> int array
+(** Row start offsets; length [n_states + 1]. *)
+
+val row_end : t -> int array
+(** Row end offsets; length [n_states]. Equal to [row_ptr.(i + 1)] for
+    freshly built chains; smaller for rows emptied by
+    {!restrict_absorbing}. *)
+
+val cols : t -> int array
+(** Transition destinations. *)
+
+val rates : t -> float array
+(** Transition rates (unboxed float array). *)
+
+val exit_rates : t -> float array
+(** Per-state exit rates; length [n_states]. Shared; do not mutate. *)
+
+val iter_row : t -> int -> (int -> float -> unit) -> unit
+(** [iter_row c i f] calls [f dst rate] for every outgoing transition of
+    [i], in increasing destination order, without allocating. *)
+
 val outgoing : t -> int -> (int * float) array
-(** Outgoing transitions of a state as [(dst, rate)] pairs (shared array; do
-    not mutate). *)
+(** Outgoing transitions of a state as [(dst, rate)] pairs. Compatibility
+    view: unlike the CSR accessors it allocates a fresh array per call. *)
 
 val n_transitions : t -> int
 
@@ -37,7 +77,8 @@ val restrict_absorbing : t -> (int -> bool) -> t
 (** [restrict_absorbing c is_absorbing] removes every outgoing transition of
     the states selected by [is_absorbing], making them absorbing. Used to
     turn transient occupancy of a target set into time-bounded
-    reachability. *)
+    reachability. The result shares the parent's transition arrays; the
+    parent is not modified. *)
 
 val embedded_dtmc_row : t -> int -> (int * float) array
 (** Jump-chain probabilities of a state: outgoing rates normalised by the

@@ -1,12 +1,23 @@
 let solve ?(max_iter = 100_000) ?(tolerance = 1e-12) chain =
   let n = Ctmc.n_states chain in
-  (* Incoming-transition view for the Gauss-Seidel update
-     pi(j) = (sum_{i<>j} pi(i) R(i,j)) / E(j). *)
-  let incoming = Array.make n [] in
+  (* Incoming-transition view (CSC: counting pass + fill) for the
+     Gauss-Seidel update pi(j) = (sum_{i<>j} pi(i) R(i,j)) / E(j). *)
+  let in_ptr = Array.make (n + 1) 0 in
+  Ctmc.iter_transitions chain (fun _ dst _ ->
+      in_ptr.(dst + 1) <- in_ptr.(dst + 1) + 1);
+  for j = 0 to n - 1 do
+    in_ptr.(j + 1) <- in_ptr.(j + 1) + in_ptr.(j)
+  done;
+  let in_src = Array.make in_ptr.(n) 0 in
+  let in_rate = Array.make in_ptr.(n) 0.0 in
+  let fill = Array.sub in_ptr 0 n in
   Ctmc.iter_transitions chain (fun src dst rate ->
-      incoming.(dst) <- (src, rate) :: incoming.(dst));
+      let k = fill.(dst) in
+      in_src.(k) <- src;
+      in_rate.(k) <- rate;
+      fill.(dst) <- k + 1);
   let pi = Array.make n (1.0 /. float_of_int n) in
-  let exit = Array.init n (Ctmc.exit_rate chain) in
+  let exit = Ctmc.exit_rates chain in
   let normalize () =
     let total = Sdft_util.Kahan.sum pi in
     if total > 0.0 then
@@ -20,12 +31,13 @@ let solve ?(max_iter = 100_000) ?(tolerance = 1e-12) chain =
       let delta = ref 0.0 in
       for j = 0 to n - 1 do
         if exit.(j) > 0.0 then begin
-          let inflow =
-            List.fold_left
-              (fun acc (i, r) -> acc +. (pi.(i) *. r))
-              0.0 incoming.(j)
-          in
-          let v = inflow /. exit.(j) in
+          (* The historical list view accumulated most-recent-first; walk
+             the segment backwards to keep the same summation order. *)
+          let inflow = ref 0.0 in
+          for k = in_ptr.(j + 1) - 1 downto in_ptr.(j) do
+            inflow := !inflow +. (pi.(in_src.(k)) *. in_rate.(k))
+          done;
+          let v = !inflow /. exit.(j) in
           let d = Float.abs (v -. pi.(j)) in
           if d > !delta then delta := d;
           pi.(j) <- v
@@ -85,19 +97,9 @@ let expected_occupancy ?(epsilon = 1e-12) chain ~init ~t =
         for i = 0 to n - 1 do
           result.(i) <- result.(i) +. (w *. p.(i))
         done;
-        (* advance the DTMC *)
+        (* advance the DTMC over the flat CSR arrays *)
         let src = !pi and dst = !scratch in
-        Array.fill dst 0 n 0.0;
-        for i = 0 to n - 1 do
-          let mass = src.(i) in
-          if mass > 0.0 then begin
-            let exit = Ctmc.exit_rate chain i in
-            dst.(i) <- dst.(i) +. (mass *. (1.0 -. (exit /. q)));
-            Array.iter
-              (fun (j, r) -> dst.(j) <- dst.(j) +. (mass *. r /. q))
-              (Ctmc.outgoing chain i)
-          end
-        done;
+        Transient.dtmc_step chain q src dst;
         pi := dst;
         scratch := src;
         incr k

@@ -12,6 +12,25 @@ type options = {
 
 let default_options = { epsilon = 1e-12; steady_state_detection = true }
 
+(* Scratch vectors reused across solves. The buffers only grow, so after a
+   batch of solves they are sized to the largest chain seen; any prefix
+   beyond the current chain's states is ignored. One workspace must not be
+   shared between domains. *)
+type workspace = {
+  mutable ws_pi : float array;
+  mutable ws_scratch : float array;
+  mutable ws_result : float array;
+}
+
+let workspace () = { ws_pi = [||]; ws_scratch = [||]; ws_result = [||] }
+
+let ws_reserve ws n =
+  if Array.length ws.ws_pi < n then begin
+    ws.ws_pi <- Array.make n 0.0;
+    ws.ws_scratch <- Array.make n 0.0;
+    ws.ws_result <- Array.make n 0.0
+  end
+
 let check_init n init =
   let total =
     List.fold_left
@@ -26,69 +45,83 @@ let check_init n init =
   if total > 1.0 +. 1e-9 then
     invalid_arg "Transient: initial distribution sums to more than 1"
 
-(* One step of the uniformized DTMC P = I + Q/q: out := pi * P. *)
+(* One step of the uniformized DTMC P = I + Q/q: out := pi * P. Flat index
+   loop over the CSR arrays; [pi]/[out] may be workspace buffers longer
+   than the state count, so the loop bound comes from the chain. *)
 let dtmc_step chain q pi out =
-  let n = Array.length pi in
+  let n = Ctmc.n_states chain in
+  let row_ptr = Ctmc.row_ptr chain in
+  let row_end = Ctmc.row_end chain in
+  let cols = Ctmc.cols chain in
+  let rates = Ctmc.rates chain in
+  let exits = Ctmc.exit_rates chain in
   Array.fill out 0 n 0.0;
   for src = 0 to n - 1 do
-    let mass = pi.(src) in
+    let mass = Array.unsafe_get pi src in
     if mass > 0.0 then begin
-      let exit = Ctmc.exit_rate chain src in
-      out.(src) <- out.(src) +. (mass *. (1.0 -. (exit /. q)));
-      let row = Ctmc.outgoing chain src in
-      Array.iter
-        (fun (dst, r) -> out.(dst) <- out.(dst) +. (mass *. r /. q))
-        row
+      let exit = Array.unsafe_get exits src in
+      Array.unsafe_set out src
+        (Array.unsafe_get out src +. (mass *. (1.0 -. (exit /. q))));
+      for k = Array.unsafe_get row_ptr src to Array.unsafe_get row_end src - 1 do
+        let dst = Array.unsafe_get cols k in
+        Array.unsafe_set out dst
+          (Array.unsafe_get out dst
+          +. (mass *. Array.unsafe_get rates k /. q))
+      done
     end
   done
 
-let max_abs_diff a b =
+let max_abs_diff n a b =
   let d = ref 0.0 in
-  Array.iteri
-    (fun i x ->
-      let diff = Float.abs (x -. b.(i)) in
-      if diff > !d then d := diff)
-    a;
+  for i = 0 to n - 1 do
+    let diff = Float.abs (a.(i) -. b.(i)) in
+    if diff > !d then d := diff
+  done;
   !d
 
-let distribution ?(options = default_options) chain ~init ~t =
+(* Core solve writing into [ws.ws_result] (first [n] entries); returns
+   [false] when no motion happened and the result is just the initial
+   distribution in [ws.ws_pi]. *)
+let solve_into ~options ws chain ~init ~t =
   if t < 0.0 || not (Float.is_finite t) then
     invalid_arg "Transient.distribution: bad horizon";
   let n = Ctmc.n_states chain in
   check_init n init;
-  let pi0 = Array.make n 0.0 in
-  List.iter (fun (s, m) -> pi0.(s) <- pi0.(s) +. m) init;
+  ws_reserve ws n;
+  let pi = ws.ws_pi in
+  Array.fill pi 0 n 0.0;
+  List.iter (fun (s, m) -> pi.(s) <- pi.(s) +. m) init;
   let q = Ctmc.max_exit_rate chain in
-  if t = 0.0 || q = 0.0 then pi0
+  if t = 0.0 || q = 0.0 then false
   else begin
     let window = Poisson.weights ~epsilon:options.epsilon (q *. t) in
     Metrics.incr m_solves;
-    Metrics.add m_window (window.right - window.left + 1);
-    let result = Array.make n 0.0 in
+    Metrics.add m_window (window.Poisson.right - window.Poisson.left + 1);
+    let result = ws.ws_result in
+    Array.fill result 0 n 0.0;
     let accumulate weight pi =
       if weight > 0.0 then
         for i = 0 to n - 1 do
           result.(i) <- result.(i) +. (weight *. pi.(i))
         done
     in
-    let pi = Array.copy pi0 in
-    let scratch = Array.make n 0.0 in
+    let scratch = ws.ws_scratch in
     let weight_of k =
-      if k < window.left || k > window.right then 0.0
-      else window.weights.(k - window.left)
+      if k < window.Poisson.left || k > window.Poisson.right then 0.0
+      else window.Poisson.weights.(k - window.Poisson.left)
     in
     let k = ref 0 in
     let remaining = ref 1.0 in
     let stationary = ref false in
-    while !k <= window.right && not !stationary do
+    while !k <= window.Poisson.right && not !stationary do
       let w = weight_of !k in
       accumulate w pi;
       remaining := !remaining -. w;
-      if !k < window.right then begin
+      if !k < window.Poisson.right then begin
         dtmc_step chain q pi scratch;
         if
           options.steady_state_detection
-          && max_abs_diff pi scratch < options.epsilon /. 8.0
+          && max_abs_diff n pi scratch < options.epsilon /. 8.0
         then stationary := true
         else Array.blit scratch 0 pi 0 n
       end;
@@ -98,36 +131,53 @@ let distribution ?(options = default_options) chain ~init ~t =
     Metrics.add m_steps !k;
     if !stationary then Metrics.incr m_steady;
     if !stationary && !remaining > 0.0 then accumulate !remaining pi;
-    result
+    true
   end
 
-let reach_within ?(options = default_options) chain ~init ~target ~t =
+let distribution ?(options = default_options) ?workspace:ws chain ~init ~t =
+  let ws = match ws with Some w -> w | None -> workspace () in
+  let n = Ctmc.n_states chain in
+  if solve_into ~options ws chain ~init ~t then Array.sub ws.ws_result 0 n
+  else Array.sub ws.ws_pi 0 n
+
+let reach_within ?(options = default_options) ?workspace:ws chain ~init ~target
+    ~t =
+  let ws = match ws with Some w -> w | None -> workspace () in
   let absorbed = Ctmc.restrict_absorbing chain target in
-  let dist = distribution ~options absorbed ~init ~t in
+  let n = Ctmc.n_states absorbed in
+  let dist =
+    if solve_into ~options ws absorbed ~init ~t then ws.ws_result else ws.ws_pi
+  in
   let acc = Sdft_util.Kahan.create () in
-  Array.iteri (fun s m -> if target s then Sdft_util.Kahan.add acc m) dist;
+  for s = 0 to n - 1 do
+    if target s then Sdft_util.Kahan.add acc dist.(s)
+  done;
   (* Clamp tiny numerical overshoot. *)
   Float.min 1.0 (Sdft_util.Kahan.total acc)
 
 let expected_time_to_absorption chain ~init =
   let n = Ctmc.n_states chain in
   check_init n init;
+  let row_ptr = Ctmc.row_ptr chain in
+  let row_end = Ctmc.row_end chain in
+  let cols = Ctmc.cols chain in
+  let rates = Ctmc.rates chain in
+  let exits = Ctmc.exit_rates chain in
   (* Solve (for transient states i): E(i) * h(i) = 1 + sum_j R(i,j) h(j),
      i.e. h(i) = (1 + sum_j R(i,j) h(j)) / E(i), by Gauss-Seidel. *)
   let h = Array.make n 0.0 in
-  let transient i = Ctmc.exit_rate chain i > 0.0 in
   let max_iter = 100_000 and tol = 1e-12 in
   let rec iterate round =
     if round > max_iter then None
     else begin
       let delta = ref 0.0 in
       for i = 0 to n - 1 do
-        if transient i then begin
-          let e = Ctmc.exit_rate chain i in
+        let e = exits.(i) in
+        if e > 0.0 then begin
           let acc = ref 1.0 in
-          Array.iter
-            (fun (dst, r) -> acc := !acc +. (r *. h.(dst)))
-            (Ctmc.outgoing chain i);
+          for k = row_ptr.(i) to row_end.(i) - 1 do
+            acc := !acc +. (rates.(k) *. h.(cols.(k)))
+          done;
           let v = !acc /. e in
           let d = Float.abs (v -. h.(i)) in
           if d > !delta then delta := d;

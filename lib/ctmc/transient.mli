@@ -12,17 +12,40 @@ type options = {
 
 val default_options : options
 
+type workspace
+(** Reusable scratch vectors ([pi]/[scratch]/[result]) for back-to-back
+    solves. A workspace grows to the largest chain it has seen and is then
+    reused without further allocation. Not safe to share across domains:
+    give every worker its own. *)
+
+val workspace : unit -> workspace
+
+val dtmc_step : Ctmc.t -> float -> float array -> float array -> unit
+(** [dtmc_step chain q pi out] performs one step of the uniformized DTMC
+    [P = I + Q/q]: [out := pi * P]. [pi] and [out] must have at least
+    [n_states] entries (only that prefix is read and written). Exposed for
+    the kernel benchmarks; analysis code should use {!distribution} or
+    {!reach_within}. *)
+
 val distribution :
-  ?options:options -> Ctmc.t -> init:(int * float) list -> t:float -> float array
+  ?options:options ->
+  ?workspace:workspace ->
+  Ctmc.t ->
+  init:(int * float) list ->
+  t:float ->
+  float array
 (** [distribution chain ~init ~t] is the state distribution at time [t]
     starting from the (sub)distribution [init] (pairs [(state, mass)]; masses
-    must be non-negative and sum to at most 1).
+    must be non-negative and sum to at most 1). The returned array is always
+    freshly allocated; [workspace] only removes the internal scratch
+    allocations.
 
     @raise Invalid_argument on a negative horizon or an invalid initial
     distribution. *)
 
 val reach_within :
   ?options:options ->
+  ?workspace:workspace ->
   Ctmc.t ->
   init:(int * float) list ->
   target:(int -> bool) ->
@@ -30,7 +53,8 @@ val reach_within :
   float
 (** [reach_within chain ~init ~target ~t] is
     [Pr(exists t' <= t. X(t') in target)]: target states are made absorbing
-    and their transient mass at [t] is summed. *)
+    and their transient mass at [t] is summed. With [workspace] the solve
+    performs no per-call vector allocation. *)
 
 val expected_time_to_absorption :
   Ctmc.t -> init:(int * float) list -> float option

@@ -185,8 +185,9 @@ let gate_parents t g =
   | Some gp -> gp.(g)
   | None -> (snd (compute_parents t)).(g)
 
-let eval_gates t ~failed =
-  let values = Array.make (n_gates t) false in
+let eval_gates_into t ~failed values =
+  if Array.length values < n_gates t then
+    invalid_arg "Fault_tree.eval_gates_into: buffer too small";
   let node_value = function
     | B b -> failed b
     | G g -> values.(g)
@@ -204,7 +205,11 @@ let eval_gates t ~failed =
           !count >= k
       in
       values.(g) <- v)
-    t.topo;
+    t.topo
+
+let eval_gates t ~failed =
+  let values = Array.make (n_gates t) false in
+  eval_gates_into t ~failed values;
   values
 
 let fails_top t ~failed = (eval_gates t ~failed).(t.top)

@@ -92,6 +92,14 @@ val eval_gates : t -> failed:(int -> bool) -> bool array
 (** [eval_gates t ~failed] computes, for every gate, whether the scenario
     [{a | failed a}] fails it (bottom-up evaluation). *)
 
+val eval_gates_into : t -> failed:(int -> bool) -> bool array -> unit
+(** [eval_gates_into t ~failed values] is {!eval_gates} writing into the
+    caller-supplied buffer [values] (at least [n_gates t] entries) instead
+    of allocating. Hot closure loops evaluate gates per explored state;
+    this keeps them allocation-free.
+
+    @raise Invalid_argument when the buffer is too small. *)
+
 val fails_top : t -> failed:(int -> bool) -> bool
 (** Does the scenario fail the top gate? *)
 

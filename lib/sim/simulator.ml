@@ -6,7 +6,13 @@ type stats = {
 }
 
 type component = {
-  rows : (int * float) array array;
+  (* Flat transition layout shared straight from the underlying [Ctmc]
+     arrays: state [s] owns [cols]/[rates] entries
+     [row_ptr.(s) .. row_end.(s) - 1]. *)
+  row_ptr : int array;
+  row_end : int array;
+  cols : int array;
+  rates : float array;
   init_states : int array;
   init_weights : float array;
   failed : bool array;
@@ -25,7 +31,10 @@ let component_of_basic sd b =
     let triggered = Dbe.is_triggered_model d in
     let mode_on = Array.init n (fun s -> Dbe.mode_of d s = Dbe.On) in
     {
-      rows = Array.init n (Ctmc.outgoing chain);
+      row_ptr = Ctmc.row_ptr chain;
+      row_end = Ctmc.row_end chain;
+      cols = Ctmc.cols chain;
+      rates = Ctmc.rates chain;
       init_states = Array.of_list (List.map fst init);
       init_weights = Array.of_list (List.map snd init);
       failed = Array.init n (Dbe.is_failed d);
@@ -42,7 +51,10 @@ let component_of_basic sd b =
   else begin
     let p = Fault_tree.prob tree b in
     {
-      rows = [| [||]; [||] |];
+      row_ptr = [| 0; 0; 0 |];
+      row_end = [| 0; 0 |];
+      cols = [||];
+      rates = [||];
       init_states = [| 0; 1 |];
       init_weights = [| 1.0 -. p; p |];
       failed = [| false; true |];
@@ -66,6 +78,7 @@ type world = {
   sd : Sdft.t;
   components : component array;
   n_triggered : int;
+  gates_buf : bool array; (* scratch for gate evaluations *)
 }
 
 let make_world sd =
@@ -76,11 +89,18 @@ let make_world sd =
       (fun acc c -> if c.trigger_gate >= 0 then acc + 1 else acc)
       0 components
   in
-  { sd; components; n_triggered }
+  {
+    sd;
+    components;
+    n_triggered;
+    gates_buf = Array.make (Fault_tree.n_gates (Sdft.tree sd)) false;
+  }
 
 let eval world state =
-  Fault_tree.eval_gates (Sdft.tree world.sd)
+  Fault_tree.eval_gates_into (Sdft.tree world.sd)
     ~failed:(fun b -> world.components.(b).failed.(state.(b)))
+    world.gates_buf;
+  world.gates_buf
 
 let close world state =
   let passes = ref 0 in
@@ -122,7 +142,10 @@ let run_trial world rng ~horizon =
       let total = ref 0.0 in
       Array.iteri
         (fun b c ->
-          Array.iter (fun (_, r) -> total := !total +. r) c.rows.(state.(b)))
+          let s = state.(b) in
+          for k = c.row_ptr.(s) to c.row_end.(s) - 1 do
+            total := !total +. c.rates.(k)
+          done)
         world.components;
       if !total <= 0.0 then None (* no dynamics left: state is final *)
       else begin
@@ -136,17 +159,19 @@ let run_trial world rng ~horizon =
           let done_ = ref false in
           Array.iteri
             (fun b c ->
-              if not !done_ then
-                Array.iter
-                  (fun (dst, r) ->
-                    if not !done_ then begin
-                      acc := !acc +. r;
-                      if u < !acc then begin
-                        state.(b) <- dst;
-                        done_ := true
-                      end
-                    end)
-                  c.rows.(state.(b)))
+              if not !done_ then begin
+                let s = state.(b) in
+                let k = ref c.row_ptr.(s) in
+                let stop = c.row_end.(s) in
+                while (not !done_) && !k < stop do
+                  acc := !acc +. c.rates.(!k);
+                  if u < !acc then begin
+                    state.(b) <- c.cols.(!k);
+                    done_ := true
+                  end;
+                  incr k
+                done
+              end)
             world.components;
           if not !done_ then None (* numerical corner: treat as no jump *)
           else begin

@@ -690,7 +690,11 @@ let test_analysis_parallel_4_identical_probabilities () =
       let ca, pa = key a and cb, pb = key b in
       Alcotest.(check bool) "same cutset" true (Int_set.equal ca cb);
       Alcotest.(check bool) "identical probability" true (pa = pb))
-    seq.Sdft_analysis.cutsets par.Sdft_analysis.cutsets
+    seq.Sdft_analysis.cutsets par.Sdft_analysis.cutsets;
+  (* The cost-descending schedule reorders work internally; the results
+     must come back in input order, so the Kahan total sums identically. *)
+  Alcotest.(check bool) "identical total" true
+    (seq.Sdft_analysis.total = par.Sdft_analysis.total)
 
 (* Quantification cache *)
 
@@ -856,6 +860,56 @@ let prop_paper_rule_below_exact_rule =
     (fun seed ->
       let sd = random_sd seed in
       analyze_with sd <= analyze_with ~rel_rule:Cutset_model.All_events sd +. 1e-9)
+
+let test_analysis_parallel_reordered_schedule_identical () =
+  (* A model with heterogeneous cutset costs (0/1/2 dynamic events across
+     cutsets) so the load-balancing sort genuinely permutes the schedule;
+     every per-cutset field must still match the sequential run exactly. *)
+  let sd = random_sd 4242 in
+  let base = { Sdft_analysis.default_options with cutoff = 0.0; horizon = 8.0 } in
+  let seq = Sdft_analysis.analyze ~options:base sd in
+  List.iter
+    (fun domains ->
+      let par = Sdft_analysis.analyze ~options:{ base with domains } sd in
+      Alcotest.(check bool) "identical total" true
+        (seq.Sdft_analysis.total = par.Sdft_analysis.total);
+      List.iter2
+        (fun (a : Sdft_analysis.cutset_info) (b : Sdft_analysis.cutset_info) ->
+          Alcotest.(check bool) "same cutset" true
+            (Int_set.equal a.cutset b.cutset);
+          Alcotest.(check bool) "identical probability" true
+            (a.probability = b.probability);
+          Alcotest.(check int) "same product states" a.product_states
+            b.product_states;
+          Alcotest.(check int) "same n_dynamic" a.n_dynamic b.n_dynamic)
+        seq.Sdft_analysis.cutsets par.Sdft_analysis.cutsets)
+    [ 2; 3 ]
+
+let prop_packed_matches_generic =
+  (* The mixed-radix packed exploration must be indistinguishable from the
+     array-keyed generic path: same interning order, hence identical chain,
+     initial distribution, failure labelling, and solve result (to the bit). *)
+  QCheck.Test.make ~name:"packed product build = generic build" ~count:80
+    (QCheck.make QCheck.Gen.(0 -- 100000))
+    (fun seed ->
+      let sd = random_sd seed in
+      match Sdft_product.build sd with
+      | exception Sdft_product.Too_many_states _ -> QCheck.assume_fail ()
+      | packed ->
+        let generic = Sdft_product.build ~generic:true sd in
+        let transitions b =
+          let acc = ref [] in
+          Ctmc.iter_transitions b.Sdft_product.chain (fun s d r ->
+              acc := (s, d, r) :: !acc);
+          List.rev !acc
+        in
+        packed.Sdft_product.n_states = generic.Sdft_product.n_states
+        && packed.Sdft_product.init = generic.Sdft_product.init
+        && packed.Sdft_product.failed = generic.Sdft_product.failed
+        && packed.Sdft_product.participants = generic.Sdft_product.participants
+        && transitions packed = transitions generic
+        && Sdft_product.unreliability packed ~horizon:8.0
+           = Sdft_product.unreliability generic ~horizon:8.0)
 
 let prop_analysis_single_mcs_exact =
   (* With a single minimal cutset and the exact relevant sets, the analysis
@@ -1082,7 +1136,8 @@ let () =
           Alcotest.test_case "trigger in MCS" `Quick test_translate_triggered_event_mcs_includes_trigger;
         ] );
       ( "product",
-        [
+        (qc [ prop_packed_matches_generic ])
+        @ [
           Alcotest.test_case "static = enumeration" `Quick test_product_static_tree_matches_exact;
           Alcotest.test_case "trigger sequence = Erlang" `Quick test_product_trigger_sequence_is_erlang;
           Alcotest.test_case "unfired trigger" `Quick test_product_untriggered_spare_never_fails;
@@ -1110,6 +1165,8 @@ let () =
             test_analysis_parallel_matches_sequential;
           Alcotest.test_case "parallel(4) identical probabilities" `Quick
             test_analysis_parallel_4_identical_probabilities;
+          Alcotest.test_case "parallel reordered schedule identical" `Quick
+            test_analysis_parallel_reordered_schedule_identical;
           Alcotest.test_case "dynamic importance" `Quick test_analysis_dynamic_importance;
           Alcotest.test_case "FV respects cutoff" `Quick test_analysis_fv_respects_cutoff;
         ]

@@ -309,6 +309,82 @@ let prop_reach_monotone_in_t =
       let p1 = reach 1.0 and p2 = reach 2.0 and p5 = reach 5.0 in
       p1 <= p2 +. 1e-9 && p2 <= p5 +. 1e-9)
 
+(* The CSR kernels against the retained pre-CSR implementation. *)
+
+let random_chain_gen =
+  QCheck.make
+    QCheck.Gen.(
+      let* n = 2 -- 7 in
+      let* edges =
+        list_size (1 -- 20) (triple (0 -- (n - 1)) (0 -- (n - 1)) (1 -- 50))
+      in
+      let* t = 0 -- 40 in
+      return (n, edges, float_of_int t /. 4.0))
+
+let transitions_of_edges edges =
+  List.filter_map
+    (fun (a, b, r) ->
+      if a = b then None else Some (a, b, float_of_int r /. 10.0))
+    edges
+
+let prop_csr_matches_reference =
+  (* One workspace shared across all cases: also exercises buffer growth and
+     reuse over chains of different sizes. *)
+  let ws = Transient.workspace () in
+  QCheck.Test.make ~name:"CSR distribution matches reference impl" ~count:300
+    random_chain_gen (fun (n, edges, t) ->
+      let transitions = transitions_of_edges edges in
+      let c = Ctmc.make ~n_states:n ~transitions in
+      let r = Reference.make ~n_states:n ~transitions in
+      let init = [ (0, 0.75); (n - 1, 0.25) ] in
+      let d_csr = Transient.distribution ~workspace:ws c ~init ~t in
+      let d_ref = Reference.distribution r ~init ~t in
+      let max_diff = ref 0.0 in
+      Array.iteri
+        (fun i x ->
+          let d = Float.abs (x -. d_ref.(i)) in
+          if d > !max_diff then max_diff := d)
+        d_csr;
+      !max_diff <= 1e-12)
+
+let prop_restrict_absorbing_pure =
+  QCheck.Test.make ~name:"restrict_absorbing leaves the parent intact"
+    ~count:200 random_chain_gen (fun (n, edges, _) ->
+      let transitions = transitions_of_edges edges in
+      let c = Ctmc.make ~n_states:n ~transitions in
+      let before = Array.init n (Ctmc.outgoing c) in
+      let exits_before = Array.init n (Ctmc.exit_rate c) in
+      let restricted = Ctmc.restrict_absorbing c (fun s -> s mod 2 = 0) in
+      let after = Array.init n (Ctmc.outgoing c) in
+      let exits_after = Array.init n (Ctmc.exit_rate c) in
+      before = after && exits_before = exits_after
+      && Array.for_all
+           (fun s ->
+             if s mod 2 = 0 then
+               Ctmc.outgoing restricted s = [||]
+               && Ctmc.exit_rate restricted s = 0.0
+             else
+               Ctmc.outgoing restricted s = before.(s)
+               && Ctmc.exit_rate restricted s = exits_before.(s))
+           (Array.init n Fun.id))
+
+let test_merge_order_matches_reference () =
+  (* Three parallel edges whose rates do not sum associatively: the merged
+     rate must match the historical accumulation order bit-for-bit. *)
+  let rates = [ 1.0; 1e-16; 1e-16 ] in
+  let transitions = List.map (fun r -> (0, 1, r)) rates @ [ (0, 2, 0.5) ] in
+  let c = Ctmc.make ~n_states:3 ~transitions in
+  let r = Reference.make ~n_states:3 ~transitions in
+  let pi = [| 1.0; 0.0; 0.0 |] in
+  let q = Ctmc.max_exit_rate c in
+  Alcotest.(check (float 0.0)) "q" (Reference.max_exit_rate r) q;
+  let out_c = Array.make 3 0.0 and out_r = Array.make 3 0.0 in
+  Transient.dtmc_step c q pi out_c;
+  Reference.dtmc_step r q pi out_r;
+  Array.iteri
+    (fun i x -> Alcotest.(check (float 0.0)) "step mass" x out_c.(i))
+    out_r
+
 let () =
   let qc = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "ctmc"
@@ -319,6 +395,8 @@ let () =
           Alcotest.test_case "bad rate" `Quick test_make_rejects_bad_rate;
           Alcotest.test_case "out of range" `Quick test_make_rejects_out_of_range;
           Alcotest.test_case "merge parallel" `Quick test_make_merges_parallel;
+          Alcotest.test_case "merge order = reference" `Quick
+            test_merge_order_matches_reference;
           Alcotest.test_case "exit rates" `Quick test_exit_and_max_rate;
           Alcotest.test_case "absorbing" `Quick test_restrict_absorbing;
           Alcotest.test_case "embedded dtmc" `Quick test_embedded_dtmc;
@@ -344,7 +422,13 @@ let () =
           Alcotest.test_case "mean absorption (erlang)" `Quick test_expected_time_to_absorption;
           Alcotest.test_case "mean absorption (branching)" `Quick test_expected_time_with_branching;
         ]
-        @ qc [ prop_distribution_sums_to_one; prop_reach_monotone_in_t ] );
+        @ qc
+            [
+              prop_distribution_sums_to_one;
+              prop_reach_monotone_in_t;
+              prop_csr_matches_reference;
+              prop_restrict_absorbing_pure;
+            ] );
       ( "steady state",
         [
           Alcotest.test_case "birth-death" `Quick test_steady_state_birth_death;
