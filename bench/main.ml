@@ -885,6 +885,8 @@ let experiments =
 
 let kernels_main args =
   let json_path = ref None in
+  let metrics_path = ref None in
+  let trace_path = ref None in
   let rec parse = function
     | [] -> ()
     | "--json" :: path :: rest ->
@@ -893,12 +895,37 @@ let kernels_main args =
     | [ "--json" ] ->
       prerr_endline "kernels: --json needs a file argument";
       exit 2
+    | "--metrics" :: path :: rest ->
+      metrics_path := Some path;
+      parse rest
+    | [ "--metrics" ] ->
+      prerr_endline "kernels: --metrics needs a file argument";
+      exit 2
+    | "--trace" :: path :: rest ->
+      trace_path := Some path;
+      parse rest
+    | [ "--trace" ] ->
+      prerr_endline "kernels: --trace needs a file argument";
+      exit 2
     | other :: _ ->
       Printf.eprintf "kernels: unknown argument %S\n" other;
       exit 2
   in
   parse args;
-  bench_kernels ~json_path:!json_path ()
+  if !trace_path <> None then Sdft_util.Trace.set_enabled true;
+  bench_kernels ~json_path:!json_path ();
+  (match !metrics_path with
+  | None -> ()
+  | Some path ->
+    (try Sdft_util.Metrics.write_file path
+     with Sys_error m -> Printf.eprintf "kernels: %s\n" m);
+    Printf.printf "metrics written to %s\n" path);
+  match !trace_path with
+  | None -> ()
+  | Some path ->
+    (try Sdft_util.Trace.write_file path
+     with Sys_error m -> Printf.eprintf "kernels: %s\n" m);
+    Printf.printf "trace written to %s\n" path
 
 let () =
   let micro = ref true in

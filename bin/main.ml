@@ -29,41 +29,82 @@ let horizon_arg =
 let cutoff_arg =
   Arg.(value & opt float 1e-15 & info [ "cutoff"; "c" ] ~docv:"P" ~doc:"Probabilistic cutoff $(i,c*) for cutset generation.")
 
-let metrics_arg =
-  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc:"Dump internal counters and span timers as JSON to $(docv) on exit.")
+(* Observability: every analysis-flavoured subcommand accepts the same
+   [--metrics FILE] / [--trace FILE] pair.  Tracing is enabled before the
+   command body runs (the library's spans are no-ops otherwise) and both
+   dumps are written on the way out, even if the body raises. *)
 
-let write_metrics = function
-  | None -> ()
-  | Some path ->
-    (try Sdft_util.Metrics.write_file path
-     with Sys_error m -> or_die (Error m))
+type observability = {
+  obs_metrics : string option;
+  obs_trace : string option;
+}
+
+let observability_term =
+  let metrics =
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc:"Dump internal counters and span timers as JSON to $(docv) on exit.")
+  in
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc:"Record hierarchical trace spans and write them to $(docv) on exit ($(b,.json) selects the Chrome trace-event format, anything else JSONL).")
+  in
+  Term.(const (fun obs_metrics obs_trace -> { obs_metrics; obs_trace })
+        $ metrics $ trace)
+
+let with_observability obs f =
+  if obs.obs_trace <> None then Sdft_util.Trace.set_enabled true;
+  let write () =
+    (match obs.obs_metrics with
+    | None -> ()
+    | Some path -> (
+      try Sdft_util.Metrics.write_file path
+      with Sys_error m -> Printf.eprintf "sdft: %s\n" m));
+    match obs.obs_trace with
+    | None -> ()
+    | Some path -> (
+      try Sdft_util.Trace.write_file path
+      with Sys_error m -> Printf.eprintf "sdft: %s\n" m)
+  in
+  Fun.protect ~finally:write f
+
+let engine_arg =
+  Arg.(value
+       & opt (enum [ ("mocus", Sdft_analysis.Mocus_sound);
+                     ("mocus-aggressive", Sdft_analysis.Mocus_aggressive);
+                     ("bdd", Sdft_analysis.Bdd_engine) ])
+           Sdft_analysis.Mocus_sound
+       & info [ "engine" ] ~docv:"ENGINE" ~doc:"Cutset engine: $(b,mocus), $(b,mocus-aggressive), or $(b,bdd).")
+
+let domains_arg =
+  Arg.(value & opt int 1 & info [ "domains"; "j" ] ~docv:"N" ~doc:"Worker domains for cutset quantification.")
 
 (* analyze *)
 
 let analyze_cmd =
-  let run file horizon cutoff top_n show_histogram engine domains metrics =
-    let sd = or_die (load_model file) in
-    let options =
-      { Sdft_analysis.default_options with horizon; cutoff; engine; domains }
-    in
-    let result = Sdft_analysis.analyze ~options sd in
-    Format.printf "%a@." Sdft_analysis.pp_summary result;
-    if show_histogram then begin
-      print_endline "dynamic events per minimal cutset:";
-      Sdft_util.Histogram.print_ascii (Sdft_analysis.dynamic_histogram result)
-    end;
-    if top_n > 0 then begin
-      Printf.printf "top %d cutsets:\n" top_n;
-      let tree = Sdft.tree sd in
-      List.iteri
-        (fun i (info : Sdft_analysis.cutset_info) ->
-          if i < top_n then
-            Format.printf "  %.3e  %a  (%d dynamic, %d states)@."
-              info.probability (Cutset.pp tree) info.cutset info.n_dynamic
-              info.product_states)
-        result.cutsets
-    end;
-    write_metrics metrics
+  let run file horizon cutoff top_n show_histogram show_budget engine domains
+      obs =
+    with_observability obs (fun () ->
+        let sd = or_die (load_model file) in
+        let options =
+          { Sdft_analysis.default_options with horizon; cutoff; engine; domains }
+        in
+        let result = Sdft_analysis.analyze ~options sd in
+        Format.printf "%a@." Sdft_analysis.pp_summary result;
+        if show_budget then Format.printf "%a@." Sdft_analysis.pp_budget result;
+        if show_histogram then begin
+          print_endline "dynamic events per minimal cutset:";
+          Sdft_util.Histogram.print_ascii
+            (Sdft_analysis.dynamic_histogram result)
+        end;
+        if top_n > 0 then begin
+          Printf.printf "top %d cutsets:\n" top_n;
+          let tree = Sdft.tree sd in
+          List.iteri
+            (fun i (info : Sdft_analysis.cutset_info) ->
+              if i < top_n then
+                Format.printf "  %.3e  %a  (%d dynamic, %d states)@."
+                  info.probability (Cutset.pp tree) info.cutset info.n_dynamic
+                  info.product_states)
+            result.cutsets
+        end)
   in
   let top_n =
     Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"Print the $(docv) most important cutsets (0 disables).")
@@ -71,85 +112,138 @@ let analyze_cmd =
   let histogram =
     Arg.(value & flag & info [ "histogram" ] ~doc:"Print the dynamic-events-per-cutset histogram (Figure 2).")
   in
-  let engine =
-    Arg.(value
-         & opt (enum [ ("mocus", Sdft_analysis.Mocus_sound);
-                       ("mocus-aggressive", Sdft_analysis.Mocus_aggressive);
-                       ("bdd", Sdft_analysis.Bdd_engine) ])
-             Sdft_analysis.Mocus_sound
-         & info [ "engine" ] ~docv:"ENGINE" ~doc:"Cutset engine: $(b,mocus), $(b,mocus-aggressive), or $(b,bdd).")
-  in
-  let domains =
-    Arg.(value & opt int 1 & info [ "domains"; "j" ] ~docv:"N" ~doc:"Worker domains for cutset quantification.")
+  let budget =
+    Arg.(value & flag & info [ "budget" ] ~doc:"Print the itemized error budget behind the certified interval.")
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run the full SD fault tree analysis (Section V).")
-    Term.(const run $ file_arg $ horizon_arg $ cutoff_arg $ top_n $ histogram $ engine $ domains $ metrics_arg)
+    Term.(const run $ file_arg $ horizon_arg $ cutoff_arg $ top_n $ histogram $ budget $ engine_arg $ domains_arg $ observability_term)
+
+(* explain *)
+
+let explain_cmd =
+  let run file horizon cutoff top_n spans_n engine domains obs =
+    with_observability obs (fun () ->
+        (* Tracing is always on inside [explain]: the top-spans section needs
+           it even when no --trace file was requested. *)
+        Sdft_util.Trace.set_enabled true;
+        let sd = or_die (load_model file) in
+        let options =
+          { Sdft_analysis.default_options with horizon; cutoff; engine; domains }
+        in
+        let cache = Quant_cache.create () in
+        let result = Sdft_analysis.analyze ~options ~cache sd in
+        let tree = Sdft.tree sd in
+        Format.printf "%a@.@." Sdft_analysis.pp_summary result;
+        Format.printf "%a@.@." Sdft_analysis.pp_budget result;
+        let report = Sdft_classify.report sd in
+        if report.Sdft_classify.per_trigger_gate <> [] then
+          Format.printf "%a@.@." (Sdft_classify.pp_report sd) report;
+        let shown = min top_n result.Sdft_analysis.n_cutsets in
+        Printf.printf "top %d of %d cutsets (by contribution):\n" shown
+          result.Sdft_analysis.n_cutsets;
+        Printf.printf "%12s %7s %4s %8s %9s %7s %6s %9s  %s\n" "p~(C)"
+          "share" "dyn" "states" "trans" "steps" "cache" "time" "cutset";
+        List.iteri
+          (fun i (info : Sdft_analysis.cutset_info) ->
+            if i < top_n then begin
+              let share =
+                if result.Sdft_analysis.total > 0.0 then
+                  100.0 *. info.probability /. result.Sdft_analysis.total
+                else 0.0
+              in
+              Format.printf "%12.3e %6.2f%% %4d %8d %9d %7d %6s %9s  %a@."
+                info.probability share info.n_dynamic info.product_states
+                info.product_transitions info.solver_steps
+                (if info.used_fallback then "fall!"
+                 else if info.from_cache then "hit"
+                 else if info.product_states > 0 then "miss"
+                 else "-")
+                (Format.asprintf "%a" Sdft_util.Timer.pp_duration
+                   info.solve_seconds)
+                (Cutset.pp tree) info.cutset
+            end)
+          result.Sdft_analysis.cutsets;
+        Printf.printf "\nquantification cache: %d hits / %d misses\n"
+          (Quant_cache.hits cache) (Quant_cache.misses cache);
+        let spans = Sdft_util.Trace.aggregate () in
+        if spans <> [] then begin
+          Printf.printf "\ntop trace spans (by total time):\n";
+          Printf.printf "%-28s %8s %12s\n" "span" "count" "total";
+          List.iteri
+            (fun i (name, (count, total)) ->
+              if i < spans_n then
+                Format.printf "%-28s %8d %12s@." name count
+                  (Format.asprintf "%a" Sdft_util.Timer.pp_duration total))
+            spans
+        end)
+  in
+  let top_n =
+    Arg.(value & opt int 20 & info [ "top" ] ~docv:"N" ~doc:"Rows of the per-cutset provenance table (0 disables).")
+  in
+  let spans_n =
+    Arg.(value & opt int 10 & info [ "spans" ] ~docv:"N" ~doc:"Rows of the top-trace-spans table.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Account for an analysis result: per-cutset provenance (contribution, chain sizes, solver effort, cache traffic), the error budget behind the certified interval, and the top trace spans.")
+    Term.(const run $ file_arg $ horizon_arg $ cutoff_arg $ top_n $ spans_n $ engine_arg $ domains_arg $ observability_term)
 
 (* sweep *)
 
 let sweep_cmd =
-  let run file horizons cutoff engine domains metrics =
-    let sd = or_die (load_model file) in
-    let option_sets =
-      List.map
-        (fun horizon ->
-          { Sdft_analysis.default_options with horizon; cutoff; engine; domains })
-        horizons
-    in
-    let points, cache = Sdft_analysis.sweep sd option_sets in
-    Printf.printf "%10s %14s %9s %11s %11s\n" "horizon" "frequency"
-      "cutsets" "cache-hits" "cache-miss";
-    List.iter
-      (fun (p : Sdft_analysis.sweep_point) ->
-        Printf.printf "%10g %14.6e %9d %11d %11d\n"
-          p.sweep_options.Sdft_analysis.horizon p.sweep_result.Sdft_analysis.total
-          p.sweep_result.Sdft_analysis.n_cutsets p.cache_hits p.cache_misses)
-      points;
-    Printf.printf "cache: %d hits / %d misses\n" (Quant_cache.hits cache)
-      (Quant_cache.misses cache);
-    write_metrics metrics
+  let run file horizons cutoff engine domains obs =
+    with_observability obs (fun () ->
+        let sd = or_die (load_model file) in
+        let option_sets =
+          List.map
+            (fun horizon ->
+              { Sdft_analysis.default_options with horizon; cutoff; engine; domains })
+            horizons
+        in
+        let points, cache = Sdft_analysis.sweep sd option_sets in
+        Printf.printf "%10s %14s %9s %11s %11s\n" "horizon" "frequency"
+          "cutsets" "cache-hits" "cache-miss";
+        List.iter
+          (fun (p : Sdft_analysis.sweep_point) ->
+            Printf.printf "%10g %14.6e %9d %11d %11d\n"
+              p.sweep_options.Sdft_analysis.horizon
+              p.sweep_result.Sdft_analysis.total
+              p.sweep_result.Sdft_analysis.n_cutsets p.cache_hits p.cache_misses)
+          points;
+        Printf.printf "cache: %d hits / %d misses\n" (Quant_cache.hits cache)
+          (Quant_cache.misses cache))
   in
   let horizons =
     Arg.(value & opt (list float) [ 8.0; 24.0; 72.0 ]
          & info [ "horizons" ] ~docv:"H1,H2,.." ~doc:"Comma-separated analysis horizons in hours.")
   in
-  let engine =
-    Arg.(value
-         & opt (enum [ ("mocus", Sdft_analysis.Mocus_sound);
-                       ("mocus-aggressive", Sdft_analysis.Mocus_aggressive);
-                       ("bdd", Sdft_analysis.Bdd_engine) ])
-             Sdft_analysis.Mocus_sound
-         & info [ "engine" ] ~docv:"ENGINE" ~doc:"Cutset engine: $(b,mocus), $(b,mocus-aggressive), or $(b,bdd).")
-  in
-  let domains =
-    Arg.(value & opt int 1 & info [ "domains"; "j" ] ~docv:"N" ~doc:"Worker domains for cutset quantification.")
-  in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Analyze one model over several horizons, sharing the quantification cache across points.")
-    Term.(const run $ file_arg $ horizons $ cutoff_arg $ engine $ domains $ metrics_arg)
+    Term.(const run $ file_arg $ horizons $ cutoff_arg $ engine_arg $ domains_arg $ observability_term)
 
 (* mcs *)
 
 let mcs_cmd =
-  let run file cutoff engine horizon metrics =
-    let sd = or_die (load_model file) in
-    let translation = Sdft_translate.translate sd ~horizon in
-    let tree = translation.Sdft_translate.static_tree in
-    let cutsets =
-      match engine with
-      | `Mocus ->
-        let options = { Mocus.default_options with cutoff } in
-        Mocus.minimal_cutsets ~options tree
-      | `Bdd -> Minsol.fault_tree_cutsets tree
-    in
-    Printf.printf "%d minimal cutsets\n" (List.length cutsets);
-    List.iter
-      (fun c ->
-        Format.printf "%.3e  %a@." (Cutset.probability tree c) (Cutset.pp tree) c)
-      (Cutset.sort_by_probability tree cutsets);
-    write_metrics metrics
+  let run file cutoff engine horizon obs =
+    with_observability obs (fun () ->
+        let sd = or_die (load_model file) in
+        let translation = Sdft_translate.translate sd ~horizon in
+        let tree = translation.Sdft_translate.static_tree in
+        let cutsets =
+          match engine with
+          | `Mocus ->
+            let options = { Mocus.default_options with cutoff } in
+            Mocus.minimal_cutsets ~options tree
+          | `Bdd -> Minsol.fault_tree_cutsets tree
+        in
+        Printf.printf "%d minimal cutsets\n" (List.length cutsets);
+        List.iter
+          (fun c ->
+            Format.printf "%.3e  %a@." (Cutset.probability tree c)
+              (Cutset.pp tree) c)
+          (Cutset.sort_by_probability tree cutsets))
   in
   let engine =
     Arg.(value & opt (enum [ ("mocus", `Mocus); ("bdd", `Bdd) ]) `Mocus
@@ -157,7 +251,7 @@ let mcs_cmd =
   in
   Cmd.v
     (Cmd.info "mcs" ~doc:"Generate minimal cutsets of the translated static tree.")
-    Term.(const run $ file_arg $ cutoff_arg $ engine $ horizon_arg $ metrics_arg)
+    Term.(const run $ file_arg $ cutoff_arg $ engine $ horizon_arg $ observability_term)
 
 (* classify *)
 
@@ -193,23 +287,23 @@ let simulate_cmd =
 (* exact *)
 
 let exact_cmd =
-  let run file horizon max_states metrics =
-    let sd = or_die (load_model file) in
-    match Sdft_product.solve ~max_states sd ~horizon with
-    | p ->
-      Printf.printf "p(FT, %gh) = %.6e\n" horizon p;
-      write_metrics metrics
-    | exception Sdft_product.Too_many_states n ->
-      Printf.eprintf
-        "sdft: product state space exceeds %d states; use 'analyze' or 'simulate'\n" n;
-      exit 1
+  let run file horizon max_states obs =
+    with_observability obs (fun () ->
+        let sd = or_die (load_model file) in
+        match Sdft_product.solve ~max_states sd ~horizon with
+        | p -> Printf.printf "p(FT, %gh) = %.6e\n" horizon p
+        | exception Sdft_product.Too_many_states n ->
+          Printf.eprintf
+            "sdft: product state space exceeds %d states; use 'analyze' or 'simulate'\n"
+            n;
+          exit 1)
   in
   let max_states =
     Arg.(value & opt int 1_000_000 & info [ "max-states" ] ~docv:"N" ~doc:"State-space safety limit.")
   in
   Cmd.v
     (Cmd.info "exact" ~doc:"Exact failure probability via the full product Markov chain (small models only).")
-    Term.(const run $ file_arg $ horizon_arg $ max_states $ metrics_arg)
+    Term.(const run $ file_arg $ horizon_arg $ max_states $ observability_term)
 
 (* translate *)
 
@@ -227,43 +321,46 @@ let translate_cmd =
 (* importance *)
 
 let importance_cmd =
-  let run file cutoff horizon top_n =
-    let sd = or_die (load_model file) in
-    let translation = Sdft_translate.translate sd ~horizon in
-    let tree = translation.Sdft_translate.static_tree in
-    let options = { Mocus.default_options with cutoff } in
-    let cutsets = Mocus.minimal_cutsets ~options tree in
-    let imp = Importance.compute tree cutsets in
-    Printf.printf "%-30s %12s %12s %10s %10s\n" "event" "FV" "Birnbaum" "RAW" "RRW";
-    List.iteri
-      (fun i a ->
-        if i < top_n then
-          Printf.printf "%-30s %12.4e %12.4e %10.3f %10.3f\n"
-            (Fault_tree.basic_name tree a)
-            (Importance.fussell_vesely imp a)
-            (Importance.birnbaum imp a) (Importance.raw imp a)
-            (Importance.rrw imp a))
-      (Importance.rank_by_fussell_vesely imp)
+  let run file cutoff horizon top_n obs =
+    with_observability obs (fun () ->
+        let sd = or_die (load_model file) in
+        let translation = Sdft_translate.translate sd ~horizon in
+        let tree = translation.Sdft_translate.static_tree in
+        let options = { Mocus.default_options with cutoff } in
+        let cutsets = Mocus.minimal_cutsets ~options tree in
+        let imp = Importance.compute tree cutsets in
+        Printf.printf "%-30s %12s %12s %10s %10s\n" "event" "FV" "Birnbaum"
+          "RAW" "RRW";
+        List.iteri
+          (fun i a ->
+            if i < top_n then
+              Printf.printf "%-30s %12.4e %12.4e %10.3f %10.3f\n"
+                (Fault_tree.basic_name tree a)
+                (Importance.fussell_vesely imp a)
+                (Importance.birnbaum imp a) (Importance.raw imp a)
+                (Importance.rrw imp a))
+          (Importance.rank_by_fussell_vesely imp))
   in
   let top_n =
     Arg.(value & opt int 25 & info [ "top" ] ~docv:"N" ~doc:"Show the $(docv) most important events.")
   in
   Cmd.v
     (Cmd.info "importance" ~doc:"Importance measures (Fussell-Vesely, Birnbaum, RAW, RRW).")
-    Term.(const run $ file_arg $ cutoff_arg $ horizon_arg $ top_n)
+    Term.(const run $ file_arg $ cutoff_arg $ horizon_arg $ top_n $ observability_term)
 
 (* uncertainty *)
 
 let uncertainty_cmd =
-  let run file cutoff horizon samples seed error_factor =
-    let sd = or_die (load_model file) in
-    let translation = Sdft_translate.translate sd ~horizon in
-    let tree = translation.Sdft_translate.static_tree in
-    let options = { Mocus.default_options with cutoff } in
-    let cutsets = Mocus.minimal_cutsets ~options tree in
-    let spec _ = Uncertainty.Lognormal { error_factor } in
-    let stats = Uncertainty.propagate ~samples ~seed tree cutsets ~spec in
-    Format.printf "%a@." Uncertainty.pp_stats stats
+  let run file cutoff horizon samples seed error_factor obs =
+    with_observability obs (fun () ->
+        let sd = or_die (load_model file) in
+        let translation = Sdft_translate.translate sd ~horizon in
+        let tree = translation.Sdft_translate.static_tree in
+        let options = { Mocus.default_options with cutoff } in
+        let cutsets = Mocus.minimal_cutsets ~options tree in
+        let spec _ = Uncertainty.Lognormal { error_factor } in
+        let stats = Uncertainty.propagate ~samples ~seed tree cutsets ~spec in
+        Format.printf "%a@." Uncertainty.pp_stats stats)
   in
   let samples =
     Arg.(value & opt int 2000 & info [ "samples"; "n" ] ~docv:"N" ~doc:"Monte-Carlo parameter samples.")
@@ -274,19 +371,20 @@ let uncertainty_cmd =
   in
   Cmd.v
     (Cmd.info "uncertainty" ~doc:"Propagate lognormal parameter uncertainty over the cutset list.")
-    Term.(const run $ file_arg $ cutoff_arg $ horizon_arg $ samples $ seed $ ef)
+    Term.(const run $ file_arg $ cutoff_arg $ horizon_arg $ samples $ seed $ ef $ observability_term)
 
 (* sensitivity *)
 
 let sensitivity_cmd =
-  let run file cutoff horizon factor top_n =
-    let sd = or_die (load_model file) in
-    let translation = Sdft_translate.translate sd ~horizon in
-    let tree = translation.Sdft_translate.static_tree in
-    let options = { Mocus.default_options with cutoff } in
-    let cutsets = Mocus.minimal_cutsets ~options tree in
-    let t = Sensitivity.tornado ~factor tree cutsets in
-    Sensitivity.print_ascii tree ~top:top_n t
+  let run file cutoff horizon factor top_n obs =
+    with_observability obs (fun () ->
+        let sd = or_die (load_model file) in
+        let translation = Sdft_translate.translate sd ~horizon in
+        let tree = translation.Sdft_translate.static_tree in
+        let options = { Mocus.default_options with cutoff } in
+        let cutsets = Mocus.minimal_cutsets ~options tree in
+        let t = Sensitivity.tornado ~factor tree cutsets in
+        Sensitivity.print_ascii tree ~top:top_n t)
   in
   let factor =
     Arg.(value & opt float 10.0 & info [ "factor" ] ~docv:"F" ~doc:"Multiplicative swing applied to each probability.")
@@ -296,7 +394,7 @@ let sensitivity_cmd =
   in
   Cmd.v
     (Cmd.info "sensitivity" ~doc:"One-at-a-time tornado sensitivity over the cutset list.")
-    Term.(const run $ file_arg $ cutoff_arg $ horizon_arg $ factor $ top_n)
+    Term.(const run $ file_arg $ cutoff_arg $ horizon_arg $ factor $ top_n $ observability_term)
 
 (* convert *)
 
@@ -335,54 +433,60 @@ let convert_cmd =
 (* sequences *)
 
 let sequences_cmd =
-  let run file horizon cutoff top_n =
-    let sd = or_die (load_model file) in
-    let translation = Sdft_translate.translate sd ~horizon in
-    let options = { Mocus.default_options with cutoff } in
-    let cutsets =
-      Mocus.minimal_cutsets ~options translation.Sdft_translate.static_tree
-    in
-    let tree = Sdft.tree sd in
-    List.iteri
-      (fun i c ->
-        if i < top_n then begin
-          let r = Cut_sequences.of_cutset sd c ~horizon in
-          Format.printf "%a (p~ = %.3e):@." (Cutset.pp tree) c r.Cut_sequences.total;
-          List.iter
-            (fun s -> Format.printf "  %a@." (Cut_sequences.pp sd) s)
-            r.Cut_sequences.sequences
-        end)
-      (Cutset.sort_by_probability translation.Sdft_translate.static_tree cutsets)
+  let run file horizon cutoff top_n obs =
+    with_observability obs (fun () ->
+        let sd = or_die (load_model file) in
+        let translation = Sdft_translate.translate sd ~horizon in
+        let options = { Mocus.default_options with cutoff } in
+        let cutsets =
+          Mocus.minimal_cutsets ~options translation.Sdft_translate.static_tree
+        in
+        let tree = Sdft.tree sd in
+        List.iteri
+          (fun i c ->
+            if i < top_n then begin
+              let r = Cut_sequences.of_cutset sd c ~horizon in
+              Format.printf "%a (p~ = %.3e):@." (Cutset.pp tree) c
+                r.Cut_sequences.total;
+              List.iter
+                (fun s -> Format.printf "  %a@." (Cut_sequences.pp sd) s)
+                r.Cut_sequences.sequences
+            end)
+          (Cutset.sort_by_probability translation.Sdft_translate.static_tree
+             cutsets))
   in
   let top_n =
     Arg.(value & opt int 5 & info [ "top" ] ~docv:"N" ~doc:"Analyse the $(docv) most important cutsets.")
   in
   Cmd.v
     (Cmd.info "sequences" ~doc:"Minimal cut sequences: failure orders of each cutset with their probabilities.")
-    Term.(const run $ file_arg $ horizon_arg $ cutoff_arg $ top_n)
+    Term.(const run $ file_arg $ horizon_arg $ cutoff_arg $ top_n $ observability_term)
 
 (* availability *)
 
 let availability_cmd =
-  let run file cutoff =
-    let sd = or_die (load_model file) in
-    match Availability.analyze ~cutoff sd with
-    | Some r ->
-      Printf.printf "steady-state unavailability (REA over %d cutsets): %.4e\n"
-        r.Availability.n_cutsets r.Availability.unavailability;
-      let tree = Sdft.tree sd in
-      List.iter
-        (fun (b, q) ->
-          Printf.printf "  %-30s q = %.4e\n" (Fault_tree.basic_name tree b) q)
-        r.Availability.per_event
-    | None ->
-      Printf.eprintf
-        "sdft: some dynamic event has no steady state (not repairable)\n";
-      exit 1
+  let run file cutoff obs =
+    with_observability obs (fun () ->
+        let sd = or_die (load_model file) in
+        match Availability.analyze ~cutoff sd with
+        | Some r ->
+          Printf.printf
+            "steady-state unavailability (REA over %d cutsets): %.4e\n"
+            r.Availability.n_cutsets r.Availability.unavailability;
+          let tree = Sdft.tree sd in
+          List.iter
+            (fun (b, q) ->
+              Printf.printf "  %-30s q = %.4e\n"
+                (Fault_tree.basic_name tree b) q)
+            r.Availability.per_event
+        | None ->
+          Printf.eprintf
+            "sdft: some dynamic event has no steady state (not repairable)\n";
+          exit 1)
   in
   Cmd.v
     (Cmd.info "availability" ~doc:"Long-run unavailability of a repairable SD fault tree.")
-    Term.(const run $ file_arg $ cutoff_arg)
+    Term.(const run $ file_arg $ cutoff_arg $ observability_term)
 
 (* dot *)
 
@@ -461,6 +565,7 @@ let main_cmd =
   Cmd.group info
     [
       analyze_cmd;
+      explain_cmd;
       sweep_cmd;
       mcs_cmd;
       classify_cmd;

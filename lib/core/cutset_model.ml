@@ -213,26 +213,47 @@ let build ?context:ctx ?(rel_rule = Paper) sd cutset =
 type quantification = {
   probability : float;
   product_states : int;
+  product_transitions : int;
+  solver_steps : int;
+  solver_error : float;
+  from_cache : bool;
   seconds : float;
 }
 
+let no_solve ~probability t0 =
+  {
+    probability;
+    product_states = 0;
+    product_transitions = 0;
+    solver_steps = 0;
+    solver_error = 0.0;
+    from_cache = false;
+    seconds = Sdft_util.Timer.elapsed_s t0;
+  }
+
 let quantify ?epsilon ?max_states ?workspace t ~horizon =
   let t0 = Sdft_util.Timer.start () in
-  if t.impossible then
-    { probability = 0.0; product_states = 0; seconds = Sdft_util.Timer.elapsed_s t0 }
+  if t.impossible then no_solve ~probability:0.0 t0
   else
     match t.model with
-    | None ->
-      {
-        probability = t.static_multiplier;
-        product_states = 0;
-        seconds = Sdft_util.Timer.elapsed_s t0;
-      }
+    | None -> no_solve ~probability:t.static_multiplier t0
     | Some sd_c ->
+      (* Materialize a workspace even when the caller has none so that the
+         solver's step count can be read back for provenance. *)
+      let ws =
+        match workspace with Some w -> w | None -> Transient.workspace ()
+      in
       let built = Sdft_product.build ?max_states sd_c in
-      let p = Sdft_product.unreliability ?epsilon ?workspace built ~horizon in
+      let p = Sdft_product.unreliability ?epsilon ~workspace:ws built ~horizon in
+      let eps = Option.value epsilon ~default:1e-12 in
       {
         probability = p *. t.static_multiplier;
         product_states = built.n_states;
+        product_transitions = Ctmc.n_transitions built.Sdft_product.chain;
+        solver_steps = Transient.last_steps ws;
+        (* The transient solve carries a truncation error of at most [eps];
+           the static multiplier scales it down with the probability. *)
+        solver_error = eps *. t.static_multiplier;
+        from_cache = false;
         seconds = Sdft_util.Timer.elapsed_s t0;
       }

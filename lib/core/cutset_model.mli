@@ -66,6 +66,17 @@ val build : ?context:context -> ?rel_rule:rel_rule -> Sdft.t -> Cutset.t -> t
 type quantification = {
   probability : float;  (** [p~(C)] *)
   product_states : int;  (** size of the Markov chain analysed (0 = none) *)
+  product_transitions : int;  (** transitions of that chain (0 = none) *)
+  solver_steps : int;
+      (** uniformized DTMC steps the transient solve performed *)
+  solver_error : float;
+      (** upper bound on the numerical error of [probability] contributed by
+          the transient solve: the uniformization epsilon scaled by the
+          static multiplier; [0.] when no chain was solved. Feeds the
+          analysis error budget. *)
+  from_cache : bool;
+      (** the value was served by a {!Quant_cache} hit (provenance fields
+          then describe the originally solved chain) *)
   seconds : float;
 }
 

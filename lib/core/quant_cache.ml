@@ -1,11 +1,22 @@
 module Metrics = Sdft_util.Metrics
+module Trace = Sdft_util.Trace
 
 let m_hits = Metrics.counter "quant_cache.hits"
 let m_misses = Metrics.counter "quant_cache.misses"
 
+(* What a hit must reproduce: the dynamic probability plus the provenance of
+   the solve that produced it (chain size, transition count, DTMC steps),
+   so cached and uncached results stay indistinguishable downstream except
+   for the [from_cache] flag and the wall time. *)
+type entry = {
+  e_prob : float;
+  e_states : int;
+  e_transitions : int;
+  e_steps : int;
+}
+
 type t = {
-  table : (string, float * int) Hashtbl.t;
-      (* key -> (dynamic probability, product states) *)
+  table : (string, entry) Hashtbl.t;
   lock : Mutex.t;
   hit_count : int Atomic.t;
   miss_count : int Atomic.t;
@@ -119,23 +130,45 @@ let quantify t ~epsilon ~max_states ?workspace (cm : Cutset_model.t) ~horizon =
         horizon
     in
     (match find t key with
-    | Some (p_dyn, product_states) ->
+    | Some e ->
       Atomic.incr t.hit_count;
       Metrics.incr m_hits;
+      Trace.instant "quant_cache.hit";
       {
-        Cutset_model.probability = p_dyn *. cm.Cutset_model.static_multiplier;
-        product_states;
+        Cutset_model.probability =
+          e.e_prob *. cm.Cutset_model.static_multiplier;
+        product_states = e.e_states;
+        product_transitions = e.e_transitions;
+        solver_steps = e.e_steps;
+        solver_error = epsilon *. cm.Cutset_model.static_multiplier;
+        from_cache = true;
         seconds = Sdft_util.Timer.elapsed_s t0;
       }
     | None ->
       Atomic.incr t.miss_count;
       Metrics.incr m_misses;
+      Trace.instant "quant_cache.miss";
       (* Too_many_states propagates before anything is stored. *)
+      let ws =
+        match workspace with Some w -> w | None -> Transient.workspace ()
+      in
       let built = Sdft_product.build ~max_states sd_c in
-      let p_dyn = Sdft_product.unreliability ~epsilon ?workspace built ~horizon in
-      store t key (p_dyn, built.n_states);
+      let p_dyn = Sdft_product.unreliability ~epsilon ~workspace:ws built ~horizon in
+      let transitions = Ctmc.n_transitions built.Sdft_product.chain in
+      let steps = Transient.last_steps ws in
+      store t key
+        {
+          e_prob = p_dyn;
+          e_states = built.n_states;
+          e_transitions = transitions;
+          e_steps = steps;
+        };
       {
         Cutset_model.probability = p_dyn *. cm.Cutset_model.static_multiplier;
         product_states = built.n_states;
+        product_transitions = transitions;
+        solver_steps = steps;
+        solver_error = epsilon *. cm.Cutset_model.static_multiplier;
+        from_cache = false;
         seconds = Sdft_util.Timer.elapsed_s t0;
       })

@@ -47,7 +47,10 @@ val quantify :
   horizon:float ->
   Cutset_model.quantification
 (** Drop-in replacement for {!Cutset_model.quantify}. On a hit,
-    [product_states] reports the size of the originally solved chain.
+    [from_cache] is set and the provenance fields ([product_states],
+    [product_transitions], [solver_steps]) report the originally solved
+    chain; hits and misses are also published as {!Sdft_util.Trace} instant
+    events when tracing is enabled.
     [Sdft_product.Too_many_states] propagates uncached, so retrying with a
     larger bound is never poisoned by a previous failure. [workspace] is
     per-caller solver scratch (see {!Cutset_model.quantify}); the cache

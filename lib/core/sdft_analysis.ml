@@ -1,4 +1,5 @@
 module Metrics = Sdft_util.Metrics
+module Trace = Sdft_util.Trace
 
 let m_runs = Metrics.counter "analysis.runs"
 let m_mcs_span = Metrics.span "analysis.mcs_generation"
@@ -53,6 +54,10 @@ let generate_cutsets ?(cutoff = 1e-15) ?(max_order = None) engine tree =
       Mocus.cutsets;
       generated = List.length cutsets;
       pruned_by_cutoff = 0;
+      (* The BDD enumeration drops every cutset below the cutoff without
+         counting it, so no mass bound is available here; the error budget
+         marks BDD-engine intervals with a nonzero cutoff as vacuous. *)
+      pruned_mass = 0.0;
       truncated = false;
     }
 
@@ -62,8 +67,22 @@ type cutset_info = {
   n_dynamic : int;
   n_added_dynamic : int;
   product_states : int;
+  product_transitions : int;
+  solver_steps : int;
+  solver_error : float;
+  from_cache : bool;
   solve_seconds : float;
   used_fallback : bool;
+}
+
+type error_budget = {
+  pruned_mass : float;
+  below_cutoff_mass : float;
+  solver_error_total : float;
+  rare_event_slack : float;
+  lower : float;
+  upper : float;
+  vacuous : bool;
 }
 
 type result = {
@@ -73,6 +92,7 @@ type result = {
   n_cutsets : int;
   n_dynamic_cutsets : int;
   n_fallbacks : int;
+  budget : error_budget;
   mcs_generation_seconds : float;
   quantification_seconds : float;
   generation : Mocus.result;
@@ -80,11 +100,13 @@ type result = {
 }
 
 let analyze ?(options = default_options) ?cache sd =
+  Trace.with_span "analysis.analyze" (fun () ->
   Metrics.incr m_runs;
   (* Phase 1: translation and cutset generation. *)
   let (translation, mocus_result), mcs_generation_seconds =
     Sdft_util.Timer.time (fun () ->
         Metrics.time m_mcs_span (fun () ->
+            Trace.with_span "analysis.mcs_generation" (fun () ->
             let translation =
               Sdft_translate.translate ~epsilon:options.transient_epsilon sd
                 ~horizon:options.horizon
@@ -92,7 +114,7 @@ let analyze ?(options = default_options) ?cache sd =
             ( translation,
               generate_cutsets ~cutoff:options.cutoff
                 ~max_order:options.max_cutset_order options.engine
-                translation.static_tree )))
+                translation.static_tree ))))
   in
   (* Phase 2: per-cutset quantification. *)
   let quantify_model ~workspace model ~horizon =
@@ -105,15 +127,23 @@ let analyze ?(options = default_options) ?cache sd =
         ~max_states:options.max_product_states ~workspace model ~horizon
   in
   let quantify_one (context, workspace) cutset =
+    Trace.with_span "analysis.cutset" (fun () ->
     let model = Cutset_model.build ~context ~rel_rule:options.rel_rule sd cutset in
     match quantify_model ~workspace model ~horizon:options.horizon with
     | q ->
+      Trace.add_attr "probability" (Trace.Float q.Cutset_model.probability);
+      Trace.add_attr "states" (Trace.Int q.Cutset_model.product_states);
+      if q.Cutset_model.from_cache then Trace.add_attr "cached" (Trace.Bool true);
       {
         cutset;
         probability = q.Cutset_model.probability;
         n_dynamic = model.Cutset_model.n_dynamic_in_cutset;
         n_added_dynamic = model.Cutset_model.n_added_dynamic;
         product_states = q.Cutset_model.product_states;
+        product_transitions = q.Cutset_model.product_transitions;
+        solver_steps = q.Cutset_model.solver_steps;
+        solver_error = q.Cutset_model.solver_error;
+        from_cache = q.Cutset_model.from_cache;
         solve_seconds = q.Cutset_model.seconds;
         used_fallback = false;
       }
@@ -125,15 +155,26 @@ let analyze ?(options = default_options) ?cache sd =
           (fun b acc -> acc *. translation.Sdft_translate.worst_case.(b))
           cutset 1.0
       in
+      Trace.add_attr "fallback" (Trace.Bool true);
       {
         cutset;
         probability = p;
         n_dynamic = model.Cutset_model.n_dynamic_in_cutset;
         n_added_dynamic = model.Cutset_model.n_added_dynamic;
         product_states = 0;
+        product_transitions = 0;
+        solver_steps = 0;
+        (* Each worst-case factor was computed by a transient solve with
+           error at most [transient_epsilon]; factors are at most 1, so the
+           product's absolute error is bounded by the factor count times
+           epsilon (first order). *)
+        solver_error =
+          float_of_int (Sdft_util.Int_set.cardinal cutset)
+          *. options.transient_epsilon;
+        from_cache = false;
         solve_seconds = 0.0;
         used_fallback = true;
-      }
+      })
   in
   let quantify_sequential cutsets =
     let worker = (Cutset_model.context sd, Transient.workspace ()) in
@@ -195,9 +236,10 @@ let analyze ?(options = default_options) ?cache sd =
   let infos, quantification_seconds =
     Sdft_util.Timer.time (fun () ->
         Metrics.time m_quant_span (fun () ->
-            if options.domains > 1 then
-              quantify_parallel options.domains mocus_result.Mocus.cutsets
-            else quantify_sequential mocus_result.Mocus.cutsets))
+            Trace.with_span "analysis.quantification" (fun () ->
+                if options.domains > 1 then
+                  quantify_parallel options.domains mocus_result.Mocus.cutsets
+                else quantify_sequential mocus_result.Mocus.cutsets)))
   in
   let relevant =
     List.filter (fun info -> info.probability > options.cutoff) infos
@@ -219,6 +261,60 @@ let analyze ?(options = default_options) ?cache sd =
   Metrics.add m_fallbacks n_fallbacks;
   Metrics.add m_product_states
     (List.fold_left (fun acc info -> acc + info.product_states) 0 infos);
+  (* Error budget. Upper bound: the rare-event sum over-approximates the
+     union, so adding back every discarded mass — branches pruned during
+     MOCUS, quantified cutsets dropped by the relevance filter — and the
+     total numerical solver error yields a sound upper bound on the true
+     top-event probability. Lower bound: the failure of any single cutset
+     implies top failure, so the largest individually certified cutset
+     probability (minus its own solver error) is a sound lower bound;
+     fallback cutsets over-approximate and must not anchor it. *)
+  let below_cutoff_mass =
+    let acc = Sdft_util.Kahan.create () in
+    List.iter
+      (fun info ->
+        if info.probability <= options.cutoff then
+          Sdft_util.Kahan.add acc info.probability)
+      infos;
+    Sdft_util.Kahan.total acc
+  in
+  let solver_error_total =
+    let acc = Sdft_util.Kahan.create () in
+    List.iter (fun info -> Sdft_util.Kahan.add acc info.solver_error) infos;
+    Sdft_util.Kahan.total acc
+  in
+  let lower =
+    List.fold_left
+      (fun acc info ->
+        if info.used_fallback then acc
+        else Float.max acc (info.probability -. info.solver_error))
+      0.0 infos
+  in
+  let vacuous =
+    mocus_result.Mocus.truncated
+    || (options.engine = Bdd_engine
+        && (options.cutoff > 0.0 || options.max_cutset_order <> None))
+  in
+  let upper =
+    if vacuous then Float.max 1.0 total
+    else
+      total +. mocus_result.Mocus.pruned_mass +. below_cutoff_mass
+      +. solver_error_total
+  in
+  let budget =
+    {
+      pruned_mass = mocus_result.Mocus.pruned_mass;
+      below_cutoff_mass;
+      solver_error_total;
+      rare_event_slack = Float.max 0.0 (total -. lower);
+      lower;
+      upper;
+      vacuous;
+    }
+  in
+  Trace.add_attr "total" (Trace.Float total);
+  Trace.add_attr "lower" (Trace.Float budget.lower);
+  Trace.add_attr "upper" (Trace.Float budget.upper);
   {
     total;
     cutoff = options.cutoff;
@@ -227,11 +323,12 @@ let analyze ?(options = default_options) ?cache sd =
     n_dynamic_cutsets =
       List.length (List.filter (fun info -> info.n_dynamic > 0) infos);
     n_fallbacks;
+    budget;
     mcs_generation_seconds;
     quantification_seconds;
     generation = mocus_result;
     translation;
-  }
+  })
 
 let static_rare_event ?(cutoff = 1e-15) ?(engine = Mocus_sound) tree =
   let result = generate_cutsets ~cutoff engine tree in
@@ -318,8 +415,25 @@ let sweep ?cache sd option_sets =
 let pp_summary ppf r =
   Format.fprintf ppf
     "@[<v>failure frequency (rare-event approx): %.3e@,\
+     certified interval: [%.3e, %.3e]%s@,\
      minimal cutsets: %d (%d with dynamic events)@,\
      MCS generation: %a, quantification: %a@]"
-    r.total r.n_cutsets r.n_dynamic_cutsets Sdft_util.Timer.pp_duration
+    r.total r.budget.lower r.budget.upper
+    (if r.budget.vacuous then "  (vacuous: coverage not certified)" else "")
+    r.n_cutsets r.n_dynamic_cutsets Sdft_util.Timer.pp_duration
     r.mcs_generation_seconds Sdft_util.Timer.pp_duration
     r.quantification_seconds
+
+let pp_budget ppf r =
+  let b = r.budget in
+  Format.fprintf ppf
+    "@[<v>error budget:@,\
+     \  pruned mass (MOCUS cutoff):   %.3e@,\
+     \  below-cutoff cutset mass:     %.3e@,\
+     \  solver error (uniformization): %.3e@,\
+     \  rare-event slack (over-approx): %.3e@,\
+     \  certified interval: [%.3e, %.3e]%s@]"
+    b.pruned_mass b.below_cutoff_mass b.solver_error_total b.rare_event_slack
+    b.lower b.upper
+    (if b.vacuous then "  VACUOUS (truncated generation or uncounted pruning)"
+     else "")

@@ -54,11 +54,49 @@ type cutset_info = {
   n_dynamic : int;  (** dynamic events in the cutset itself *)
   n_added_dynamic : int;  (** extra dynamic events in [FT_C] *)
   product_states : int;  (** 0 for purely static cutsets *)
+  product_transitions : int;  (** transitions of the product chain *)
+  solver_steps : int;  (** uniformized DTMC steps of the transient solve *)
+  solver_error : float;
+      (** upper bound on this cutset's numerical error (see
+          {!Cutset_model.quantification}); for fallback cutsets, the
+          cardinality times the transient epsilon *)
+  from_cache : bool;  (** served by a {!Quant_cache} hit *)
   solve_seconds : float;
   used_fallback : bool;
       (** the product chain exceeded [max_product_states] and the cutset was
           quantified with its (conservative) worst-case static product
           instead *)
+}
+
+type error_budget = {
+  pruned_mass : float;
+      (** upper bound on the union probability of all cutsets refined from
+          branches MOCUS pruned by the cutoff (0 for the BDD engine, which
+          cannot count what it drops — see [vacuous]) *)
+  below_cutoff_mass : float;
+      (** mass of quantified cutsets excluded from [total] by the relevance
+          filter [p~(C) > cutoff] *)
+  solver_error_total : float;
+      (** summed per-cutset numerical error bounds (uniformization epsilon
+          scaled by static multipliers; fallbacks contribute cardinality
+          times epsilon) *)
+  rare_event_slack : float;
+      (** [total - lower]: how much of the interval width stems from the
+          rare-event over-approximation rather than from discarded mass *)
+  lower : float;
+      (** certified lower bound: the largest individually quantified
+          non-fallback cutset probability minus its solver error (any single
+          cutset failing implies top failure) *)
+  upper : float;
+      (** certified upper bound:
+          [total + pruned_mass + below_cutoff_mass + solver_error_total];
+          may exceed 1 when the rare-event sum does. When [vacuous], the
+          budget cannot account for all discarded mass and [upper] degrades
+          to [max 1 total]. *)
+  vacuous : bool;
+      (** the interval is trivial: cutset generation was truncated by an
+          order bound, or the BDD engine dropped below-cutoff cutsets
+          without counting their mass *)
 }
 
 type result = {
@@ -76,6 +114,9 @@ type result = {
       (** cutsets whose chains exceeded the state bound (conservatively
           quantified; consider [All_events -> Paper] or a larger
           [max_product_states] when nonzero) *)
+  budget : error_budget;
+      (** certified interval [lower, upper] around [total] with its itemized
+          error terms *)
   mcs_generation_seconds : float;
   quantification_seconds : float;
   generation : Mocus.result;
@@ -138,3 +179,7 @@ val rank_by_fussell_vesely : result -> n_basics:int -> int list
 (** All basic events by decreasing time-aware importance. *)
 
 val pp_summary : Format.formatter -> result -> unit
+(** One-screen summary including the certified interval. *)
+
+val pp_budget : Format.formatter -> result -> unit
+(** Itemized error-budget breakdown with the certified interval. *)

@@ -70,10 +70,13 @@ let has_uniform_triggering sd g =
   | first :: rest -> first <> None && List.for_all (fun t -> t = first) rest
 
 let classify sd g =
-  if has_static_branching sd g then Static_branching
-  else if has_static_joins sd g then
-    Static_joins { uniform = has_uniform_triggering sd g }
-  else General
+  Sdft_util.Trace.with_span "classify.gate"
+    ~attrs:[ ("gate", Sdft_util.Trace.Int g) ]
+    (fun () ->
+      if has_static_branching sd g then Static_branching
+      else if has_static_joins sd g then
+        Static_joins { uniform = has_uniform_triggering sd g }
+      else General)
 
 type report = {
   per_trigger_gate : (int * gate_class) list;

@@ -356,12 +356,19 @@ let build_generic sem ~max_states =
   }
 
 let build ?(max_states = 1_000_000) ?assumed_failed ?(generic = false) sd =
-  let sem = semantics ?assumed_failed sd in
-  if generic then build_generic sem ~max_states
-  else
-    match radix_strides sem.components with
-    | Some strides -> build_packed sem ~max_states strides
-    | None -> build_generic sem ~max_states
+  Sdft_util.Trace.with_span "product.build" (fun () ->
+      let sem = semantics ?assumed_failed sd in
+      let built =
+        if generic then build_generic sem ~max_states
+        else
+          match radix_strides sem.components with
+          | Some strides -> build_packed sem ~max_states strides
+          | None -> build_generic sem ~max_states
+      in
+      Sdft_util.Trace.add_attr "states" (Sdft_util.Trace.Int built.n_states);
+      Sdft_util.Trace.add_attr "transitions"
+        (Sdft_util.Trace.Int (Ctmc.n_transitions built.chain));
+      built)
 
 let unreliability ?(epsilon = 1e-12) ?workspace built ~horizon =
   let options = { Transient.default_options with epsilon } in

@@ -1,4 +1,5 @@
 module Metrics = Sdft_util.Metrics
+module Trace = Sdft_util.Trace
 
 let m_solves = Metrics.counter "transient.solves"
 let m_steps = Metrics.counter "transient.uniformization_steps"
@@ -20,9 +21,19 @@ type workspace = {
   mutable ws_pi : float array;
   mutable ws_scratch : float array;
   mutable ws_result : float array;
+  (* Provenance of the most recent solve through this workspace, for
+     callers (per-cutset quantification, the explain view) that report how
+     much numerical work a result cost. *)
+  mutable ws_steps : int;
+  mutable ws_window : int;
 }
 
-let workspace () = { ws_pi = [||]; ws_scratch = [||]; ws_result = [||] }
+let workspace () =
+  { ws_pi = [||]; ws_scratch = [||]; ws_result = [||]; ws_steps = 0; ws_window = 0 }
+
+let last_steps ws = ws.ws_steps
+
+let last_window ws = ws.ws_window
 
 let ws_reserve ws n =
   if Array.length ws.ws_pi < n then begin
@@ -83,6 +94,7 @@ let max_abs_diff n a b =
    [false] when no motion happened and the result is just the initial
    distribution in [ws.ws_pi]. *)
 let solve_into ~options ws chain ~init ~t =
+  Trace.with_span "transient.solve" (fun () ->
   if t < 0.0 || not (Float.is_finite t) then
     invalid_arg "Transient.distribution: bad horizon";
   let n = Ctmc.n_states chain in
@@ -92,7 +104,12 @@ let solve_into ~options ws chain ~init ~t =
   Array.fill pi 0 n 0.0;
   List.iter (fun (s, m) -> pi.(s) <- pi.(s) +. m) init;
   let q = Ctmc.max_exit_rate chain in
-  if t = 0.0 || q = 0.0 then false
+  Trace.add_attr "states" (Trace.Int n);
+  if t = 0.0 || q = 0.0 then begin
+    ws.ws_steps <- 0;
+    ws.ws_window <- 0;
+    false
+  end
   else begin
     let window = Poisson.weights ~epsilon:options.epsilon (q *. t) in
     Metrics.incr m_solves;
@@ -131,8 +148,13 @@ let solve_into ~options ws chain ~init ~t =
     Metrics.add m_steps !k;
     if !stationary then Metrics.incr m_steady;
     if !stationary && !remaining > 0.0 then accumulate !remaining pi;
+    ws.ws_steps <- !k;
+    ws.ws_window <- window.Poisson.right - window.Poisson.left + 1;
+    Trace.add_attr "steps" (Trace.Int !k);
+    Trace.add_attr "window" (Trace.Int ws.ws_window);
+    if !stationary then Trace.add_attr "stationary" (Trace.Bool true);
     true
-  end
+  end)
 
 let distribution ?(options = default_options) ?workspace:ws chain ~init ~t =
   let ws = match ws with Some w -> w | None -> workspace () in

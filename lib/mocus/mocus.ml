@@ -1,5 +1,6 @@
 module Int_set = Sdft_util.Int_set
 module Metrics = Sdft_util.Metrics
+module Trace = Sdft_util.Trace
 
 let m_run_span = Metrics.span "mocus.run"
 let m_runs = Metrics.counter "mocus.runs"
@@ -27,6 +28,7 @@ type result = {
   cutsets : Cutset.t list;
   generated : int;
   pruned_by_cutoff : int;
+  pruned_mass : float;
   truncated : bool;
 }
 
@@ -81,6 +83,7 @@ let run_inner ~options tree =
   let estimate = gate_estimates tree in
   let out = Sdft_util.Vec.create () in
   let pruned = ref 0 in
+  let pruned_mass = Sdft_util.Kahan.create () in
   let deduped = ref 0 in
   let pushes = ref 0 in
   let truncated = ref false in
@@ -145,6 +148,14 @@ let run_inner ~options tree =
   let admit p =
     if bound p < options.cutoff || over_order p.basics then begin
       incr pruned;
+      (* Every cutset refining this partial contains its basics, so the
+         probability that the pruned branch contributes a failure is at most
+         the basics' product [p.prob] (independent events). The Kahan-summed
+         total upper-bounds the union mass dropped by the cutoff and order
+         bounds, and feeds the analysis error budget. Note the mass bound is
+         [p.prob] even under gate-bound pruning, whose tighter [bound p] can
+         under-estimate on shared DAGs and would not be sound here. *)
+      Sdft_util.Kahan.add pruned_mass p.prob;
       false
     end
     else true
@@ -195,9 +206,23 @@ let run_inner ~options tree =
   Metrics.add m_pruned !pruned;
   Metrics.add m_deduped !deduped;
   Metrics.add m_cutsets (List.length cutsets);
-  { cutsets; generated; pruned_by_cutoff = !pruned; truncated = !truncated }
+  let result =
+    {
+      cutsets;
+      generated;
+      pruned_by_cutoff = !pruned;
+      pruned_mass = Sdft_util.Kahan.total pruned_mass;
+      truncated = !truncated;
+    }
+  in
+  Trace.add_attr "cutsets" (Trace.Int (List.length cutsets));
+  Trace.add_attr "generated" (Trace.Int !pushes);
+  Trace.add_attr "pruned" (Trace.Int !pruned);
+  Trace.add_attr "pruned_mass" (Trace.Float result.pruned_mass);
+  result
 
 let run ?(options = default_options) tree =
-  Metrics.time m_run_span (fun () -> run_inner ~options tree)
+  Trace.with_span "mocus.run" (fun () ->
+      Metrics.time m_run_span (fun () -> run_inner ~options tree))
 
 let minimal_cutsets ?options tree = (run ?options tree).cutsets

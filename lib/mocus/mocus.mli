@@ -35,6 +35,16 @@ type result = {
   cutsets : Cutset.t list;  (** minimal cutsets, sorted by (size, lex) *)
   generated : int;  (** cutsets produced before minimization *)
   pruned_by_cutoff : int;  (** partial cutsets discarded by the cutoff *)
+  pruned_mass : float;
+      (** upper bound on the probability mass of the discarded branches: the
+          Kahan sum, over every pruned partial cutset, of the probability
+          product of its basic events (which bounds the probability that
+          {e any} cutset refining the partial fails). Feeds the error budget
+          of {!Sdft_analysis}. A sound bound with the default sound pruning
+          (and for order-pruned partials); with [gate_bound_pruning] the
+          pruning {e decision} uses gate estimates that can drop extra
+          branches, but each dropped branch is still accounted at its sound
+          basics-only product. *)
   truncated : bool;  (** true when [max_cutsets] stopped the search *)
 }
 

@@ -1,0 +1,28 @@
+(* Minimal hand-rolled JSON emission, shared by the observability sinks
+   (Metrics, Trace). Only what those need: escaped strings and floats that
+   degrade to null instead of producing invalid JSON. *)
+
+let add_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_float buf v =
+  if Float.is_finite v then Buffer.add_string buf (Printf.sprintf "%.17g" v)
+  else Buffer.add_string buf "null"
+
+let string_of s =
+  let buf = Buffer.create (String.length s + 2) in
+  add_string buf s;
+  Buffer.contents buf

@@ -1,0 +1,14 @@
+(** Minimal JSON emission helpers shared by the observability sinks
+    ({!Metrics}, {!Trace}): escaped string literals and floats that emit
+    [null] for non-finite values instead of invalid JSON. *)
+
+val add_string : Buffer.t -> string -> unit
+(** Append [s] as a quoted JSON string, escaping quotes, backslashes and
+    control characters. *)
+
+val add_float : Buffer.t -> float -> unit
+(** Append a finite float with full precision; NaN/infinities become
+    [null]. *)
+
+val string_of : string -> string
+(** [string_of s] is the quoted, escaped JSON literal for [s]. *)

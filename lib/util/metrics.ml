@@ -119,24 +119,9 @@ let reset () =
         registry)
 
 (* Hand-rolled JSON: names are code-controlled but escape them anyway. *)
-let add_json_string buf s =
-  Buffer.add_char buf '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.add_char buf '"'
+let add_json_string = Json.add_string
 
-let add_json_float buf v =
-  if Float.is_finite v then Buffer.add_string buf (Printf.sprintf "%.17g" v)
-  else Buffer.add_string buf "null"
+let add_json_float = Json.add_float
 
 let to_json () =
   let s = snapshot () in

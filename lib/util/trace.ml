@@ -1,0 +1,263 @@
+type value =
+  | Str of string
+  | Int of int
+  | Float of float
+  | Bool of bool
+
+type kind =
+  | Span
+  | Instant
+
+type event = {
+  ev_name : string;
+  ev_kind : kind;
+  ev_start : float;  (* Unix epoch seconds *)
+  ev_dur : float;  (* 0 for instants *)
+  ev_depth : int;
+  ev_domain : int;
+  ev_attrs : (string * value) list;
+}
+
+(* Disabled is the common case: every entry point loads one atomic and
+   leaves. No buffer is touched, no time is read, nothing allocates. *)
+let enabled_flag = Atomic.make false
+
+let enabled () = Atomic.get enabled_flag
+
+let set_enabled b = Atomic.set enabled_flag b
+
+(* An open span carries everything needed to close it. Attributes are added
+   front-first while the span is open ([add_attr]) and reversed on close so
+   the export order matches the call order. *)
+type open_span = {
+  os_name : string;
+  os_start : float;
+  os_depth : int;
+  mutable os_attrs : (string * value) list;
+}
+
+(* One buffer per domain, reached through DLS so the hot path never locks.
+   Buffers are registered in a global list at creation and stay registered
+   after their domain dies, which is how spans recorded by short-lived
+   [Parallel.map_init] workers survive the join and appear in the export. *)
+type buffer = {
+  buf_id : int;
+  events : event Vec.t;
+  mutable stack : open_span list;
+}
+
+let registry : buffer list ref = ref []
+
+let registry_lock = Mutex.create ()
+
+let next_buffer_id = Atomic.make 0
+
+let buffer_key =
+  Domain.DLS.new_key (fun () ->
+      let b =
+        {
+          buf_id = Atomic.fetch_and_add next_buffer_id 1;
+          events = Vec.create ();
+          stack = [];
+        }
+      in
+      Mutex.lock registry_lock;
+      registry := b :: !registry;
+      Mutex.unlock registry_lock;
+      b)
+
+let buffer () = Domain.DLS.get buffer_key
+
+let begin_span buf name =
+  let os =
+    {
+      os_name = name;
+      os_start = Unix.gettimeofday ();
+      os_depth = List.length buf.stack;
+      os_attrs = [];
+    }
+  in
+  buf.stack <- os :: buf.stack;
+  os
+
+let end_span buf os attrs =
+  let now = Unix.gettimeofday () in
+  (match buf.stack with
+  | top :: rest when top == os -> buf.stack <- rest
+  | _ ->
+    (* A span closed out of order (an exception unwound past an enclosing
+       with_span whose finally already ran, or enable flipped mid-span):
+       drop every span opened after it so depths stay consistent. *)
+    let rec drop = function
+      | top :: rest when top == os -> rest
+      | _ :: rest -> drop rest
+      | [] -> []
+    in
+    buf.stack <- drop buf.stack);
+  Vec.push buf.events
+    {
+      ev_name = os.os_name;
+      ev_kind = Span;
+      ev_start = os.os_start;
+      ev_dur = now -. os.os_start;
+      ev_depth = os.os_depth;
+      ev_domain = buf.buf_id;
+      ev_attrs = List.rev_append os.os_attrs (List.rev attrs);
+    }
+
+let with_span ?(attrs = []) name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let buf = buffer () in
+    let os = begin_span buf name in
+    Fun.protect ~finally:(fun () -> end_span buf os attrs) f
+  end
+
+let add_attr name v =
+  if Atomic.get enabled_flag then begin
+    let buf = buffer () in
+    match buf.stack with
+    | [] -> ()
+    | os :: _ -> os.os_attrs <- (name, v) :: os.os_attrs
+  end
+
+let instant ?(attrs = []) name =
+  if Atomic.get enabled_flag then begin
+    let buf = buffer () in
+    Vec.push buf.events
+      {
+        ev_name = name;
+        ev_kind = Instant;
+        ev_start = Unix.gettimeofday ();
+        ev_dur = 0.0;
+        ev_depth = List.length buf.stack;
+        ev_domain = buf.buf_id;
+        ev_attrs = attrs;
+      }
+  end
+
+(* Snapshot/reset walk every registered buffer. They are meant to run while
+   the traced workload is quiescent (after Parallel.map_init has joined);
+   the lock only protects the registry list itself. *)
+let snapshot () =
+  Mutex.lock registry_lock;
+  let buffers = !registry in
+  Mutex.unlock registry_lock;
+  let all = List.concat_map (fun b -> Vec.to_list b.events) buffers in
+  List.sort
+    (fun a b ->
+      let c = compare a.ev_start b.ev_start in
+      if c <> 0 then c
+      else
+        let c = compare a.ev_domain b.ev_domain in
+        if c <> 0 then c else compare b.ev_depth a.ev_depth)
+    all
+
+let reset () =
+  Mutex.lock registry_lock;
+  let buffers = !registry in
+  Mutex.unlock registry_lock;
+  List.iter
+    (fun b ->
+      Vec.clear b.events;
+      b.stack <- [])
+    buffers
+
+(* Aggregation for terminal reporting ("top spans"). *)
+let aggregate () =
+  let tbl : (string, (int * float) ref) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun ev ->
+      if ev.ev_kind = Span then
+        match Hashtbl.find_opt tbl ev.ev_name with
+        | Some cell ->
+          let n, total = !cell in
+          cell := (n + 1, total +. ev.ev_dur)
+        | None -> Hashtbl.add tbl ev.ev_name (ref (1, ev.ev_dur)))
+    (snapshot ());
+  let rows = Hashtbl.fold (fun name cell acc -> (name, !cell) :: acc) tbl [] in
+  List.sort
+    (fun (na, (_, ta)) (nb, (_, tb)) ->
+      let c = compare tb ta in
+      if c <> 0 then c else String.compare na nb)
+    rows
+
+(* Serialization. *)
+
+let add_value buf = function
+  | Str s -> Json.add_string buf s
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Json.add_float buf f
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+
+let add_attrs buf attrs =
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Json.add_string buf name;
+      Buffer.add_string buf ": ";
+      add_value buf v)
+    attrs;
+  Buffer.add_char buf '}'
+
+let to_jsonl () =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun ev ->
+      Buffer.add_string buf "{\"name\": ";
+      Json.add_string buf ev.ev_name;
+      Buffer.add_string buf ", \"kind\": ";
+      Json.add_string buf
+        (match ev.ev_kind with Span -> "span" | Instant -> "instant");
+      Buffer.add_string buf ", \"ts\": ";
+      Json.add_float buf ev.ev_start;
+      Buffer.add_string buf ", \"dur\": ";
+      Json.add_float buf ev.ev_dur;
+      Printf.ksprintf (Buffer.add_string buf)
+        ", \"depth\": %d, \"domain\": %d, \"args\": " ev.ev_depth ev.ev_domain;
+      add_attrs buf ev.ev_attrs;
+      Buffer.add_string buf "}\n")
+    (snapshot ());
+  Buffer.contents buf
+
+(* Chrome trace-event JSON (chrome://tracing, Perfetto): complete events
+   ("X") with microsecond timestamps rebased to the earliest event, one
+   thread lane per domain. Instants become thread-scoped "i" events. *)
+let to_chrome () =
+  let events = snapshot () in
+  let t0 =
+    List.fold_left (fun acc ev -> Float.min acc ev.ev_start) infinity events
+  in
+  let us t = (t -. t0) *. 1e6 in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf "\n{\"name\": ";
+      Json.add_string buf ev.ev_name;
+      Buffer.add_string buf ", \"cat\": \"sdft\", \"ph\": ";
+      (match ev.ev_kind with
+      | Span ->
+        Buffer.add_string buf "\"X\", \"dur\": ";
+        Json.add_float buf (ev.ev_dur *. 1e6)
+      | Instant -> Buffer.add_string buf "\"i\", \"s\": \"t\"");
+      Buffer.add_string buf ", \"ts\": ";
+      Json.add_float buf (us ev.ev_start);
+      Printf.ksprintf (Buffer.add_string buf)
+        ", \"pid\": 0, \"tid\": %d, \"args\": " ev.ev_domain;
+      add_attrs buf ev.ev_attrs;
+      Buffer.add_string buf "}")
+    events;
+  Buffer.add_string buf "\n]\n";
+  Buffer.contents buf
+
+let write_file path =
+  let contents =
+    if Filename.check_suffix path ".json" then to_chrome () else to_jsonl ()
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)

@@ -1,0 +1,89 @@
+(** Hierarchical tracing: nested spans with typed attributes and point
+    events, buffered per domain, exported as JSONL or Chrome trace-event
+    JSON (loadable in Perfetto / [chrome://tracing]).
+
+    Complements {!Metrics}: metrics aggregate (one number per counter for a
+    whole run), traces keep every interval with its start time, duration,
+    nesting depth and domain — "which cutset cost the time" instead of "how
+    much time cutsets cost in total".
+
+    Tracing is {e disabled} by default and the disabled path is one atomic
+    load per call — no time source is read, nothing allocates — so
+    instrumentation can stay in hot library code permanently. Analysis
+    results are bit-identical with tracing enabled or disabled: tracing only
+    observes.
+
+    Each domain writes to its own buffer (reached through domain-local
+    storage, never locked on the hot path). Buffers are registered globally
+    at creation and outlive their domain, so spans recorded by
+    {!Parallel.map_init} workers are merged into the export after the join.
+    {!snapshot}, {!reset} and the exporters are meant to run while the
+    traced workload is quiescent. *)
+
+type value =
+  | Str of string
+  | Int of int
+  | Float of float
+  | Bool of bool
+
+type kind =
+  | Span
+  | Instant
+
+type event = {
+  ev_name : string;
+  ev_kind : kind;
+  ev_start : float;  (** Unix epoch seconds *)
+  ev_dur : float;  (** seconds; [0.] for instants *)
+  ev_depth : int;  (** nesting depth at the time of recording *)
+  ev_domain : int;  (** per-buffer id, stable across the export *)
+  ev_attrs : (string * value) list;
+}
+
+(** {1 Enabling} *)
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+(** Global switch. Flip it before the traced workload starts; flipping it
+    while spans are open is safe but those spans may be dropped. *)
+
+(** {1 Recording} *)
+
+val with_span : ?attrs:(string * value) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] inside a span. The span closes (and is
+    recorded) whether [f] returns or raises. [attrs] are attached at close
+    time, after any {!add_attr} made during the span. *)
+
+val add_attr : string -> value -> unit
+(** Attach an attribute to the innermost open span of the calling domain;
+    no-op when tracing is disabled or no span is open. *)
+
+val instant : ?attrs:(string * value) list -> string -> unit
+(** Record a point event at the current time and depth. *)
+
+(** {1 Export} *)
+
+val snapshot : unit -> event list
+(** Every recorded event from every domain buffer, sorted by start time. *)
+
+val aggregate : unit -> (string * (int * float)) list
+(** Spans grouped by name as [(name, (count, total seconds))], sorted by
+    decreasing total time — the "top spans" view. *)
+
+val reset : unit -> unit
+(** Drop all recorded events (buffers stay registered). *)
+
+val to_jsonl : unit -> string
+(** One JSON object per line:
+    [{"name":..,"kind":"span"|"instant","ts":..,"dur":..,"depth":..,
+    "domain":..,"args":{..}}]. *)
+
+val to_chrome : unit -> string
+(** Chrome trace-event JSON array: spans as complete ("X") events with
+    microsecond timestamps rebased to the earliest event, one [tid] lane per
+    domain, instants as thread-scoped "i" events. *)
+
+val write_file : string -> unit
+(** Write the current snapshot to [path]: Chrome trace-event JSON when the
+    path ends in [.json], JSONL otherwise. *)

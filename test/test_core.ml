@@ -696,6 +696,137 @@ let test_analysis_parallel_4_identical_probabilities () =
   Alcotest.(check bool) "identical total" true
     (seq.Sdft_analysis.total = par.Sdft_analysis.total)
 
+(* Error budget *)
+
+let test_budget_certifies_pumps () =
+  let r = Sdft_analysis.analyze pumps_sd in
+  let b = r.Sdft_analysis.budget in
+  Alcotest.(check bool) "not vacuous" false b.Sdft_analysis.vacuous;
+  Alcotest.(check bool) "lower <= total" true (b.Sdft_analysis.lower <= r.Sdft_analysis.total);
+  Alcotest.(check bool) "total <= upper" true (r.Sdft_analysis.total <= b.Sdft_analysis.upper);
+  (* The certificate itself: the exact product-chain probability must lie
+     inside the interval (pumps is small enough to solve exactly). *)
+  let exact = Sdft_product.solve pumps_sd ~horizon:24.0 in
+  Alcotest.(check bool) "lower <= exact" true (b.Sdft_analysis.lower <= exact +. 1e-12);
+  Alcotest.(check bool) "exact <= upper" true (exact <= b.Sdft_analysis.upper +. 1e-12);
+  (* Term structure: nothing pruned at the default cutoff, a positive but
+     tiny solver budget, slack = total - lower. *)
+  check_close ~eps:1e-15 "no pruned mass" 0.0 b.Sdft_analysis.pruned_mass;
+  check_close ~eps:1e-15 "no below-cutoff mass" 0.0 b.Sdft_analysis.below_cutoff_mass;
+  Alcotest.(check bool) "solver budget positive" true (b.Sdft_analysis.solver_error_total > 0.0);
+  Alcotest.(check bool) "solver budget tiny" true (b.Sdft_analysis.solver_error_total < 1e-9);
+  check_close ~eps:1e-15 "slack = total - lower"
+    (r.Sdft_analysis.total -. b.Sdft_analysis.lower)
+    b.Sdft_analysis.rare_event_slack;
+  check_close ~eps:1e-15 "upper = total + terms"
+    (r.Sdft_analysis.total +. b.Sdft_analysis.pruned_mass
+    +. b.Sdft_analysis.below_cutoff_mass +. b.Sdft_analysis.solver_error_total)
+    b.Sdft_analysis.upper
+
+let test_budget_below_cutoff_mass () =
+  (* Generation prunes on worst-case probabilities, the relevance filter on
+     the (smaller) time-aware p~. Cutoff 3e-4 sits between the two for
+     {b,d} (worst case 5.6e-4, p~ 1.98e-4): the cutset survives generation,
+     is quantified, then excluded from [total] — and must show up, in full,
+     as below-cutoff mass in the upper bound. *)
+  let options = { Sdft_analysis.default_options with cutoff = 3e-4 } in
+  let r = Sdft_analysis.analyze ~options pumps_sd in
+  let b = r.Sdft_analysis.budget in
+  let excluded =
+    List.filter
+      (fun (i : Sdft_analysis.cutset_info) -> i.probability <= 3e-4)
+      r.Sdft_analysis.cutsets
+  in
+  Alcotest.(check bool) "some quantified cutsets excluded" true
+    (excluded <> []);
+  let mass =
+    List.fold_left (fun acc (i : Sdft_analysis.cutset_info) -> acc +. i.probability) 0.0 excluded
+  in
+  check_close ~eps:1e-15 "below-cutoff mass accounted" mass
+    b.Sdft_analysis.below_cutoff_mass;
+  (* The widened interval still contains the full-precision answer. *)
+  let full = Sdft_analysis.analyze pumps_sd in
+  Alcotest.(check bool) "upper covers the unfiltered total" true
+    (full.Sdft_analysis.total <= b.Sdft_analysis.upper)
+
+let test_budget_pruned_mass_from_generation () =
+  (* A generation-time cutoff (not just the relevance filter) must surface
+     as pruned mass and keep the interval sound. MOCUS prunes on worst-case
+     translated probabilities, so use a cutoff between the smallest and
+     largest cutset contributions. *)
+  let options = { Sdft_analysis.default_options with cutoff = 1e-5 } in
+  let r = Sdft_analysis.analyze ~options pumps_sd in
+  let b = r.Sdft_analysis.budget in
+  Alcotest.(check bool) "not vacuous" false b.Sdft_analysis.vacuous;
+  Alcotest.(check bool) "something pruned at generation" true
+    (r.Sdft_analysis.generation.Mocus.pruned_by_cutoff > 0);
+  Alcotest.(check bool) "pruned mass positive" true (b.Sdft_analysis.pruned_mass > 0.0);
+  let exact = Sdft_product.solve pumps_sd ~horizon:24.0 in
+  Alcotest.(check bool) "interval still contains exact" true
+    (b.Sdft_analysis.lower <= exact +. 1e-12
+    && exact <= b.Sdft_analysis.upper +. 1e-12)
+
+let test_budget_vacuous_cases () =
+  (* BDD engine with a nonzero cutoff drops cutsets without counting their
+     mass: the interval must degrade to a marked-vacuous [lower, >=1]. *)
+  let options =
+    { Sdft_analysis.default_options with engine = Sdft_analysis.Bdd_engine }
+  in
+  let r = Sdft_analysis.analyze ~options pumps_sd in
+  let b = r.Sdft_analysis.budget in
+  Alcotest.(check bool) "bdd + cutoff is vacuous" true b.Sdft_analysis.vacuous;
+  Alcotest.(check bool) "vacuous upper covers everything" true
+    (b.Sdft_analysis.upper >= 1.0);
+  (* With cutoff 0 and no order bound the BDD enumeration is exhaustive and
+     the certificate is meaningful again. *)
+  let options0 =
+    { options with cutoff = 0.0 }
+  in
+  let r0 = Sdft_analysis.analyze ~options:options0 pumps_sd in
+  Alcotest.(check bool) "exhaustive bdd not vacuous" false
+    r0.Sdft_analysis.budget.Sdft_analysis.vacuous
+
+let test_budget_fallback_excluded_from_lower () =
+  (* Starve the state bound so every dynamic cutset falls back to its
+     worst-case product: those over-approximations must not anchor the
+     lower bound, which falls to the best purely static cutset. *)
+  let options = { Sdft_analysis.default_options with max_product_states = 1 } in
+  let r = Sdft_analysis.analyze ~options pumps_sd in
+  Alcotest.(check bool) "fallbacks happened" true (r.Sdft_analysis.n_fallbacks > 0);
+  let best_static =
+    List.fold_left
+      (fun acc (i : Sdft_analysis.cutset_info) ->
+        if i.used_fallback then acc else Float.max acc i.probability)
+      0.0 r.Sdft_analysis.cutsets
+  in
+  Alcotest.(check bool) "lower anchored by non-fallback cutsets" true
+    (r.Sdft_analysis.budget.Sdft_analysis.lower <= best_static)
+
+let test_trace_does_not_change_results () =
+  (* Bit-identical analytic output with tracing on and off — tracing only
+     observes. *)
+  Sdft_util.Trace.reset ();
+  let off = Sdft_analysis.analyze pumps_sd in
+  Sdft_util.Trace.set_enabled true;
+  let on =
+    Fun.protect
+      ~finally:(fun () ->
+        Sdft_util.Trace.set_enabled false;
+        Sdft_util.Trace.reset ())
+      (fun () -> Sdft_analysis.analyze pumps_sd)
+  in
+  Alcotest.(check bool) "identical total" true
+    (off.Sdft_analysis.total = on.Sdft_analysis.total);
+  Alcotest.(check bool) "identical bounds" true
+    (off.Sdft_analysis.budget.Sdft_analysis.lower
+     = on.Sdft_analysis.budget.Sdft_analysis.lower
+    && off.Sdft_analysis.budget.Sdft_analysis.upper
+       = on.Sdft_analysis.budget.Sdft_analysis.upper);
+  List.iter2
+    (fun (a : Sdft_analysis.cutset_info) (b : Sdft_analysis.cutset_info) ->
+      Alcotest.(check bool) "identical p~" true (a.probability = b.probability))
+    off.Sdft_analysis.cutsets on.Sdft_analysis.cutsets
+
 (* Quantification cache *)
 
 let sweep_options_for horizon =
@@ -1170,6 +1301,14 @@ let () =
           Alcotest.test_case "dynamic importance" `Quick test_analysis_dynamic_importance;
           Alcotest.test_case "FV respects cutoff" `Quick test_analysis_fv_respects_cutoff;
         ]
+        @ [
+            Alcotest.test_case "budget certifies pumps" `Quick test_budget_certifies_pumps;
+            Alcotest.test_case "budget below-cutoff mass" `Quick test_budget_below_cutoff_mass;
+            Alcotest.test_case "budget pruned mass" `Quick test_budget_pruned_mass_from_generation;
+            Alcotest.test_case "budget vacuous cases" `Quick test_budget_vacuous_cases;
+            Alcotest.test_case "budget fallback lower bound" `Quick test_budget_fallback_excluded_from_lower;
+            Alcotest.test_case "trace does not change results" `Quick test_trace_does_not_change_results;
+          ]
         @ qc
             [
               prop_analysis_bounds_exact_untriggered;

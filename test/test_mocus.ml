@@ -104,6 +104,75 @@ let test_zero_cutoff_exhaustive () =
   let r = Mocus.run ~options pumps in
   Alcotest.(check int) "all 5" 5 (List.length r.Mocus.cutsets)
 
+(* Error-budget satellite: the probability mass MOCUS discards at the prune
+   site must be an exact accounting when every pruned branch is a completed
+   cutset. An OR over disjoint AND groups has exactly one cutset per group
+   and no shared events, so pruning can only ever happen at a finished
+   product of basics — the pruned mass must equal the rare-event sum lost
+   relative to a no-cutoff run, to full float precision. *)
+let disjoint_groups_tree =
+  let b = Fault_tree.Builder.create () in
+  let group i probs =
+    let leaves =
+      List.mapi
+        (fun j p ->
+          Fault_tree.Builder.basic b ~prob:p (Printf.sprintf "g%d_%d" i j))
+        probs
+    in
+    match leaves with
+    | [ single ] -> single
+    | several ->
+      Fault_tree.Builder.gate b (Printf.sprintf "and%d" i) Fault_tree.And
+        several
+  in
+  let groups =
+    List.mapi group
+      [
+        [ 0.3; 0.2 ];        (* 6.0e-2 *)
+        [ 1e-3; 2e-3 ];      (* 2.0e-6 *)
+        [ 1e-4; 5e-4; 0.1 ]; (* 5.0e-9 *)
+        [ 2e-5 ];            (* 2.0e-5 *)
+        [ 1e-6; 3e-3 ];      (* 3.0e-9 *)
+      ]
+  in
+  let top = Fault_tree.Builder.gate b "top" Fault_tree.Or groups in
+  Fault_tree.Builder.build b ~top
+
+let test_pruned_mass_exact_on_disjoint_tree () =
+  let tree = disjoint_groups_tree in
+  let exact = Mocus.run ~options:{ Mocus.default_options with cutoff = 0.0 } tree in
+  check_close "no-cutoff run prunes nothing" 0.0 exact.Mocus.pruned_mass;
+  let rea cutsets = Cutset.rare_event_approximation tree cutsets in
+  let full = rea exact.Mocus.cutsets in
+  List.iter
+    (fun cutoff ->
+      let r = Mocus.run ~options:{ Mocus.default_options with cutoff } tree in
+      let kept = rea r.Mocus.cutsets in
+      check_close
+        (Printf.sprintf "pruned mass = lost REA at cutoff %g" cutoff)
+        (full -. kept) r.Mocus.pruned_mass;
+      Alcotest.(check bool)
+        (Printf.sprintf "mass only when pruning happened (cutoff %g)" cutoff)
+        (r.Mocus.pruned_by_cutoff > 0)
+        (r.Mocus.pruned_mass > 0.0))
+    [ 1e-10; 1e-8; 1e-6; 1e-4; 1.0 ]
+
+(* On a shared-event tree the pruned partials need not be complete cutsets,
+   so the accumulated mass is only an upper bound on the lost REA — but it
+   must still be one, and zero exactly when nothing was pruned. *)
+let test_pruned_mass_bounds_lost_rea () =
+  let exact = Mocus.run ~options:{ Mocus.default_options with cutoff = 0.0 } pumps in
+  let full = Cutset.rare_event_approximation pumps exact.Mocus.cutsets in
+  List.iter
+    (fun cutoff ->
+      let r = Mocus.run ~options:{ Mocus.default_options with cutoff } pumps in
+      let kept = Cutset.rare_event_approximation pumps r.Mocus.cutsets in
+      Alcotest.(check bool)
+        (Printf.sprintf "pruned mass bounds lost REA (cutoff %g)" cutoff)
+        true
+        (r.Mocus.pruned_mass >= full -. kept -. 1e-15))
+    [ 2e-6; 1e-4; 1.0 ]
+
 (* Regression for the pick_gate early-exit and Int_set.remove hot-path
    changes: MOCUS output on the seed models must still match the exact BDD
    engine exactly (the expansion order may legally change, the cutset list
@@ -352,6 +421,8 @@ let () =
           Alcotest.test_case "max order" `Quick test_max_order;
           Alcotest.test_case "max cutsets" `Quick test_max_cutsets_truncates;
           Alcotest.test_case "exhaustive" `Quick test_zero_cutoff_exhaustive;
+          Alcotest.test_case "pruned mass exact (disjoint)" `Quick test_pruned_mass_exact_on_disjoint_tree;
+          Alcotest.test_case "pruned mass bounds lost REA" `Quick test_pruned_mass_bounds_lost_rea;
           Alcotest.test_case "seed models = BDD" `Quick test_seed_models_mocus_equals_bdd;
         ] );
       ( "properties",

@@ -403,6 +403,136 @@ let test_metrics_concurrent () =
     (Float.abs (Metrics.span_seconds s -. before_total -. (0.001 *. float_of_int (4 * per_domain)))
      < 1e-6)
 
+(* Trace *)
+
+let with_tracing f =
+  Trace.reset ();
+  Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled false;
+      Trace.reset ())
+    f
+
+let test_trace_disabled_noop () =
+  Trace.reset ();
+  Alcotest.(check bool) "disabled by default" false (Trace.enabled ());
+  let v = Trace.with_span "t.off" (fun () -> 41 + 1) in
+  Alcotest.(check int) "value passes through" 42 v;
+  Trace.add_attr "k" (Trace.Int 1);
+  Trace.instant "t.off_instant";
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Trace.snapshot ()))
+
+let test_trace_spans_nesting () =
+  with_tracing (fun () ->
+      let v =
+        Trace.with_span "t.outer" (fun () ->
+            Trace.add_attr "n" (Trace.Int 7);
+            Trace.with_span "t.inner" ~attrs:[ ("ok", Trace.Bool true) ]
+              (fun () -> Trace.instant "t.tick");
+            3)
+      in
+      Alcotest.(check int) "result" 3 v;
+      (* A span that raises is still recorded. *)
+      Alcotest.check_raises "raise passes through" Exit (fun () ->
+          Trace.with_span "t.raises" (fun () -> raise Exit));
+      let events = Trace.snapshot () in
+      Alcotest.(check int) "event count" 4 (List.length events);
+      let find name =
+        List.find (fun e -> e.Trace.ev_name = name) events
+      in
+      Alcotest.(check int) "outer depth" 0 (find "t.outer").Trace.ev_depth;
+      Alcotest.(check int) "inner depth" 1 (find "t.inner").Trace.ev_depth;
+      Alcotest.(check int) "instant depth" 2 (find "t.tick").Trace.ev_depth;
+      Alcotest.(check bool) "instant kind" true
+        ((find "t.tick").Trace.ev_kind = Trace.Instant);
+      Alcotest.(check bool) "outer attr recorded" true
+        (List.mem_assoc "n" (find "t.outer").Trace.ev_attrs);
+      Alcotest.(check bool) "inner attrs recorded" true
+        (List.mem_assoc "ok" (find "t.inner").Trace.ev_attrs);
+      Alcotest.(check bool) "nesting: inner within outer" true
+        (let o = find "t.outer" and i = find "t.inner" in
+         i.Trace.ev_start >= o.Trace.ev_start
+         && i.Trace.ev_start +. i.Trace.ev_dur
+            <= o.Trace.ev_start +. o.Trace.ev_dur +. 1e-6);
+      let agg = Trace.aggregate () in
+      Alcotest.(check (option int)) "aggregate count" (Some 1)
+        (Option.map (fun (c, _) -> c) (List.assoc_opt "t.inner" agg)))
+
+let test_trace_multi_domain () =
+  with_tracing (fun () ->
+      let per_item = 25 in
+      let work = Array.init (4 * per_item) Fun.id in
+      let results =
+        Parallel.map_init ~domains:4
+          (fun () -> ())
+          (fun () x ->
+            Trace.with_span "t.work"
+              ~attrs:[ ("item", Trace.Int x) ]
+              (fun () ->
+                Trace.instant "t.item";
+                x * 2))
+          work
+      in
+      Alcotest.(check (array int))
+        "results correct" (Array.map (fun x -> x * 2) work) results;
+      (* Worker domains are dead by now; their buffers must still be in the
+         merged snapshot — one span and one instant per item, no losses. *)
+      let events = Trace.snapshot () in
+      let count name =
+        List.length (List.filter (fun e -> e.Trace.ev_name = name) events)
+      in
+      Alcotest.(check int) "all spans survive the join" (4 * per_item)
+        (count "t.work");
+      Alcotest.(check int) "all instants survive the join" (4 * per_item)
+        (count "t.item");
+      let agg = Trace.aggregate () in
+      Alcotest.(check (option int)) "aggregate sees every span"
+        (Some (4 * per_item))
+        (Option.map (fun (c, _) -> c) (List.assoc_opt "t.work" agg)))
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec loop i = i + n <= h && (String.sub hay i n = needle || loop (i + 1)) in
+  loop 0
+
+let test_trace_json_escaping () =
+  with_tracing (fun () ->
+      Trace.with_span "t.\"quoted\"\\back"
+        ~attrs:
+          [
+            ("ctrl", Trace.Str "a\nb\tc\rd\x01e");
+            ("inf", Trace.Float infinity);
+          ]
+        (fun () -> ());
+      let jsonl = Trace.to_jsonl () in
+      Alcotest.(check bool) "quote escaped" true
+        (contains ~needle:{|t.\"quoted\"\\back|} jsonl);
+      Alcotest.(check bool) "newline/tab/cr escaped" true
+        (contains ~needle:{|a\nb\tc\rd\u0001e|} jsonl);
+      Alcotest.(check bool) "non-finite floats become null" true
+        (contains ~needle:{|"inf": null|} jsonl);
+      Alcotest.(check bool) "no raw control chars" true
+        (String.for_all (fun c -> c = '\n' || c >= ' ') jsonl);
+      let chrome = Trace.to_chrome () in
+      Alcotest.(check bool) "chrome is an array" true
+        (String.length chrome > 0 && chrome.[0] = '[');
+      Alcotest.(check bool) "chrome complete events" true
+        (contains ~needle:{|"ph": "X"|} chrome);
+      Alcotest.(check bool) "chrome escapes too" true
+        (contains ~needle:{|t.\"quoted\"\\back|} chrome))
+
+let test_metrics_json_escaping () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.\"esc\"\nname" in
+  Metrics.add c 3;
+  let json = Metrics.to_json () in
+  Alcotest.(check bool) "metrics name escaped" true
+    (contains ~needle:{|test.\"esc\"\nname|} json);
+  Alcotest.(check bool) "no raw control chars" true
+    (String.for_all (fun ch -> ch = '\n' || ch >= ' ') json);
+  Metrics.reset ()
+
 (* Parallel *)
 
 let test_parallel_map_matches_sequential () =
@@ -509,6 +639,14 @@ let () =
           Alcotest.test_case "gauge/span" `Quick test_metrics_gauge_span;
           Alcotest.test_case "snapshot/json/reset" `Quick test_metrics_snapshot_json_reset;
           Alcotest.test_case "concurrent updates" `Quick test_metrics_concurrent;
+          Alcotest.test_case "json escaping" `Quick test_metrics_json_escaping;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "disabled no-op" `Quick test_trace_disabled_noop;
+          Alcotest.test_case "spans/nesting/attrs" `Quick test_trace_spans_nesting;
+          Alcotest.test_case "multi-domain merge" `Quick test_trace_multi_domain;
+          Alcotest.test_case "json escaping" `Quick test_trace_json_escaping;
         ] );
       ( "parallel",
         [
