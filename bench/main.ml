@@ -865,6 +865,105 @@ let bench_kernels ~json_path () =
     Printf.printf "kernel benchmark results written to %s\n" path
 
 (* ------------------------------------------------------------------ *)
+(* `sim` subcommand: the rare-event importance-sampling oracle against
+   crude Monte-Carlo on pumps and BWR — estimates, 99% confidence
+   intervals, throughput, and the variance-reduction factor (the headline
+   number: how many crude trials one IS trial is worth). *)
+
+let bench_sim ~json_path ~trials () =
+  let t =
+    Table.create ~title:"sim: importance sampling vs crude Monte-Carlo"
+      ~columns:
+        [ "model"; "method"; "estimate"; "99% CI"; "hits"; "trials/s"; "VRF" ]
+  in
+  let entries = ref [] in
+  let case name sd =
+    let horizon = Sdft_analysis.default_options.Sdft_analysis.horizon in
+    let analytic = (Sdft_analysis.analyze sd).Sdft_analysis.total in
+    let run_method meth options =
+      let t0 = Timer.start () in
+      let e = Rare_event.run ~options sd ~horizon in
+      let secs = Timer.elapsed_s t0 in
+      let lo, hi = Rare_event.confidence ~z:Rare_event.z99 e in
+      let tps = float_of_int e.Rare_event.trials /. secs in
+      let vrf = Rare_event.variance_reduction e in
+      let contains = lo <= analytic && analytic <= hi in
+      Table.add_row t
+        [
+          name;
+          meth;
+          Table.cell_sci e.Rare_event.estimate;
+          Printf.sprintf "[%.2e, %.2e]" lo hi;
+          string_of_int e.Rare_event.hits;
+          Printf.sprintf "%.0f" tps;
+          (match vrf with Some v -> Printf.sprintf "%.1fx" v | None -> "-");
+        ];
+      entries :=
+        Printf.sprintf
+          "  {\"model\": %S, \"method\": %S, \"trials\": %d, \"hits\": %d, \
+           \"estimate\": %.6e, \"ci99_lower\": %.6e, \"ci99_upper\": %.6e, \
+           \"analytic_total\": %.6e, \"contains_analytic\": %b, \
+           \"trials_per_sec\": %.1f, \"variance_reduction\": %s}"
+          name meth e.Rare_event.trials e.Rare_event.hits
+          e.Rare_event.estimate lo hi analytic contains tps
+          (match vrf with
+          | Some v -> Printf.sprintf "%.2f" v
+          | None -> "null")
+        :: !entries
+    in
+    let opts = { Rare_event.default_options with trials } in
+    run_method "crude" (Rare_event.crude opts);
+    run_method "is" opts
+  in
+  case "pumps" (Pumps.sd_tree ());
+  case "bwr"
+    (Bwr.build
+       {
+         Bwr.default_config with
+         repair_rate = Some 0.1;
+         triggers = Bwr.all_trigger_sites;
+       });
+  Table.print t;
+  match json_path with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc "[\n";
+    output_string oc (String.concat ",\n" (List.rev !entries));
+    output_string oc "\n]\n";
+    close_out oc;
+    Printf.printf "sim benchmark results written to %s\n" path
+
+let sim_main args =
+  let json_path = ref None in
+  let trials = ref 100_000 in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: path :: rest ->
+      json_path := Some path;
+      parse rest
+    | [ "--json" ] ->
+      prerr_endline "sim: --json needs a file argument";
+      exit 2
+    | "--trials" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n > 0 ->
+        trials := n;
+        parse rest
+      | _ ->
+        prerr_endline "sim: --trials needs a positive integer";
+        exit 2)
+    | [ "--trials" ] ->
+      prerr_endline "sim: --trials needs an integer argument";
+      exit 2
+    | other :: _ ->
+      Printf.eprintf "sim: unknown argument %S\n" other;
+      exit 2
+  in
+  parse args;
+  bench_sim ~json_path:!json_path ~trials:!trials ()
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -935,6 +1034,9 @@ let () =
     | [] -> ()
     | "kernels" :: rest ->
       kernels_main rest;
+      exit 0
+    | "sim" :: rest ->
+      sim_main rest;
       exit 0
     | "--full" :: rest ->
       full_scale := true;

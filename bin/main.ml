@@ -268,21 +268,101 @@ let classify_cmd =
 (* simulate *)
 
 let simulate_cmd =
-  let run file horizon trials seed =
-    let sd = or_die (load_model file) in
-    let stats = Simulator.unreliability ~seed sd ~horizon ~trials in
-    let lo, hi = Simulator.confidence_95 stats in
-    Printf.printf
-      "failures: %d / %d\nestimate: %.4e (95%% CI [%.4e, %.4e])\n"
-      stats.Simulator.failures stats.trials stats.estimate lo hi
+  let run file horizon trials seed method_ domains batch bias no_forcing
+      rel_error level verify cutoff engine obs =
+    with_observability obs (fun () ->
+        let sd = or_die (load_model file) in
+        let z =
+          match level with
+          | `P90 -> 1.6448536269514722
+          | `P95 -> Rare_event.z95
+          | `P99 -> Rare_event.z99
+        in
+        let pct = match level with `P90 -> 90 | `P95 -> 95 | `P99 -> 99 in
+        let lo, hi =
+          match method_ with
+          | `Crude ->
+            let stats = Simulator.unreliability ~seed sd ~horizon ~trials in
+            let lo, hi = Simulator.wilson_interval ~z stats in
+            Printf.printf
+              "method: crude Monte-Carlo\n\
+               failures: %d / %d\n\
+               estimate: %.4e (%d%% Wilson CI [%.4e, %.4e])\n"
+              stats.Simulator.failures stats.Simulator.trials
+              stats.Simulator.estimate pct lo hi;
+            (lo, hi)
+          | `Is ->
+            let options =
+              {
+                Rare_event.default_options with
+                trials;
+                seed;
+                domains;
+                batch;
+                static_bias = bias;
+                forcing = not no_forcing;
+                target_rel_error = rel_error;
+              }
+            in
+            let e = Rare_event.run ~options sd ~horizon in
+            let lo, hi = Rare_event.confidence ~z e in
+            Printf.printf
+              "method: importance sampling (%s, static bias x%g)\n\
+               trials: %d (hits: %d)\n\
+               estimate: %.4e (%d%% CI [%.4e, %.4e])\n\
+               std error: %.3e (rel %.2e)\n\
+               mean likelihood weight: %.4f\n"
+              (if no_forcing then "no forcing" else "forcing")
+              bias e.Rare_event.trials e.Rare_event.hits
+              e.Rare_event.estimate pct lo hi e.Rare_event.std_error
+              e.Rare_event.rel_error e.Rare_event.mean_weight;
+            (match Rare_event.variance_reduction e with
+            | Some f -> Printf.printf "variance reduction vs crude MC: %.3gx\n" f
+            | None -> ());
+            (lo, hi)
+        in
+        if verify then begin
+          let options =
+            { Sdft_analysis.default_options with horizon; cutoff; engine }
+          in
+          let result = Sdft_analysis.analyze ~options sd in
+          let check = Sdft_analysis.verify_sim result ~sim_ci:(lo, hi) in
+          Printf.printf "analytic rare-event total: %.4e\n"
+            result.Sdft_analysis.total;
+          Format.printf "%a@." Sdft_analysis.pp_sim_check check;
+          if not check.Sdft_analysis.overlaps then exit 1
+        end)
   in
   let trials =
     Arg.(value & opt int 100_000 & info [ "trials"; "n" ] ~docv:"N" ~doc:"Number of Monte-Carlo trials.")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.") in
+  let method_ =
+    Arg.(value & opt (enum [ ("is", `Is); ("crude", `Crude) ]) `Is
+         & info [ "method" ] ~docv:"METHOD" ~doc:"$(b,is) (rare-event importance sampling, the default) or $(b,crude) (plain Monte-Carlo).")
+  in
+  let batch =
+    Arg.(value & opt int 4096 & info [ "batch" ] ~docv:"N" ~doc:"Trials per RNG stream (importance sampling).")
+  in
+  let bias =
+    Arg.(value & opt float 50.0 & info [ "bias" ] ~docv:"F" ~doc:"Multiplicative failure-biasing boost of static probabilities; 1 disables.")
+  in
+  let no_forcing =
+    Arg.(value & flag & info [ "no-forcing" ] ~doc:"Disable forcing (truncated-exponential conditioning of jump times).")
+  in
+  let rel_error =
+    Arg.(value & opt (some float) None & info [ "target-rel-error" ] ~docv:"R" ~doc:"Stop early once the relative standard error falls below $(docv).")
+  in
+  let level =
+    Arg.(value & opt (enum [ ("90", `P90); ("95", `P95); ("99", `P99) ]) `P95
+         & info [ "level" ] ~docv:"PCT" ~doc:"Confidence level of the reported interval: 90, 95 or 99.")
+  in
+  let verify =
+    Arg.(value & flag & info [ "verify" ] ~doc:"Also run the analytic pipeline and check that the simulation CI overlaps its certified budget interval; exit 1 when the intervals are disjoint.")
+  in
   Cmd.v
-    (Cmd.info "simulate" ~doc:"Monte-Carlo estimate of the failure probability (full SD semantics).")
-    Term.(const run $ file_arg $ horizon_arg $ trials $ seed)
+    (Cmd.info "simulate" ~doc:"Statistical estimate of the failure probability (full SD semantics): rare-event importance sampling or crude Monte-Carlo, optionally cross-checked against the analytic certified interval.")
+    Term.(const run $ file_arg $ horizon_arg $ trials $ seed $ method_ $ domains_arg $ batch $ bias $ no_forcing $ rel_error $ level $ verify $ cutoff_arg $ engine_arg $ observability_term)
 
 (* exact *)
 

@@ -437,3 +437,43 @@ let pp_budget ppf r =
     b.lower b.upper
     (if b.vacuous then "  VACUOUS (truncated generation or uncounted pruning)"
      else "")
+
+type sim_check = {
+  sim_lower : float;
+  sim_upper : float;
+  budget_lower : float;
+  budget_upper : float;
+  overlaps : bool;
+  gap : float;
+  vacuous_budget : bool;
+}
+
+let verify_sim result ~sim_ci:(sim_lower, sim_upper) =
+  if sim_lower > sim_upper then
+    invalid_arg "Sdft_analysis.verify_sim: empty simulation interval";
+  let b = result.budget in
+  let overlaps = sim_lower <= b.upper && b.lower <= sim_upper in
+  let gap =
+    if overlaps then 0.0
+    else if sim_lower > b.upper then sim_lower -. b.upper
+    else b.lower -. sim_upper
+  in
+  {
+    sim_lower;
+    sim_upper;
+    budget_lower = b.lower;
+    budget_upper = b.upper;
+    overlaps;
+    gap;
+    vacuous_budget = b.vacuous;
+  }
+
+let pp_sim_check ppf c =
+  Format.fprintf ppf
+    "@[<v>simulation CI: [%.3e, %.3e]@,\
+     analytic certified interval: [%.3e, %.3e]%s@,\
+     verdict: %s@]"
+    c.sim_lower c.sim_upper c.budget_lower c.budget_upper
+    (if c.vacuous_budget then "  (vacuous)" else "")
+    (if c.overlaps then "OVERLAP (simulation consistent with the analysis)"
+     else Printf.sprintf "DISJOINT (gap %.3e) — the estimators disagree" c.gap)

@@ -183,3 +183,35 @@ val pp_summary : Format.formatter -> result -> unit
 
 val pp_budget : Format.formatter -> result -> unit
 (** Itemized error-budget breakdown with the certified interval. *)
+
+(** {1 Cross-checking against a statistical oracle}
+
+    The rare-event simulator ({!Rare_event} in [sdft.sim]) produces an
+    unbiased estimate of the exact product-semantics probability with a
+    confidence interval. Since the certified budget interval
+    [[budget.lower, budget.upper]] also brackets that exact value, the two
+    intervals must overlap (up to the CI's confidence level) whenever both
+    the analytic pipeline and the simulator are sound — a disjoint pair is
+    strong evidence of a bug in one of them. *)
+
+type sim_check = {
+  sim_lower : float;  (** simulation confidence interval *)
+  sim_upper : float;
+  budget_lower : float;  (** the analysis' certified interval *)
+  budget_upper : float;
+  overlaps : bool;  (** the intervals intersect *)
+  gap : float;  (** distance between the intervals; 0 when overlapping *)
+  vacuous_budget : bool;
+      (** the budget interval was vacuous, so an overlap is trivial *)
+}
+
+val verify_sim : result -> sim_ci:float * float -> sim_check
+(** [verify_sim result ~sim_ci:(lo, hi)] compares a simulation confidence
+    interval against the result's certified budget interval. The simulation
+    side is passed as plain bounds so this check does not depend on the
+    simulator library (which sits above this one); [Rare_event.verify]
+    wires the two together.
+
+    @raise Invalid_argument when [lo > hi]. *)
+
+val pp_sim_check : Format.formatter -> sim_check -> unit

@@ -5,180 +5,22 @@ type stats = {
   std_error : float;
 }
 
-type component = {
-  (* Flat transition layout shared straight from the underlying [Ctmc]
-     arrays: state [s] owns [cols]/[rates] entries
-     [row_ptr.(s) .. row_end.(s) - 1]. *)
-  row_ptr : int array;
-  row_end : int array;
-  cols : int array;
-  rates : float array;
-  init_states : int array;
-  init_weights : float array;
-  failed : bool array;
-  trigger_gate : int; (* -1 when untriggered *)
-  mode_on : bool array;
-  partner : int array;
-}
-
-let component_of_basic sd b =
-  let tree = Sdft.tree sd in
-  if Sdft.is_dynamic sd b then begin
-    let d = Sdft.dbe sd b in
-    let n = Dbe.n_states d in
-    let chain = Dbe.chain d in
-    let init = List.filter (fun (_, p) -> p > 0.0) (Dbe.init d) in
-    let triggered = Dbe.is_triggered_model d in
-    let mode_on = Array.init n (fun s -> Dbe.mode_of d s = Dbe.On) in
-    {
-      row_ptr = Ctmc.row_ptr chain;
-      row_end = Ctmc.row_end chain;
-      cols = Ctmc.cols chain;
-      rates = Ctmc.rates chain;
-      init_states = Array.of_list (List.map fst init);
-      init_weights = Array.of_list (List.map snd init);
-      failed = Array.init n (Dbe.is_failed d);
-      trigger_gate =
-        (match Sdft.trigger_of sd b with Some g -> g | None -> -1);
-      mode_on;
-      partner =
-        Array.init n (fun s ->
-            if not triggered then s
-            else if mode_on.(s) then Dbe.switch_off d s
-            else Dbe.switch_on d s);
-    }
-  end
-  else begin
-    let p = Fault_tree.prob tree b in
-    {
-      row_ptr = [| 0; 0; 0 |];
-      row_end = [| 0; 0 |];
-      cols = [||];
-      rates = [||];
-      init_states = [| 0; 1 |];
-      init_weights = [| 1.0 -. p; p |];
-      failed = [| false; true |];
-      trigger_gate = -1;
-      mode_on = [| true; true |];
-      partner = [| 0; 1 |];
-    }
-  end
-
-let sample_categorical rng weights =
-  let u = Sdft_util.Rng.float rng in
-  let rec pick i acc =
-    if i = Array.length weights - 1 then i
-    else
-      let acc = acc +. weights.(i) in
-      if u < acc then i else pick (i + 1) acc
-  in
-  pick 0 0.0
-
-type world = {
-  sd : Sdft.t;
-  components : component array;
-  n_triggered : int;
-  gates_buf : bool array; (* scratch for gate evaluations *)
-}
-
-let make_world sd =
-  let nb = Sdft.n_basics sd in
-  let components = Array.init nb (component_of_basic sd) in
-  let n_triggered =
-    Array.fold_left
-      (fun acc c -> if c.trigger_gate >= 0 then acc + 1 else acc)
-      0 components
-  in
-  {
-    sd;
-    components;
-    n_triggered;
-    gates_buf = Array.make (Fault_tree.n_gates (Sdft.tree sd)) false;
-  }
-
-let eval world state =
-  Fault_tree.eval_gates_into (Sdft.tree world.sd)
-    ~failed:(fun b -> world.components.(b).failed.(state.(b)))
-    world.gates_buf;
-  world.gates_buf
-
-let close world state =
-  let passes = ref 0 in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    let gates = eval world state in
-    Array.iteri
-      (fun b c ->
-        if c.trigger_gate >= 0 then begin
-          let on = c.mode_on.(state.(b)) in
-          if on <> gates.(c.trigger_gate) then begin
-            state.(b) <- c.partner.(state.(b));
-            changed := true
-          end
-        end)
-      world.components;
-    incr passes;
-    if !passes > world.n_triggered + 2 then
-      failwith "Simulator: update closure did not converge"
-  done
-
-let top_failed world state =
-  (eval world state).(Fault_tree.top (Sdft.tree world.sd))
-
 (* One trial; returns the failure time when the top gate fails within the
    horizon. *)
 let run_trial world rng ~horizon =
-  let state =
-    Array.map
-      (fun c -> c.init_states.(sample_categorical rng c.init_weights))
-      world.components
-  in
-  close world state;
+  let state = Sim_world.sample_initial world rng in
+  Sim_world.close world state;
   let rec step now =
-    if top_failed world state then Some now
+    if Sim_world.top_failed world state then Some now
     else begin
-      (* Total rate of all enabled transitions. *)
-      let total = ref 0.0 in
-      Array.iteri
-        (fun b c ->
-          let s = state.(b) in
-          for k = c.row_ptr.(s) to c.row_end.(s) - 1 do
-            total := !total +. c.rates.(k)
-          done)
-        world.components;
-      if !total <= 0.0 then None (* no dynamics left: state is final *)
+      let total = Sim_world.total_rate world state in
+      if total <= 0.0 then None (* no dynamics left: state is final *)
       else begin
-        let dt = Sdft_util.Rng.exponential rng !total in
+        let dt = Sdft_util.Rng.exponential rng total in
         let now = now +. dt in
         if now > horizon then None
-        else begin
-          (* Pick the jumping transition proportionally to its rate. *)
-          let u = Sdft_util.Rng.float rng *. !total in
-          let acc = ref 0.0 in
-          let done_ = ref false in
-          Array.iteri
-            (fun b c ->
-              if not !done_ then begin
-                let s = state.(b) in
-                let k = ref c.row_ptr.(s) in
-                let stop = c.row_end.(s) in
-                while (not !done_) && !k < stop do
-                  acc := !acc +. c.rates.(!k);
-                  if u < !acc then begin
-                    state.(b) <- c.cols.(!k);
-                    done_ := true
-                  end;
-                  incr k
-                done
-              end)
-            world.components;
-          if not !done_ then None (* numerical corner: treat as no jump *)
-          else begin
-            close world state;
-            step now
-          end
-        end
+        else if Sim_world.apply_jump world rng state ~total then step now
+        else None (* numerical corner: treat as no jump *)
       end
     end
   in
@@ -186,7 +28,7 @@ let run_trial world rng ~horizon =
 
 let simulate ?(seed = 42) sd ~horizon ~trials =
   if trials <= 0 then invalid_arg "Simulator: need at least one trial";
-  let world = make_world sd in
+  let world = Sim_world.make sd in
   let rng = Sdft_util.Rng.create seed in
   let failures = ref 0 in
   let time_sum = ref 0.0 in
@@ -213,6 +55,22 @@ let failure_time ?seed sd ~horizon ~trials =
   let failures, time_sum = simulate ?seed sd ~horizon ~trials in
   if failures = 0 then None else Some (time_sum /. float_of_int failures)
 
-let confidence_95 s =
-  let half = 1.96 *. s.std_error in
-  (Float.max 0.0 (s.estimate -. half), Float.min 1.0 (s.estimate +. half))
+let wilson_interval ?(z = 1.959963984540054) s =
+  (* Wilson score bounds: unlike the Wald interval, these stay informative
+     when 0 or all trials failed (the binomial standard error is then 0 and
+     a +-z*se interval would collapse to a point). *)
+  let n = float_of_int s.trials in
+  let p = s.estimate in
+  let z2 = z *. z in
+  let denom = 1.0 +. (z2 /. n) in
+  let center = (p +. (z2 /. (2.0 *. n))) /. denom in
+  let half =
+    z /. denom *. sqrt ((p *. (1.0 -. p) /. n) +. (z2 /. (4.0 *. n *. n)))
+  in
+  (* At 0 (resp. all) failures the exact lower (upper) endpoint is 0
+     (1); pin it rather than leaving the cancellation's rounding residue. *)
+  let lo = if p <= 0.0 then 0.0 else Float.max 0.0 (center -. half) in
+  let hi = if p >= 1.0 then 1.0 else Float.min 1.0 (center +. half) in
+  (lo, hi)
+
+let confidence_95 s = wilson_interval s

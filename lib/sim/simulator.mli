@@ -1,13 +1,14 @@
-(** Discrete-event Monte-Carlo simulation of the full SD fault tree
+(** Crude discrete-event Monte-Carlo simulation of the full SD fault tree
     semantics.
 
     Simulates the product process of Section III-C directly — static events
     sampled at time zero, dynamic events racing exponential transitions,
     trigger updates applied instantaneously after every jump — without ever
-    building the product state space. Used as a statistical baseline to
-    validate the analytic pipeline (and as the only practical oracle for
-    models too large for {!Sdft_product.solve} but with failure
-    probabilities large enough to estimate). *)
+    building the product state space (the trial machinery lives in
+    {!Sim_world}). Used as a statistical baseline to validate the analytic
+    pipeline on models with failure probabilities large enough to observe;
+    for genuinely rare top events use the importance-sampling engine
+    {!Rare_event}, which shares the same semantics. *)
 
 type stats = {
   trials : int;
@@ -27,5 +28,11 @@ val failure_time :
 (** Mean time to first top-gate failure among failing trials, [None] when
     no trial failed. *)
 
+val wilson_interval : ?z:float -> stats -> float * float
+(** Wilson score interval at critical value [z] (default 1.96, i.e. 95%).
+    Remains informative in the degenerate cases: with 0 observed failures
+    the upper bound is [z^2 / (n + z^2)] rather than 0, and symmetrically
+    with all trials failing. *)
+
 val confidence_95 : stats -> float * float
-(** Normal-approximation 95% interval, clamped to [[0, 1]]. *)
+(** [wilson_interval] at 95%. *)

@@ -17,6 +17,16 @@ let split t =
   let s = int64 t in
   { state = s }
 
+let split_n t n =
+  if n < 0 then invalid_arg "Rng.split_n: count must be non-negative";
+  (* Explicit loop so the derivation order (hence every stream) is fixed by
+     the parent state alone, independent of evaluation-order details. *)
+  let streams = Array.make n t in
+  for i = 0 to n - 1 do
+    streams.(i) <- split t
+  done;
+  streams
+
 (* 53 high bits scaled into [0,1). *)
 let float t =
   let bits = Int64.shift_right_logical (int64 t) 11 in
@@ -34,6 +44,17 @@ let exponential t rate =
   if rate <= 0.0 then invalid_arg "Rng.exponential: rate must be positive";
   let u = float t in
   -.log1p (-.u) /. rate
+
+let truncated_exponential t rate ~bound =
+  if rate <= 0.0 then
+    invalid_arg "Rng.truncated_exponential: rate must be positive";
+  if bound <= 0.0 then
+    invalid_arg "Rng.truncated_exponential: bound must be positive";
+  (* Inverse transform of F(x) = (1 - e^{-rate x}) / (1 - e^{-rate bound})
+     on [0, bound); expm1/log1p keep it accurate when rate*bound is tiny. *)
+  let c = -.expm1 (-.rate *. bound) in
+  let u = float t in
+  -.log1p (-.u *. c) /. rate
 
 let normal t =
   (* Box-Muller; u must be positive for the log. *)

@@ -12,6 +12,12 @@ val create : int -> t
 val split : t -> t
 (** Derive an independent stream (for parallel or nested generators). *)
 
+val split_n : t -> int -> t array
+(** [split_n t n] derives [n] independent streams, advancing [t] by [n]
+    draws. The streams depend only on [t]'s state and the index, so work
+    partitioned over the array is reproducible no matter how many workers
+    later consume it (each worker owns whole streams, never shares one). *)
+
 val int64 : t -> int64
 (** Next raw 64-bit output. *)
 
@@ -25,6 +31,13 @@ val bool : t -> bool
 
 val exponential : t -> float -> float
 (** [exponential t rate] samples [Exp(rate)]; requires [rate > 0]. *)
+
+val truncated_exponential : t -> float -> bound:float -> float
+(** [truncated_exponential t rate ~bound] samples [Exp(rate)] conditioned on
+    being smaller than [bound] (inverse-transform on the truncated CDF) —
+    the {e forcing} primitive of rare-event simulation. The conditioning
+    probability is [1 - exp(-rate *. bound)]; requires [rate > 0] and
+    [bound > 0]. *)
 
 val normal : t -> float
 (** Standard normal via Box-Muller. *)

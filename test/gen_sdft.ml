@@ -1,0 +1,18 @@
+(* Shared random-model generation for the test suites.
+
+   One place owns the shape parameters of the random SD fault trees used by
+   the soundness properties (test_core), the simulator statistics
+   (test_sim), and the analytic-vs-simulation differential suite
+   (test_differential) — so "a random small model" means the same thing
+   everywhere and the suites genuinely cross-check each other. *)
+
+(* qcheck seed generator shared by the property tests. *)
+let seed_gen = QCheck.make QCheck.Gen.(0 -- 100000)
+
+(* A small random SD fault tree, derived deterministically from [seed].
+   Defaults match the historical test_core shape: 5 static basics with
+   probabilities below 0.2, 4 gates, 2 dynamic events, 1 trigger. *)
+let sd ?(max_prob = 0.2) ?(n_basics = 5) ?(n_gates = 4) ?(n_dynamic = 2)
+    ?(n_triggers = 1) seed =
+  let rng = Sdft_util.Rng.create seed in
+  Random_tree.sd rng ~max_prob ~n_basics ~n_gates ~n_dynamic ~n_triggers

@@ -955,10 +955,7 @@ let test_cache_fingerprint_name_independent () =
      rule (they model a subset of the triggering paths);
    - untriggered models need no trigger logic at all, so there the paper
      rule itself upper-bounds the exact value. *)
-let random_sd ?(n_triggers = 1) seed =
-  let rng = Sdft_util.Rng.create seed in
-  Random_tree.sd rng ~max_prob:0.2 ~n_basics:5 ~n_gates:4 ~n_dynamic:2
-    ~n_triggers
+let random_sd ?(n_triggers = 1) seed = Gen_sdft.sd ~n_triggers seed
 
 let analyze_with ?(rel_rule = Cutset_model.Paper) sd =
   let options =
@@ -968,7 +965,7 @@ let analyze_with ?(rel_rule = Cutset_model.Paper) sd =
 
 let prop_analysis_bounds_exact_untriggered =
   QCheck.Test.make ~name:"REA >= exact (untriggered models)" ~count:60
-    (QCheck.make QCheck.Gen.(0 -- 100000))
+    Gen_sdft.seed_gen
     (fun seed ->
       let sd = random_sd ~n_triggers:0 seed in
       match Sdft_product.solve sd ~horizon:8.0 with
@@ -977,7 +974,7 @@ let prop_analysis_bounds_exact_untriggered =
 
 let prop_analysis_all_events_bounds_exact =
   QCheck.Test.make ~name:"REA (All_events rule) >= exact" ~count:60
-    (QCheck.make QCheck.Gen.(0 -- 100000))
+    Gen_sdft.seed_gen
     (fun seed ->
       let sd = random_sd seed in
       match Sdft_product.solve sd ~horizon:8.0 with
@@ -987,7 +984,7 @@ let prop_analysis_all_events_bounds_exact =
 
 let prop_paper_rule_below_exact_rule =
   QCheck.Test.make ~name:"paper rule <= All_events rule" ~count:60
-    (QCheck.make QCheck.Gen.(0 -- 100000))
+    Gen_sdft.seed_gen
     (fun seed ->
       let sd = random_sd seed in
       analyze_with sd <= analyze_with ~rel_rule:Cutset_model.All_events sd +. 1e-9)
@@ -1021,7 +1018,7 @@ let prop_packed_matches_generic =
      array-keyed generic path: same interning order, hence identical chain,
      initial distribution, failure labelling, and solve result (to the bit). *)
   QCheck.Test.make ~name:"packed product build = generic build" ~count:80
-    (QCheck.make QCheck.Gen.(0 -- 100000))
+    Gen_sdft.seed_gen
     (fun seed ->
       let sd = random_sd seed in
       match Sdft_product.build sd with
@@ -1046,7 +1043,7 @@ let prop_analysis_single_mcs_exact =
   (* With a single minimal cutset and the exact relevant sets, the analysis
      equals the exact probability; the paper rule never exceeds it. *)
   QCheck.Test.make ~name:"single-MCS models are quantified exactly" ~count:60
-    (QCheck.make QCheck.Gen.(0 -- 100000))
+    Gen_sdft.seed_gen
     (fun seed ->
       let rng = Sdft_util.Rng.create seed in
       let sd =
