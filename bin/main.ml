@@ -2,6 +2,14 @@
 
 open Cmdliner
 
+(* Exit discipline: 2 = bad input (unparseable model, missing file), 1 = the
+   analysis itself reached a failing verdict (disjoint verification
+   intervals, --on-limit=fail degradation, unusable model). Raised instead
+   of calling [exit] directly so that the [Fun.protect] finalizers of
+   [with_observability] still flush the --metrics/--trace dumps on the way
+   out — [exit] does not unwind the stack. *)
+exception Exit_code of int
+
 let load_model path =
   try
     if Filename.check_suffix path ".xml" then
@@ -11,12 +19,14 @@ let load_model path =
   | Sdft_format.Error m -> Error m
   | Open_psa.Error m -> Error m
   | Sys_error m -> Error m
+  | Failure m -> Error m
+  | Invalid_argument m -> Error m
 
 let or_die = function
   | Ok v -> v
   | Error m ->
     Printf.eprintf "sdft: %s\n" m;
-    exit 1
+    raise (Exit_code 2)
 
 (* Shared arguments. *)
 
@@ -65,6 +75,54 @@ let with_observability obs f =
   in
   Fun.protect ~finally:write f
 
+(* Resource governance: analysis-flavoured subcommands accept the same
+   --deadline / --mem-limit-mb / --on-limit triple. *)
+
+type resource = {
+  res_deadline : float option;
+  res_mem_mb : int option;
+  res_fail : bool; (* --on-limit=fail: degraded results exit nonzero *)
+}
+
+let resource_term =
+  let deadline =
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc:"Wall-clock budget for the analysis. When it expires the analysis degrades gracefully (conservative bounds, DEGRADED banner) instead of running on.")
+  in
+  let mem =
+    Arg.(value & opt (some int) None & info [ "mem-limit-mb" ] ~docv:"MB" ~doc:"Major-heap ceiling in megabytes; exceeded means degrade, like $(b,--deadline).")
+  in
+  let on_limit =
+    Arg.(value & opt (enum [ ("degrade", false); ("fail", true) ]) false
+         & info [ "on-limit" ] ~docv:"POLICY" ~doc:"What a degraded result means for the exit status: $(b,degrade) (default) exits 0 with the DEGRADED banner, $(b,fail) exits 1.")
+  in
+  Term.(const (fun res_deadline res_mem_mb res_fail ->
+            { res_deadline; res_mem_mb; res_fail })
+        $ deadline $ mem $ on_limit)
+
+let guard_of_resource res =
+  match (res.res_deadline, res.res_mem_mb) with
+  | None, None -> Sdft_util.Guard.none
+  | deadline, mem_limit_mb -> Sdft_util.Guard.create ?deadline ?mem_limit_mb ()
+
+(* For subcommands that drive MOCUS directly: report an interrupted
+   generation and apply the --on-limit policy. *)
+let warn_generation_limit res (generation : Mocus.result) =
+  match generation.Mocus.limit_hit with
+  | None -> ()
+  | Some r ->
+    Printf.eprintf
+      "sdft: DEGRADED: cutset generation stopped early (%s); results cover \
+       only the cutsets generated before the limit\n"
+      (Sdft_util.Guard.reason_to_string r);
+    if res.res_fail then raise (Exit_code 1)
+
+let check_on_limit_fail res result =
+  if res.res_fail && Sdft_analysis.degraded result then begin
+    Printf.eprintf "sdft: analysis degraded (%s) and --on-limit=fail is set\n"
+      (Sdft_analysis.degradation_description result);
+    raise (Exit_code 1)
+  end
+
 let engine_arg =
   Arg.(value
        & opt (enum [ ("mocus", Sdft_analysis.Mocus_sound);
@@ -80,11 +138,19 @@ let domains_arg =
 
 let analyze_cmd =
   let run file horizon cutoff top_n show_histogram show_budget engine domains
-      obs =
+      res obs =
     with_observability obs (fun () ->
         let sd = or_die (load_model file) in
         let options =
-          { Sdft_analysis.default_options with horizon; cutoff; engine; domains }
+          {
+            Sdft_analysis.default_options with
+            horizon;
+            cutoff;
+            engine;
+            domains;
+            deadline = res.res_deadline;
+            mem_limit_mb = res.res_mem_mb;
+          }
         in
         let result = Sdft_analysis.analyze ~options sd in
         Format.printf "%a@." Sdft_analysis.pp_summary result;
@@ -104,7 +170,8 @@ let analyze_cmd =
                   info.probability (Cutset.pp tree) info.cutset info.n_dynamic
                   info.product_states)
             result.cutsets
-        end)
+        end;
+        check_on_limit_fail res result)
   in
   let top_n =
     Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"Print the $(docv) most important cutsets (0 disables).")
@@ -117,19 +184,27 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run the full SD fault tree analysis (Section V).")
-    Term.(const run $ file_arg $ horizon_arg $ cutoff_arg $ top_n $ histogram $ budget $ engine_arg $ domains_arg $ observability_term)
+    Term.(const run $ file_arg $ horizon_arg $ cutoff_arg $ top_n $ histogram $ budget $ engine_arg $ domains_arg $ resource_term $ observability_term)
 
 (* explain *)
 
 let explain_cmd =
-  let run file horizon cutoff top_n spans_n engine domains obs =
+  let run file horizon cutoff top_n spans_n engine domains res obs =
     with_observability obs (fun () ->
         (* Tracing is always on inside [explain]: the top-spans section needs
            it even when no --trace file was requested. *)
         Sdft_util.Trace.set_enabled true;
         let sd = or_die (load_model file) in
         let options =
-          { Sdft_analysis.default_options with horizon; cutoff; engine; domains }
+          {
+            Sdft_analysis.default_options with
+            horizon;
+            cutoff;
+            engine;
+            domains;
+            deadline = res.res_deadline;
+            mem_limit_mb = res.res_mem_mb;
+          }
         in
         let cache = Quant_cache.create () in
         let result = Sdft_analysis.analyze ~options ~cache sd in
@@ -155,10 +230,18 @@ let explain_cmd =
               Format.printf "%12.3e %6.2f%% %4d %8d %9d %7d %6s %9s  %a@."
                 info.probability share info.n_dynamic info.product_states
                 info.product_transitions info.solver_steps
-                (if info.used_fallback then "fall!"
-                 else if info.from_cache then "hit"
-                 else if info.product_states > 0 then "miss"
-                 else "-")
+                (* Degraded cutsets show the reason for their worst-case
+                   fallback where exact solves show cache provenance. *)
+                (match info.degraded with
+                 | Some Sdft_util.Guard.Deadline -> "ddl!"
+                 | Some Sdft_util.Guard.Mem_limit -> "mem!"
+                 | Some Sdft_util.Guard.State_limit -> "state!"
+                 | Some Sdft_util.Guard.Worker_crash -> "crash!"
+                 | None ->
+                   if info.used_fallback then "fall!"
+                   else if info.from_cache then "hit"
+                   else if info.product_states > 0 then "miss"
+                   else "-")
                 (Format.asprintf "%a" Sdft_util.Timer.pp_duration
                    info.solve_seconds)
                 (Cutset.pp tree) info.cutset
@@ -176,7 +259,8 @@ let explain_cmd =
                 Format.printf "%-28s %8d %12s@." name count
                   (Format.asprintf "%a" Sdft_util.Timer.pp_duration total))
             spans
-        end)
+        end;
+        check_on_limit_fail res result)
   in
   let top_n =
     Arg.(value & opt int 20 & info [ "top" ] ~docv:"N" ~doc:"Rows of the per-cutset provenance table (0 disables).")
@@ -186,19 +270,27 @@ let explain_cmd =
   in
   Cmd.v
     (Cmd.info "explain"
-       ~doc:"Account for an analysis result: per-cutset provenance (contribution, chain sizes, solver effort, cache traffic), the error budget behind the certified interval, and the top trace spans.")
-    Term.(const run $ file_arg $ horizon_arg $ cutoff_arg $ top_n $ spans_n $ engine_arg $ domains_arg $ observability_term)
+       ~doc:"Account for an analysis result: per-cutset provenance (contribution, chain sizes, solver effort, cache traffic, degradation), the error budget behind the certified interval, and the top trace spans.")
+    Term.(const run $ file_arg $ horizon_arg $ cutoff_arg $ top_n $ spans_n $ engine_arg $ domains_arg $ resource_term $ observability_term)
 
 (* sweep *)
 
 let sweep_cmd =
-  let run file horizons cutoff engine domains obs =
+  let run file horizons cutoff engine domains res obs =
     with_observability obs (fun () ->
         let sd = or_die (load_model file) in
         let option_sets =
           List.map
             (fun horizon ->
-              { Sdft_analysis.default_options with horizon; cutoff; engine; domains })
+              {
+                Sdft_analysis.default_options with
+                horizon;
+                cutoff;
+                engine;
+                domains;
+                deadline = res.res_deadline;
+                mem_limit_mb = res.res_mem_mb;
+              })
             horizons
         in
         let points, cache = Sdft_analysis.sweep sd option_sets in
@@ -212,7 +304,24 @@ let sweep_cmd =
               p.sweep_result.Sdft_analysis.n_cutsets p.cache_hits p.cache_misses)
           points;
         Printf.printf "cache: %d hits / %d misses\n" (Quant_cache.hits cache)
-          (Quant_cache.misses cache))
+          (Quant_cache.misses cache);
+        List.iter
+          (fun (p : Sdft_analysis.sweep_point) ->
+            if Sdft_analysis.degraded p.sweep_result then
+              Printf.printf "DEGRADED at horizon %g: %s\n"
+                p.sweep_options.Sdft_analysis.horizon
+                (Sdft_analysis.degradation_description p.sweep_result))
+          points;
+        if res.res_fail
+           && List.exists
+                (fun (p : Sdft_analysis.sweep_point) ->
+                  Sdft_analysis.degraded p.sweep_result)
+                points
+        then begin
+          Printf.eprintf
+            "sdft: sweep degraded and --on-limit=fail is set\n";
+          raise (Exit_code 1)
+        end)
   in
   let horizons =
     Arg.(value & opt (list float) [ 8.0; 24.0; 72.0 ]
@@ -221,22 +330,35 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Analyze one model over several horizons, sharing the quantification cache across points.")
-    Term.(const run $ file_arg $ horizons $ cutoff_arg $ engine_arg $ domains_arg $ observability_term)
+    Term.(const run $ file_arg $ horizons $ cutoff_arg $ engine_arg $ domains_arg $ resource_term $ observability_term)
 
 (* mcs *)
 
 let mcs_cmd =
-  let run file cutoff engine horizon obs =
+  let run file cutoff engine horizon res obs =
     with_observability obs (fun () ->
         let sd = or_die (load_model file) in
+        let guard = guard_of_resource res in
         let translation = Sdft_translate.translate sd ~horizon in
         let tree = translation.Sdft_translate.static_tree in
         let cutsets =
           match engine with
           | `Mocus ->
             let options = { Mocus.default_options with cutoff } in
-            Mocus.minimal_cutsets ~options tree
-          | `Bdd -> Minsol.fault_tree_cutsets tree
+            let generation = Mocus.run ~options ~guard tree in
+            warn_generation_limit res generation;
+            generation.Mocus.cutsets
+          | `Bdd -> (
+            match Minsol.fault_tree_cutsets ~guard tree with
+            | cutsets -> cutsets
+            | exception Sdft_util.Guard.Limit_hit r ->
+              (* Unlike MOCUS, an interrupted BDD compilation has no sound
+                 partial cutset list to print. *)
+              Printf.eprintf
+                "sdft: BDD cutset generation hit the %s; rerun with a larger \
+                 budget or --engine mocus\n"
+                (Sdft_util.Guard.reason_to_string r);
+              raise (Exit_code 1))
         in
         Printf.printf "%d minimal cutsets\n" (List.length cutsets);
         List.iter
@@ -251,7 +373,7 @@ let mcs_cmd =
   in
   Cmd.v
     (Cmd.info "mcs" ~doc:"Generate minimal cutsets of the translated static tree.")
-    Term.(const run $ file_arg $ cutoff_arg $ engine $ horizon_arg $ observability_term)
+    Term.(const run $ file_arg $ cutoff_arg $ engine $ horizon_arg $ resource_term $ observability_term)
 
 (* classify *)
 
@@ -330,7 +452,7 @@ let simulate_cmd =
           Printf.printf "analytic rare-event total: %.4e\n"
             result.Sdft_analysis.total;
           Format.printf "%a@." Sdft_analysis.pp_sim_check check;
-          if not check.Sdft_analysis.overlaps then exit 1
+          if not check.Sdft_analysis.overlaps then raise (Exit_code 1)
         end)
   in
   let trials =
@@ -367,23 +489,32 @@ let simulate_cmd =
 (* exact *)
 
 let exact_cmd =
-  let run file horizon max_states obs =
+  let run file horizon max_states res obs =
     with_observability obs (fun () ->
         let sd = or_die (load_model file) in
-        match Sdft_product.solve ~max_states sd ~horizon with
+        let guard = guard_of_resource res in
+        match Sdft_product.solve ~max_states ~guard sd ~horizon with
         | p -> Printf.printf "p(FT, %gh) = %.6e\n" horizon p
         | exception Sdft_product.Too_many_states n ->
           Printf.eprintf
             "sdft: product state space exceeds %d states; use 'analyze' or 'simulate'\n"
             n;
-          exit 1)
+          raise (Exit_code 1)
+        | exception Sdft_util.Guard.Limit_hit r ->
+          (* Exact semantics cannot degrade — a partial product chain is
+             not a bound on anything. *)
+          Printf.eprintf
+            "sdft: exact analysis hit the %s; use 'analyze' (which degrades \
+             gracefully) or 'simulate'\n"
+            (Sdft_util.Guard.reason_to_string r);
+          raise (Exit_code 1))
   in
   let max_states =
     Arg.(value & opt int 1_000_000 & info [ "max-states" ] ~docv:"N" ~doc:"State-space safety limit.")
   in
   Cmd.v
     (Cmd.info "exact" ~doc:"Exact failure probability via the full product Markov chain (small models only).")
-    Term.(const run $ file_arg $ horizon_arg $ max_states $ observability_term)
+    Term.(const run $ file_arg $ horizon_arg $ max_states $ resource_term $ observability_term)
 
 (* translate *)
 
@@ -401,13 +532,15 @@ let translate_cmd =
 (* importance *)
 
 let importance_cmd =
-  let run file cutoff horizon top_n obs =
+  let run file cutoff horizon top_n res obs =
     with_observability obs (fun () ->
         let sd = or_die (load_model file) in
         let translation = Sdft_translate.translate sd ~horizon in
         let tree = translation.Sdft_translate.static_tree in
         let options = { Mocus.default_options with cutoff } in
-        let cutsets = Mocus.minimal_cutsets ~options tree in
+        let generation = Mocus.run ~options ~guard:(guard_of_resource res) tree in
+        warn_generation_limit res generation;
+        let cutsets = generation.Mocus.cutsets in
         let imp = Importance.compute tree cutsets in
         Printf.printf "%-30s %12s %12s %10s %10s\n" "event" "FV" "Birnbaum"
           "RAW" "RRW";
@@ -426,18 +559,20 @@ let importance_cmd =
   in
   Cmd.v
     (Cmd.info "importance" ~doc:"Importance measures (Fussell-Vesely, Birnbaum, RAW, RRW).")
-    Term.(const run $ file_arg $ cutoff_arg $ horizon_arg $ top_n $ observability_term)
+    Term.(const run $ file_arg $ cutoff_arg $ horizon_arg $ top_n $ resource_term $ observability_term)
 
 (* uncertainty *)
 
 let uncertainty_cmd =
-  let run file cutoff horizon samples seed error_factor obs =
+  let run file cutoff horizon samples seed error_factor res obs =
     with_observability obs (fun () ->
         let sd = or_die (load_model file) in
         let translation = Sdft_translate.translate sd ~horizon in
         let tree = translation.Sdft_translate.static_tree in
         let options = { Mocus.default_options with cutoff } in
-        let cutsets = Mocus.minimal_cutsets ~options tree in
+        let generation = Mocus.run ~options ~guard:(guard_of_resource res) tree in
+        warn_generation_limit res generation;
+        let cutsets = generation.Mocus.cutsets in
         let spec _ = Uncertainty.Lognormal { error_factor } in
         let stats = Uncertainty.propagate ~samples ~seed tree cutsets ~spec in
         Format.printf "%a@." Uncertainty.pp_stats stats)
@@ -451,18 +586,20 @@ let uncertainty_cmd =
   in
   Cmd.v
     (Cmd.info "uncertainty" ~doc:"Propagate lognormal parameter uncertainty over the cutset list.")
-    Term.(const run $ file_arg $ cutoff_arg $ horizon_arg $ samples $ seed $ ef $ observability_term)
+    Term.(const run $ file_arg $ cutoff_arg $ horizon_arg $ samples $ seed $ ef $ resource_term $ observability_term)
 
 (* sensitivity *)
 
 let sensitivity_cmd =
-  let run file cutoff horizon factor top_n obs =
+  let run file cutoff horizon factor top_n res obs =
     with_observability obs (fun () ->
         let sd = or_die (load_model file) in
         let translation = Sdft_translate.translate sd ~horizon in
         let tree = translation.Sdft_translate.static_tree in
         let options = { Mocus.default_options with cutoff } in
-        let cutsets = Mocus.minimal_cutsets ~options tree in
+        let generation = Mocus.run ~options ~guard:(guard_of_resource res) tree in
+        warn_generation_limit res generation;
+        let cutsets = generation.Mocus.cutsets in
         let t = Sensitivity.tornado ~factor tree cutsets in
         Sensitivity.print_ascii tree ~top:top_n t)
   in
@@ -474,7 +611,7 @@ let sensitivity_cmd =
   in
   Cmd.v
     (Cmd.info "sensitivity" ~doc:"One-at-a-time tornado sensitivity over the cutset list.")
-    Term.(const run $ file_arg $ cutoff_arg $ horizon_arg $ factor $ top_n $ observability_term)
+    Term.(const run $ file_arg $ cutoff_arg $ horizon_arg $ factor $ top_n $ resource_term $ observability_term)
 
 (* convert *)
 
@@ -513,14 +650,17 @@ let convert_cmd =
 (* sequences *)
 
 let sequences_cmd =
-  let run file horizon cutoff top_n obs =
+  let run file horizon cutoff top_n res obs =
     with_observability obs (fun () ->
         let sd = or_die (load_model file) in
         let translation = Sdft_translate.translate sd ~horizon in
         let options = { Mocus.default_options with cutoff } in
-        let cutsets =
-          Mocus.minimal_cutsets ~options translation.Sdft_translate.static_tree
+        let generation =
+          Mocus.run ~options ~guard:(guard_of_resource res)
+            translation.Sdft_translate.static_tree
         in
+        warn_generation_limit res generation;
+        let cutsets = generation.Mocus.cutsets in
         let tree = Sdft.tree sd in
         List.iteri
           (fun i c ->
@@ -540,16 +680,28 @@ let sequences_cmd =
   in
   Cmd.v
     (Cmd.info "sequences" ~doc:"Minimal cut sequences: failure orders of each cutset with their probabilities.")
-    Term.(const run $ file_arg $ horizon_arg $ cutoff_arg $ top_n $ observability_term)
+    Term.(const run $ file_arg $ horizon_arg $ cutoff_arg $ top_n $ resource_term $ observability_term)
 
 (* availability *)
 
 let availability_cmd =
-  let run file cutoff obs =
+  let run file cutoff res obs =
     with_observability obs (fun () ->
         let sd = or_die (load_model file) in
-        match Availability.analyze ~cutoff sd with
+        let guard = guard_of_resource res in
+        match Availability.analyze ~cutoff ~guard sd with
         | Some r ->
+          (* A deadline guard stays tripped after expiry, so probing it here
+             tells us whether generation was cut short. *)
+          (match Sdft_util.Guard.status guard with
+          | Some reason ->
+            Printf.eprintf
+              "sdft: DEGRADED: cutset generation stopped early (%s); the \
+               unavailability sum covers only the cutsets generated before \
+               the limit\n"
+              (Sdft_util.Guard.reason_to_string reason);
+            if res.res_fail then raise (Exit_code 1)
+          | None -> ());
           Printf.printf
             "steady-state unavailability (REA over %d cutsets): %.4e\n"
             r.Availability.n_cutsets r.Availability.unavailability;
@@ -562,11 +714,11 @@ let availability_cmd =
         | None ->
           Printf.eprintf
             "sdft: some dynamic event has no steady state (not repairable)\n";
-          exit 1)
+          raise (Exit_code 1))
   in
   Cmd.v
     (Cmd.info "availability" ~doc:"Long-run unavailability of a repairable SD fault tree.")
-    Term.(const run $ file_arg $ cutoff_arg $ observability_term)
+    Term.(const run $ file_arg $ cutoff_arg $ resource_term $ observability_term)
 
 (* dot *)
 
@@ -662,4 +814,19 @@ let main_cmd =
       gen_cmd;
     ]
 
-let () = exit (Cmd.eval main_cmd)
+(* [~catch:false] so our exceptions reach this handler instead of cmdliner's
+   generic backtrace printer: [Exit_code] carries the intended exit status
+   (2 = bad input, 1 = analysis verdict), and the named input-error
+   exceptions become one-line diagnostics with exit 2. *)
+let () =
+  let code =
+    try Cmd.eval ~catch:false main_cmd with
+    | Exit_code n -> n
+    | Sdft_format.Error m | Open_psa.Error m | Sys_error m | Failure m ->
+      Printf.eprintf "sdft: %s\n" m;
+      2
+  in
+  (* Fold cmdliner's own usage-error code into the input-error convention:
+     2 = bad input (files, models, flags), 1 = analysis verdict. *)
+  let code = if code = Cmd.Exit.cli_error then 2 else code in
+  exit code

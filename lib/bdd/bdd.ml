@@ -14,6 +14,7 @@ type manager = {
   and_cache : (int * int, int) Hashtbl.t;
   or_cache : (int * int, int) Hashtbl.t;
   not_cache : (int, int) Hashtbl.t;
+  guard : Sdft_util.Guard.t;
 }
 
 let zero = 0
@@ -22,7 +23,7 @@ let one = 1
 
 let is_terminal n = n < 2
 
-let manager ?var_order ~n_vars () =
+let manager ?var_order ?(guard = Sdft_util.Guard.none) ~n_vars () =
   if n_vars < 0 then invalid_arg "Bdd.manager: negative variable count";
   let var_of =
     match var_order with
@@ -52,6 +53,7 @@ let manager ?var_order ~n_vars () =
     and_cache = Hashtbl.create 1024;
     or_cache = Hashtbl.create 1024;
     not_cache = Hashtbl.create 64;
+    guard;
   }
 
 let n_vars m = m.nv
@@ -71,6 +73,9 @@ let node_high m n =
 let level m n = if is_terminal n then max_int else m.level_of.(node_var m n)
 
 let mk m v low high =
+  (* The cons point is the one place every BDD construction funnels through,
+     so an amortized guard probe here covers apply/ite/compile uniformly. *)
+  Sdft_util.Guard.check m.guard;
   if low = high then low
   else begin
     let key = (v, low, high) in
@@ -264,11 +269,13 @@ let compile m tree ~assume root_gate =
   in
   gate root_gate
 
-let of_fault_tree_gate ?(assume = fun _ -> None) tree g =
+let of_fault_tree_gate ?(assume = fun _ -> None) ?guard tree g =
   let order = dfs_order tree g in
-  let m = manager ~var_order:order ~n_vars:(Fault_tree.n_basics tree) () in
+  let m =
+    manager ~var_order:order ?guard ~n_vars:(Fault_tree.n_basics tree) ()
+  in
   let root = compile m tree ~assume g in
   (m, root)
 
-let of_fault_tree ?assume tree =
-  of_fault_tree_gate ?assume tree (Fault_tree.top tree)
+let of_fault_tree ?assume ?guard tree =
+  of_fault_tree_gate ?assume ?guard tree (Fault_tree.top tree)

@@ -12,9 +12,14 @@ type manager
 type node = private int
 (** Node handle, valid within its manager. *)
 
-val manager : ?var_order:int array -> n_vars:int -> unit -> manager
+val manager :
+  ?var_order:int array -> ?guard:Sdft_util.Guard.t -> n_vars:int -> unit ->
+  manager
 (** [var_order] lists the variables from the root level downwards; it must
-    be a permutation of [0 .. n_vars-1] (default: identity). *)
+    be a permutation of [0 .. n_vars-1] (default: identity). [guard]
+    (default {!Sdft_util.Guard.none}) is checkpointed at every node
+    construction, so any apply/compile through this manager raises
+    {!Sdft_util.Guard.Limit_hit} once a resource limit trips. *)
 
 val n_vars : manager -> int
 
@@ -60,7 +65,8 @@ val probability : manager -> (int -> float) -> node -> float
 val eval : manager -> (int -> bool) -> node -> bool
 
 val of_fault_tree :
-  ?assume:(int -> bool option) -> Fault_tree.t -> manager * node
+  ?assume:(int -> bool option) -> ?guard:Sdft_util.Guard.t -> Fault_tree.t ->
+  manager * node
 (** Compile a fault tree: variables are basic-event indices, ordered by
     first DFS visit from the top gate (a standard static ordering
     heuristic). [assume] fixes chosen basic events to constants — used by
@@ -68,5 +74,6 @@ val of_fault_tree :
     K-of-N gates are compiled directly. *)
 
 val of_fault_tree_gate :
-  ?assume:(int -> bool option) -> Fault_tree.t -> int -> manager * node
+  ?assume:(int -> bool option) -> ?guard:Sdft_util.Guard.t -> Fault_tree.t ->
+  int -> manager * node
 (** Same, but compile the function of an arbitrary gate of the tree. *)

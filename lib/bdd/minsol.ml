@@ -33,8 +33,8 @@ let minimal_cutsets bm root =
   let sets = Zdd.to_cutsets zm z in
   List.sort Sdft_util.Int_set.compare sets
 
-let fault_tree_cutsets tree =
-  let bm, root = Bdd.of_fault_tree tree in
+let fault_tree_cutsets ?guard tree =
+  let bm, root = Bdd.of_fault_tree ?guard tree in
   minimal_cutsets bm root
 
 let cutsets_above zm root ~probs ~cutoff =
@@ -55,8 +55,8 @@ let cutsets_above zm root ~probs ~cutoff =
   walk [] 1.0 root;
   List.sort Sdft_util.Int_set.compare !out
 
-let fault_tree_cutsets_above ?max_order tree ~cutoff =
-  let bm, root = Bdd.of_fault_tree tree in
+let fault_tree_cutsets_above ?max_order ?guard tree ~cutoff =
+  let bm, root = Bdd.of_fault_tree ?guard tree in
   let zm, z = minimal_cutsets_zdd bm root in
   let sets = cutsets_above zm z ~probs:(Fault_tree.prob tree) ~cutoff in
   match max_order with

@@ -14,9 +14,11 @@ val minimal_cutsets_zdd : Bdd.manager -> Bdd.node -> Zdd.manager * Zdd.node
 val minimal_cutsets : Bdd.manager -> Bdd.node -> Sdft_util.Int_set.t list
 (** Enumerated cutsets (exact, no cutoff), sorted by (size, lex). *)
 
-val fault_tree_cutsets : Fault_tree.t -> Sdft_util.Int_set.t list
+val fault_tree_cutsets :
+  ?guard:Sdft_util.Guard.t -> Fault_tree.t -> Sdft_util.Int_set.t list
 (** Compile the tree and extract all minimal cutsets. Exponential in the
-    worst case; intended for moderate trees and cross-checking. *)
+    worst case; intended for moderate trees and cross-checking. [guard] is
+    checkpointed during BDD construction (see {!Bdd.manager}). *)
 
 val cutsets_above :
   Zdd.manager ->
@@ -31,6 +33,8 @@ val cutsets_above :
     total cutset count is astronomic. *)
 
 val fault_tree_cutsets_above :
-  ?max_order:int -> Fault_tree.t -> cutoff:float -> Sdft_util.Int_set.t list
+  ?max_order:int -> ?guard:Sdft_util.Guard.t -> Fault_tree.t -> cutoff:float ->
+  Sdft_util.Int_set.t list
 (** [of_fault_tree] + [minimal_cutsets_zdd] + [cutsets_above] with the
-    tree's own probabilities. *)
+    tree's own probabilities. [guard] is checkpointed during BDD
+    construction (see {!Bdd.manager}). *)

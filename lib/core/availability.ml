@@ -65,7 +65,7 @@ type result = {
   n_cutsets : int;
 }
 
-let analyze ?(cutoff = 1e-15) ?(engine = Sdft_analysis.Mocus_sound) sd =
+let analyze ?(cutoff = 1e-15) ?(engine = Sdft_analysis.Mocus_sound) ?guard sd =
   let tree = Sdft.tree sd in
   let nb = Fault_tree.n_basics tree in
   let rec per_event b acc =
@@ -84,7 +84,7 @@ let analyze ?(cutoff = 1e-15) ?(engine = Sdft_analysis.Mocus_sound) sd =
        model); quantify with steady-state unavailabilities. *)
     let translation = Sdft_translate.translate sd ~horizon:24.0 in
     let generation =
-      Sdft_analysis.generate_cutsets ~cutoff engine
+      Sdft_analysis.generate_cutsets ~cutoff ?guard engine
         translation.Sdft_translate.static_tree
     in
     let acc = Sdft_util.Kahan.create () in

@@ -22,9 +22,12 @@ type result = {
 }
 
 val analyze :
-  ?cutoff:float -> ?engine:Sdft_analysis.engine -> Sdft.t -> result option
+  ?cutoff:float -> ?engine:Sdft_analysis.engine -> ?guard:Sdft_util.Guard.t ->
+  Sdft.t -> result option
 (** Minimal cutsets of the translated tree, quantified with steady-state
     unavailabilities: static events keep their probability (interpreted as
     an unavailability per demand), dynamic events use
     {!event_unavailability}. [None] if some dynamic event has no steady
-    state (not repairable). *)
+    state (not repairable). [guard] bounds the cutset generation (see
+    {!Sdft_analysis.generate_cutsets}); an interrupted MOCUS run sums the
+    cutsets found before the limit. *)

@@ -231,7 +231,7 @@ let no_solve ~probability t0 =
     seconds = Sdft_util.Timer.elapsed_s t0;
   }
 
-let quantify ?epsilon ?max_states ?workspace t ~horizon =
+let quantify ?epsilon ?max_states ?guard ?workspace t ~horizon =
   let t0 = Sdft_util.Timer.start () in
   if t.impossible then no_solve ~probability:0.0 t0
   else
@@ -243,8 +243,10 @@ let quantify ?epsilon ?max_states ?workspace t ~horizon =
       let ws =
         match workspace with Some w -> w | None -> Transient.workspace ()
       in
-      let built = Sdft_product.build ?max_states sd_c in
-      let p = Sdft_product.unreliability ?epsilon ~workspace:ws built ~horizon in
+      let built = Sdft_product.build ?max_states ?guard sd_c in
+      let p =
+        Sdft_product.unreliability ?epsilon ?guard ~workspace:ws built ~horizon
+      in
       let eps = Option.value epsilon ~default:1e-12 in
       {
         probability = p *. t.static_multiplier;

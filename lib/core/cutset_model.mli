@@ -83,6 +83,7 @@ type quantification = {
 val quantify :
   ?epsilon:float ->
   ?max_states:int ->
+  ?guard:Sdft_util.Guard.t ->
   ?workspace:Transient.workspace ->
   t ->
   horizon:float ->
@@ -90,4 +91,7 @@ val quantify :
 (** Builds the product chain of [model] (when present), runs the transient
     analysis and multiplies by [static_multiplier]. [workspace] lets
     back-to-back quantifications reuse the solver's scratch vectors; do not
-    share one workspace across domains. *)
+    share one workspace across domains. [guard] is threaded into the product
+    exploration and the transient solve; on a trip
+    {!Sdft_util.Guard.Limit_hit} propagates (the analysis layer catches it
+    and falls back to the static worst-case bound). *)

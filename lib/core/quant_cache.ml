@@ -118,13 +118,15 @@ let store t key v =
   locked t (fun () ->
       if not (Hashtbl.mem t.table key) then Hashtbl.add t.table key v)
 
-let quantify t ~epsilon ~max_states ?workspace (cm : Cutset_model.t) ~horizon =
+let quantify t ~epsilon ~max_states ?guard ?workspace (cm : Cutset_model.t)
+    ~horizon =
   match cm.Cutset_model.model with
   | None ->
     (* Purely static or impossible: quantification is a multiplication. *)
     Cutset_model.quantify ~epsilon ~max_states cm ~horizon
   | Some sd_c ->
     let t0 = Sdft_util.Timer.start () in
+    Sdft_util.Failpoint.hit "cache.lookup";
     let key =
       Printf.sprintf "%s|e=%h|s=%d|t=%h" (fingerprint sd_c) epsilon max_states
         horizon
@@ -148,12 +150,15 @@ let quantify t ~epsilon ~max_states ?workspace (cm : Cutset_model.t) ~horizon =
       Atomic.incr t.miss_count;
       Metrics.incr m_misses;
       Trace.instant "quant_cache.miss";
-      (* Too_many_states propagates before anything is stored. *)
+      (* Too_many_states and guard interrupts propagate before anything is
+         stored, so a limit can never poison the cache with a partial value. *)
       let ws =
         match workspace with Some w -> w | None -> Transient.workspace ()
       in
-      let built = Sdft_product.build ~max_states sd_c in
-      let p_dyn = Sdft_product.unreliability ~epsilon ~workspace:ws built ~horizon in
+      let built = Sdft_product.build ~max_states ?guard sd_c in
+      let p_dyn =
+        Sdft_product.unreliability ~epsilon ?guard ~workspace:ws built ~horizon
+      in
       let transitions = Ctmc.n_transitions built.Sdft_product.chain in
       let steps = Transient.last_steps ws in
       store t key

@@ -42,6 +42,7 @@ val quantify :
   t ->
   epsilon:float ->
   max_states:int ->
+  ?guard:Sdft_util.Guard.t ->
   ?workspace:Transient.workspace ->
   Cutset_model.t ->
   horizon:float ->
@@ -51,7 +52,9 @@ val quantify :
     [product_transitions], [solver_steps]) report the originally solved
     chain; hits and misses are also published as {!Sdft_util.Trace} instant
     events when tracing is enabled.
-    [Sdft_product.Too_many_states] propagates uncached, so retrying with a
-    larger bound is never poisoned by a previous failure. [workspace] is
-    per-caller solver scratch (see {!Cutset_model.quantify}); the cache
-    itself stays shareable across domains. *)
+    [Sdft_product.Too_many_states] — like {!Sdft_util.Guard.Limit_hit} from
+    [guard] — propagates uncached, so retrying with a larger bound is never
+    poisoned by a previous failure. The [cache.lookup] {!Sdft_util.Failpoint}
+    site fires before each cacheable lookup. [workspace] is per-caller
+    solver scratch (see {!Cutset_model.quantify}); the cache itself stays
+    shareable across domains. *)

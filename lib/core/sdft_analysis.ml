@@ -22,6 +22,8 @@ type options = {
   engine : engine;
   domains : int;
   rel_rule : Cutset_model.rel_rule;
+  deadline : float option;
+  mem_limit_mb : int option;
 }
 
 let default_options =
@@ -34,9 +36,12 @@ let default_options =
     engine = Mocus_sound;
     domains = 1;
     rel_rule = Cutset_model.Paper;
+    deadline = None;
+    mem_limit_mb = None;
   }
 
-let generate_cutsets ?(cutoff = 1e-15) ?(max_order = None) engine tree =
+let generate_cutsets ?(cutoff = 1e-15) ?(max_order = None)
+    ?(guard = Sdft_util.Guard.none) engine tree =
   match engine with
   | Mocus_sound | Mocus_aggressive ->
     let options =
@@ -47,19 +52,36 @@ let generate_cutsets ?(cutoff = 1e-15) ?(max_order = None) engine tree =
         gate_bound_pruning = (engine = Mocus_aggressive);
       }
     in
-    Mocus.run ~options tree
-  | Bdd_engine ->
-    let cutsets = Minsol.fault_tree_cutsets_above ?max_order tree ~cutoff in
-    {
-      Mocus.cutsets;
-      generated = List.length cutsets;
-      pruned_by_cutoff = 0;
-      (* The BDD enumeration drops every cutset below the cutoff without
-         counting it, so no mass bound is available here; the error budget
-         marks BDD-engine intervals with a nonzero cutoff as vacuous. *)
-      pruned_mass = 0.0;
-      truncated = false;
-    }
+    Mocus.run ~options ~guard tree
+  | Bdd_engine -> (
+    let empty_on limit =
+      (* Unlike MOCUS there is no sound partial cutset list to salvage from
+         an interrupted BDD compilation, and no mass bound for what is
+         missing: return an empty truncated (hence vacuous) result. *)
+      {
+        Mocus.cutsets = [];
+        generated = 0;
+        pruned_by_cutoff = 0;
+        pruned_mass = 0.0;
+        truncated = true;
+        limit_hit = Some limit;
+      }
+    in
+    match Minsol.fault_tree_cutsets_above ?max_order ~guard tree ~cutoff with
+    | cutsets ->
+      {
+        Mocus.cutsets;
+        generated = List.length cutsets;
+        pruned_by_cutoff = 0;
+        (* The BDD enumeration drops every cutset below the cutoff without
+           counting it, so no mass bound is available here; the error budget
+           marks BDD-engine intervals with a nonzero cutoff as vacuous. *)
+        pruned_mass = 0.0;
+        truncated = false;
+        limit_hit = None;
+      }
+    | exception Sdft_util.Guard.Limit_hit r -> empty_on r
+    | exception Out_of_memory -> empty_on Sdft_util.Guard.Mem_limit)
 
 type cutset_info = {
   cutset : Cutset.t;
@@ -73,6 +95,7 @@ type cutset_info = {
   from_cache : bool;
   solve_seconds : float;
   used_fallback : bool;
+  degraded : Sdft_util.Guard.reason option;
 }
 
 type error_budget = {
@@ -85,6 +108,11 @@ type error_budget = {
   vacuous : bool;
 }
 
+type degradation = {
+  generation_limit : Sdft_util.Guard.reason option;
+  degraded_cutsets : (Sdft_util.Guard.reason * int) list;
+}
+
 type result = {
   total : float;
   cutoff : float;
@@ -93,15 +121,27 @@ type result = {
   n_dynamic_cutsets : int;
   n_fallbacks : int;
   budget : error_budget;
+  degradation : degradation;
   mcs_generation_seconds : float;
   quantification_seconds : float;
   generation : Mocus.result;
   translation : Sdft_translate.result;
 }
 
+let degraded r =
+  r.degradation.generation_limit <> None || r.degradation.degraded_cutsets <> []
+
 let analyze ?(options = default_options) ?cache sd =
   Trace.with_span "analysis.analyze" (fun () ->
   Metrics.incr m_runs;
+  (* One guard for the whole analysis: the deadline spans generation and
+     quantification together, so a generation overrun eats the budget of the
+     quantification phase (which then degrades cutset by cutset). *)
+  let guard =
+    match (options.deadline, options.mem_limit_mb) with
+    | None, None -> Sdft_util.Guard.none
+    | deadline, mem_limit_mb -> Sdft_util.Guard.create ?deadline ?mem_limit_mb ()
+  in
   (* Phase 1: translation and cutset generation. *)
   let (translation, mocus_result), mcs_generation_seconds =
     Sdft_util.Timer.time (fun () ->
@@ -113,72 +153,118 @@ let analyze ?(options = default_options) ?cache sd =
             in
             ( translation,
               generate_cutsets ~cutoff:options.cutoff
-                ~max_order:options.max_cutset_order options.engine
+                ~max_order:options.max_cutset_order ~guard options.engine
                 translation.static_tree ))))
   in
-  (* Phase 2: per-cutset quantification. *)
+  (* Phase 2: per-cutset quantification, walking a degradation ladder per
+     cutset: exact product-chain quantification when resources allow it,
+     otherwise the conservative static worst-case product (which
+     upper-bounds p~(C)) with the typed reason recorded in the cutset's
+     provenance. *)
+  let worst_case_product cutset =
+    Sdft_util.Int_set.fold
+      (fun b acc -> acc *. translation.Sdft_translate.worst_case.(b))
+      cutset 1.0
+  in
+  let count_dynamic cutset =
+    Sdft_util.Int_set.fold
+      (fun b acc -> if Sdft.is_dynamic sd b then acc + 1 else acc)
+      cutset 0
+  in
+  let fallback_info ?model ~reason cutset =
+    let n_dynamic, n_added_dynamic =
+      match model with
+      | Some m ->
+        (m.Cutset_model.n_dynamic_in_cutset, m.Cutset_model.n_added_dynamic)
+      | None -> (count_dynamic cutset, 0)
+    in
+    {
+      cutset;
+      probability = worst_case_product cutset;
+      n_dynamic;
+      n_added_dynamic;
+      product_states = 0;
+      product_transitions = 0;
+      solver_steps = 0;
+      (* Each worst-case factor was computed by a transient solve with
+         error at most [transient_epsilon]; factors are at most 1, so the
+         product's absolute error is bounded by the factor count times
+         epsilon (first order). *)
+      solver_error =
+        float_of_int (Sdft_util.Int_set.cardinal cutset)
+        *. options.transient_epsilon;
+      from_cache = false;
+      solve_seconds = 0.0;
+      used_fallback = true;
+      degraded = Some reason;
+    }
+  in
   let quantify_model ~workspace model ~horizon =
     match cache with
     | Some c ->
       Quant_cache.quantify c ~epsilon:options.transient_epsilon
-        ~max_states:options.max_product_states ~workspace model ~horizon
+        ~max_states:options.max_product_states ~guard ~workspace model ~horizon
     | None ->
       Cutset_model.quantify ~epsilon:options.transient_epsilon
-        ~max_states:options.max_product_states ~workspace model ~horizon
+        ~max_states:options.max_product_states ~guard ~workspace model ~horizon
   in
   let quantify_one (context, workspace) cutset =
     Trace.with_span "analysis.cutset" (fun () ->
-    let model = Cutset_model.build ~context ~rel_rule:options.rel_rule sd cutset in
-    match quantify_model ~workspace model ~horizon:options.horizon with
-    | q ->
-      Trace.add_attr "probability" (Trace.Float q.Cutset_model.probability);
-      Trace.add_attr "states" (Trace.Int q.Cutset_model.product_states);
-      if q.Cutset_model.from_cache then Trace.add_attr "cached" (Trace.Bool true);
-      {
-        cutset;
-        probability = q.Cutset_model.probability;
-        n_dynamic = model.Cutset_model.n_dynamic_in_cutset;
-        n_added_dynamic = model.Cutset_model.n_added_dynamic;
-        product_states = q.Cutset_model.product_states;
-        product_transitions = q.Cutset_model.product_transitions;
-        solver_steps = q.Cutset_model.solver_steps;
-        solver_error = q.Cutset_model.solver_error;
-        from_cache = q.Cutset_model.from_cache;
-        solve_seconds = q.Cutset_model.seconds;
-        used_fallback = false;
-      }
-    | exception Sdft_product.Too_many_states _ ->
-      (* Conservative fallback: the worst-case static product of the
-         translated probabilities upper-bounds p~(C). *)
-      let p =
-        Sdft_util.Int_set.fold
-          (fun b acc -> acc *. translation.Sdft_translate.worst_case.(b))
-          cutset 1.0
-      in
+    match Sdft_util.Guard.status guard with
+    | Some r ->
+      (* The global limit tripped between work items: skip the model build
+         and the solve outright so the remaining cutsets drain fast. *)
       Trace.add_attr "fallback" (Trace.Bool true);
-      {
-        cutset;
-        probability = p;
-        n_dynamic = model.Cutset_model.n_dynamic_in_cutset;
-        n_added_dynamic = model.Cutset_model.n_added_dynamic;
-        product_states = 0;
-        product_transitions = 0;
-        solver_steps = 0;
-        (* Each worst-case factor was computed by a transient solve with
-           error at most [transient_epsilon]; factors are at most 1, so the
-           product's absolute error is bounded by the factor count times
-           epsilon (first order). *)
-        solver_error =
-          float_of_int (Sdft_util.Int_set.cardinal cutset)
-          *. options.transient_epsilon;
-        from_cache = false;
-        solve_seconds = 0.0;
-        used_fallback = true;
-      })
+      fallback_info ~reason:r cutset
+    | None ->
+      let model =
+        Cutset_model.build ~context ~rel_rule:options.rel_rule sd cutset
+      in
+      (match quantify_model ~workspace model ~horizon:options.horizon with
+      | q ->
+        Trace.add_attr "probability" (Trace.Float q.Cutset_model.probability);
+        Trace.add_attr "states" (Trace.Int q.Cutset_model.product_states);
+        if q.Cutset_model.from_cache then
+          Trace.add_attr "cached" (Trace.Bool true);
+        {
+          cutset;
+          probability = q.Cutset_model.probability;
+          n_dynamic = model.Cutset_model.n_dynamic_in_cutset;
+          n_added_dynamic = model.Cutset_model.n_added_dynamic;
+          product_states = q.Cutset_model.product_states;
+          product_transitions = q.Cutset_model.product_transitions;
+          solver_steps = q.Cutset_model.solver_steps;
+          solver_error = q.Cutset_model.solver_error;
+          from_cache = q.Cutset_model.from_cache;
+          solve_seconds = q.Cutset_model.seconds;
+          used_fallback = false;
+          degraded = None;
+        }
+      | exception Sdft_product.Too_many_states _ ->
+        Trace.add_attr "fallback" (Trace.Bool true);
+        fallback_info ~model ~reason:Sdft_util.Guard.State_limit cutset
+      | exception Sdft_util.Guard.Limit_hit r ->
+        Trace.add_attr "fallback" (Trace.Bool true);
+        fallback_info ~model ~reason:r cutset
+      | exception Out_of_memory ->
+        Trace.add_attr "fallback" (Trace.Bool true);
+        fallback_info ~model ~reason:Sdft_util.Guard.Mem_limit cutset))
+  in
+  (* Last rung of the ladder: any exception neither the guard nor the state
+     bound accounts for (a genuine bug, an injected crash) poisons only its
+     own cutset — contained as a worst-case fallback marked [Worker_crash]
+     instead of killing the whole analysis. *)
+  let contain worker cutset =
+    match quantify_one worker cutset with
+    | info -> info
+    | exception exn ->
+      Trace.instant "analysis.worker_crash";
+      ignore exn;
+      fallback_info ~reason:Sdft_util.Guard.Worker_crash cutset
   in
   let quantify_sequential cutsets =
     let worker = (Cutset_model.context sd, Transient.workspace ()) in
-    List.map (quantify_one worker) cutsets
+    List.map (contain worker) cutsets
   in
   (* Parallel variant: the shared model is read-only once its lazy
      descendant caches are forced, so workers only need their own
@@ -224,10 +310,22 @@ let analyze ?(options = default_options) ?cache sd =
           if c <> 0 then c else compare i j)
       order;
     let scheduled = Array.map (fun i -> arr.(i)) order in
+    (* The crash-containing map turns a worker exception into an [Error]
+       slot; the slot's cutset then takes the worst-case fallback, so one
+       poisoned cutset degrades instead of aborting the sweep. *)
     let results =
-      Sdft_util.Parallel.map_init ~domains:n_domains
+      Sdft_util.Parallel.map_init_result ~domains:n_domains
         (fun () -> (Cutset_model.context sd, Transient.workspace ()))
         quantify_one scheduled
+    in
+    let results =
+      Array.mapi
+        (fun pos r ->
+          match r with
+          | Ok info -> info
+          | Error (_exn, _bt) ->
+            fallback_info ~reason:Sdft_util.Guard.Worker_crash scheduled.(pos))
+        results
     in
     let restored = Array.make n None in
     Array.iteri (fun pos r -> restored.(order.(pos)) <- Some r) results;
@@ -312,6 +410,25 @@ let analyze ?(options = default_options) ?cache sd =
       vacuous;
     }
   in
+  let degradation =
+    let count r =
+      List.length (List.filter (fun info -> info.degraded = Some r) infos)
+    in
+    {
+      generation_limit = mocus_result.Mocus.limit_hit;
+      degraded_cutsets =
+        List.filter_map
+          (fun r ->
+            let n = count r in
+            if n > 0 then Some (r, n) else None)
+          [
+            Sdft_util.Guard.Deadline;
+            Sdft_util.Guard.Mem_limit;
+            Sdft_util.Guard.State_limit;
+            Sdft_util.Guard.Worker_crash;
+          ];
+    }
+  in
   Trace.add_attr "total" (Trace.Float total);
   Trace.add_attr "lower" (Trace.Float budget.lower);
   Trace.add_attr "upper" (Trace.Float budget.upper);
@@ -324,6 +441,7 @@ let analyze ?(options = default_options) ?cache sd =
       List.length (List.filter (fun info -> info.n_dynamic > 0) infos);
     n_fallbacks;
     budget;
+    degradation;
     mcs_generation_seconds;
     quantification_seconds;
     generation = mocus_result;
@@ -412,9 +530,31 @@ let sweep ?cache sd option_sets =
   in
   (points, cache)
 
+let degradation_description r =
+  let d = r.degradation in
+  String.concat "; "
+    ((match d.generation_limit with
+     | Some reason ->
+       [
+         "cutset generation stopped early ("
+         ^ Sdft_util.Guard.reason_to_string reason
+         ^ ")";
+       ]
+     | None -> [])
+    @ List.map
+        (fun (reason, n) ->
+          Printf.sprintf "%d cutset%s fell back to the worst-case bound (%s)"
+            n
+            (if n = 1 then "" else "s")
+            (Sdft_util.Guard.reason_to_string reason))
+        d.degraded_cutsets)
+
 let pp_summary ppf r =
+  Format.fprintf ppf "@[<v>";
+  if degraded r then
+    Format.fprintf ppf "DEGRADED: %s@," (degradation_description r);
   Format.fprintf ppf
-    "@[<v>failure frequency (rare-event approx): %.3e@,\
+    "failure frequency (rare-event approx): %.3e@,\
      certified interval: [%.3e, %.3e]%s@,\
      minimal cutsets: %d (%d with dynamic events)@,\
      MCS generation: %a, quantification: %a@]"

@@ -42,11 +42,23 @@ type options = {
       (** [Paper] (default) uses the class-reduced relevant sets of Section
           V-C; [All_events] quantifies every cutset with the exact general
           rule. *)
+  deadline : float option;
+      (** wall-clock budget in seconds for the whole analysis (generation
+          plus quantification). When it expires the analysis {e degrades}
+          instead of aborting: MOCUS folds its unexplored branch mass into
+          the pruned mass, and every not-yet-quantified cutset falls back to
+          its conservative worst-case product (see {!cutset_info.degraded}).
+          [None] (default): no deadline. *)
+  mem_limit_mb : int option;
+      (** ceiling on the major-heap size in megabytes, probed at the same
+          cooperative checkpoints; degrades identically. [None]: no
+          ceiling. *)
 }
 
 val default_options : options
 (** horizon 24.0, cutoff 1e-15, epsilon 1e-12, one million product states,
-    no order bound, [Mocus_sound], one domain. *)
+    no order bound, [Mocus_sound], one domain, no deadline or memory
+    ceiling. *)
 
 type cutset_info = {
   cutset : Cutset.t;
@@ -63,9 +75,14 @@ type cutset_info = {
   from_cache : bool;  (** served by a {!Quant_cache} hit *)
   solve_seconds : float;
   used_fallback : bool;
-      (** the product chain exceeded [max_product_states] and the cutset was
-          quantified with its (conservative) worst-case static product
-          instead *)
+      (** the cutset was quantified with its (conservative) worst-case
+          static product instead of an exact product-chain solve *)
+  degraded : Sdft_util.Guard.reason option;
+      (** why the fallback was taken: [State_limit] when the product chain
+          exceeded [max_product_states], [Deadline]/[Mem_limit] when a
+          resource guard tripped, [Worker_crash] when the quantification of
+          this cutset raised and was contained. [None] for an exact solve.
+          Always set when [used_fallback]. *)
 }
 
 type error_budget = {
@@ -99,6 +116,18 @@ type error_budget = {
           without counting their mass *)
 }
 
+type degradation = {
+  generation_limit : Sdft_util.Guard.reason option;
+      (** cutset generation was stopped early by a resource limit. For the
+          MOCUS engines the unexplored branch mass was folded into
+          [budget.pruned_mass], so the certified interval stays sound {e
+          and} informative; for the BDD engine nothing can be salvaged and
+          the budget is vacuous. *)
+  degraded_cutsets : (Sdft_util.Guard.reason * int) list;
+      (** how many cutsets fell back to the worst-case bound, per reason
+          (reasons with zero count are omitted; fixed reason order) *)
+}
+
 type result = {
   total : float;
       (** rare-event approximation: sum of [p~(C)] over cutsets above the
@@ -117,6 +146,8 @@ type result = {
   budget : error_budget;
       (** certified interval [lower, upper] around [total] with its itemized
           error terms *)
+  degradation : degradation;
+      (** what graceful degradation, if any, shaped this result *)
   mcs_generation_seconds : float;
   quantification_seconds : float;
   generation : Mocus.result;
@@ -128,7 +159,23 @@ val analyze : ?options:options -> ?cache:Quant_cache.t -> Sdft.t -> result
 (** [cache], when given, routes per-cutset quantification through a
     {!Quant_cache.t} so that isomorphic cutset sub-models — within this call
     or across calls sharing the cache — are solved once. Results are
-    bit-identical to the uncached path for models with equal fingerprints. *)
+    bit-identical to the uncached path for models with equal fingerprints.
+
+    With [options.deadline] or [options.mem_limit_mb] set, one
+    {!Sdft_util.Guard} is shared by both phases and the analysis never
+    raises on a limit: it returns a (possibly) degraded result whose
+    [degradation] field records what was cut short. Totals and upper bounds
+    remain sound because every degraded cutset is replaced by an upper
+    bound on its probability; the certified lower bound never anchors on a
+    degraded cutset. *)
+
+val degraded : result -> bool
+(** Any degradation at all — generation stopped early, or at least one
+    cutset fell back because of a limit or a contained crash. *)
+
+val degradation_description : result -> string
+(** One-line human-readable summary of the degradation (the DEGRADED banner
+    body); meaningless when [degraded] is false. *)
 
 type sweep_point = {
   sweep_options : options;
@@ -156,8 +203,12 @@ val static_rare_event :
     of cutsets above the cutoff. *)
 
 val generate_cutsets :
-  ?cutoff:float -> ?max_order:int option -> engine -> Fault_tree.t -> Mocus.result
-(** Run the chosen cutset engine on a static tree. *)
+  ?cutoff:float -> ?max_order:int option -> ?guard:Sdft_util.Guard.t ->
+  engine -> Fault_tree.t -> Mocus.result
+(** Run the chosen cutset engine on a static tree. A tripped [guard] never
+    raises: the MOCUS engines return their accounted partial result (see
+    {!Mocus.run}); the BDD engine returns an empty result with [truncated]
+    and [limit_hit] set. *)
 
 val dynamic_histogram : result -> Sdft_util.Histogram.t
 (** Distribution of the number of dynamic basic events per minimal cutset

@@ -229,7 +229,7 @@ let unpack strides key state =
 (* Exploration produces identical state numbering (and hence bit-identical
    chains) on both paths: initial states are interned in the same order and
    the successor loops visit (slot, local transition) pairs identically. *)
-let build_packed sem ~max_states strides =
+let build_packed sem ~max_states ~guard strides =
   let components = sem.components in
   let n_components = Array.length components in
   let ids : (int, int) Hashtbl.t = Hashtbl.create 64 in
@@ -264,6 +264,8 @@ let build_packed sem ~max_states strides =
   let state = Array.make n_components 0 in
   let next = Array.make n_components 0 in
   while not (Queue.is_empty frontier) do
+    Sdft_util.Guard.check guard;
+    Sdft_util.Failpoint.hit "product.explore";
     let src = Queue.pop frontier in
     unpack strides (Sdft_util.Vec.get keys src) state;
     for slot = 0 to n_components - 1 do
@@ -300,7 +302,7 @@ let build_packed sem ~max_states strides =
 
 (* Generic fallback for oversized radix products: array-keyed interning with
    a state copy per explored transition. *)
-let build_generic sem ~max_states =
+let build_generic sem ~max_states ~guard =
   let components = sem.components in
   let ids : (int array, int) Hashtbl.t = Hashtbl.create 64 in
   let states = Sdft_util.Vec.create () in
@@ -328,6 +330,8 @@ let build_generic sem ~max_states =
   (* Breadth-first exploration of consistent states. *)
   let transitions = Sdft_util.Vec.create () in
   while not (Queue.is_empty frontier) do
+    Sdft_util.Guard.check guard;
+    Sdft_util.Failpoint.hit "product.explore";
     let src = Queue.pop frontier in
     let state = Sdft_util.Vec.get states src in
     Array.iteri
@@ -355,27 +359,29 @@ let build_generic sem ~max_states =
     n_states;
   }
 
-let build ?(max_states = 1_000_000) ?assumed_failed ?(generic = false) sd =
+let build ?(max_states = 1_000_000) ?assumed_failed ?(generic = false)
+    ?(guard = Sdft_util.Guard.none) sd =
   Sdft_util.Trace.with_span "product.build" (fun () ->
       let sem = semantics ?assumed_failed sd in
       let built =
-        if generic then build_generic sem ~max_states
+        if generic then build_generic sem ~max_states ~guard
         else
           match radix_strides sem.components with
-          | Some strides -> build_packed sem ~max_states strides
-          | None -> build_generic sem ~max_states
+          | Some strides -> build_packed sem ~max_states ~guard strides
+          | None -> build_generic sem ~max_states ~guard
       in
       Sdft_util.Trace.add_attr "states" (Sdft_util.Trace.Int built.n_states);
       Sdft_util.Trace.add_attr "transitions"
         (Sdft_util.Trace.Int (Ctmc.n_transitions built.chain));
       built)
 
-let unreliability ?(epsilon = 1e-12) ?workspace built ~horizon =
+let unreliability ?(epsilon = 1e-12) ?guard ?workspace built ~horizon =
   let options = { Transient.default_options with epsilon } in
-  Transient.reach_within ~options ?workspace built.chain ~init:built.init
+  Transient.reach_within ~options ?guard ?workspace built.chain
+    ~init:built.init
     ~target:(fun s -> built.failed.(s))
     ~t:horizon
 
-let solve ?max_states ?epsilon sd ~horizon =
-  let built = build ?max_states sd in
-  unreliability ?epsilon built ~horizon
+let solve ?max_states ?epsilon ?guard sd ~horizon =
+  let built = build ?max_states ?guard sd in
+  unreliability ?epsilon ?guard built ~horizon

@@ -32,6 +32,7 @@ val build :
   ?max_states:int ->
   ?assumed_failed:Sdft_util.Int_set.t ->
   ?generic:bool ->
+  ?guard:Sdft_util.Guard.t ->
   Sdft.t ->
   built
 (** [build sd] explores the reachable consistent product states from the
@@ -46,16 +47,24 @@ val build :
     [generic:true] forces the array-keyed fallback path instead (used by
     tests and benchmarks — both paths produce bit-identical results).
 
+    [guard] (default {!Sdft_util.Guard.none}) is checkpointed once per
+    explored state; on a trip {!Sdft_util.Guard.Limit_hit} propagates to
+    the caller (unlike a MOCUS run there is no sound partial result — a
+    half-explored chain would silently under-count failure paths). The
+    [product.explore] {!Sdft_util.Failpoint} site fires at the same place.
+
     @raise Invalid_argument if [assumed_failed] contains a dynamic event. *)
 
 val unreliability :
-  ?epsilon:float -> ?workspace:Transient.workspace -> built -> horizon:float ->
-  float
+  ?epsilon:float -> ?guard:Sdft_util.Guard.t ->
+  ?workspace:Transient.workspace -> built -> horizon:float -> float
 (** [Pr(reach a failed product state within the horizon)]. [workspace]
-    removes the solver's per-call vector allocations. *)
+    removes the solver's per-call vector allocations; [guard] is probed at
+    every uniformization step. *)
 
 val solve :
-  ?max_states:int -> ?epsilon:float -> Sdft.t -> horizon:float -> float
+  ?max_states:int -> ?epsilon:float -> ?guard:Sdft_util.Guard.t -> Sdft.t ->
+  horizon:float -> float
 (** [build] + [unreliability] on the whole tree — the exact semantics
     [p(FT)] of Section III-C2. *)
 

@@ -9,7 +9,18 @@ let translate ?epsilon sd ~horizon =
   let worst_case =
     Array.init nb (fun b ->
         if Sdft.is_dynamic sd b then
-          Dbe.worst_case_failure_probability ?epsilon (Sdft.dbe sd b) ~horizon
+          (* Each per-event solve is tiny, but translation runs before the
+             analysis' degradation ladder can contain anything. If a solve
+             is interrupted anyway (memory pressure, injected fault), fall
+             back to the trivial bound: worst-case probabilities are only
+             ever used as upper bounds, so 1.0 stays sound — it merely
+             prunes less. *)
+          match
+            Dbe.worst_case_failure_probability ?epsilon (Sdft.dbe sd b)
+              ~horizon
+          with
+          | p -> p
+          | exception (Out_of_memory | Sdft_util.Guard.Limit_hit _) -> 1.0
         else Fault_tree.prob tree b)
   in
   let builder = Fault_tree.Builder.create () in

@@ -93,7 +93,7 @@ let max_abs_diff n a b =
 (* Core solve writing into [ws.ws_result] (first [n] entries); returns
    [false] when no motion happened and the result is just the initial
    distribution in [ws.ws_pi]. *)
-let solve_into ~options ws chain ~init ~t =
+let solve_into ~options ~guard ws chain ~init ~t =
   Trace.with_span "transient.solve" (fun () ->
   if t < 0.0 || not (Float.is_finite t) then
     invalid_arg "Transient.distribution: bad horizon";
@@ -131,6 +131,13 @@ let solve_into ~options ws chain ~init ~t =
     let remaining = ref 1.0 in
     let stationary = ref false in
     while !k <= window.Poisson.right && not !stationary do
+      (* One uniformization step costs O(transitions), so an immediate
+         (non-amortized) guard probe per step is noise — and amortizing
+         over 4k steps would overshoot short deadlines on big chains. *)
+      (match guard with
+      | Some g -> Sdft_util.Guard.check_now g
+      | None -> ());
+      Sdft_util.Failpoint.hit "transient.step";
       let w = weight_of !k in
       accumulate w pi;
       remaining := !remaining -. w;
@@ -156,19 +163,22 @@ let solve_into ~options ws chain ~init ~t =
     true
   end)
 
-let distribution ?(options = default_options) ?workspace:ws chain ~init ~t =
+let distribution ?(options = default_options) ?guard ?workspace:ws chain ~init
+    ~t =
   let ws = match ws with Some w -> w | None -> workspace () in
   let n = Ctmc.n_states chain in
-  if solve_into ~options ws chain ~init ~t then Array.sub ws.ws_result 0 n
+  if solve_into ~options ~guard ws chain ~init ~t then
+    Array.sub ws.ws_result 0 n
   else Array.sub ws.ws_pi 0 n
 
-let reach_within ?(options = default_options) ?workspace:ws chain ~init ~target
-    ~t =
+let reach_within ?(options = default_options) ?guard ?workspace:ws chain ~init
+    ~target ~t =
   let ws = match ws with Some w -> w | None -> workspace () in
   let absorbed = Ctmc.restrict_absorbing chain target in
   let n = Ctmc.n_states absorbed in
   let dist =
-    if solve_into ~options ws absorbed ~init ~t then ws.ws_result else ws.ws_pi
+    if solve_into ~options ~guard ws absorbed ~init ~t then ws.ws_result
+    else ws.ws_pi
   in
   let acc = Sdft_util.Kahan.create () in
   for s = 0 to n - 1 do

@@ -39,6 +39,7 @@ val dtmc_step : Ctmc.t -> float -> float array -> float array -> unit
 
 val distribution :
   ?options:options ->
+  ?guard:Sdft_util.Guard.t ->
   ?workspace:workspace ->
   Ctmc.t ->
   init:(int * float) list ->
@@ -50,11 +51,17 @@ val distribution :
     freshly allocated; [workspace] only removes the internal scratch
     allocations.
 
+    [guard], when given, is probed (non-amortized) before every
+    uniformization step and raises {!Sdft_util.Guard.Limit_hit} on a trip;
+    the [transient.step] {!Sdft_util.Failpoint} site fires at the same
+    place.
+
     @raise Invalid_argument on a negative horizon or an invalid initial
     distribution. *)
 
 val reach_within :
   ?options:options ->
+  ?guard:Sdft_util.Guard.t ->
   ?workspace:workspace ->
   Ctmc.t ->
   init:(int * float) list ->

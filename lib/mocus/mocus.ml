@@ -30,6 +30,7 @@ type result = {
   pruned_by_cutoff : int;
   pruned_mass : float;
   truncated : bool;
+  limit_hit : Sdft_util.Guard.reason option;
 }
 
 (* A partial cutset: basic events chosen to fail, gates still to be failed,
@@ -78,7 +79,7 @@ let gate_estimates tree =
     (Fault_tree.topological_gates tree);
   est
 
-let run_inner ~options tree =
+let run_inner ~options ~guard tree =
   let tree = Expand.expand_atleast tree in
   let estimate = gate_estimates tree in
   let out = Sdft_util.Vec.create () in
@@ -166,7 +167,14 @@ let run_inner ~options tree =
       gates = Int_set.singleton (Fault_tree.top tree);
       prob = 1.0;
     };
-  while (not (Stack.is_empty stack)) && budget_left () do
+  let limit = ref None in
+  (try
+    (* The resource checkpoints sit before the pop so that, when a limit
+       fires, every partial not yet refined is still on the stack and its
+       mass can be folded below — nothing escapes the accounting. *)
+    while (not (Stack.is_empty stack)) && budget_left () do
+    Sdft_util.Guard.check guard;
+    Sdft_util.Failpoint.hit "mocus.expand";
     let p = Stack.pop stack in
     if Int_set.cardinal p.gates = 0 then Sdft_util.Vec.push out p.basics
     else begin
@@ -196,7 +204,21 @@ let run_inner ~options tree =
           inputs
       | Fault_tree.Atleast _ -> assert false
     end
-  done;
+    done
+  with
+  | Sdft_util.Guard.Limit_hit r -> limit := Some r
+  | Out_of_memory -> limit := Some Sdft_util.Guard.Mem_limit);
+  (match !limit with
+  | None -> ()
+  | Some _ ->
+    (* Graceful degradation: every unexplored partial upper-bounds the
+       union probability of all cutsets refining it by its basics product
+       (same argument as [admit]), so folding the remaining stack into the
+       pruned mass keeps the downstream certified interval sound even
+       though generation stopped early. The stack holds each pending
+       partial exactly once (the [seen] table dedupes pushes). *)
+    Stack.iter (fun p -> Sdft_util.Kahan.add pruned_mass p.prob) stack;
+    Stack.clear stack);
   if not (Stack.is_empty stack) then truncated := true;
   let generated = Sdft_util.Vec.length out in
   let cutsets = Cutset.minimize (Sdft_util.Vec.to_list out) in
@@ -213,6 +235,7 @@ let run_inner ~options tree =
       pruned_by_cutoff = !pruned;
       pruned_mass = Sdft_util.Kahan.total pruned_mass;
       truncated = !truncated;
+      limit_hit = !limit;
     }
   in
   Trace.add_attr "cutsets" (Trace.Int (List.length cutsets));
@@ -221,8 +244,8 @@ let run_inner ~options tree =
   Trace.add_attr "pruned_mass" (Trace.Float result.pruned_mass);
   result
 
-let run ?(options = default_options) tree =
+let run ?(options = default_options) ?(guard = Sdft_util.Guard.none) tree =
   Trace.with_span "mocus.run" (fun () ->
-      Metrics.time m_run_span (fun () -> run_inner ~options tree))
+      Metrics.time m_run_span (fun () -> run_inner ~options ~guard tree))
 
-let minimal_cutsets ?options tree = (run ?options tree).cutsets
+let minimal_cutsets ?options ?guard tree = (run ?options ?guard tree).cutsets

@@ -46,10 +46,21 @@ type result = {
           branches, but each dropped branch is still accounted at its sound
           basics-only product. *)
   truncated : bool;  (** true when [max_cutsets] stopped the search *)
+  limit_hit : Sdft_util.Guard.reason option;
+      (** a resource guard (or simulated limit) stopped the expansion early.
+          Unlike [truncated], this degradation is {e accounted}: the basics
+          product of every unexplored partial was folded into [pruned_mass],
+          so the error budget built on it stays sound. *)
 }
 
-val run : ?options:options -> Fault_tree.t -> result
-(** K-of-N gates are expanded transparently. *)
+val run : ?options:options -> ?guard:Sdft_util.Guard.t -> Fault_tree.t -> result
+(** K-of-N gates are expanded transparently. [guard] (default
+    {!Sdft_util.Guard.none}) is checkpointed once per expansion step; on
+    {!Sdft_util.Guard.Limit_hit} (or [Out_of_memory]) the run returns the
+    cutsets found so far with [limit_hit] set and the unexplored mass folded
+    into [pruned_mass] instead of raising. The [mocus.expand]
+    {!Sdft_util.Failpoint} site is checkpointed at the same place. *)
 
-val minimal_cutsets : ?options:options -> Fault_tree.t -> Cutset.t list
+val minimal_cutsets :
+  ?options:options -> ?guard:Sdft_util.Guard.t -> Fault_tree.t -> Cutset.t list
 (** Shorthand for [(run tree).cutsets]. *)

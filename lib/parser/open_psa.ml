@@ -35,7 +35,11 @@ let parse_float_value el what =
   match Xml.find_opt el "float" with
   | Some f -> (
     match float_of_string_opt (Xml.attribute_exn f "value") with
-    | Some v -> v
+    | Some v ->
+      if (not (Float.is_finite v)) || v < 0.0 || v > 1.0 then
+        error "basic event %S: probability %s is not in [0, 1]" what
+          (string_of_float v);
+      v
     | None -> error "bad float value in %s" what)
   | None -> 0.0
 
@@ -52,6 +56,8 @@ let of_xml root =
   let basic_defs : (string, float) Hashtbl.t = Hashtbl.create 64 in
   let define_basic el =
     let name = Xml.attribute_exn el "name" in
+    if Hashtbl.mem basic_defs name then
+      error "duplicate definition of basic event %S" name;
     Hashtbl.replace basic_defs name (parse_float_value el name)
   in
   List.iter
@@ -59,6 +65,8 @@ let of_xml root =
       match el.Xml.tag with
       | "define-gate" ->
         let name = Xml.attribute_exn el "name" in
+        if Hashtbl.mem gate_defs name then
+          error "duplicate definition of gate %S" name;
         (match Xml.elements el with
         | [ body ] -> Hashtbl.replace gate_defs name (parse_formula body)
         | [] -> error "gate %S has no formula" name
@@ -156,14 +164,21 @@ let of_xml root =
   in
   Fault_tree.Builder.build builder ~top:(gate_node top_name)
 
+(* The tree builder's own validation (duplicate names shared between gates
+   and basics, duplicate gate inputs, bad thresholds) raises
+   [Invalid_argument] with messages that already name the element; surface
+   them as parser errors. *)
+let of_xml_wrapped root =
+  try of_xml root with Invalid_argument m -> error "%s" m
+
 let of_string s =
   match Xml.parse_string s with
-  | root -> of_xml root
+  | root -> of_xml_wrapped root
   | exception Xml.Parse_error { line; message } -> error "line %d: %s" line message
 
 let of_file path =
   match Xml.parse_file path with
-  | root -> of_xml root
+  | root -> of_xml_wrapped root
   | exception Xml.Parse_error { line; message } ->
     error "%s, line %d: %s" path line message
 

@@ -26,22 +26,52 @@ let require what = function
   | Some v -> v
   | None -> error "missing field %s" what
 
-let parse_dbe = function
+(* Validate numeric fields here, where we still know which element they
+   belong to — the underlying constructors reject bad values too, but their
+   messages cannot name the event. *)
+let check_rate ~name what r =
+  Option.iter
+    (fun r ->
+      if (not (Float.is_finite r)) || r < 0.0 then
+        error "dynamic event %S: %s must be a finite non-negative rate, got %s"
+          name what (string_of_float r))
+    r;
+  r
+
+let check_prob ~name what p =
+  Option.iter
+    (fun p ->
+      if (not (Float.is_finite p)) || p < 0.0 || p > 1.0 then
+        error "dynamic event %S: %s %s is not a probability in [0, 1]" name
+          what (string_of_float p))
+    p;
+  p
+
+let parse_dbe ~name = function
   | Sexp.List (Sexp.Atom "exponential" :: fields) ->
     Dbe.exponential
-      ~lambda:(require "lambda" (field_float "lambda" fields))
-      ?mu:(field_float "mu" fields) ()
+      ~lambda:
+        (require "lambda"
+           (check_rate ~name "lambda" (field_float "lambda" fields)))
+      ?mu:(check_rate ~name "mu" (field_float "mu" fields))
+      ()
   | Sexp.List (Sexp.Atom "erlang" :: fields) ->
     Dbe.erlang
       ~phases:(require "phases" (field_int "phases" fields))
-      ~lambda:(require "lambda" (field_float "lambda" fields))
-      ?mu:(field_float "mu" fields) ()
+      ~lambda:
+        (require "lambda"
+           (check_rate ~name "lambda" (field_float "lambda" fields)))
+      ?mu:(check_rate ~name "mu" (field_float "mu" fields))
+      ()
   | Sexp.List (Sexp.Atom "triggered-erlang" :: fields) ->
     Dbe.triggered_erlang
       ~phases:(require "phases" (field_int "phases" fields))
-      ~lambda:(require "lambda" (field_float "lambda" fields))
-      ?mu:(field_float "mu" fields)
-      ?passive_factor:(field_float "passive" fields)
+      ~lambda:
+        (require "lambda"
+           (check_rate ~name "lambda" (field_float "lambda" fields)))
+      ?mu:(check_rate ~name "mu" (field_float "mu" fields))
+      ?passive_factor:
+        (check_rate ~name "passive factor" (field_float "passive" fields))
       ?repair_when_off:
         (match find_field "repair-when-off" fields with
         | Some _ -> Some true
@@ -54,7 +84,10 @@ let parse_dbe = function
       | Some entries ->
         List.map
           (function
-            | Sexp.List [ s; p ] -> (Sexp.int_atom s, Sexp.float_atom p)
+            | Sexp.List [ s; p ] ->
+              let p = Sexp.float_atom p in
+              ignore (check_prob ~name "initial mass" (Some p));
+              (Sexp.int_atom s, p)
             | _ -> error "init entries must be (STATE PROB)")
           entries
       | None -> error "missing field init"
@@ -65,7 +98,9 @@ let parse_dbe = function
         List.map
           (function
             | Sexp.List [ s; d; r ] ->
-              (Sexp.int_atom s, Sexp.int_atom d, Sexp.float_atom r)
+              let r = Sexp.float_atom r in
+              ignore (check_rate ~name "transition rate" (Some r));
+              (Sexp.int_atom s, Sexp.int_atom d, r)
             | _ -> error "transitions entries must be (SRC DST RATE)")
           entries
       | None -> []
@@ -122,16 +157,17 @@ let of_forms forms =
     (fun form ->
       match form with
       | Sexp.List [ Sexp.Atom "basic"; name; prob ] ->
-        let _ =
-          Fault_tree.Builder.basic builder
-            ~prob:(Sexp.float_atom prob)
-            (Sexp.atom name)
-        in
+        let name = Sexp.atom name in
+        let prob = Sexp.float_atom prob in
+        if (not (Float.is_finite prob)) || prob < 0.0 || prob > 1.0 then
+          error "basic event %S: probability %s is not in [0, 1]" name
+            (string_of_float prob);
+        let _ = Fault_tree.Builder.basic builder ~prob name in
         ()
       | Sexp.List [ Sexp.Atom "dynamic"; name; spec ] ->
         let name = Sexp.atom name in
         let _ = Fault_tree.Builder.basic builder ~prob:0.0 name in
-        dynamic := (name, parse_dbe spec) :: !dynamic
+        dynamic := (name, parse_dbe ~name spec) :: !dynamic
       | Sexp.List (Sexp.Atom "gate" :: name :: kind :: inputs) ->
         let inputs = List.map (fun i -> node_of (Sexp.atom i)) inputs in
         let _ =
@@ -150,10 +186,14 @@ let of_forms forms =
   with Invalid_argument m -> error "%s" m
 
 (* Accessor helpers (Sexp.float_atom etc.) report through Parse_error as
-   well; translate everything into this module's Error. *)
+   well; translate everything into this module's Error. [Invalid_argument]
+   covers the model-builder checks (duplicate names, bad gate inputs, Dbe
+   and Ctmc structural validation) whose messages already name the
+   offending element. *)
 let of_forms_wrapped forms =
   try of_forms forms with
   | Sexp.Parse_error { message; _ } -> error "%s" message
+  | Invalid_argument m -> error "%s" m
 
 let of_string s =
   match Sexp.parse_string s with

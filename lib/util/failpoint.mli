@@ -1,0 +1,74 @@
+(** Deterministic fault-injection sites for robustness testing.
+
+    Library code declares named sites by calling {!hit} at interesting
+    points (the toolkit uses [mocus.expand], [product.explore],
+    [transient.step], [cache.lookup] and [parallel.worker]). When no
+    failpoint is armed — the production default — a hit is two atomic loads.
+    Tests (via the API) or operators (via the [SDFT_FAILPOINTS] environment
+    variable) arm sites with an action and a deterministic trigger, which
+    lets every degradation path of the analysis be exercised on demand:
+    injected exceptions, simulated [Out_of_memory], simulated resource
+    limits, or plain delays.
+
+    {2 Specification syntax}
+
+    [SDFT_FAILPOINTS] is a comma-separated list of [SITE=SPEC] entries;
+    {!configure_string} accepts the same syntax. A [SPEC] is
+    [ACTION[@TRIGGER]]:
+
+    - actions: [raise] (raise {!Injected}), [oom] (raise [Out_of_memory]),
+      [deadline] / [mem] / [state] / [crash] (raise the corresponding
+      {!Guard.Limit_hit}), [delay:SECONDS] (sleep, then continue);
+    - triggers: [always] (default), [nth:N] (fire on exactly the [N]-th hit
+      of the site, 1-based), [prob:P:SEED] (fire each hit independently with
+      probability [P], decided by a splitmix64 hash of [SEED] and the hit
+      index — deterministic for a given seed and hit numbering).
+
+    Example:
+    [SDFT_FAILPOINTS="parallel.worker=raise@nth:3,transient.step=delay:0.001@prob:0.1:42"].
+
+    The registry is global and domain-safe; hit indices are assigned with an
+    atomic counter per site, so under parallelism the {e set} of firing hit
+    indices is deterministic even though their assignment to work items can
+    race. *)
+
+exception Injected of string
+(** Raised by the [raise] action; the payload is the site name. *)
+
+type action =
+  | Raise  (** raise [Injected site] *)
+  | Oom  (** raise [Out_of_memory] *)
+  | Limit of Guard.reason  (** raise [Guard.Limit_hit reason] *)
+  | Delay of float  (** sleep this many seconds, then continue *)
+
+type trigger =
+  | Always
+  | Nth of int  (** fire on exactly the n-th hit (1-based) *)
+  | Prob of float * int  (** probability, seed *)
+
+val hit : string -> unit
+(** Checkpoint a site. No-op (two atomic loads) unless the site is armed.
+    The first hit in a process also arms any sites configured through
+    [SDFT_FAILPOINTS]. *)
+
+val set : string -> ?trigger:trigger -> action -> unit
+(** Arm a site (replacing any previous arming and resetting its hit
+    counter). [trigger] defaults to [Always]. *)
+
+val clear : string -> unit
+(** Disarm one site. *)
+
+val clear_all : unit -> unit
+(** Disarm every site (including environment-configured ones). *)
+
+val hit_count : string -> int
+(** Hits recorded at an armed site so far; 0 when not armed. *)
+
+val configure_string : string -> unit
+(** Parse and arm a comma-separated [SITE=SPEC] list (see above).
+
+    @raise Failure on a malformed specification, naming the entry. *)
+
+val load_env : unit -> unit
+(** Arm the sites described by [SDFT_FAILPOINTS], if set. Called implicitly
+    by the first {!hit}; explicit calls re-read the variable. *)

@@ -49,3 +49,21 @@ let map_init ~domains init f work =
   end
 
 let map ~domains f work = map_init ~domains ignore (fun () x -> f x) work
+
+(* Crash containment: the per-item wrapper turns an exception into an
+   [Error] slot, so [map_init]'s first-failure machinery only ever sees
+   [init] failures (which stay fatal — without per-domain state nothing can
+   run). The scheduling, ordering and success results are exactly those of
+   [map_init]. *)
+let map_init_result ~domains init f work =
+  map_init ~domains init
+    (fun state x ->
+      match
+        (* Inside the capture, so an injected worker crash is contained in
+           this slot like any other [f] failure. *)
+        Failpoint.hit "parallel.worker";
+        f state x
+      with
+      | r -> Ok r
+      | exception exn -> Error (exn, Printexc.get_raw_backtrace ()))
+    work

@@ -23,3 +23,17 @@ val map_init :
 val map : domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map ~domains f work] is [map_init ~domains ignore (fun () x -> f x)
     work]. *)
+
+val map_init_result :
+  domains:int ->
+  (unit -> 'state) ->
+  ('state -> 'a -> 'b) ->
+  'a array ->
+  ('b, exn * Printexc.raw_backtrace) result array
+(** Crash-containing variant of {!map_init}: an exception raised by [f] on
+    one item yields [Error (exn, backtrace)] in that item's slot instead of
+    aborting the whole map, so one poisoned work item degrades rather than
+    killing the batch. Scheduling and output order are those of
+    {!map_init}; an [init] failure is still fatal and re-raised. Each item
+    also checkpoints the [parallel.worker] {!Failpoint} site before
+    running. *)

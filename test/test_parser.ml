@@ -151,6 +151,40 @@ let test_format_errors () =
        "(dynamic x (exponential (lambda 1.0))) (gate g or x) (trigger g x) (top g)");
   Alcotest.(check bool) "bad number" true (fails "(basic a abc) (gate g or a) (top g)")
 
+(* Every rejection must be a one-line [Error] naming the offending element,
+   never a raw [Invalid_argument] escaping from the tree builder. *)
+let contains_substring haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec at i = i + nl <= hl && (String.sub haystack i nl = needle || at (i + 1)) in
+  at 0
+
+let test_format_validation () =
+  let fails_mentioning fragment text =
+    match Sdft_format.of_string text with
+    | exception Sdft_format.Error m ->
+      if not (contains_substring m fragment) then
+        Alcotest.failf "error %S does not mention %S" m fragment
+    | exception e ->
+      Alcotest.failf "expected Sdft_format.Error, got %s" (Printexc.to_string e)
+    | _ -> Alcotest.fail "expected a parse error"
+  in
+  fails_mentioning "\"a\"" "(basic a 1.5) (gate g or a) (top g)";
+  fails_mentioning "\"a\"" "(basic a -0.1) (gate g or a) (top g)";
+  fails_mentioning "\"a\"" "(basic a nan) (gate g or a) (top g)";
+  fails_mentioning "duplicate" "(basic a 0.1) (basic a 0.2) (gate g or a) (top g)";
+  fails_mentioning "\"x\""
+    "(dynamic x (exponential (lambda -2.0))) (gate g or x) (top g)";
+  fails_mentioning "\"x\""
+    "(dynamic x (exponential (lambda nan))) (gate g or x) (top g)";
+  fails_mentioning "\"x\""
+    "(dynamic x (exponential (lambda 0.1) (mu -1.0))) (gate g or x) (top g)";
+  fails_mentioning "\"x\""
+    {|(dynamic x (ctmc (states 2) (init (0 1.0)) (transitions (0 1 nan)) (failed 1)))
+      (gate g or x) (top g)|};
+  fails_mentioning "\"x\""
+    {|(dynamic x (ctmc (states 2) (init (0 1.5)) (transitions (0 1 0.1)) (failed 1)))
+      (gate g or x) (top g)|}
+
 let test_format_file_io () =
   let path = Filename.temp_file "sdft" ".sdft" in
   Fun.protect
@@ -279,6 +313,37 @@ let test_opsa_errors () =
   Alcotest.(check bool) "no fault tree" true (fails "<opsa-mef/>");
   Alcotest.(check bool) "bad root" true (fails "<something/>")
 
+let test_opsa_validation () =
+  let fails_mentioning fragment s =
+    match Open_psa.of_string s with
+    | exception Open_psa.Error m ->
+      if not (contains_substring m fragment) then
+        Alcotest.failf "error %S does not mention %S" m fragment
+    | exception e ->
+      Alcotest.failf "expected Open_psa.Error, got %s" (Printexc.to_string e)
+    | _ -> Alcotest.fail "expected a parse error"
+  in
+  let doc body =
+    Printf.sprintf
+      {|<opsa-mef><define-fault-tree name="d" top="g">
+          <define-gate name="g"><or><basic-event name="e"/></or></define-gate>
+          %s
+        </define-fault-tree></opsa-mef>|}
+      body
+  in
+  fails_mentioning "duplicate"
+    (doc
+       {|<define-basic-event name="e"><float value="0.1"/></define-basic-event>
+         <define-basic-event name="e"><float value="0.2"/></define-basic-event>|});
+  fails_mentioning "duplicate"
+    (doc {|<define-gate name="g"><or><basic-event name="e"/></or></define-gate>|});
+  fails_mentioning "\"e\""
+    (doc {|<define-basic-event name="e"><float value="1.5"/></define-basic-event>|});
+  fails_mentioning "\"e\""
+    (doc {|<define-basic-event name="e"><float value="-0.5"/></define-basic-event>|});
+  fails_mentioning "\"e\""
+    (doc {|<define-basic-event name="e"><float value="nan"/></define-basic-event>|})
+
 let test_opsa_roundtrip_pumps () =
   let tree = Pumps.static_tree () in
   let tree' = Open_psa.of_string (Open_psa.to_string tree) in
@@ -334,6 +399,7 @@ let () =
           Alcotest.test_case "erlang" `Quick test_format_erlang_shorthand;
           Alcotest.test_case "atleast" `Quick test_format_atleast;
           Alcotest.test_case "errors" `Quick test_format_errors;
+          Alcotest.test_case "validation" `Quick test_format_validation;
           Alcotest.test_case "file io" `Quick test_format_file_io;
         ]
         @ qc [ prop_random_sd_roundtrip ] );
@@ -351,6 +417,7 @@ let () =
           Alcotest.test_case "parse" `Quick test_opsa_parse;
           Alcotest.test_case "top inference" `Quick test_opsa_top_inference;
           Alcotest.test_case "errors" `Quick test_opsa_errors;
+          Alcotest.test_case "validation" `Quick test_opsa_validation;
           Alcotest.test_case "pumps roundtrip" `Quick test_opsa_roundtrip_pumps;
         ]
         @ qc [ prop_opsa_roundtrip_random ] );
