@@ -964,6 +964,125 @@ let sim_main args =
   bench_sim ~json_path:!json_path ~trials:!trials ()
 
 (* ------------------------------------------------------------------ *)
+(* `zdd` subcommand: race the MOCUS and modular-ZDD cutset engines on
+   static models — generation wall time, emitted families, rare-event
+   totals, and the discarded-mass accounting (MOCUS's upper bound vs the
+   ZDD engine's exact residual). The subsumed-branch case is the
+   certification scenario: MOCUS records nonzero pruned mass while the ZDD
+   engine emits every minimal cutset and accounts exactly zero residual. *)
+
+let bench_zdd ~json_path () =
+  let t =
+    Table.create ~title:"zdd: cutset engine race — MOCUS vs modular ZDD"
+      ~columns:
+        [
+          "model"; "cutoff"; "mocus"; "zdd"; "speedup"; "cutsets";
+          "|dtotal|"; "mocus pruned"; "zdd residual";
+        ]
+  in
+  let entries = ref [] in
+  let case name ~cutoff tree =
+    let t0 = Timer.start () in
+    let gm =
+      Sdft_analysis.generate_cutsets ~cutoff Sdft_analysis.Mocus_sound tree
+    in
+    let tm = Timer.elapsed_s t0 in
+    let t0 = Timer.start () in
+    let rz = Zdd_engine.run ~cutoff tree in
+    let tz = Timer.elapsed_s t0 in
+    let total sets = Cutset.rare_event_approximation tree sets in
+    let total_m = total gm.Mocus.cutsets in
+    let total_z = total rz.Zdd_engine.cutsets in
+    let diff = Float.abs (total_m -. total_z) in
+    let same_family =
+      List.sort Sdft_util.Int_set.compare gm.Mocus.cutsets
+      = rz.Zdd_engine.cutsets
+    in
+    Table.add_row t
+      [
+        name;
+        Printf.sprintf "%.0e" cutoff;
+        Table.cell_duration tm;
+        Table.cell_duration tz;
+        (if tz > 0.0 then Printf.sprintf "%.0fx" (tm /. tz) else "-");
+        Printf.sprintf "%d/%d%s"
+          (List.length gm.Mocus.cutsets)
+          (List.length rz.Zdd_engine.cutsets)
+          (if same_family then "" else " MISMATCH");
+        Table.cell_sci diff;
+        Table.cell_sci gm.Mocus.pruned_mass;
+        Table.cell_sci rz.Zdd_engine.residual_mass;
+      ];
+    entries :=
+      Printf.sprintf
+        "  {\"model\": %S, \"cutoff\": %.6e, \"mocus_seconds\": %.6f, \
+         \"zdd_seconds\": %.6f, \"mocus_cutsets\": %d, \"zdd_cutsets\": %d, \
+         \"families_identical\": %b, \"mocus_total\": %.17e, \
+         \"zdd_total\": %.17e, \"total_abs_diff\": %.6e, \
+         \"mocus_pruned_mass\": %.17e, \"zdd_residual_mass\": %.17e, \
+         \"zdd_n_minimal\": %d, \"zdd_n_modules\": %d, \
+         \"zdd_max_zdd_nodes\": %d}"
+        name cutoff tm tz
+        (List.length gm.Mocus.cutsets)
+        (List.length rz.Zdd_engine.cutsets)
+        same_family total_m total_z diff gm.Mocus.pruned_mass
+        rz.Zdd_engine.residual_mass rz.Zdd_engine.n_minimal
+        rz.Zdd_engine.n_modules rz.Zdd_engine.max_zdd_nodes
+      :: !entries
+  in
+  (* A branch MOCUS prunes that refines only into a non-minimal cutset:
+     {x,y,z}'s partial product falls below the cutoff, so MOCUS books
+     pruned mass, while the minimal family {x,y} is fully above it and the
+     ZDD residual is exactly zero. *)
+  let subsumed_branch () =
+    let b = Fault_tree.Builder.create () in
+    let basic name = Fault_tree.Builder.basic b ~prob:1e-6 name in
+    let x = basic "x" and y = basic "y" and z = basic "z" in
+    let and2 = Fault_tree.Builder.gate b "and2" Fault_tree.And [ x; y ] in
+    let and3 = Fault_tree.Builder.gate b "and3" Fault_tree.And [ x; y; z ] in
+    let top = Fault_tree.Builder.gate b "top" Fault_tree.Or [ and2; and3 ] in
+    Fault_tree.Builder.build b ~top
+  in
+  case "pumps" ~cutoff:0.0 (Pumps.static_tree ());
+  case "subsumed-branch" ~cutoff:1e-15 (subsumed_branch ());
+  case "industrial-small" ~cutoff:1e-15 (Industrial.generate Industrial.small);
+  if !full_scale then begin
+    case "industrial-medium" ~cutoff:1e-15
+      (Industrial.generate Industrial.medium);
+    case "industrial-1" ~cutoff:1e-15 (Industrial.generate Industrial.model_1)
+  end;
+  Table.print t;
+  match json_path with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc "[\n";
+    output_string oc (String.concat ",\n" (List.rev !entries));
+    output_string oc "\n]\n";
+    close_out oc;
+    Printf.printf "zdd engine race results written to %s\n" path
+
+let zdd_main args =
+  let json_path = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: path :: rest ->
+      json_path := Some path;
+      parse rest
+    | [ "--json" ] ->
+      prerr_endline "zdd: --json needs a file argument";
+      exit 2
+    | "--full" :: rest ->
+      full_scale := true;
+      parse rest
+    | other :: _ ->
+      Printf.eprintf "zdd: unknown argument %S\n" other;
+      exit 2
+  in
+  parse args;
+  bench_zdd ~json_path:!json_path ()
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1037,6 +1156,9 @@ let () =
       exit 0
     | "sim" :: rest ->
       sim_main rest;
+      exit 0
+    | "zdd" :: rest ->
+      zdd_main rest;
       exit 0
     | "--full" :: rest ->
       full_scale := true;

@@ -127,9 +127,16 @@ let engine_arg =
   Arg.(value
        & opt (enum [ ("mocus", Sdft_analysis.Mocus_sound);
                      ("mocus-aggressive", Sdft_analysis.Mocus_aggressive);
-                     ("bdd", Sdft_analysis.Bdd_engine) ])
+                     ("bdd", Sdft_analysis.Bdd_engine);
+                     ("zdd", Sdft_analysis.Zdd_engine);
+                     ("auto", Sdft_analysis.Auto) ])
            Sdft_analysis.Mocus_sound
-       & info [ "engine" ] ~docv:"ENGINE" ~doc:"Cutset engine: $(b,mocus), $(b,mocus-aggressive), or $(b,bdd).")
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Cutset engine: $(b,mocus), $(b,mocus-aggressive), $(b,bdd), \
+                 $(b,zdd) (modular ZDD weighted counting, exact residual-mass \
+                 accounting), or $(b,auto) (picks $(b,zdd) for static models \
+                 whose modules are narrow enough, $(b,mocus) for translated \
+                 trigger logic or very wide modules).")
 
 let domains_arg =
   Arg.(value & opt int 1 & info [ "domains"; "j" ] ~docv:"N" ~doc:"Worker domains for cutset quantification.")
@@ -341,39 +348,39 @@ let mcs_cmd =
         let guard = guard_of_resource res in
         let translation = Sdft_translate.translate sd ~horizon in
         let tree = translation.Sdft_translate.static_tree in
-        let cutsets =
-          match engine with
-          | `Mocus ->
-            let options = { Mocus.default_options with cutoff } in
-            let generation = Mocus.run ~options ~guard tree in
-            warn_generation_limit res generation;
-            generation.Mocus.cutsets
-          | `Bdd -> (
-            match Minsol.fault_tree_cutsets ~guard tree with
-            | cutsets -> cutsets
-            | exception Sdft_util.Guard.Limit_hit r ->
-              (* Unlike MOCUS, an interrupted BDD compilation has no sound
-                 partial cutset list to print. *)
-              Printf.eprintf
-                "sdft: BDD cutset generation hit the %s; rerun with a larger \
-                 budget or --engine mocus\n"
-                (Sdft_util.Guard.reason_to_string r);
-              raise (Exit_code 1))
+        let resolved = Sdft_analysis.resolve_engine engine tree in
+        let generation =
+          Sdft_analysis.generate_cutsets ~cutoff ~guard resolved tree
         in
-        Printf.printf "%d minimal cutsets\n" (List.length cutsets);
+        (match generation.Mocus.limit_hit with
+        | Some r when generation.Mocus.truncated && generation.Mocus.cutsets = []
+          ->
+          (* Unlike MOCUS, an interrupted BDD/ZDD compilation has no sound
+             partial cutset list to print. *)
+          Printf.eprintf
+            "sdft: %s cutset generation hit the %s; rerun with a larger \
+             budget or --engine mocus\n"
+            (Sdft_analysis.engine_name resolved)
+            (Sdft_util.Guard.reason_to_string r);
+          raise (Exit_code 1)
+        | _ -> warn_generation_limit res generation);
+        let cutsets = generation.Mocus.cutsets in
+        Printf.printf "%d minimal cutsets (engine: %s)\n" (List.length cutsets)
+          (Sdft_analysis.engine_name resolved);
+        if generation.Mocus.pruned_mass > 0.0 then
+          Printf.printf "mass below cutoff/order bounds: %.3e%s\n"
+            generation.Mocus.pruned_mass
+            (if resolved = Sdft_analysis.Zdd_engine then " (exact)"
+             else " (upper bound)");
         List.iter
           (fun c ->
             Format.printf "%.3e  %a@." (Cutset.probability tree c)
               (Cutset.pp tree) c)
           (Cutset.sort_by_probability tree cutsets))
   in
-  let engine =
-    Arg.(value & opt (enum [ ("mocus", `Mocus); ("bdd", `Bdd) ]) `Mocus
-         & info [ "engine" ] ~docv:"ENGINE" ~doc:"Cutset engine: $(b,mocus) (with cutoff) or $(b,bdd) (exact).")
-  in
   Cmd.v
     (Cmd.info "mcs" ~doc:"Generate minimal cutsets of the translated static tree.")
-    Term.(const run $ file_arg $ cutoff_arg $ engine $ horizon_arg $ resource_term $ observability_term)
+    Term.(const run $ file_arg $ cutoff_arg $ engine_arg $ horizon_arg $ resource_term $ observability_term)
 
 (* classify *)
 

@@ -58,6 +58,8 @@ let manager ?var_order ?(guard = Sdft_util.Guard.none) ~n_vars () =
 
 let n_vars m = m.nv
 
+let guard m = m.guard
+
 let node_var m n =
   if is_terminal n then invalid_arg "Bdd.node_var: terminal";
   Sdft_util.Vec.get m.vars (n - 2)

@@ -23,6 +23,10 @@ val manager :
 
 val n_vars : manager -> int
 
+val guard : manager -> Sdft_util.Guard.t
+(** The guard the manager was created with — lets derived structures (the
+    minimal-solutions ZDD) inherit the same resource governance. *)
+
 val zero : node
 
 val one : node

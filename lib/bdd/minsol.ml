@@ -4,7 +4,10 @@ let minimal_cutsets_zdd bm root =
   for v = 0 to n - 1 do
     order.(Bdd.level_of_var bm v) <- v
   done;
-  let zm = Zdd.manager ~var_order:order ~n_vars:n () in
+  (* The ZDD inherits the BDD manager's guard: the subsumption passes below
+     ([Zdd.without] in particular) can blow up on their own, long after BDD
+     construction finished, and must answer to the same deadline/ceiling. *)
+  let zm = Zdd.manager ~var_order:order ~guard:(Bdd.guard bm) ~n_vars:n () in
   let memo : (Bdd.node, Zdd.node) Hashtbl.t = Hashtbl.create 256 in
   (* Rauzy: at node (v, f0, f1) of a monotone function, the minimal cutsets
      are those of f0 (without v) plus v joined to the minimal cutsets of f1
@@ -37,29 +40,31 @@ let fault_tree_cutsets ?guard tree =
   let bm, root = Bdd.of_fault_tree ?guard tree in
   minimal_cutsets bm root
 
-let cutsets_above zm root ~probs ~cutoff =
+let cutsets_above ?max_order zm root ~probs ~cutoff =
   let out = ref [] in
-  (* Paths carry the probability product of the included variables; a ZDD
-     node's high branch multiplies by p(var) <= 1, so pruning below the
-     cutoff is sound for the whole subtree. *)
-  let rec walk acc product node =
+  let order_cap = match max_order with None -> max_int | Some k -> k in
+  (* Paths carry the probability product and cardinality of the included
+     variables; a ZDD node's high branch multiplies by p(var) <= 1 and adds
+     one element, so pruning below the cutoff — and past the order bound —
+     is sound for the whole subtree. Pruning the order here (rather than
+     post-filtering the full enumeration) makes an order bound actually
+     bound the work and memory of the walk. *)
+  let rec walk acc n_included product node =
     if product >= cutoff then begin
       if node = Zdd.top then out := Sdft_util.Int_set.of_list acc :: !out
       else if node <> Zdd.bottom then begin
         let v = Zdd.node_var zm node in
-        walk acc product (Zdd.node_low zm node);
-        walk (v :: acc) (product *. probs v) (Zdd.node_high zm node)
+        walk acc n_included product (Zdd.node_low zm node);
+        if n_included < order_cap then
+          walk (v :: acc) (n_included + 1) (product *. probs v)
+            (Zdd.node_high zm node)
       end
     end
   in
-  walk [] 1.0 root;
+  walk [] 0 1.0 root;
   List.sort Sdft_util.Int_set.compare !out
 
 let fault_tree_cutsets_above ?max_order ?guard tree ~cutoff =
   let bm, root = Bdd.of_fault_tree ?guard tree in
   let zm, z = minimal_cutsets_zdd bm root in
-  let sets = cutsets_above zm z ~probs:(Fault_tree.prob tree) ~cutoff in
-  match max_order with
-  | None -> sets
-  | Some k ->
-    List.filter (fun s -> Sdft_util.Int_set.cardinal s <= k) sets
+  cutsets_above ?max_order zm z ~probs:(Fault_tree.prob tree) ~cutoff

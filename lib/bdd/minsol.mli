@@ -9,7 +9,9 @@
     of Section V-C. *)
 
 val minimal_cutsets_zdd : Bdd.manager -> Bdd.node -> Zdd.manager * Zdd.node
-(** The returned ZDD manager shares the BDD manager's variable order. *)
+(** The returned ZDD manager shares the BDD manager's variable order {e and}
+    its resource guard, so the subsumption passes answer to the same
+    deadline/memory ceiling as the compilation that fed them. *)
 
 val minimal_cutsets : Bdd.manager -> Bdd.node -> Sdft_util.Int_set.t list
 (** Enumerated cutsets (exact, no cutoff), sorted by (size, lex). *)
@@ -21,16 +23,18 @@ val fault_tree_cutsets :
     checkpointed during BDD construction (see {!Bdd.manager}). *)
 
 val cutsets_above :
+  ?max_order:int ->
   Zdd.manager ->
   Zdd.node ->
   probs:(int -> float) ->
   cutoff:float ->
   Sdft_util.Int_set.t list
 (** Enumerate only the cutsets of the family whose probability product
-    exceeds [cutoff]. Along a ZDD path the product of included variables
-    only decreases, so whole subtrees are pruned soundly — this makes the
-    BDD pipeline usable as a cutset {e engine} on industrial models whose
-    total cutset count is astronomic. *)
+    exceeds [cutoff] and whose cardinality is within [max_order]. Along a
+    ZDD path the product of included variables only decreases and the
+    cardinality only grows, so whole subtrees are pruned soundly {e inside}
+    the walk — this makes the BDD pipeline usable as a cutset {e engine} on
+    industrial models whose total cutset count is astronomic. *)
 
 val fault_tree_cutsets_above :
   ?max_order:int -> ?guard:Sdft_util.Guard.t -> Fault_tree.t -> cutoff:float ->

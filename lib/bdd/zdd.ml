@@ -8,6 +8,7 @@ type manager = {
   nv : int;
   level_of : int array;
   var_of : int array;
+  guard : Sdft_util.Guard.t;
   vars : int Sdft_util.Vec.t;
   lows : int Sdft_util.Vec.t;
   highs : int Sdft_util.Vec.t;
@@ -25,7 +26,7 @@ let top = 1
 
 let is_terminal n = n < 2
 
-let manager ?var_order ~n_vars () =
+let manager ?var_order ?(guard = Sdft_util.Guard.none) ~n_vars () =
   let var_of =
     match var_order with
     | None -> Array.init n_vars (fun i -> i)
@@ -40,6 +41,7 @@ let manager ?var_order ~n_vars () =
     nv = n_vars;
     level_of;
     var_of;
+    guard;
     vars = Sdft_util.Vec.create ();
     lows = Sdft_util.Vec.create ();
     highs = Sdft_util.Vec.create ();
@@ -51,6 +53,18 @@ let manager ?var_order ~n_vars () =
     minimal_cache = Hashtbl.create 256;
   }
 
+(* The operation caches are pure memo tables: dropping them loses nothing but
+   time on re-derivation, while the node store (vars/lows/highs/unique) must
+   survive because node handles stay live in callers. A long sweep that
+   builds one family per module calls this between modules so dead memo
+   entries do not accumulate under the memory ceiling. *)
+let clear_caches m =
+  Hashtbl.reset m.union_cache;
+  Hashtbl.reset m.inter_cache;
+  Hashtbl.reset m.diff_cache;
+  Hashtbl.reset m.without_cache;
+  Hashtbl.reset m.minimal_cache
+
 let node_var m n = Sdft_util.Vec.get m.vars (n - 2)
 
 let node_low m n = Sdft_util.Vec.get m.lows (n - 2)
@@ -59,7 +73,13 @@ let node_high m n = Sdft_util.Vec.get m.highs (n - 2)
 
 let level m n = if is_terminal n then max_int else m.level_of.(node_var m n)
 
+(* As in [Bdd.mk], the cons point funnels every construction, so an
+   amortized guard probe here covers all the apply-style operations — but
+   the recursive operations below also probe on their own entry, because a
+   memo-heavy recursion can traverse large shared structures while consing
+   nothing new. *)
 let mk m v low high =
+  Sdft_util.Guard.check m.guard;
   if high = bottom then low
   else begin
     let key = (v, low, high) in
@@ -88,6 +108,7 @@ let make_node m v low high =
   mk m v low high
 
 let rec union m a b =
+  Sdft_util.Guard.check m.guard;
   if a = bottom then b
   else if b = bottom then a
   else if a = b then a
@@ -110,6 +131,7 @@ let rec union m a b =
   end
 
 let rec inter m a b =
+  Sdft_util.Guard.check m.guard;
   if a = bottom || b = bottom then bottom
   else if a = b then a
   else if a = top then if has_empty m b then top else bottom
@@ -138,6 +160,7 @@ and has_empty m n =
   else has_empty m (node_low m n)
 
 let rec diff m a b =
+  Sdft_util.Guard.check m.guard;
   if a = bottom then bottom
   else if b = bottom then a
   else if a = b then bottom
@@ -163,6 +186,7 @@ let rec diff m a b =
 
 (* Remove from [a] all sets that are supersets of some set in [b]. *)
 let rec without m a b =
+  Sdft_util.Guard.check m.guard;
   if a = bottom then bottom
   else if b = bottom then a
   else if b = top then bottom (* the empty set subsumes everything *)
@@ -200,6 +224,7 @@ let rec without m a b =
   end
 
 let rec minimal m n =
+  Sdft_util.Guard.check m.guard;
   if is_terminal n then n
   else
     match Hashtbl.find_opt m.minimal_cache n with
@@ -211,30 +236,65 @@ let rec minimal m n =
       Hashtbl.add m.minimal_cache n r;
       r
 
-let count m n =
+(* Bottom-up memoized fold, with an explicit worklist instead of recursion:
+   a chain-shaped ZDD (one node per level) is as deep as the variable count,
+   and recursing down it overflows the native stack long before the node
+   store is any burden. A node is popped once its children have values; a
+   node whose children are pending stays on the worklist below them. *)
+let fold m root ~bottom:vbot ~top:vtop ~node =
   let memo = Hashtbl.create 64 in
-  let rec go n =
-    if n = bottom then 0
-    else if n = top then 1
-    else
-      match Hashtbl.find_opt memo n with
-      | Some c -> c
-      | None ->
-        let c = go (node_low m n) + go (node_high m n) in
-        Hashtbl.add memo n c;
-        c
+  let value n =
+    if n = bottom then Some vbot
+    else if n = top then Some vtop
+    else Hashtbl.find_opt memo n
   in
-  go n
+  let stack = ref [ root ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | n :: rest -> (
+      Sdft_util.Guard.check m.guard;
+      match value n with
+      | Some _ -> stack := rest
+      | None -> (
+        let low = node_low m n and high = node_high m n in
+        match (value low, value high) with
+        | Some lv, Some hv ->
+          Hashtbl.replace memo n (node (node_var m n) lv hv);
+          stack := rest
+        | lv, hv ->
+          if hv = None then stack := high :: !stack;
+          if lv = None then stack := low :: !stack))
+  done;
+  match value root with Some v -> v | None -> assert false
+
+(* Saturating: a family over [k] variables can hold up to [2^k] sets, which
+   wraps native ints silently. [max_int] therefore means "at least max_int". *)
+let sat_add a b = if a > max_int - b then max_int else a + b
+
+let count m n = fold m n ~bottom:0 ~top:1 ~node:(fun _ low high -> sat_add low high)
+
+let weighted_count m w n =
+  fold m n ~bottom:0.0 ~top:1.0 ~node:(fun v low high -> low +. (w v *. high))
 
 let iter_sets m root f =
-  let rec go acc n =
-    if n = top then f (List.rev acc)
-    else if n <> bottom then begin
-      go acc (node_low m n);
-      go (node_var m n :: acc) (node_high m n)
-    end
-  in
-  go [] root
+  (* Explicit stack, same DFS order as the natural recursion (low branch
+     fully before the high branch); the accumulated prefixes share tails. *)
+  let stack = ref [ ([], root) ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | (acc, n) :: rest ->
+      Sdft_util.Guard.check m.guard;
+      if n = top then begin
+        stack := rest;
+        f (List.rev acc)
+      end
+      else if n = bottom then stack := rest
+      else
+        stack :=
+          (acc, node_low m n) :: (node_var m n :: acc, node_high m n) :: rest
+  done
 
 let to_cutsets m root =
   let out = ref [] in
@@ -255,12 +315,15 @@ let of_sets m sets =
 
 let size m n =
   let seen = Hashtbl.create 64 in
-  let rec walk n =
-    if (not (is_terminal n)) && not (Hashtbl.mem seen n) then begin
-      Hashtbl.add seen n ();
-      walk (node_low m n);
-      walk (node_high m n)
-    end
-  in
-  walk n;
+  let stack = ref [ n ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | n :: rest ->
+      stack := rest;
+      if (not (is_terminal n)) && not (Hashtbl.mem seen n) then begin
+        Hashtbl.add seen n ();
+        stack := node_low m n :: node_high m n :: !stack
+      end
+  done;
   Hashtbl.length seen

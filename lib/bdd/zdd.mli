@@ -9,7 +9,21 @@ type manager
 
 type node = private int
 
-val manager : ?var_order:int array -> n_vars:int -> unit -> manager
+val manager :
+  ?var_order:int array -> ?guard:Sdft_util.Guard.t -> n_vars:int -> unit ->
+  manager
+(** [guard] (default {!Sdft_util.Guard.none}) is checkpointed at every node
+    construction {e and} on entry to each recursive operation ([union],
+    [inter], [diff], [without], [minimal]) and traversal, so a blowing-up
+    subsumption pass raises {!Sdft_util.Guard.Limit_hit} once a resource
+    limit trips instead of running to completion past it. *)
+
+val clear_caches : manager -> unit
+(** Drop the operation memo tables (union/inter/diff/without/minimal). The
+    node store is kept, so every node handle stays valid; only memoized
+    derivations are re-computed on demand. Call between independent modules
+    of a long analysis so dead memo entries do not accumulate under a
+    memory ceiling. *)
 
 val bottom : node
 (** The empty family, {[ {} ]}. *)
@@ -56,11 +70,27 @@ val minimal : manager -> node -> node
 (** Keep only the inclusion-minimal sets of the family. *)
 
 val count : manager -> node -> int
-(** Number of sets in the family (may overflow for astronomically large
-    families; families of relevant cutsets are fine). *)
+(** Number of sets in the family, {e saturating}: a result of [max_int]
+    means "at least [max_int]" (a family over [k] variables can hold [2^k]
+    sets, far past native-int range). Stack-safe on chain-shaped ZDDs. *)
+
+val weighted_count : manager -> (int -> float) -> node -> float
+(** [weighted_count m w n] is [sum over sets S of (prod over v in S of w v)]
+    — with [w] a probability map this is the rare-event approximation over
+    the whole family, computed in one linear pass over the shared ZDD
+    without ever enumerating the (possibly astronomic) sets. Memoized
+    bottom-up: [W(bottom) = 0], [W(top) = 1],
+    [W(v, low, high) = W(low) + w v * W(high)]. *)
+
+val fold :
+  manager -> node -> bottom:'a -> top:'a -> node:(int -> 'a -> 'a -> 'a) ->
+  'a
+(** Memoized bottom-up structural fold (each shared node visited once);
+    {!count} and {!weighted_count} are instances. Stack-safe. *)
 
 val iter_sets : manager -> node -> (int list -> unit) -> unit
-(** Enumerate the sets; elements are produced in level order. *)
+(** Enumerate the sets; elements are produced in level order. Stack-safe on
+    chain-shaped ZDDs (depth used to be bounded by the recursion limit). *)
 
 val to_cutsets : manager -> node -> Sdft_util.Int_set.t list
 

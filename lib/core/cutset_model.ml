@@ -33,18 +33,18 @@ let classify_cached ctx g =
    static events, fail the gate [g]: compile the gate's structure function
    with everything outside [rel] fixed (statics of C to true, the rest to
    false) and extract the minimal solutions. *)
-let trigger_sets_uncached sd ~gate ~rel ~assumed_true : trigger_result =
+let trigger_sets_uncached ?guard sd ~gate ~rel ~assumed_true : trigger_result =
   let assume b =
     if Int_set.mem b assumed_true then Some true
     else if Int_set.mem b rel then None
     else Some false
   in
-  let bm, root = Bdd.of_fault_tree_gate ~assume (Sdft.tree sd) gate in
+  let bm, root = Bdd.of_fault_tree_gate ~assume ?guard (Sdft.tree sd) gate in
   if root = Bdd.zero then `Never
   else if root = Bdd.one then `Always
   else `Sets (Minsol.minimal_cutsets bm root)
 
-let trigger_sets ctx ~gate ~rel ~assumed_true =
+let trigger_sets ?guard ctx ~gate ~rel ~assumed_true =
   (* Only the assumed statics below the gate influence the result; keying
      on their restriction makes cutsets differing elsewhere share entries. *)
   let relevant_true =
@@ -54,8 +54,11 @@ let trigger_sets ctx ~gate ~rel ~assumed_true =
   match Hashtbl.find_opt ctx.tsets_memo key with
   | Some r -> r
   | None ->
+    (* A guard trip propagates before the memo entry is stored, so a limit
+       can never poison the table with a partial result. *)
     let r =
-      trigger_sets_uncached ctx.ctx_sd ~gate ~rel ~assumed_true:relevant_true
+      trigger_sets_uncached ?guard ctx.ctx_sd ~gate ~rel
+        ~assumed_true:relevant_true
     in
     Hashtbl.add ctx.tsets_memo key r;
     r
@@ -64,7 +67,7 @@ type rel_rule =
   | Paper
   | All_events
 
-let build ?context:ctx ?(rel_rule = Paper) sd cutset =
+let build ?context:ctx ?(rel_rule = Paper) ?guard sd cutset =
   let ctx = match ctx with Some c -> c | None -> context sd in
   let tree = Sdft.tree sd in
   let c_dyn, c_stat =
@@ -151,7 +154,7 @@ let build ?context:ctx ?(rel_rule = Paper) sd cutset =
         in
         let gate_nm = Printf.sprintf "#trig:%s" (Fault_tree.gate_name tree g) in
         let or_inputs =
-          match trigger_sets ctx ~gate:g ~rel ~assumed_true:c_stat_set with
+          match trigger_sets ?guard ctx ~gate:g ~rel ~assumed_true:c_stat_set with
           | `Never ->
             (* The event can never be switched on, hence never fail. *)
             if first_round then impossible := true;

@@ -59,9 +59,19 @@ type rel_rule =
       (** Use the general rule for every trigger gate: exact per-cutset
           quantification at the cost of larger product chains. *)
 
-val build : ?context:context -> ?rel_rule:rel_rule -> Sdft.t -> Cutset.t -> t
+val build :
+  ?context:context ->
+  ?rel_rule:rel_rule ->
+  ?guard:Sdft_util.Guard.t ->
+  Sdft.t ->
+  Cutset.t ->
+  t
 (** Without an explicit [context] a fresh one is used (no sharing).
-    [rel_rule] defaults to [Paper]. *)
+    [rel_rule] defaults to [Paper]. [guard] is checkpointed inside the
+    trigger-set BDD compilations — the one part of model construction that
+    can blow up on adversarial trigger gates; on a trip
+    {!Sdft_util.Guard.Limit_hit} propagates before the context memo is
+    touched (the analysis layer catches it and falls back). *)
 
 type quantification = {
   probability : float;  (** [p~(C)] *)

@@ -118,8 +118,8 @@ let store t key v =
   locked t (fun () ->
       if not (Hashtbl.mem t.table key) then Hashtbl.add t.table key v)
 
-let quantify t ~epsilon ~max_states ?guard ?workspace (cm : Cutset_model.t)
-    ~horizon =
+let quantify t ~epsilon ~max_states ?guard ?workspace ?(engine_tag = "")
+    (cm : Cutset_model.t) ~horizon =
   match cm.Cutset_model.model with
   | None ->
     (* Purely static or impossible: quantification is a multiplication. *)
@@ -128,8 +128,9 @@ let quantify t ~epsilon ~max_states ?guard ?workspace (cm : Cutset_model.t)
     let t0 = Sdft_util.Timer.start () in
     Sdft_util.Failpoint.hit "cache.lookup";
     let key =
-      Printf.sprintf "%s|e=%h|s=%d|t=%h" (fingerprint sd_c) epsilon max_states
-        horizon
+      Printf.sprintf "%s|e=%h|s=%d|t=%h%s" (fingerprint sd_c) epsilon
+        max_states horizon
+        (if engine_tag = "" then "" else "|eng=" ^ engine_tag)
     in
     (match find t key with
     | Some e ->

@@ -44,10 +44,15 @@ val quantify :
   max_states:int ->
   ?guard:Sdft_util.Guard.t ->
   ?workspace:Transient.workspace ->
+  ?engine_tag:string ->
   Cutset_model.t ->
   horizon:float ->
   Cutset_model.quantification
-(** Drop-in replacement for {!Cutset_model.quantify}. On a hit,
+(** Drop-in replacement for {!Cutset_model.quantify}. [engine_tag], when
+    non-empty, becomes part of the cache key: entries stay attributable to
+    the cutset engine whose analysis produced them, so two engines racing
+    over one shared cache never alias each other's entries (at the cost of
+    one extra solve per shared sub-model in such races). On a hit,
     [from_cache] is set and the provenance fields ([product_states],
     [product_transitions], [solver_steps]) report the originally solved
     chain; hits and misses are also published as {!Sdft_util.Trace} instant

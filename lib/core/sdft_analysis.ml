@@ -12,6 +12,8 @@ type engine =
   | Mocus_sound
   | Mocus_aggressive
   | Bdd_engine
+  | Zdd_engine
+  | Auto
 
 type options = {
   horizon : float;
@@ -40,10 +42,74 @@ let default_options =
     mem_limit_mb = None;
   }
 
+let engine_name = function
+  | Mocus_sound -> "mocus"
+  | Mocus_aggressive -> "mocus-aggressive"
+  | Bdd_engine -> "bdd"
+  | Zdd_engine -> "zdd"
+  | Auto -> "auto"
+
+(* The translation names the AND gates it synthesizes for trigger edges
+   "<basic>@trig"; their presence is the structural footprint of dynamic
+   triggering logic in an otherwise static tree. *)
+let translated_trigger_gate name =
+  let n = String.length name in
+  n >= 5 && String.sub name (n - 5) 5 = "@trig"
+
+(* Auto-selection threshold on a module's effective variable width. BDD
+   sizes are exponential in the worst case in the number of variables of one
+   module (nested modules collapse to single pseudo-variables, so only the
+   module's own cut width counts); atleast gates additionally multiply the
+   diagram's width by their threshold, so they weigh in. Below the bound the
+   ZDD engine's exact residual accounting wins; above it MOCUS's anytime
+   behaviour (a sound partial list with bounded pruned mass) is the safer
+   default. The bound is deliberately generous — realistic tree-shaped
+   structure functions compile fine at this width (the industrial benchmark
+   tops out at 86), and a pathological case still degrades soundly through
+   the resource guard rather than hanging. *)
+let zdd_max_module_width = 128
+
+let resolve_engine engine tree =
+  match engine with
+  | Mocus_sound | Mocus_aggressive | Bdd_engine | Zdd_engine -> engine
+  | Auto ->
+    let triggered = ref false in
+    for g = 0 to Fault_tree.n_gates tree - 1 do
+      if translated_trigger_gate (Fault_tree.gate_name tree g) then
+        triggered := true
+    done;
+    (* Triggered sub-models need the translation-aware MOCUS pipeline: the
+       ZDD path would treat the @trig conjunctions as ordinary static logic
+       and lose the conservative-cutoff reasoning built around them. *)
+    if !triggered then Mocus_sound
+    else if
+      List.exists
+        (fun s ->
+          s.Zdd_engine.ms_basics + s.Zdd_engine.ms_inner_modules
+          + (4 * s.Zdd_engine.ms_atleast)
+          > zdd_max_module_width)
+        (Zdd_engine.module_stats tree)
+    then Mocus_sound
+    else Zdd_engine
+
 let generate_cutsets ?(cutoff = 1e-15) ?(max_order = None)
     ?(guard = Sdft_util.Guard.none) engine tree =
-  match engine with
-  | Mocus_sound | Mocus_aggressive ->
+  let empty_on limit =
+    (* Unlike MOCUS there is no sound partial cutset list to salvage from
+       an interrupted BDD/ZDD compilation, and no mass bound for what is
+       missing: return an empty truncated (hence vacuous) result. *)
+    {
+      Mocus.cutsets = [];
+      generated = 0;
+      pruned_by_cutoff = 0;
+      pruned_mass = 0.0;
+      truncated = true;
+      limit_hit = Some limit;
+    }
+  in
+  match resolve_engine engine tree with
+  | Auto -> assert false (* resolve_engine never returns Auto *)
+  | (Mocus_sound | Mocus_aggressive) as engine ->
     let options =
       {
         Mocus.default_options with
@@ -54,19 +120,6 @@ let generate_cutsets ?(cutoff = 1e-15) ?(max_order = None)
     in
     Mocus.run ~options ~guard tree
   | Bdd_engine -> (
-    let empty_on limit =
-      (* Unlike MOCUS there is no sound partial cutset list to salvage from
-         an interrupted BDD compilation, and no mass bound for what is
-         missing: return an empty truncated (hence vacuous) result. *)
-      {
-        Mocus.cutsets = [];
-        generated = 0;
-        pruned_by_cutoff = 0;
-        pruned_mass = 0.0;
-        truncated = true;
-        limit_hit = Some limit;
-      }
-    in
     match Minsol.fault_tree_cutsets_above ?max_order ~guard tree ~cutoff with
     | cutsets ->
       {
@@ -77,6 +130,28 @@ let generate_cutsets ?(cutoff = 1e-15) ?(max_order = None)
            counting it, so no mass bound is available here; the error budget
            marks BDD-engine intervals with a nonzero cutoff as vacuous. *)
         pruned_mass = 0.0;
+        truncated = false;
+        limit_hit = None;
+      }
+    | exception Sdft_util.Guard.Limit_hit r -> empty_on r
+    | exception Out_of_memory -> empty_on Sdft_util.Guard.Mem_limit)
+  | Zdd_engine -> (
+    match Zdd_engine.run ~cutoff ?max_order ~guard tree with
+    | r ->
+      let emitted = List.length r.Zdd_engine.cutsets in
+      {
+        Mocus.cutsets = r.Zdd_engine.cutsets;
+        generated =
+          (if r.Zdd_engine.n_minimal_saturated then max_int
+           else r.Zdd_engine.n_minimal);
+        pruned_by_cutoff =
+          (if r.Zdd_engine.n_minimal_saturated then max_int
+           else r.Zdd_engine.n_minimal - emitted);
+        (* Exact, not an upper bound: the ZDD weighted count covers the mass
+           of every minimal cutset without enumerating them, so what the
+           cutoff and order bounds dropped is accounted to the last bit and
+           the certified interval stays non-vacuous. *)
+        pruned_mass = r.Zdd_engine.residual_mass;
         truncated = false;
         limit_hit = None;
       }
@@ -96,6 +171,7 @@ type cutset_info = {
   solve_seconds : float;
   used_fallback : bool;
   degraded : Sdft_util.Guard.reason option;
+  engine : engine;
 }
 
 type error_budget = {
@@ -116,6 +192,7 @@ type degradation = {
 type result = {
   total : float;
   cutoff : float;
+  engine_used : engine;
   cutsets : cutset_info list;
   n_cutsets : int;
   n_dynamic_cutsets : int;
@@ -142,8 +219,11 @@ let analyze ?(options = default_options) ?cache sd =
     | None, None -> Sdft_util.Guard.none
     | deadline, mem_limit_mb -> Sdft_util.Guard.create ?deadline ?mem_limit_mb ()
   in
-  (* Phase 1: translation and cutset generation. *)
-  let (translation, mocus_result), mcs_generation_seconds =
+  (* Phase 1: translation and cutset generation. [Auto] is resolved against
+     the translated tree (trigger gates only exist post-translation) and the
+     concrete choice is recorded as provenance on the result and on every
+     cutset record. *)
+  let (translation, engine_used, mocus_result), mcs_generation_seconds =
     Sdft_util.Timer.time (fun () ->
         Metrics.time m_mcs_span (fun () ->
             Trace.with_span "analysis.mcs_generation" (fun () ->
@@ -151,9 +231,14 @@ let analyze ?(options = default_options) ?cache sd =
               Sdft_translate.translate ~epsilon:options.transient_epsilon sd
                 ~horizon:options.horizon
             in
+            let engine_used =
+              resolve_engine options.engine translation.static_tree
+            in
+            Trace.add_attr "engine" (Trace.Str (engine_name engine_used));
             ( translation,
+              engine_used,
               generate_cutsets ~cutoff:options.cutoff
-                ~max_order:options.max_cutset_order ~guard options.engine
+                ~max_order:options.max_cutset_order ~guard engine_used
                 translation.static_tree ))))
   in
   (* Phase 2: per-cutset quantification, walking a degradation ladder per
@@ -197,13 +282,15 @@ let analyze ?(options = default_options) ?cache sd =
       solve_seconds = 0.0;
       used_fallback = true;
       degraded = Some reason;
+      engine = engine_used;
     }
   in
   let quantify_model ~workspace model ~horizon =
     match cache with
     | Some c ->
       Quant_cache.quantify c ~epsilon:options.transient_epsilon
-        ~max_states:options.max_product_states ~guard ~workspace model ~horizon
+        ~max_states:options.max_product_states ~guard ~workspace
+        ~engine_tag:(engine_name engine_used) model ~horizon
     | None ->
       Cutset_model.quantify ~epsilon:options.transient_epsilon
         ~max_states:options.max_product_states ~guard ~workspace model ~horizon
@@ -217,9 +304,16 @@ let analyze ?(options = default_options) ?cache sd =
       Trace.add_attr "fallback" (Trace.Bool true);
       fallback_info ~reason:r cutset
     | None ->
-      let model =
-        Cutset_model.build ~context ~rel_rule:options.rel_rule sd cutset
-      in
+      (* Model construction answers to the same guard as the solve: its
+         trigger-set BDD compilations can blow up on their own, and a limit
+         tripping there is a resource degradation, not a worker crash. *)
+      match
+        Cutset_model.build ~context ~rel_rule:options.rel_rule ~guard sd cutset
+      with
+      | exception Sdft_util.Guard.Limit_hit r ->
+        Trace.add_attr "fallback" (Trace.Bool true);
+        fallback_info ~reason:r cutset
+      | model ->
       (match quantify_model ~workspace model ~horizon:options.horizon with
       | q ->
         Trace.add_attr "probability" (Trace.Float q.Cutset_model.probability);
@@ -239,6 +333,7 @@ let analyze ?(options = default_options) ?cache sd =
           solve_seconds = q.Cutset_model.seconds;
           used_fallback = false;
           degraded = None;
+          engine = engine_used;
         }
       | exception Sdft_product.Too_many_states _ ->
         Trace.add_attr "fallback" (Trace.Bool true);
@@ -389,8 +484,11 @@ let analyze ?(options = default_options) ?cache sd =
       0.0 infos
   in
   let vacuous =
+    (* The ZDD engine is deliberately absent here: its [pruned_mass] is the
+       exact residual of the weighted count, so a nonzero cutoff or order
+       bound still yields a fully accounted interval. *)
     mocus_result.Mocus.truncated
-    || (options.engine = Bdd_engine
+    || (engine_used = Bdd_engine
         && (options.cutoff > 0.0 || options.max_cutset_order <> None))
   in
   let upper =
@@ -435,6 +533,7 @@ let analyze ?(options = default_options) ?cache sd =
   {
     total;
     cutoff = options.cutoff;
+    engine_used;
     cutsets = sorted;
     n_cutsets = List.length infos;
     n_dynamic_cutsets =
@@ -556,24 +655,29 @@ let pp_summary ppf r =
   Format.fprintf ppf
     "failure frequency (rare-event approx): %.3e@,\
      certified interval: [%.3e, %.3e]%s@,\
-     minimal cutsets: %d (%d with dynamic events)@,\
+     minimal cutsets: %d (%d with dynamic events), engine: %s@,\
      MCS generation: %a, quantification: %a@]"
     r.total r.budget.lower r.budget.upper
     (if r.budget.vacuous then "  (vacuous: coverage not certified)" else "")
-    r.n_cutsets r.n_dynamic_cutsets Sdft_util.Timer.pp_duration
-    r.mcs_generation_seconds Sdft_util.Timer.pp_duration
-    r.quantification_seconds
+    r.n_cutsets r.n_dynamic_cutsets (engine_name r.engine_used)
+    Sdft_util.Timer.pp_duration r.mcs_generation_seconds
+    Sdft_util.Timer.pp_duration r.quantification_seconds
 
 let pp_budget ppf r =
   let b = r.budget in
   Format.fprintf ppf
     "@[<v>error budget:@,\
-     \  pruned mass (MOCUS cutoff):   %.3e@,\
+     \  pruned mass (generation):     %.3e%s@,\
      \  below-cutoff cutset mass:     %.3e@,\
      \  solver error (uniformization): %.3e@,\
      \  rare-event slack (over-approx): %.3e@,\
      \  certified interval: [%.3e, %.3e]%s@]"
-    b.pruned_mass b.below_cutoff_mass b.solver_error_total b.rare_event_slack
+    b.pruned_mass
+    (match r.engine_used with
+    | Zdd_engine -> "  (exact)"
+    | Mocus_sound | Mocus_aggressive -> "  (upper bound)"
+    | Bdd_engine | Auto -> "")
+    b.below_cutoff_mass b.solver_error_total b.rare_event_slack
     b.lower b.upper
     (if b.vacuous then "  VACUOUS (truncated generation or uncounted pruning)"
      else "")

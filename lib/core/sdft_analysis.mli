@@ -26,6 +26,19 @@ type engine =
       (** compile to a BDD, extract the minimal-solutions ZDD, enumerate
           only cutsets above the cutoff (sound; memory-bound instead of
           time-bound) *)
+  | Zdd_engine
+      (** the modular ZDD cutset engine ({!Zdd_engine.run}): per independent
+          module, compile to a BDD, extract the minimal-solutions ZDD and
+          quantify by recursive weighted counting without materializing the
+          cutset list. The mass dropped by the cutoff and order bounds is
+          accounted {e exactly} (total weighted count minus emitted mass),
+          so — unlike [Bdd_engine] — the certified interval stays
+          non-vacuous: when nothing else degrades its width is bounded by
+          the summed solver epsilons plus the (exact) residual. *)
+  | Auto
+      (** pick per model from structural statistics (see {!resolve_engine}):
+          translated trigger logic or very wide modules fall back to
+          [Mocus_sound]; everything else gets [Zdd_engine] *)
 
 type options = {
   horizon : float;  (** analysis horizon [t], e.g. 24 hours *)
@@ -60,6 +73,20 @@ val default_options : options
     no order bound, [Mocus_sound], one domain, no deadline or memory
     ceiling. *)
 
+val engine_name : engine -> string
+(** The CLI spelling: ["mocus"], ["mocus-aggressive"], ["bdd"], ["zdd"],
+    ["auto"]. *)
+
+val resolve_engine : engine -> Fault_tree.t -> engine
+(** Resolve [Auto] against a (translated) static tree; concrete engines
+    return themselves. [Auto] falls back to [Mocus_sound] when the tree
+    contains translated trigger gates (["<basic>@trig"] — sub-models the
+    ZDD path cannot express soundly) or when some independent module's
+    effective width (basic events + nested-module pseudo-variables, with
+    atleast gates weighted in) exceeds an internal bound beyond which BDD
+    compilation risks dwarfing MOCUS's anytime behaviour; otherwise it
+    picks [Zdd_engine]. *)
+
 type cutset_info = {
   cutset : Cutset.t;
   probability : float;  (** [p~(C)] — time-aware when dynamic *)
@@ -83,13 +110,19 @@ type cutset_info = {
           resource guard tripped, [Worker_crash] when the quantification of
           this cutset raised and was contained. [None] for an exact solve.
           Always set when [used_fallback]. *)
+  engine : engine;
+      (** provenance: the (resolved) engine whose generation phase produced
+          this cutset — always concrete, never [Auto] *)
 }
 
 type error_budget = {
   pruned_mass : float;
-      (** upper bound on the union probability of all cutsets refined from
-          branches MOCUS pruned by the cutoff (0 for the BDD engine, which
-          cannot count what it drops — see [vacuous]) *)
+      (** mass discarded during generation. For the MOCUS engines: an upper
+          bound on the union probability of all cutsets refined from
+          branches pruned by the cutoff. For [Zdd_engine]: the {e exact}
+          rare-event mass of the minimal cutsets dropped by the cutoff and
+          order bounds (total weighted count minus emitted mass). 0 for
+          [Bdd_engine], which cannot count what it drops — see [vacuous]. *)
   below_cutoff_mass : float;
       (** mass of quantified cutsets excluded from [total] by the relevance
           filter [p~(C) > cutoff] *)
@@ -111,9 +144,11 @@ type error_budget = {
           budget cannot account for all discarded mass and [upper] degrades
           to [max 1 total]. *)
   vacuous : bool;
-      (** the interval is trivial: cutset generation was truncated by an
-          order bound, or the BDD engine dropped below-cutoff cutsets
-          without counting their mass *)
+      (** the interval is trivial: cutset generation was truncated by a
+          resource limit, or the BDD engine dropped below-cutoff cutsets
+          without counting their mass. Never set for [Zdd_engine] unless
+          generation was truncated, since its residual accounting is
+          exact. *)
 }
 
 type degradation = {
@@ -136,6 +171,9 @@ type result = {
       (** the cutoff the analysis ran with — the filter behind [total],
           reused by the importance functions so numerator and denominator
           agree *)
+  engine_used : engine;
+      (** the concrete engine generation ran with ([Auto] resolved against
+          the translated tree — see {!resolve_engine}) *)
   cutsets : cutset_info list;  (** sorted by decreasing probability *)
   n_cutsets : int;
   n_dynamic_cutsets : int;  (** cutsets needing Markov analysis *)
@@ -205,10 +243,13 @@ val static_rare_event :
 val generate_cutsets :
   ?cutoff:float -> ?max_order:int option -> ?guard:Sdft_util.Guard.t ->
   engine -> Fault_tree.t -> Mocus.result
-(** Run the chosen cutset engine on a static tree. A tripped [guard] never
-    raises: the MOCUS engines return their accounted partial result (see
-    {!Mocus.run}); the BDD engine returns an empty result with [truncated]
-    and [limit_hit] set. *)
+(** Run the chosen cutset engine on a static tree ([Auto] is resolved
+    first). A tripped [guard] never raises: the MOCUS engines return their
+    accounted partial result (see {!Mocus.run}); the BDD and ZDD engines
+    return an empty result with [truncated] and [limit_hit] set. For
+    [Zdd_engine] the returned [pruned_mass] is the exact residual mass and
+    [generated]/[pruned_by_cutoff] count {e all} minimal cutsets
+    (saturating at [max_int]). *)
 
 val dynamic_histogram : result -> Sdft_util.Histogram.t
 (** Distribution of the number of dynamic basic events per minimal cutset

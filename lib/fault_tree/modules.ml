@@ -16,21 +16,28 @@ let subtree_nodes tree g =
   walk g;
   (gates, basics)
 
-let is_module tree g =
+(* A parent edge only breaks modularity when the parent gate is part of the
+   analysed tree. Models routinely carry dangling intermediate gates (e.g.
+   generator scaffolding, commented-out subsystems) that reference the same
+   basic events; those edges are invisible to the top event and must not
+   disqualify a module — in particular the top gate itself must always
+   qualify, which the decomposition engines rely on. *)
+let is_module_among ~relevant tree g =
   let gates, basics = subtree_nodes tree g in
   let inside_gate g' = Hashtbl.mem gates g' in
+  let breaks parent = relevant parent && not (inside_gate parent) in
   let ok = ref true in
   Hashtbl.iter
     (fun g' () ->
       if g' <> g then
         Array.iter
-          (fun parent -> if not (inside_gate parent) then ok := false)
+          (fun parent -> if breaks parent then ok := false)
           (Fault_tree.gate_parents tree g'))
     gates;
   Hashtbl.iter
     (fun b () ->
       Array.iter
-        (fun parent -> if not (inside_gate parent) then ok := false)
+        (fun parent -> if breaks parent then ok := false)
         (Fault_tree.basic_parents tree b))
     basics;
   !ok
@@ -50,10 +57,15 @@ let reachable_gates tree =
   walk (Fault_tree.top tree);
   seen
 
+let is_module tree g =
+  let reachable = reachable_gates tree in
+  is_module_among ~relevant:(Hashtbl.mem reachable) tree g
+
 let find tree =
   let reachable = reachable_gates tree in
+  let relevant = Hashtbl.mem reachable in
   List.filter
-    (fun g -> Hashtbl.mem reachable g && is_module tree g)
+    (fun g -> relevant g && is_module_among ~relevant tree g)
     (List.init (Fault_tree.n_gates tree) Fun.id)
 
 let dynamic_modules tree ~is_dynamic =

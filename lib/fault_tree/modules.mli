@@ -10,9 +10,13 @@
 
 val find : Fault_tree.t -> int list
 (** Gates (by index, increasing) whose subtrees are modules. The top gate is
-    always one. Unreachable gates are not reported. *)
+    always one. Unreachable gates are not reported, and references from
+    unreachable gates (dangling scaffolding that the top event never sees) do
+    not disqualify a module. *)
 
 val is_module : Fault_tree.t -> int -> bool
+(** Same reachability rule as {!find}: only parent edges from gates reachable
+    from the top event count against modularity. *)
 
 val dynamic_modules : Fault_tree.t -> is_dynamic:(int -> bool) -> int list
 (** Modules whose subtree contains at least one event selected by

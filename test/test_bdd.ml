@@ -246,6 +246,35 @@ let prop_zdd_minimal =
       in
       SS.equal (to_model zm (Zdd.minimal zm z)) expected)
 
+(* Algebraic laws the engine's subsumption passes lean on: [without] is
+   idempotent in its second argument and annihilates itself (every set
+   subsumes itself); [minimal] is idempotent and emits an antichain. Hash
+   consing makes these checkable by handle equality. *)
+
+let prop_zdd_without_algebra =
+  QCheck.Test.make ~name:"Zdd.without: idempotent, self-annihilating"
+    ~count:300
+    (QCheck.make QCheck.Gen.(pair sets_gen sets_gen))
+    (with_zdd (fun zm za zb _ _ ->
+         let w = Zdd.without zm za zb in
+         Zdd.without zm w zb = w && Zdd.without zm za za = Zdd.bottom))
+
+let prop_zdd_minimal_algebra =
+  QCheck.Test.make ~name:"Zdd.minimal: idempotent antichain" ~count:300
+    (QCheck.make sets_gen) (fun sets ->
+      let zm = Zdd.manager ~n_vars:5 () in
+      let m = Zdd.minimal zm (Zdd.of_sets zm sets) in
+      let l = Zdd.to_cutsets zm m in
+      let antichain =
+        List.for_all
+          (fun s ->
+            List.for_all
+              (fun w -> Int_set.compare w s = 0 || not (Int_set.subset w s))
+              l)
+          l
+      in
+      Zdd.minimal zm m = m && antichain)
+
 let test_zdd_count () =
   let zm = Zdd.manager ~n_vars:4 () in
   let z =
@@ -255,6 +284,74 @@ let test_zdd_count () =
   Alcotest.(check int) "distinct sets" 2 (Zdd.count zm z);
   Alcotest.(check int) "bottom" 0 (Zdd.count zm Zdd.bottom);
   Alcotest.(check int) "top" 1 (Zdd.count zm Zdd.top)
+
+(* Regression: the walks must not be depth-bounded by the OCaml stack. A
+   300k-node low-spine chain (the family of all singletons) overflows any
+   naively recursive [count]/[iter_sets]/[size]; the iterative versions,
+   and the tail-recursive [has_empty], must survive it. *)
+let test_zdd_deep_chain () =
+  let n = 300_000 in
+  let zm = Zdd.manager ~n_vars:n () in
+  let chain = ref Zdd.bottom in
+  for v = n - 1 downto 0 do
+    chain := Zdd.make_node zm v !chain Zdd.top
+  done;
+  let chain = !chain in
+  Alcotest.(check int) "count" n (Zdd.count zm chain);
+  Alcotest.(check int) "size" n (Zdd.size zm chain);
+  let seen = ref 0 in
+  Zdd.iter_sets zm chain (fun s ->
+      incr seen;
+      assert (List.length s = 1));
+  Alcotest.(check int) "iter_sets visits all" n !seen;
+  (* Uniform weight w: the weighted count of the singleton family is n*w. *)
+  let w = Zdd.weighted_count zm (fun _ -> 0.5) chain in
+  Alcotest.(check bool) "weighted count" true
+    (Float.abs (w -. (0.5 *. float_of_int n)) < 1e-6)
+
+(* A 70-level doubling diagram holds 2^70 sets: [count] must saturate at
+   [max_int] ("at least max_int") instead of overflowing into garbage. *)
+let test_zdd_count_saturates () =
+  let levels = 70 in
+  let zm = Zdd.manager ~n_vars:levels () in
+  let d = ref Zdd.top in
+  for v = levels - 1 downto 0 do
+    d := Zdd.make_node zm v !d !d
+  done;
+  Alcotest.(check int) "saturated" max_int (Zdd.count zm !d);
+  (* The float weighted count has the headroom the int count lacks. *)
+  let w = Zdd.weighted_count zm (fun _ -> 1.0) !d in
+  Alcotest.(check bool) "2^70 sets by weight" true
+    (Float.abs ((w /. Float.pow 2.0 70.0) -. 1.0) < 1e-9)
+
+(* The manager's guard governs the recursive set operations: an expired
+   deadline must surface as [Limit_hit] from inside the ZDD layer. *)
+let test_zdd_guard_trips () =
+  let guard = Sdft_util.Guard.create ~deadline:0.0 () in
+  let zm = Zdd.manager ~guard ~n_vars:5 () in
+  let trips =
+    match
+      let a = Zdd.elem zm 0 and b = Zdd.elem zm 1 in
+      for _ = 1 to 1_000_000 do
+        ignore (Zdd.union zm a b)
+      done
+    with
+    | () -> false
+    | exception Sdft_util.Guard.Limit_hit Sdft_util.Guard.Deadline -> true
+  in
+  Alcotest.(check bool) "deadline trips inside zdd ops" true trips
+
+(* [clear_caches] drops only memo tables: every handle stays valid and
+   recomputed operations return the identical hash-consed nodes. *)
+let test_zdd_clear_caches () =
+  let zm = Zdd.manager ~n_vars:5 () in
+  let a = Zdd.of_sets zm [ Int_set.of_list [ 0; 1 ]; Int_set.of_list [ 2 ] ] in
+  let b = Zdd.of_sets zm [ Int_set.of_list [ 0 ]; Int_set.of_list [ 3; 4 ] ] in
+  let u = Zdd.union zm a b and w = Zdd.without zm a b in
+  Zdd.clear_caches zm;
+  Alcotest.(check bool) "union stable" true (Zdd.union zm a b = u);
+  Alcotest.(check bool) "without stable" true (Zdd.without zm a b = w);
+  Alcotest.(check int) "handles still enumerable" 4 (Zdd.count zm u)
 
 (* Minimal solutions: brute force oracle over random fault trees. *)
 
@@ -303,6 +400,26 @@ let test_cutsets_above_max_order () =
   let sets = Minsol.fault_tree_cutsets_above ~max_order:1 pumps ~cutoff:0.0 in
   Alcotest.(check int) "only {e}" 1 (List.length sets)
 
+(* The in-walk cardinality/probability pruning must emit exactly what
+   enumerating everything and filtering afterwards would. *)
+let prop_cutsets_above_equals_post_filter =
+  QCheck.Test.make ~name:"cutsets_above = enumerate-then-filter" ~count:300
+    (QCheck.make QCheck.Gen.(pair sets_gen (1 -- 3)))
+    (fun (sets, k) ->
+      let zm = Zdd.manager ~n_vars:5 () in
+      let z = Zdd.minimal zm (Zdd.of_sets zm sets) in
+      let probs v = 0.2 +. (0.1 *. float_of_int v) in
+      let cutoff = 0.05 in
+      let got = Minsol.cutsets_above ~max_order:k zm z ~probs ~cutoff in
+      let expected =
+        Zdd.to_cutsets zm z
+        |> List.filter (fun s ->
+               Int_set.cardinal s <= k
+               && Int_set.fold (fun v acc -> acc *. probs v) s 1.0 >= cutoff)
+        |> List.sort Int_set.compare
+      in
+      got = expected)
+
 let () =
   let qc = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "bdd"
@@ -325,7 +442,14 @@ let () =
           Alcotest.test_case "zdd make_node" `Quick test_zdd_make_node_validation;
         ] );
       ( "zdd",
-        [ Alcotest.test_case "count" `Quick test_zdd_count ]
+        [
+          Alcotest.test_case "count" `Quick test_zdd_count;
+          Alcotest.test_case "deep chain (stack safety)" `Quick
+            test_zdd_deep_chain;
+          Alcotest.test_case "count saturation" `Quick test_zdd_count_saturates;
+          Alcotest.test_case "guard trips" `Quick test_zdd_guard_trips;
+          Alcotest.test_case "clear caches" `Quick test_zdd_clear_caches;
+        ]
         @ qc
             [
               prop_zdd_union;
@@ -333,11 +457,17 @@ let () =
               prop_zdd_diff;
               prop_zdd_without;
               prop_zdd_minimal;
+              prop_zdd_without_algebra;
+              prop_zdd_minimal_algebra;
             ] );
       ( "minsol",
         [
           Alcotest.test_case "cutoff pruning" `Quick test_cutsets_above_prunes_by_probability;
           Alcotest.test_case "max order" `Quick test_cutsets_above_max_order;
         ]
-        @ qc [ prop_minsol_matches_brute_force ] );
+        @ qc
+            [
+              prop_minsol_matches_brute_force;
+              prop_cutsets_above_equals_post_filter;
+            ] );
     ]

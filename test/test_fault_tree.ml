@@ -219,6 +219,30 @@ let test_modules_shared_gate () =
   Alcotest.(check bool) "g1 not" false (Modules.is_module tree (name "g1"));
   Alcotest.(check bool) "top yes" true (Modules.is_module tree (Fault_tree.top tree))
 
+let test_modules_ignore_dangling () =
+  (* An unreachable gate that references a basic inside the live tree must
+     not break modularity — the top event never sees it. Regression: the
+     industrial generator's scaffolding gates used to strip the top gate of
+     its module status, violating [find]'s contract. *)
+  let b = Fault_tree.Builder.create () in
+  let s = Fault_tree.Builder.basic b ~prob:0.1 "s" in
+  let a = Fault_tree.Builder.basic b ~prob:0.1 "a" in
+  let c = Fault_tree.Builder.basic b ~prob:0.1 "c" in
+  let _dangling = Fault_tree.Builder.gate b "dangling" Fault_tree.Or [ s; c ] in
+  let sub = Fault_tree.Builder.gate b "sub" Fault_tree.Or [ s; a ] in
+  let top = Fault_tree.Builder.gate b "top" Fault_tree.And [ sub; c ] in
+  let tree = Fault_tree.Builder.build b ~top in
+  let name n = Option.get (Fault_tree.gate_index tree n) in
+  Alcotest.(check bool) "top is a module" true
+    (Modules.is_module tree (Fault_tree.top tree));
+  Alcotest.(check bool) "sub is a module despite dangling ref to s" true
+    (Modules.is_module tree (name "sub"));
+  Alcotest.(check bool) "dangling gate itself not reported" false
+    (List.mem (name "dangling") (Modules.find tree));
+  Alcotest.(check (list int)) "find = reachable modules"
+    [ name "sub"; Fault_tree.top tree ]
+    (Modules.find tree)
+
 let test_dynamic_modules () =
   let tree = pumps in
   let d = Option.get (Fault_tree.basic_index tree "d") in
@@ -325,6 +349,8 @@ let () =
           Alcotest.test_case "pumps" `Quick test_modules_pumps;
           Alcotest.test_case "shared leaf" `Quick test_modules_shared_leaf;
           Alcotest.test_case "shared gate" `Quick test_modules_shared_gate;
+          Alcotest.test_case "dangling gates ignored" `Quick
+            test_modules_ignore_dangling;
           Alcotest.test_case "dynamic modules" `Quick test_dynamic_modules;
         ] );
       ( "atleast",
