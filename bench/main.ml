@@ -736,19 +736,22 @@ let quantify_new ~workspace sd_c ~horizon =
   let built = Sdft_product.build sd_c in
   Sdft_product.unreliability ~workspace built ~horizon
 
-(* Dynamic sub-models of every cutset of [sd], shared-context build. *)
-let cutset_submodels sd =
+(* Cutset models with a dynamic sub-model, for every cutset of [sd];
+   shared-context build. *)
+let cutset_models sd =
   let translation = Sdft_translate.translate sd ~horizon:24.0 in
   let generated =
     Sdft_analysis.generate_cutsets ~cutoff:1e-15 Sdft_analysis.Bdd_engine
       translation.Sdft_translate.static_tree
   in
   let context = Cutset_model.context sd in
-  List.filter_map
-    (fun cutset ->
-      let m = Cutset_model.build ~context sd cutset in
-      m.Cutset_model.model)
-    generated.Mocus.cutsets
+  List.filter
+    (fun m -> m.Cutset_model.model <> None)
+    (List.map (Cutset_model.build ~context sd) generated.Mocus.cutsets)
+
+(* Dynamic sub-models of every cutset of [sd]. *)
+let cutset_submodels sd =
+  List.filter_map (fun m -> m.Cutset_model.model) (cutset_models sd)
 
 let bench_kernels ~json_path () =
   let t =
@@ -845,6 +848,40 @@ let bench_kernels ~json_path () =
     (Dynamize.run ~config tree).Dynamize.sd
   in
   per_cutset "model-1" m1 ~reps:2;
+  (* 4. Cache-key construction per lookup: the pre-PR cost (the full
+     canonical fingerprint re-serialized on every lookup) against the
+     digest memoized on the cutset model. The memo is warmed first — the
+     steady state is what a sweep pays per lookup. *)
+  let models = cutset_models bwr in
+  let n_models = List.length models in
+  let key_old () =
+    List.iter
+      (fun m ->
+        match m.Cutset_model.model with
+        | Some sd_c ->
+          ignore
+            (Sys.opaque_identity
+               (Printf.sprintf "%s|e=%h|s=%d|t=%h"
+                  (Quant_cache.fingerprint sd_c)
+                  1e-12 1_000_000 24.0))
+        | None -> ())
+      models
+  in
+  let key_new () =
+    List.iter
+      (fun m ->
+        ignore
+          (Sys.opaque_identity
+             (Quant_cache.key_of ~epsilon:1e-12 ~max_states:1_000_000
+                ~horizon:24.0 m)))
+      models
+  in
+  key_new ();
+  let key_old_ns = time_ns ~warmup:5 ~reps:50 key_old in
+  let key_new_ns = time_ns ~warmup:5 ~reps:50 key_new in
+  record "cache key (bwr, per lookup)"
+    (key_old_ns /. float_of_int n_models)
+    (key_new_ns /. float_of_int n_models);
   Table.print t;
   match json_path with
   | None -> ()
@@ -1083,6 +1120,170 @@ let zdd_main args =
   bench_zdd ~json_path:!json_path ()
 
 (* ------------------------------------------------------------------ *)
+(* `cache` subcommand: cold-vs-warm persistent quantification cache. A
+   horizon sweep runs twice against the same on-disk store — first against
+   an empty file (every dynamic sub-model solves and is appended), then
+   warm-started from it (every lookup should hit). Reported per model:
+   quantification wall time of each pass, hit/miss traffic, the warm hit
+   rate, and whether the certified intervals of the two passes are
+   bit-identical (they must be — a hit replays the recorded solve). *)
+
+let bench_cache ~json_path () =
+  let t =
+    Table.create ~title:"cache: cold vs warm persistent quantification cache"
+      ~columns:
+        [
+          "model"; "phase"; "quant time"; "hits"; "misses"; "disk hits";
+          "appends"; "speedup";
+        ]
+  in
+  let entries = ref [] in
+  let case name sd =
+    (* BDD generation: the sweep re-generates cutsets at every point and
+       generation is not what this benchmark measures — only the
+       quantification phase is cached and timed. *)
+    let horizons = [ 12.0; 24.0; 48.0; 72.0 ] in
+    let option_sets =
+      List.map (fun horizon -> { bdd_options with horizon }) horizons
+    in
+    let path = Filename.temp_file "sdft_cache_bench" ".store" in
+    Sys.remove path;
+    let run () =
+      let cache = Quant_cache.open_disk path in
+      let points, _ = Sdft_analysis.sweep ~cache sd option_sets in
+      let quant_seconds =
+        List.fold_left
+          (fun acc (p : Sdft_analysis.sweep_point) ->
+            acc
+            +. p.Sdft_analysis.sweep_result
+                 .Sdft_analysis.quantification_seconds)
+          0.0 points
+      in
+      (* The certified-interval signature of the sweep; compared bitwise
+         between the cold and warm passes. *)
+      let signature =
+        List.map
+          (fun (p : Sdft_analysis.sweep_point) ->
+            let r = p.Sdft_analysis.sweep_result in
+            ( r.Sdft_analysis.total,
+              r.Sdft_analysis.budget.Sdft_analysis.lower,
+              r.Sdft_analysis.budget.Sdft_analysis.upper ))
+          points
+      in
+      let hits = Quant_cache.hits cache and misses = Quant_cache.misses cache in
+      let stats = Quant_cache.disk_stats cache in
+      Quant_cache.close cache;
+      (quant_seconds, signature, hits, misses, stats)
+    in
+    let cold_q, cold_sig, cold_h, cold_m, cold_ds = run () in
+    let warm_q, warm_sig, warm_h, warm_m, warm_ds = run () in
+    Sys.remove path;
+    let speedup = cold_q /. Float.max warm_q 1e-9 in
+    let identical = cold_sig = warm_sig in
+    let hit_rate =
+      if warm_h + warm_m = 0 then 1.0
+      else float_of_int warm_h /. float_of_int (warm_h + warm_m)
+    in
+    let disk_hits ds =
+      match ds with
+      | Some s -> s.Quant_cache.disk_hits
+      | None -> 0
+    in
+    let appends ds =
+      match ds with Some s -> s.Quant_cache.appends | None -> 0
+    in
+    let row phase q h m ds sp =
+      Table.add_row t
+        [
+          name; phase; Table.cell_duration q; string_of_int h;
+          string_of_int m;
+          string_of_int (disk_hits ds);
+          string_of_int (appends ds);
+          sp;
+        ]
+    in
+    row "cold" cold_q cold_h cold_m cold_ds "-";
+    row "warm" warm_q warm_h warm_m warm_ds
+      (Printf.sprintf "%.1fx%s" speedup
+         (if identical then "" else " INTERVAL MISMATCH"));
+    entries :=
+      Printf.sprintf
+        "  {\"model\": %S, \"horizons\": %d, \"cold_quant_seconds\": %.6f, \
+         \"warm_quant_seconds\": %.6f, \"speedup\": %.2f, \
+         \"cold_hits\": %d, \"cold_misses\": %d, \"warm_hits\": %d, \
+         \"warm_misses\": %d, \"warm_hit_rate\": %.4f, \
+         \"warm_disk_hits\": %d, \"cold_appends\": %d, \
+         \"entries_loaded_warm\": %d, \"intervals_identical\": %b}"
+        name (List.length horizons) cold_q warm_q speedup cold_h cold_m
+        warm_h warm_m hit_rate (disk_hits warm_ds) (appends cold_ds)
+        (match warm_ds with
+        | Some s -> s.Quant_cache.entries_loaded
+        | None -> 0)
+        identical
+      :: !entries
+  in
+  case "bwr"
+    (Bwr.build
+       {
+         Bwr.default_config with
+         repair_rate = Some 0.1;
+         triggers = Bwr.all_trigger_sites;
+       });
+  (* Dynamization tuned so the per-cutset transient solves dominate over
+     (uncached) cutset-model construction — Erlang-4 chains make the
+     product chains grow as (k+1)^n — which is exactly the work a warm
+     store eliminates. *)
+  let m1 =
+    let tree = model_1 () in
+    let config =
+      {
+        Dynamize.default_config with
+        dynamic_fraction = 0.6;
+        trigger_fraction = 0.06;
+        phases = 4;
+        repair_rate = Some 0.05;
+        chain_groups = Some (Industrial.run_event_groups tree);
+        calibration = Dynamize.Mission_probability;
+      }
+    in
+    (Dynamize.run ~config tree).Dynamize.sd
+  in
+  case "model-1" m1;
+  Table.print t;
+  print_endline
+    "(warm pass: every dynamic sub-model is served from the store; the\n\
+    \ certified intervals must be bit-identical to the cold pass)";
+  match json_path with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc "[\n";
+    output_string oc (String.concat ",\n" (List.rev !entries));
+    output_string oc "\n]\n";
+    close_out oc;
+    Printf.printf "cache benchmark results written to %s\n" path
+
+let cache_main args =
+  let json_path = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: path :: rest ->
+      json_path := Some path;
+      parse rest
+    | [ "--json" ] ->
+      prerr_endline "cache: --json needs a file argument";
+      exit 2
+    | "--full" :: rest ->
+      full_scale := true;
+      parse rest
+    | other :: _ ->
+      Printf.eprintf "cache: unknown argument %S\n" other;
+      exit 2
+  in
+  parse args;
+  bench_cache ~json_path:!json_path ()
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1159,6 +1360,9 @@ let () =
       exit 0
     | "zdd" :: rest ->
       zdd_main rest;
+      exit 0
+    | "cache" :: rest ->
+      cache_main rest;
       exit 0
     | "--full" :: rest ->
       full_scale := true;

@@ -123,6 +123,49 @@ let check_on_limit_fail res result =
     raise (Exit_code 1)
   end
 
+(* Persistent quantification cache: the analysis-flavoured subcommands
+   share one [--cache FILE] option (env: SDFT_CACHE). The store is opened
+   before the command body and flushed/closed on the way out, even if the
+   body raises; IO trouble degrades to memory-only silently here and
+   visibly through [report_disk_cache]. *)
+
+let cache_arg =
+  Arg.(value & opt (some string) None
+       & info [ "cache" ] ~docv:"FILE" ~env:(Cmd.Env.info "SDFT_CACHE")
+           ~doc:"Persistent cross-run quantification cache: warm-start from \
+                 $(docv) (created if absent) and append fresh solves to it on \
+                 exit. A corrupted tail or a file written by a different \
+                 solver build is ignored (and rewritten); when another \
+                 process holds the writer lock the file is shared \
+                 read-only.")
+
+let with_disk_cache path_opt f =
+  match path_opt with
+  | None -> f None
+  | Some path ->
+    let cache = Quant_cache.open_disk path in
+    Fun.protect
+      ~finally:(fun () ->
+        try Quant_cache.close cache
+        with Sys_error m -> Printf.eprintf "sdft: cache: %s\n" m)
+      (fun () -> f (Some cache))
+
+let report_disk_cache cache =
+  match Quant_cache.disk_stats cache with
+  | None -> ()
+  | Some s ->
+    Printf.printf
+      "disk cache: %s%s — %d entries loaded (%.1f ms), %d disk hits / %d \
+       disk misses, %d appended\n"
+      s.Quant_cache.disk_path
+      (if s.Quant_cache.read_only then " (read-only)" else "")
+      s.Quant_cache.entries_loaded s.Quant_cache.load_ms
+      s.Quant_cache.disk_hits s.Quant_cache.disk_misses s.Quant_cache.appends;
+    (match s.Quant_cache.disk_error with
+    | Some e ->
+      Printf.eprintf "sdft: cache degraded to memory-only: %s\n" e
+    | None -> ())
+
 let engine_arg =
   Arg.(value
        & opt (enum [ ("mocus", Sdft_analysis.Mocus_sound);
@@ -145,8 +188,9 @@ let domains_arg =
 
 let analyze_cmd =
   let run file horizon cutoff top_n show_histogram show_budget engine domains
-      res obs =
+      cache_path save_path diff_path res obs =
     with_observability obs (fun () ->
+        with_disk_cache cache_path (fun disk_cache ->
         let sd = or_die (load_model file) in
         let options =
           {
@@ -159,7 +203,32 @@ let analyze_cmd =
             mem_limit_mb = res.res_mem_mb;
           }
         in
-        let result = Sdft_analysis.analyze ~options sd in
+        (* --save/--diff need a cache even without --cache: --save exports
+           its entries into the manifest, --diff seeds them back so only
+           changed-fingerprint cutsets re-solve. *)
+        let cache =
+          match disk_cache with
+          | Some c -> Some c
+          | None ->
+            if save_path <> None || diff_path <> None then
+              Some (Quant_cache.create ())
+            else None
+        in
+        let old_manifest =
+          Option.map (fun p -> or_die (Manifest.load p)) diff_path
+        in
+        (match (old_manifest, cache) with
+        | Some m, Some c ->
+          if Manifest.stamp_matches m then
+            ignore (Quant_cache.seed c m.Manifest.cache_entries)
+          else
+            Printf.eprintf
+              "sdft: note: manifest %s was written by a different solver \
+               build; its cached results are not trusted, every dynamic \
+               cutset re-solves\n"
+              (Option.get diff_path)
+        | _ -> ());
+        let result = Sdft_analysis.analyze ~options ?cache sd in
         Format.printf "%a@." Sdft_analysis.pp_summary result;
         if show_budget then Format.printf "%a@." Sdft_analysis.pp_budget result;
         if show_histogram then begin
@@ -178,7 +247,17 @@ let analyze_cmd =
                   info.product_states)
             result.cutsets
         end;
-        check_on_limit_fail res result)
+        (match old_manifest with
+        | Some m ->
+          Format.printf "%a@." Manifest.pp_diff (Manifest.diff m sd result)
+        | None -> ());
+        (match save_path with
+        | Some path ->
+          Manifest.save path (Manifest.of_result ?cache sd options result);
+          Printf.printf "manifest saved to %s\n" path
+        | None -> ());
+        (match cache with Some c -> report_disk_cache c | None -> ());
+        check_on_limit_fail res result))
   in
   let top_n =
     Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"Print the $(docv) most important cutsets (0 disables).")
@@ -189,15 +268,22 @@ let analyze_cmd =
   let budget =
     Arg.(value & flag & info [ "budget" ] ~doc:"Print the itemized error budget behind the certified interval.")
   in
+  let save =
+    Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc:"Save the result as a JSON manifest (parameters, certified interval, per-cutset quantifications, warm-start cache entries) for later $(b,--diff).")
+  in
+  let diff =
+    Arg.(value & opt (some string) None & info [ "diff" ] ~docv:"FILE" ~doc:"Differential re-analysis against a manifest saved with $(b,--save): warm-start from its cache entries so only cutsets whose canonical fingerprints changed re-solve, then report which cutsets moved the certified interval and by how much.")
+  in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run the full SD fault tree analysis (Section V).")
-    Term.(const run $ file_arg $ horizon_arg $ cutoff_arg $ top_n $ histogram $ budget $ engine_arg $ domains_arg $ resource_term $ observability_term)
+    Term.(const run $ file_arg $ horizon_arg $ cutoff_arg $ top_n $ histogram $ budget $ engine_arg $ domains_arg $ cache_arg $ save $ diff $ resource_term $ observability_term)
 
 (* explain *)
 
 let explain_cmd =
-  let run file horizon cutoff top_n spans_n engine domains res obs =
+  let run file horizon cutoff top_n spans_n engine domains cache_path res obs =
     with_observability obs (fun () ->
+        with_disk_cache cache_path (fun disk_cache ->
         (* Tracing is always on inside [explain]: the top-spans section needs
            it even when no --trace file was requested. *)
         Sdft_util.Trace.set_enabled true;
@@ -213,7 +299,11 @@ let explain_cmd =
             mem_limit_mb = res.res_mem_mb;
           }
         in
-        let cache = Quant_cache.create () in
+        let cache =
+          match disk_cache with
+          | Some c -> c
+          | None -> Quant_cache.create ()
+        in
         let result = Sdft_analysis.analyze ~options ~cache sd in
         let tree = Sdft.tree sd in
         Format.printf "%a@.@." Sdft_analysis.pp_summary result;
@@ -256,6 +346,7 @@ let explain_cmd =
           result.Sdft_analysis.cutsets;
         Printf.printf "\nquantification cache: %d hits / %d misses\n"
           (Quant_cache.hits cache) (Quant_cache.misses cache);
+        report_disk_cache cache;
         let spans = Sdft_util.Trace.aggregate () in
         if spans <> [] then begin
           Printf.printf "\ntop trace spans (by total time):\n";
@@ -267,7 +358,7 @@ let explain_cmd =
                   (Format.asprintf "%a" Sdft_util.Timer.pp_duration total))
             spans
         end;
-        check_on_limit_fail res result)
+        check_on_limit_fail res result))
   in
   let top_n =
     Arg.(value & opt int 20 & info [ "top" ] ~docv:"N" ~doc:"Rows of the per-cutset provenance table (0 disables).")
@@ -278,13 +369,14 @@ let explain_cmd =
   Cmd.v
     (Cmd.info "explain"
        ~doc:"Account for an analysis result: per-cutset provenance (contribution, chain sizes, solver effort, cache traffic, degradation), the error budget behind the certified interval, and the top trace spans.")
-    Term.(const run $ file_arg $ horizon_arg $ cutoff_arg $ top_n $ spans_n $ engine_arg $ domains_arg $ resource_term $ observability_term)
+    Term.(const run $ file_arg $ horizon_arg $ cutoff_arg $ top_n $ spans_n $ engine_arg $ domains_arg $ cache_arg $ resource_term $ observability_term)
 
 (* sweep *)
 
 let sweep_cmd =
-  let run file horizons cutoff engine domains res obs =
+  let run file horizons cutoff engine domains cache_path res obs =
     with_observability obs (fun () ->
+        with_disk_cache cache_path (fun disk_cache ->
         let sd = or_die (load_model file) in
         let option_sets =
           List.map
@@ -300,7 +392,7 @@ let sweep_cmd =
               })
             horizons
         in
-        let points, cache = Sdft_analysis.sweep sd option_sets in
+        let points, cache = Sdft_analysis.sweep ?cache:disk_cache sd option_sets in
         Printf.printf "%10s %14s %9s %11s %11s\n" "horizon" "frequency"
           "cutsets" "cache-hits" "cache-miss";
         List.iter
@@ -312,6 +404,7 @@ let sweep_cmd =
           points;
         Printf.printf "cache: %d hits / %d misses\n" (Quant_cache.hits cache)
           (Quant_cache.misses cache);
+        report_disk_cache cache;
         List.iter
           (fun (p : Sdft_analysis.sweep_point) ->
             if Sdft_analysis.degraded p.sweep_result then
@@ -328,7 +421,7 @@ let sweep_cmd =
           Printf.eprintf
             "sdft: sweep degraded and --on-limit=fail is set\n";
           raise (Exit_code 1)
-        end)
+        end))
   in
   let horizons =
     Arg.(value & opt (list float) [ 8.0; 24.0; 72.0 ]
@@ -337,13 +430,18 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Analyze one model over several horizons, sharing the quantification cache across points.")
-    Term.(const run $ file_arg $ horizons $ cutoff_arg $ engine_arg $ domains_arg $ resource_term $ observability_term)
+    Term.(const run $ file_arg $ horizons $ cutoff_arg $ engine_arg $ domains_arg $ cache_arg $ resource_term $ observability_term)
 
 (* mcs *)
 
 let mcs_cmd =
-  let run file cutoff engine horizon res obs =
+  let run file cutoff engine horizon cache_path res obs =
     with_observability obs (fun () ->
+        (* mcs performs no quantification, so the cache sees no traffic; the
+           option is still honoured (uniform interface, and SDFT_CACHE can
+           stay exported across a whole pipeline run: opening repairs a torn
+           tail and validates the stamp). *)
+        with_disk_cache cache_path (fun _disk_cache ->
         let sd = or_die (load_model file) in
         let guard = guard_of_resource res in
         let translation = Sdft_translate.translate sd ~horizon in
@@ -376,11 +474,11 @@ let mcs_cmd =
           (fun c ->
             Format.printf "%.3e  %a@." (Cutset.probability tree c)
               (Cutset.pp tree) c)
-          (Cutset.sort_by_probability tree cutsets))
+          (Cutset.sort_by_probability tree cutsets)))
   in
   Cmd.v
     (Cmd.info "mcs" ~doc:"Generate minimal cutsets of the translated static tree.")
-    Term.(const run $ file_arg $ cutoff_arg $ engine_arg $ horizon_arg $ resource_term $ observability_term)
+    Term.(const run $ file_arg $ cutoff_arg $ engine_arg $ horizon_arg $ cache_arg $ resource_term $ observability_term)
 
 (* classify *)
 
@@ -398,8 +496,9 @@ let classify_cmd =
 
 let simulate_cmd =
   let run file horizon trials seed method_ domains batch bias no_forcing
-      rel_error level verify cutoff engine obs =
+      rel_error level verify cutoff engine cache_path obs =
     with_observability obs (fun () ->
+        with_disk_cache cache_path (fun disk_cache ->
         let sd = or_die (load_model file) in
         let z =
           match level with
@@ -454,13 +553,18 @@ let simulate_cmd =
           let options =
             { Sdft_analysis.default_options with horizon; cutoff; engine }
           in
-          let result = Sdft_analysis.analyze ~options sd in
+          (* The verification side is an ordinary analysis, so a warm
+             persistent cache makes repeated cross-checks nearly free. *)
+          let result = Sdft_analysis.analyze ~options ?cache:disk_cache sd in
           let check = Sdft_analysis.verify_sim result ~sim_ci:(lo, hi) in
           Printf.printf "analytic rare-event total: %.4e\n"
             result.Sdft_analysis.total;
           Format.printf "%a@." Sdft_analysis.pp_sim_check check;
+          (match disk_cache with
+          | Some c -> report_disk_cache c
+          | None -> ());
           if not check.Sdft_analysis.overlaps then raise (Exit_code 1)
-        end)
+        end))
   in
   let trials =
     Arg.(value & opt int 100_000 & info [ "trials"; "n" ] ~docv:"N" ~doc:"Number of Monte-Carlo trials.")
@@ -491,7 +595,7 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Statistical estimate of the failure probability (full SD semantics): rare-event importance sampling or crude Monte-Carlo, optionally cross-checked against the analytic certified interval.")
-    Term.(const run $ file_arg $ horizon_arg $ trials $ seed $ method_ $ domains_arg $ batch $ bias $ no_forcing $ rel_error $ level $ verify $ cutoff_arg $ engine_arg $ observability_term)
+    Term.(const run $ file_arg $ horizon_arg $ trials $ seed $ method_ $ domains_arg $ batch $ bias $ no_forcing $ rel_error $ level $ verify $ cutoff_arg $ engine_arg $ cache_arg $ observability_term)
 
 (* exact *)
 

@@ -7,6 +7,9 @@ type t = {
   n_dynamic_in_cutset : int;
   n_added_dynamic : int;
   n_added_static : int;
+  mutable fp_digest : string option;
+      (* memoized fixed-width digest of the canonical sub-model
+         fingerprint, filled in by the first Quant_cache lookup *)
 }
 
 type trigger_result =
@@ -86,6 +89,7 @@ let build ?context:ctx ?(rel_rule = Paper) ?guard sd cutset =
       n_dynamic_in_cutset;
       n_added_dynamic = 0;
       n_added_static = 0;
+      fp_digest = None;
     }
   else begin
     let builder = Fault_tree.Builder.create () in
@@ -193,6 +197,7 @@ let build ?context:ctx ?(rel_rule = Paper) ?guard sd cutset =
         n_dynamic_in_cutset;
         n_added_dynamic = !n_added_dynamic;
         n_added_static = !n_added_static;
+        fp_digest = None;
       }
     else begin
       let top =
@@ -209,6 +214,7 @@ let build ?context:ctx ?(rel_rule = Paper) ?guard sd cutset =
         n_dynamic_in_cutset;
         n_added_dynamic = !n_added_dynamic;
         n_added_static = !n_added_static;
+        fp_digest = None;
       }
     end
   end
@@ -262,3 +268,50 @@ let quantify ?epsilon ?max_states ?guard ?workspace t ~horizon =
         from_cache = false;
         seconds = Sdft_util.Timer.elapsed_s t0;
       }
+
+(* JSON codec for quantification records — the per-cutset payload of a
+   saved result manifest. Floats go through Json.add_float (17 significant
+   digits), which round-trips every finite double bit-exactly. *)
+
+module Json = Sdft_util.Json
+
+let add_quantification_json buf q =
+  Buffer.add_string buf "{\"probability\": ";
+  Json.add_float buf q.probability;
+  Buffer.add_string buf ", \"states\": ";
+  Buffer.add_string buf (string_of_int q.product_states);
+  Buffer.add_string buf ", \"transitions\": ";
+  Buffer.add_string buf (string_of_int q.product_transitions);
+  Buffer.add_string buf ", \"steps\": ";
+  Buffer.add_string buf (string_of_int q.solver_steps);
+  Buffer.add_string buf ", \"solver_error\": ";
+  Json.add_float buf q.solver_error;
+  Buffer.add_char buf '}'
+
+let quantification_to_json q =
+  let buf = Buffer.create 128 in
+  add_quantification_json buf q;
+  Buffer.contents buf
+
+let quantification_of_json v =
+  let num name = Option.bind (Json.member name v) Json.to_float in
+  let int name = Option.bind (Json.member name v) Json.to_int in
+  match
+    (num "probability", int "states", int "transitions", int "steps",
+     num "solver_error")
+  with
+  | Some probability, Some product_states, Some product_transitions,
+    Some solver_steps, Some solver_error ->
+    Ok
+      {
+        probability;
+        product_states;
+        product_transitions;
+        solver_steps;
+        solver_error;
+        (* Serialization provenance: the record came from an earlier run's
+           manifest, not from a live solve of this one. *)
+        from_cache = true;
+        seconds = 0.0;
+      }
+  | _ -> Error "quantification record is missing a field"

@@ -37,6 +37,13 @@ type t = {
       (** dynamic events added because triggering gates lack static
           branching (the paper reports this average) *)
   n_added_static : int;
+  mutable fp_digest : string option;
+      (** memoized fixed-width digest of the canonical fingerprint of
+          [model], filled in by the first {!Quant_cache} lookup so repeated
+          lookups (sweeps, shared caches) skip the O(sub-model)
+          re-serialization. Written at most once per value, by the domain
+          quantifying this cutset; [None] until then and for model-less
+          cutsets. *)
 }
 
 type context
@@ -105,3 +112,20 @@ val quantify :
     exploration and the transient solve; on a trip
     {!Sdft_util.Guard.Limit_hit} propagates (the analysis layer catches it
     and falls back to the static worst-case bound). *)
+
+(** {1 Result serialization}
+
+    The per-cutset payload of a saved analysis manifest ([analyze --save] /
+    [analyze --diff]). Floats are emitted with 17 significant digits, which
+    round-trips every finite double bit-exactly. *)
+
+val quantification_to_json : quantification -> string
+(** One JSON object: [probability], [states], [transitions], [steps],
+    [solver_error]. The volatile fields ([seconds], [from_cache]) are
+    deliberately not serialized. *)
+
+val quantification_of_json :
+  Sdft_util.Json.value -> (quantification, string) result
+(** Inverse of {!quantification_to_json} on its parsed output. The decoded
+    record has [from_cache = true] (the value came from an earlier run) and
+    [seconds = 0.]. *)

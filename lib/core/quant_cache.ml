@@ -1,8 +1,13 @@
 module Metrics = Sdft_util.Metrics
 module Trace = Sdft_util.Trace
+module Store = Sdft_util.Store
 
 let m_hits = Metrics.counter "quant_cache.hits"
 let m_misses = Metrics.counter "quant_cache.misses"
+let m_disk_hits = Metrics.counter "cache.disk_hits"
+let m_disk_misses = Metrics.counter "cache.disk_misses"
+let m_appends = Metrics.counter "cache.appends"
+let m_load_ms = Metrics.gauge "cache.load_ms"
 
 (* What a hit must reproduce: the dynamic probability plus the provenance of
    the solve that produced it (chain size, transition count, DTMC steps),
@@ -15,11 +20,27 @@ type entry = {
   e_steps : int;
 }
 
+(* Where a table entry came from: a solve of this process, or the disk
+   store / a seeded manifest. Only the distinction feeds the disk-tier
+   observability counters; the values are interchangeable. *)
+type origin = Fresh | Warm
+
+type disk = {
+  store : Store.t;
+  entries_loaded : int;
+  load_ms : float;
+  mutable broken : bool; (* an IO failure stopped the appends *)
+  mutable disk_error : string option;
+}
+
 type t = {
-  table : (string, entry) Hashtbl.t;
+  table : (string, entry * origin) Hashtbl.t;
   lock : Mutex.t;
   hit_count : int Atomic.t;
   miss_count : int Atomic.t;
+  disk_hit_count : int Atomic.t;
+  disk_miss_count : int Atomic.t;
+  mutable disk : disk option;
 }
 
 let create () =
@@ -28,6 +49,9 @@ let create () =
     lock = Mutex.create ();
     hit_count = Atomic.make 0;
     miss_count = Atomic.make 0;
+    disk_hit_count = Atomic.make 0;
+    disk_miss_count = Atomic.make 0;
+    disk = None;
   }
 
 let hits t = Atomic.get t.hit_count
@@ -112,11 +136,234 @@ let fingerprint sd =
   emit_gate (Fault_tree.top tree);
   Buffer.contents buf
 
+(* The canonical fingerprint is O(sub-model) to build; hashing it down to a
+   fixed-width hex digest and memoizing the digest on the Cutset_model
+   makes every lookup after the first O(1). Equal digests stand in for
+   equal fingerprints: MD5 collisions between 128-bit digests of
+   non-adversarial model serializations are negligible next to the solver's
+   own epsilon, and the digest also becomes the stable on-disk key. *)
+let digest_of (cm : Cutset_model.t) sd_c =
+  match cm.Cutset_model.fp_digest with
+  | Some d -> d
+  | None ->
+    let d = Digest.to_hex (Digest.string (fingerprint sd_c)) in
+    cm.Cutset_model.fp_digest <- Some d;
+    d
+
+let key_of_digest digest ~epsilon ~max_states ~horizon ~engine_tag =
+  Printf.sprintf "%s|e=%h|s=%d|t=%h%s" digest epsilon max_states horizon
+    (if engine_tag = "" then "" else "|eng=" ^ engine_tag)
+
+let key_of ?(engine_tag = "") ~epsilon ~max_states ~horizon
+    (cm : Cutset_model.t) =
+  match cm.Cutset_model.model with
+  | None -> None
+  | Some sd_c ->
+    Some
+      (key_of_digest (digest_of cm sd_c) ~epsilon ~max_states ~horizon
+         ~engine_tag)
+
+(* ------------------------------------------------------------------ *)
+(* Record codec for the disk store: one record per cache entry,
+   [<key length>:<key>|<prob %h>|<states>|<transitions>|<steps>]. The key
+   is length-prefixed (it contains '|' itself); floats travel as hex
+   literals, which round-trip bit-exactly. *)
+
+let encode_record key e =
+  Printf.sprintf "%d:%s|%h|%d|%d|%d" (String.length key) key e.e_prob
+    e.e_states e.e_transitions e.e_steps
+
+let decode_record s =
+  match String.index_opt s ':' with
+  | None -> None
+  | Some colon -> (
+    match int_of_string_opt (String.sub s 0 colon) with
+    | None -> None
+    | Some key_len ->
+      if key_len < 0 || colon + 1 + key_len > String.length s then None
+      else
+        let key = String.sub s (colon + 1) key_len in
+        let rest_off = colon + 1 + key_len in
+        let rest =
+          String.sub s rest_off (String.length s - rest_off)
+        in
+        (match String.split_on_char '|' rest with
+        | [ ""; prob; states; transitions; steps ] -> (
+          match
+            ( float_of_string_opt prob,
+              int_of_string_opt states,
+              int_of_string_opt transitions,
+              int_of_string_opt steps )
+          with
+          | Some e_prob, Some e_states, Some e_transitions, Some e_steps ->
+            Some (key, { e_prob; e_states; e_transitions; e_steps })
+          | _ -> None)
+        | _ -> None))
+
+(* ------------------------------------------------------------------ *)
+(* Disk tier. *)
+
+(* The header stamp: the record-codec revision concatenated with the
+   build-time digest of the solver sources (Solver_stamp is generated by a
+   dune rule over transient/ctmc/product/cutset-model/cache sources), so
+   both a solver change and a key- or codec-format change invalidate
+   existing stores. *)
+let version_stamp = "qcache/1 " ^ Solver_stamp.stamp
+
+let io_error_message = function
+  | Sys_error m -> Some m
+  | Unix.Unix_error (err, fn, arg) ->
+    Some (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message err))
+  | Sdft_util.Failpoint.Injected site -> Some ("injected failure at " ^ site)
+  | Failure m -> Some m
+  | _ -> None
+
+let open_disk ?batch path =
+  let t = create () in
+  let t0 = Sdft_util.Timer.start () in
+  (match Store.open_ ?batch ~stamp:version_stamp path with
+  | store, records ->
+    let loaded = ref 0 in
+    List.iter
+      (fun r ->
+        match decode_record r with
+        | Some (key, e) ->
+          if not (Hashtbl.mem t.table key) then begin
+            Hashtbl.add t.table key (e, Warm);
+            incr loaded
+          end
+        | None -> ())
+      records;
+    let load_ms = Sdft_util.Timer.elapsed_s t0 *. 1000.0 in
+    Metrics.set m_load_ms load_ms;
+    Trace.instant "cache.disk_load";
+    t.disk <-
+      Some
+        {
+          store;
+          entries_loaded = !loaded;
+          load_ms;
+          broken = false;
+          disk_error = None;
+        }
+  | exception e -> (
+    (* An unusable store must never take the analysis down: degrade to a
+       memory-only cache and surface the reason through disk_stats. *)
+    match io_error_message e with
+    | Some _ -> ()
+    | None -> raise e));
+  t
+
+type disk_stats = {
+  disk_path : string;
+  read_only : bool;
+  entries_loaded : int;
+  load_ms : float;
+  disk_hits : int;
+  disk_misses : int;
+  appends : int;
+  disk_error : string option;
+}
+
+let disk_stats t =
+  match t.disk with
+  | None -> None
+  | Some d ->
+    Some
+      {
+        disk_path = Store.path d.store;
+        read_only = Store.mode d.store = Store.Reader;
+        entries_loaded = d.entries_loaded;
+        load_ms = d.load_ms;
+        disk_hits = Atomic.get t.disk_hit_count;
+        disk_misses = Atomic.get t.disk_miss_count;
+        appends = Store.appended d.store;
+        disk_error = d.disk_error;
+      }
+
+(* Append one freshly solved entry; never raises. The [store.append]
+   failpoint (inside Store.append) and real IO errors both land here: the
+   disk tier is marked broken and the analysis carries on memory-only. *)
+let disk_append t key e =
+  match t.disk with
+  | None -> ()
+  | Some d ->
+    if not d.broken then (
+      match Store.append d.store (encode_record key e) with
+      | true -> Metrics.incr m_appends
+      | false -> ()
+      | exception exn -> (
+        match io_error_message exn with
+        | Some m ->
+          d.broken <- true;
+          d.disk_error <- Some m
+        | None -> raise exn))
+
+let flush t =
+  match t.disk with
+  | None -> ()
+  | Some d ->
+    if not d.broken then (
+      match Store.flush d.store with
+      | () -> Trace.instant "cache.disk_flush"
+      | exception exn -> (
+        match io_error_message exn with
+        | Some m ->
+          d.broken <- true;
+          d.disk_error <- Some m
+        | None -> raise exn))
+
+let close t =
+  match t.disk with
+  | None -> ()
+  | Some d -> (
+    match Store.close d.store with
+    | () -> Trace.instant "cache.disk_flush"
+    | exception exn -> (
+      match io_error_message exn with
+      | Some m ->
+        d.broken <- true;
+        d.disk_error <- Some m
+      | None -> raise exn))
+
+let export t =
+  locked t (fun () ->
+      Hashtbl.fold (fun key (e, _) acc -> (key, e) :: acc) t.table [])
+
+let seed t entries =
+  let added = ref 0 in
+  locked t (fun () ->
+      List.iter
+        (fun (key, e) ->
+          if not (Hashtbl.mem t.table key) then begin
+            Hashtbl.add t.table key (e, Warm);
+            incr added
+          end)
+        entries);
+  (* Seeded entries also reach the attached store (outside the table lock:
+     Store has its own), so a manifest used once warms the file for every
+     later run. *)
+  List.iter
+    (fun (key, e) ->
+      let fresh = locked t (fun () -> Hashtbl.find_opt t.table key) in
+      match fresh with
+      | Some (e', Warm) when e' == e -> disk_append t key e
+      | _ -> ())
+    entries;
+  !added
+
 let find t key = locked t (fun () -> Hashtbl.find_opt t.table key)
 
 let store t key v =
-  locked t (fun () ->
-      if not (Hashtbl.mem t.table key) then Hashtbl.add t.table key v)
+  let added =
+    locked t (fun () ->
+        if Hashtbl.mem t.table key then false
+        else begin
+          Hashtbl.add t.table key (v, Fresh);
+          true
+        end)
+  in
+  if added then disk_append t key v
 
 let quantify t ~epsilon ~max_states ?guard ?workspace ?(engine_tag = "")
     (cm : Cutset_model.t) ~horizon =
@@ -128,14 +375,17 @@ let quantify t ~epsilon ~max_states ?guard ?workspace ?(engine_tag = "")
     let t0 = Sdft_util.Timer.start () in
     Sdft_util.Failpoint.hit "cache.lookup";
     let key =
-      Printf.sprintf "%s|e=%h|s=%d|t=%h%s" (fingerprint sd_c) epsilon
-        max_states horizon
-        (if engine_tag = "" then "" else "|eng=" ^ engine_tag)
+      key_of_digest (digest_of cm sd_c) ~epsilon ~max_states ~horizon
+        ~engine_tag
     in
     (match find t key with
-    | Some e ->
+    | Some (e, origin) ->
       Atomic.incr t.hit_count;
       Metrics.incr m_hits;
+      if origin = Warm then begin
+        Atomic.incr t.disk_hit_count;
+        Metrics.incr m_disk_hits
+      end;
       Trace.instant "quant_cache.hit";
       {
         Cutset_model.probability =
@@ -150,6 +400,10 @@ let quantify t ~epsilon ~max_states ?guard ?workspace ?(engine_tag = "")
     | None ->
       Atomic.incr t.miss_count;
       Metrics.incr m_misses;
+      if t.disk <> None then begin
+        Atomic.incr t.disk_miss_count;
+        Metrics.incr m_disk_misses
+      end;
       Trace.instant "quant_cache.miss";
       (* Too_many_states and guard interrupts propagate before anything is
          stored, so a limit can never poison the cache with a partial value. *)

@@ -1,4 +1,5 @@
-(** Cross-analysis cache for per-cutset quantification.
+(** Cross-analysis cache for per-cutset quantification, with an optional
+    persistent disk tier.
 
     A horizon/parameter sweep re-quantifies the same cutset sub-models over
     and over: industrial trees repeat the same component models across
@@ -19,7 +20,11 @@
     fingerprints are isomorphic up to renaming and therefore have equal
     time-aware probabilities. The rel-rule does not appear in the key
     because it acts upstream, during model {e construction}: its effect is
-    already captured by the fingerprinted structure.
+    already captured by the fingerprinted structure. In-memory and on disk
+    the fingerprint is represented by its 128-bit MD5 digest (hex), memoized
+    on the {!Cutset_model.t} so repeated lookups skip the O(sub-model)
+    serialization; colliding digests of distinct non-adversarial model
+    serializations are vastly less likely than solver-epsilon-sized noise.
 
     Safe to share across domains: lookups and inserts take a per-cache lock
     (negligible next to a CTMC solve), hit/miss tallies are atomics. *)
@@ -27,6 +32,7 @@
 type t
 
 val create : unit -> t
+(** A memory-only cache. *)
 
 val hits : t -> int
 
@@ -36,7 +42,20 @@ val misses : t -> int
     count as neither. *)
 
 val fingerprint : Sdft.t -> string
-(** Canonical fingerprint of a model (exposed for tests). *)
+(** Canonical fingerprint of a model (exposed for tests and the cache-key
+    micro-benchmark; lookups use its memoized digest, see {!key_of}). *)
+
+val key_of :
+  ?engine_tag:string ->
+  epsilon:float ->
+  max_states:int ->
+  horizon:float ->
+  Cutset_model.t ->
+  string option
+(** The exact cache key {!quantify} would use for this cutset — the
+    memoized fingerprint digest plus the numerical parameters — or [None]
+    for model-less (purely static / impossible) cutsets, which bypass the
+    cache. First call on a cutset computes and memoizes the digest. *)
 
 val quantify :
   t ->
@@ -63,3 +82,89 @@ val quantify :
     site fires before each cacheable lookup. [workspace] is per-caller
     solver scratch (see {!Cutset_model.quantify}); the cache itself stays
     shareable across domains. *)
+
+(** {1 Disk tier}
+
+    A cache opened with {!open_disk} is backed by an append-only
+    {!Sdft_util.Store} log: entries present in the file are preloaded into
+    the table, and every fresh solve is appended (batched; a crash loses at
+    most the last unflushed batch). The store header is stamped with
+    {!version_stamp}, so a solver or codec change silently invalidates old
+    files instead of replaying stale certified results. When another
+    process (or another handle in this one) already owns the writer lock,
+    the store degrades to read-only sharing: warm entries still hit, fresh
+    solves stay memory-only. Any IO failure — including the [store.open] /
+    [store.append] {!Sdft_util.Failpoint} sites — degrades the cache to
+    memory-only operation rather than failing the analysis; the reason is
+    reported through {!disk_stats}. *)
+
+type entry = {
+  e_prob : float;  (** dynamic probability, before the static multiplier *)
+  e_states : int;
+  e_transitions : int;
+  e_steps : int;
+}
+(** The cached value: result plus solve provenance. *)
+
+val version_stamp : string
+(** Store-header stamp: record-codec revision + build-time digest of the
+    solver sources (see [tools/gen_stamp]). *)
+
+val open_disk : ?batch:int -> string -> t
+(** [open_disk path] returns a cache warm-started from [path] (created
+    empty if absent) that persists fresh solves back to it. [batch] is the
+    append count between flushes (default 32). Never raises on IO trouble:
+    the result is then an ordinary memory-only cache ({!disk_stats} =
+    [None]). *)
+
+val flush : t -> unit
+(** Push buffered appends to disk (no-op for memory-only caches). *)
+
+val close : t -> unit
+(** Flush, release the writer lock and close the disk tier. Idempotent;
+    the cache remains usable memory-only afterwards. *)
+
+type disk_stats = {
+  disk_path : string;
+  read_only : bool;  (** another writer owns the file; sharing read-only *)
+  entries_loaded : int;  (** valid records preloaded at open *)
+  load_ms : float;  (** wall time of the preload *)
+  disk_hits : int;  (** hits served by preloaded/seeded entries *)
+  disk_misses : int;  (** misses while the disk tier was attached *)
+  appends : int;  (** records appended through this handle *)
+  disk_error : string option;
+      (** set when an IO failure degraded the tier to memory-only *)
+}
+
+val disk_stats : t -> disk_stats option
+(** [None] for memory-only caches (including an {!open_disk} whose open
+    failed outright). The counters are also published as metrics
+    [cache.disk_hits] / [cache.disk_misses] / [cache.appends] /
+    [cache.load_ms], and the load and each flush emit {!Sdft_util.Trace}
+    instants. *)
+
+(** {1 Warm-start import/export}
+
+    The manifest side of differential re-analysis ([analyze --save] /
+    [--diff]): {!export} captures the (key, entry) pairs of a run for
+    embedding in a result manifest, {!seed} preloads them into a fresh
+    cache so unchanged-fingerprint cutsets hit and only changed ones
+    re-solve. *)
+
+val export : t -> (string * entry) list
+(** Snapshot of all entries, in no particular order. *)
+
+val seed : t -> (string * entry) list -> int
+(** Insert entries that are not already present; returns how many were
+    added. Seeded entries count as warm for {!disk_stats} and are appended
+    to an attached writable store, so a manifest used once also warms the
+    file. *)
+
+(** {1 Record codec, exposed for tests} *)
+
+val encode_record : string -> entry -> string
+(** [encode_record key e] is the store payload for one entry:
+    [<key length>:<key>|<prob %h>|<states>|<transitions>|<steps>]. *)
+
+val decode_record : string -> (string * entry) option
+(** Inverse of {!encode_record}; [None] on any malformed payload. *)

@@ -1,6 +1,11 @@
-(** Minimal JSON emission helpers shared by the observability sinks
-    ({!Metrics}, {!Trace}): escaped string literals and floats that emit
-    [null] for non-finite values instead of invalid JSON. *)
+(** Minimal JSON emission and parsing helpers.
+
+    Emission is shared by the observability sinks ({!Metrics}, {!Trace}):
+    escaped string literals and floats that emit [null] for non-finite
+    values instead of invalid JSON. Parsing is a small recursive-descent
+    reader covering the full JSON value grammar — enough for the toolkit's
+    own artifacts (result manifests, metric snapshots) to be loaded back
+    without an external dependency. *)
 
 val add_string : Buffer.t -> string -> unit
 (** Append [s] as a quoted JSON string, escaping quotes, backslashes and
@@ -12,3 +17,37 @@ val add_float : Buffer.t -> float -> unit
 
 val string_of : string -> string
 (** [string_of s] is the quoted, escaped JSON literal for [s]. *)
+
+(** {1 Parsing} *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | Array of value list
+  | Object of (string * value) list
+
+val parse : string -> (value, string) result
+(** Parse a complete JSON document. The error string names the offset of
+    the first offense. Numbers are represented as floats (like JSON
+    itself); [\u] escapes decode to UTF-8. *)
+
+(** {2 Accessors}
+
+    All total: a shape mismatch yields [None] rather than an exception, so
+    loaders can fold a whole walk into one diagnostic. *)
+
+val member : string -> value -> value option
+(** Field lookup on an [Object]; [None] on missing field or non-object. *)
+
+val to_string : value -> string option
+
+val to_float : value -> float option
+
+val to_int : value -> int option
+(** [Some] only for numbers with zero fractional part. *)
+
+val to_bool : value -> bool option
+
+val to_list : value -> value list option

@@ -1,0 +1,443 @@
+(* Tests for the persistent quantification store: the Store framing layer
+   (truncation, corruption, stamp invalidation, reader/writer locking) and
+   the Quant_cache disk tier built on top of it.
+
+   The robustness invariant exercised throughout: whatever happens to the
+   store file — torn tails, flipped bytes, stale solver stamps, concurrent
+   readers — the analysis result is bit-identical to an uncached run. A
+   damaged store may cost re-solves; it must never change a certified
+   interval. *)
+
+module Store = Sdft_util.Store
+module Failpoint = Sdft_util.Failpoint
+
+let temp_store () =
+  let path = Filename.temp_file "sdft_test" ".store" in
+  Sys.remove path;
+  path
+
+let with_store f =
+  let path = temp_store () in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let write_records path stamp records =
+  let s, loaded = Store.open_ ~stamp path in
+  Alcotest.(check (list string)) "fresh store is empty" [] loaded;
+  List.iter (fun r -> ignore (Store.append s r)) records;
+  Store.close s
+
+let read_records path stamp =
+  let s, loaded = Store.open_ ~stamp path in
+  Store.close s;
+  loaded
+
+let records = [ "alpha"; "beta-record"; "gamma with spaces"; ""; "delta" ]
+
+(* Store framing *)
+
+let test_store_round_trip () =
+  with_store (fun path ->
+      write_records path "stamp/1" records;
+      Alcotest.(check (list string))
+        "records survive reopen" records
+        (read_records path "stamp/1"))
+
+let test_store_truncated_tail () =
+  with_store (fun path ->
+      write_records path "stamp/1" records;
+      (* Chop a few bytes off the last frame: the torn record must be
+         discarded, every earlier one preserved. *)
+      let size = (Unix.stat path).Unix.st_size in
+      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+      Unix.ftruncate fd (size - 3);
+      Unix.close fd;
+      Alcotest.(check (list string))
+        "valid prefix survives truncation"
+        [ "alpha"; "beta-record"; "gamma with spaces"; "" ]
+        (read_records path "stamp/1");
+      (* The writer repairs the tail: appending after the truncation leaves
+         a fully valid file again. *)
+      let s, _ = Store.open_ ~stamp:"stamp/1" path in
+      Alcotest.(check bool) "writer mode" true (Store.mode s = Store.Writer);
+      ignore (Store.append s "epsilon");
+      Store.close s;
+      Alcotest.(check (list string))
+        "repaired tail"
+        [ "alpha"; "beta-record"; "gamma with spaces"; ""; "epsilon" ]
+        (read_records path "stamp/1"))
+
+let test_store_flipped_byte () =
+  with_store (fun path ->
+      write_records path "stamp/1" records;
+      (* Flip one byte inside the payload of the fourth frame (the empty
+         record contributes an 8-byte frame; aim into "gamma..."). The CRC
+         catches it and scanning stops there. *)
+      let content = In_channel.with_open_bin path In_channel.input_all in
+      let needle = "gamma" in
+      let pos =
+        let rec find i =
+          if String.sub content i (String.length needle) = needle then i
+          else find (i + 1)
+        in
+        find 0
+      in
+      let corrupted = Bytes.of_string content in
+      Bytes.set corrupted pos (Char.chr (Char.code content.[pos] lxor 0x40));
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_bytes oc corrupted);
+      Alcotest.(check (list string))
+        "records before the corruption survive"
+        [ "alpha"; "beta-record" ]
+        (read_records path "stamp/1"))
+
+let test_store_stamp_mismatch () =
+  with_store (fun path ->
+      write_records path "stamp/1" records;
+      (* A different stamp invalidates the whole file... *)
+      Alcotest.(check (list string))
+        "no records under a new stamp" []
+        (read_records path "stamp/2");
+      (* ...and the writer has rewritten it under the new stamp, so the old
+         stamp now yields nothing either. *)
+      Alcotest.(check (list string))
+        "old stamp invalidated" []
+        (read_records path "stamp/1");
+      write_records path "stamp/2" [ "fresh" ];
+      Alcotest.(check (list string))
+        "new-stamp records persist" [ "fresh" ]
+        (read_records path "stamp/2"))
+
+let test_store_reader_sharing () =
+  with_store (fun path ->
+      let writer, _ = Store.open_ ~stamp:"stamp/1" path in
+      ignore (Store.append writer "one");
+      ignore (Store.append writer "two");
+      Store.flush writer;
+      ignore (Store.append writer "unflushed");
+      (* A second same-path handle while the writer is live degrades to a
+         read-only snapshot of the flushed records. *)
+      let reader, snapshot = Store.open_ ~stamp:"stamp/1" path in
+      Alcotest.(check bool) "reader mode" true (Store.mode reader = Store.Reader);
+      Alcotest.(check (list string))
+        "snapshot holds flushed records" [ "one"; "two" ] snapshot;
+      Alcotest.(check bool)
+        "reader appends are dropped" false
+        (Store.append reader "stowaway");
+      Store.close reader;
+      Store.close writer;
+      Alcotest.(check (list string))
+        "writer records all land" [ "one"; "two"; "unflushed" ]
+        (read_records path "stamp/1"))
+
+let test_store_crc32_vector () =
+  (* IEEE CRC-32 known-answer test ("123456789" -> 0xCBF43926). *)
+  Alcotest.(check int)
+    "check vector" 0xCBF43926
+    (Store.crc32 "123456789")
+
+(* Quant_cache disk tier: every degraded store still yields bit-identical
+   analysis results. *)
+
+let check_same_result label (a : Sdft_analysis.result)
+    (b : Sdft_analysis.result) =
+  Alcotest.(check bool)
+    (label ^ ": total") true
+    (a.Sdft_analysis.total = b.Sdft_analysis.total);
+  Alcotest.(check bool)
+    (label ^ ": lower") true
+    (a.Sdft_analysis.budget.Sdft_analysis.lower
+    = b.Sdft_analysis.budget.Sdft_analysis.lower);
+  Alcotest.(check bool)
+    (label ^ ": upper") true
+    (a.Sdft_analysis.budget.Sdft_analysis.upper
+    = b.Sdft_analysis.budget.Sdft_analysis.upper)
+
+let test_cache_warm_reload_identical () =
+  with_store (fun path ->
+      let sd = Pumps.sd_tree () in
+      let baseline = Sdft_analysis.analyze sd in
+      let cold = Quant_cache.open_disk path in
+      let r_cold = Sdft_analysis.analyze ~cache:cold sd in
+      Quant_cache.close cold;
+      let stats =
+        match Quant_cache.disk_stats cold with
+        | Some s -> s
+        | None -> Alcotest.fail "disk tier missing after open_disk"
+      in
+      Alcotest.(check bool) "cold run appends" true (stats.appends > 0);
+      let warm = Quant_cache.open_disk path in
+      let r_warm = Sdft_analysis.analyze ~cache:warm sd in
+      Quant_cache.close warm;
+      let wstats = Option.get (Quant_cache.disk_stats warm) in
+      Alcotest.(check int)
+        "warm load sees every append" stats.appends wstats.entries_loaded;
+      Alcotest.(check int) "warm run never misses" 0 wstats.disk_misses;
+      Alcotest.(check bool) "warm run hits disk" true (wstats.disk_hits > 0);
+      check_same_result "cold vs uncached" r_cold baseline;
+      check_same_result "warm vs uncached" r_warm baseline)
+
+let damaged_store_still_identical damage =
+  with_store (fun path ->
+      let sd = Pumps.sd_tree () in
+      let baseline = Sdft_analysis.analyze sd in
+      let cold = Quant_cache.open_disk path in
+      ignore (Sdft_analysis.analyze ~cache:cold sd);
+      Quant_cache.close cold;
+      damage path;
+      let warm = Quant_cache.open_disk path in
+      let r = Sdft_analysis.analyze ~cache:warm sd in
+      Quant_cache.close warm;
+      check_same_result "damaged store" r baseline)
+
+let test_cache_truncated_store_identical () =
+  damaged_store_still_identical (fun path ->
+      let size = (Unix.stat path).Unix.st_size in
+      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+      Unix.ftruncate fd (size / 2);
+      Unix.close fd)
+
+let test_cache_corrupted_store_identical () =
+  damaged_store_still_identical (fun path ->
+      let content = In_channel.with_open_bin path In_channel.input_all in
+      let b = Bytes.of_string content in
+      (* Flip a byte in the middle of the record area, past the header. *)
+      let pos = Bytes.length b / 2 in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0xFF));
+      Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc b))
+
+let test_cache_stamp_mismatch_identical () =
+  damaged_store_still_identical (fun path ->
+      (* Rewrite the file under a foreign stamp: Quant_cache must treat it
+         as empty rather than replay foreign records. *)
+      let s, _ = Store.open_ ~stamp:"some-other-solver/0" path in
+      ignore (Store.append s "not a cache record at all");
+      Store.close s)
+
+let test_cache_readonly_sharing () =
+  with_store (fun path ->
+      let sd = Pumps.sd_tree () in
+      let baseline = Sdft_analysis.analyze sd in
+      let writer = Quant_cache.open_disk path in
+      ignore (Sdft_analysis.analyze ~cache:writer sd);
+      Quant_cache.flush writer;
+      (* Second handle while the writer is open: read-only snapshot, but the
+         analysis through it is still exact. *)
+      let reader = Quant_cache.open_disk path in
+      let rstats = Option.get (Quant_cache.disk_stats reader) in
+      Alcotest.(check bool) "reader is read-only" true rstats.read_only;
+      Alcotest.(check bool)
+        "reader sees flushed entries" true
+        (rstats.entries_loaded > 0);
+      let r = Sdft_analysis.analyze ~cache:reader sd in
+      let rstats = Option.get (Quant_cache.disk_stats reader) in
+      Alcotest.(check int) "reader never appends" 0 rstats.appends;
+      Quant_cache.close reader;
+      Quant_cache.close writer;
+      check_same_result "read-only sharing" r baseline)
+
+let test_cache_open_failure_degrades () =
+  Failpoint.configure_string "store.open=raise";
+  Fun.protect ~finally:Failpoint.clear_all (fun () ->
+      let sd = Pumps.sd_tree () in
+      let baseline = Sdft_analysis.analyze sd in
+      let cache = Quant_cache.open_disk "/nonexistent/dir/q.store" in
+      Alcotest.(check bool)
+        "degrades to memory-only" true
+        (Quant_cache.disk_stats cache = None);
+      let r = Sdft_analysis.analyze ~cache sd in
+      Quant_cache.close cache;
+      check_same_result "open failure" r baseline)
+
+let test_cache_append_failure_degrades () =
+  with_store (fun path ->
+      let sd = Pumps.sd_tree () in
+      let baseline = Sdft_analysis.analyze sd in
+      Failpoint.configure_string "store.append=raise";
+      Fun.protect ~finally:Failpoint.clear_all (fun () ->
+          let cache = Quant_cache.open_disk path in
+          let r = Sdft_analysis.analyze ~cache sd in
+          Quant_cache.close cache;
+          let stats = Option.get (Quant_cache.disk_stats cache) in
+          Alcotest.(check bool)
+            "tier reported broken" true
+            (stats.disk_error <> None);
+          check_same_result "append failure" r baseline))
+
+(* Warm-start export/seed (the manifest payload path). *)
+
+let test_cache_export_seed () =
+  let sd = Pumps.sd_tree () in
+  let a = Quant_cache.create () in
+  let r1 = Sdft_analysis.analyze ~cache:a sd in
+  let exported = Quant_cache.export a in
+  Alcotest.(check bool) "exports entries" true (exported <> []);
+  let b = Quant_cache.create () in
+  Alcotest.(check int)
+    "all entries seed" (List.length exported)
+    (Quant_cache.seed b exported);
+  Alcotest.(check int) "re-seeding adds nothing" 0 (Quant_cache.seed b exported);
+  let r2 = Sdft_analysis.analyze ~cache:b sd in
+  Alcotest.(check int) "seeded run never misses" 0 (Quant_cache.misses b);
+  check_same_result "seeded" r2 r1
+
+(* Manifest round-trip and diff. *)
+
+let test_manifest_round_trip () =
+  let sd = Pumps.sd_tree () in
+  let options = Sdft_analysis.default_options in
+  let cache = Quant_cache.create () in
+  let r = Sdft_analysis.analyze ~options ~cache sd in
+  let m = Manifest.of_result ~cache sd options r in
+  Alcotest.(check bool) "stamp matches" true (Manifest.stamp_matches m);
+  let path = Filename.temp_file "sdft_test" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Manifest.save path m;
+      match Manifest.load path with
+      | Error e -> Alcotest.failf "manifest reload failed: %s" e
+      | Ok m' ->
+        Alcotest.(check bool) "total round-trips" true (m'.Manifest.total = m.Manifest.total);
+        Alcotest.(check bool) "bounds round-trip" true
+          (m'.Manifest.lower = m.Manifest.lower
+          && m'.Manifest.upper = m.Manifest.upper);
+        Alcotest.(check int) "cutsets round-trip"
+          (List.length m.Manifest.cutsets)
+          (List.length m'.Manifest.cutsets);
+        Alcotest.(check int) "cache entries round-trip"
+          (List.length m.Manifest.cache_entries)
+          (List.length m'.Manifest.cache_entries);
+        List.iter2
+          (fun (a : Manifest.cutset_record) (b : Manifest.cutset_record) ->
+            Alcotest.(check (list string)) "events" a.Manifest.events b.Manifest.events;
+            Alcotest.(check bool) "probability bit-exact" true
+              (a.Manifest.q.Cutset_model.probability
+              = b.Manifest.q.Cutset_model.probability))
+          m.Manifest.cutsets m'.Manifest.cutsets)
+
+let test_manifest_diff_self_empty () =
+  let sd = Pumps.sd_tree () in
+  let options = Sdft_analysis.default_options in
+  let cache = Quant_cache.create () in
+  let r = Sdft_analysis.analyze ~options ~cache sd in
+  let m = Manifest.of_result ~cache sd options r in
+  (* Diff against a warm re-run of the same model: nothing changed, nothing
+     requantified. *)
+  let seeded = Quant_cache.create () in
+  ignore (Quant_cache.seed seeded m.Manifest.cache_entries);
+  let r2 = Sdft_analysis.analyze ~options ~cache:seeded sd in
+  let d = Manifest.diff m sd r2 in
+  Alcotest.(check int) "no moved cutsets" 0 (List.length d.Manifest.entries);
+  Alcotest.(check int) "nothing requantified" 0 d.Manifest.n_requantified;
+  Alcotest.(check int) "all cutsets unchanged"
+    (List.length m.Manifest.cutsets)
+    d.Manifest.n_unchanged
+
+let test_manifest_diff_detects_change () =
+  let options = Sdft_analysis.default_options in
+  let sd = Pumps.sd_tree () in
+  let cache = Quant_cache.create () in
+  let r = Sdft_analysis.analyze ~options ~cache sd in
+  let m = Manifest.of_result ~cache sd options r in
+  (* Re-analyze at a different horizon: every dynamic cutset moves. *)
+  let options2 = { options with Sdft_analysis.horizon = 48.0 } in
+  let r2 = Sdft_analysis.analyze ~options:options2 sd in
+  let d = Manifest.diff m sd r2 in
+  Alcotest.(check bool) "some cutsets moved" true (d.Manifest.entries <> []);
+  Alcotest.(check bool) "totals differ" true
+    (d.Manifest.old_total <> d.Manifest.new_total);
+  List.iter
+    (fun (e : Manifest.diff_entry) ->
+      match e.Manifest.d_change with
+      | Manifest.Moved (o, n) ->
+        Alcotest.(check bool) "moved probabilities differ" true (o <> n)
+      | Manifest.Appeared _ | Manifest.Disappeared _ ->
+        Alcotest.fail "same model: no cutset should appear or disappear")
+    d.Manifest.entries
+
+(* Record codec round-trip. *)
+
+let entry_gen =
+  QCheck.Gen.(
+    map
+      (fun (prob, states, transitions, steps) ->
+        { Quant_cache.e_prob = prob; e_states = states;
+          e_transitions = transitions; e_steps = steps })
+      (quad (float_bound_inclusive 1.0) (int_bound 100_000)
+         (int_bound 1_000_000) (int_bound 10_000)))
+
+let key_gen =
+  (* Keys are digests plus printf-formatted parameters, but the codec must
+     not care: exercise it with arbitrary bytes except newline (records are
+     framed, not line-delimited, so even newlines are fine — include them). *)
+  QCheck.Gen.(string_size ~gen:(map Char.chr (int_range 1 255)) (1 -- 80))
+
+let prop_record_codec_round_trip =
+  QCheck.Test.make ~name:"record codec round-trips" ~count:500
+    (QCheck.make
+       QCheck.Gen.(pair key_gen entry_gen)
+       ~print:(fun (k, e) ->
+         Printf.sprintf "key=%S prob=%h states=%d" k e.Quant_cache.e_prob
+           e.Quant_cache.e_states))
+    (fun (key, e) ->
+      match Quant_cache.decode_record (Quant_cache.encode_record key e) with
+      | None -> false
+      | Some (k', e') ->
+        k' = key
+        && e'.Quant_cache.e_prob = e.Quant_cache.e_prob
+        && e'.Quant_cache.e_states = e.Quant_cache.e_states
+        && e'.Quant_cache.e_transitions = e.Quant_cache.e_transitions
+        && e'.Quant_cache.e_steps = e.Quant_cache.e_steps)
+
+let prop_decode_total =
+  QCheck.Test.make ~name:"decode_record never raises" ~count:500
+    (QCheck.make
+       QCheck.Gen.(string_size ~gen:(map Char.chr (int_bound 255)) (0 -- 60))
+       ~print:(Printf.sprintf "%S"))
+    (fun s ->
+      match Quant_cache.decode_record s with Some _ | None -> true)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "store"
+    [
+      ( "framing",
+        [
+          Alcotest.test_case "round trip" `Quick test_store_round_trip;
+          Alcotest.test_case "truncated tail" `Quick test_store_truncated_tail;
+          Alcotest.test_case "flipped byte" `Quick test_store_flipped_byte;
+          Alcotest.test_case "stamp mismatch" `Quick test_store_stamp_mismatch;
+          Alcotest.test_case "reader sharing" `Quick test_store_reader_sharing;
+          Alcotest.test_case "crc32 vector" `Quick test_store_crc32_vector;
+        ] );
+      ( "disk cache",
+        [
+          Alcotest.test_case "warm reload identical" `Quick
+            test_cache_warm_reload_identical;
+          Alcotest.test_case "truncated store identical" `Quick
+            test_cache_truncated_store_identical;
+          Alcotest.test_case "corrupted store identical" `Quick
+            test_cache_corrupted_store_identical;
+          Alcotest.test_case "stamp mismatch identical" `Quick
+            test_cache_stamp_mismatch_identical;
+          Alcotest.test_case "read-only sharing" `Quick
+            test_cache_readonly_sharing;
+          Alcotest.test_case "open failure degrades" `Quick
+            test_cache_open_failure_degrades;
+          Alcotest.test_case "append failure degrades" `Quick
+            test_cache_append_failure_degrades;
+        ] );
+      ( "warm start",
+        [
+          Alcotest.test_case "export/seed" `Quick test_cache_export_seed;
+          Alcotest.test_case "manifest round trip" `Quick
+            test_manifest_round_trip;
+          Alcotest.test_case "diff of identical run" `Quick
+            test_manifest_diff_self_empty;
+          Alcotest.test_case "diff detects change" `Quick
+            test_manifest_diff_detects_change;
+        ] );
+      ("codec", qc [ prop_record_codec_round_trip; prop_decode_total ]);
+    ]
