@@ -40,32 +40,56 @@ let cutoff_arg =
   Arg.(value & opt float 1e-15 & info [ "cutoff"; "c" ] ~docv:"P" ~doc:"Probabilistic cutoff $(i,c*) for cutset generation.")
 
 (* Observability: every analysis-flavoured subcommand accepts the same
-   [--metrics FILE] / [--trace FILE] pair.  Tracing is enabled before the
-   command body runs (the library's spans are no-ops otherwise) and both
-   dumps are written on the way out, even if the body raises. *)
+   [--metrics FILE] / [--metrics-format] / [--trace FILE] / [--progress]
+   quartet.  Tracing is enabled before the command body runs (the library's
+   spans are no-ops otherwise) and both dumps are written on the way out,
+   even if the body raises.  The body receives an {!Sdft_util.Obs.t} built
+   on the process-default registries — identical instrumentation routing to
+   the pre-context CLI — optionally carrying a live stderr progress
+   reporter; results are bit-identical either way. *)
 
 type observability = {
   obs_metrics : string option;
+  obs_format : Sdft_util.Metrics.format;
   obs_trace : string option;
+  obs_progress : bool;
 }
 
 let observability_term =
   let metrics =
-    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc:"Dump internal counters and span timers as JSON to $(docv) on exit.")
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc:"Dump internal counters, span timers and histograms to $(docv) on exit (format per $(b,--metrics-format)).")
+  in
+  let format =
+    Arg.(value
+         & opt (enum [ ("json", Sdft_util.Metrics.Json_format);
+                       ("prom", Sdft_util.Metrics.Prom_format) ])
+             Sdft_util.Metrics.Json_format
+         & info [ "metrics-format" ] ~docv:"FMT" ~doc:"Format of the $(b,--metrics) dump: $(b,json) (default) or $(b,prom) (Prometheus text exposition 0.0.4: counters, gauges, spans as summaries, histograms with cumulative $(i,le) buckets).")
   in
   let trace =
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc:"Record hierarchical trace spans and write them to $(docv) on exit ($(b,.json) selects the Chrome trace-event format, anything else JSONL).")
   in
-  Term.(const (fun obs_metrics obs_trace -> { obs_metrics; obs_trace })
-        $ metrics $ trace)
+  let progress =
+    Arg.(value & flag & info [ "progress" ] ~doc:"Live one-line progress reporter on stderr: phase, cutsets done/total, cost-weighted ETA, elapsed time and peak heap. Purely observational — results are bit-identical with and without it.")
+  in
+  Term.(const (fun obs_metrics obs_format obs_trace obs_progress ->
+            { obs_metrics; obs_format; obs_trace; obs_progress })
+        $ metrics $ format $ trace $ progress)
 
 let with_observability obs f =
   if obs.obs_trace <> None then Sdft_util.Trace.set_enabled true;
+  let ctx =
+    if obs.obs_progress then
+      Sdft_util.Obs.with_progress Sdft_util.Obs.default
+        (Sdft_util.Progress.create ())
+    else Sdft_util.Obs.default
+  in
   let write () =
+    Sdft_util.Obs.finish_progress ctx;
     (match obs.obs_metrics with
     | None -> ()
     | Some path -> (
-      try Sdft_util.Metrics.write_file path
+      try Sdft_util.Metrics.write_file ~format:obs.obs_format path
       with Sys_error m -> Printf.eprintf "sdft: %s\n" m));
     match obs.obs_trace with
     | None -> ()
@@ -73,7 +97,7 @@ let with_observability obs f =
       try Sdft_util.Trace.write_file path
       with Sys_error m -> Printf.eprintf "sdft: %s\n" m)
   in
-  Fun.protect ~finally:write f
+  Fun.protect ~finally:write (fun () -> f ctx)
 
 (* Resource governance: analysis-flavoured subcommands accept the same
    --deadline / --mem-limit-mb / --on-limit triple. *)
@@ -99,10 +123,13 @@ let resource_term =
             { res_deadline; res_mem_mb; res_fail })
         $ deadline $ mem $ on_limit)
 
-let guard_of_resource res =
-  match (res.res_deadline, res.res_mem_mb) with
-  | None, None -> Sdft_util.Guard.none
-  | deadline, mem_limit_mb -> Sdft_util.Guard.create ?deadline ?mem_limit_mb ()
+(* The guard doubles as the progress heartbeat: a --progress run without
+   limits still gets a (passive) guard whose probe drives the reporter. *)
+let guard_of_resource ctx res =
+  match (res.res_deadline, res.res_mem_mb, Sdft_util.Obs.on_probe ctx) with
+  | None, None, None -> Sdft_util.Guard.none
+  | deadline, mem_limit_mb, on_probe ->
+    Sdft_util.Guard.create ?deadline ?mem_limit_mb ?on_probe ()
 
 (* For subcommands that drive MOCUS directly: report an interrupted
    generation and apply the --on-limit policy. *)
@@ -189,7 +216,7 @@ let domains_arg =
 let analyze_cmd =
   let run file horizon cutoff top_n show_histogram show_budget engine domains
       cache_path save_path diff_path res obs =
-    with_observability obs (fun () ->
+    with_observability obs (fun ctx ->
         with_disk_cache cache_path (fun disk_cache ->
         let sd = or_die (load_model file) in
         let options =
@@ -228,7 +255,7 @@ let analyze_cmd =
                cutset re-solves\n"
               (Option.get diff_path)
         | _ -> ());
-        let result = Sdft_analysis.analyze ~options ?cache sd in
+        let result = Sdft_analysis.analyze ~options ?cache ~obs:ctx sd in
         Format.printf "%a@." Sdft_analysis.pp_summary result;
         if show_budget then Format.printf "%a@." Sdft_analysis.pp_budget result;
         if show_histogram then begin
@@ -282,7 +309,7 @@ let analyze_cmd =
 
 let explain_cmd =
   let run file horizon cutoff top_n spans_n engine domains cache_path res obs =
-    with_observability obs (fun () ->
+    with_observability obs (fun ctx ->
         with_disk_cache cache_path (fun disk_cache ->
         (* Tracing is always on inside [explain]: the top-spans section needs
            it even when no --trace file was requested. *)
@@ -304,7 +331,7 @@ let explain_cmd =
           | Some c -> c
           | None -> Quant_cache.create ()
         in
-        let result = Sdft_analysis.analyze ~options ~cache sd in
+        let result = Sdft_analysis.analyze ~options ~cache ~obs:ctx sd in
         let tree = Sdft.tree sd in
         Format.printf "%a@.@." Sdft_analysis.pp_summary result;
         Format.printf "%a@.@." Sdft_analysis.pp_budget result;
@@ -358,6 +385,22 @@ let explain_cmd =
                   (Format.asprintf "%a" Sdft_util.Timer.pp_duration total))
             spans
         end;
+        let histograms =
+          List.filter
+            (fun (_, h) -> h.Sdft_util.Metrics.count > 0)
+            (Sdft_util.Metrics.snapshot ()).Sdft_util.Metrics.histograms
+        in
+        if histograms <> [] then begin
+          Printf.printf "\nlatency/throughput histograms (bucket quantiles):\n";
+          Printf.printf "%-28s %8s %11s %11s %11s\n" "histogram" "count"
+            "p50" "p90" "p99";
+          List.iter
+            (fun (name, h) ->
+              let q p = Sdft_util.Metrics.hist_quantile h p in
+              Printf.printf "%-28s %8d %11.3e %11.3e %11.3e\n" name
+                h.Sdft_util.Metrics.count (q 0.5) (q 0.9) (q 0.99))
+            histograms
+        end;
         check_on_limit_fail res result))
   in
   let top_n =
@@ -375,7 +418,7 @@ let explain_cmd =
 
 let sweep_cmd =
   let run file horizons cutoff engine domains cache_path res obs =
-    with_observability obs (fun () ->
+    with_observability obs (fun ctx ->
         with_disk_cache cache_path (fun disk_cache ->
         let sd = or_die (load_model file) in
         let option_sets =
@@ -392,7 +435,9 @@ let sweep_cmd =
               })
             horizons
         in
-        let points, cache = Sdft_analysis.sweep ?cache:disk_cache sd option_sets in
+        let points, cache =
+          Sdft_analysis.sweep ?cache:disk_cache ~obs:ctx sd option_sets
+        in
         Printf.printf "%10s %14s %9s %11s %11s\n" "horizon" "frequency"
           "cutsets" "cache-hits" "cache-miss";
         List.iter
@@ -436,19 +481,20 @@ let sweep_cmd =
 
 let mcs_cmd =
   let run file cutoff engine horizon cache_path res obs =
-    with_observability obs (fun () ->
+    with_observability obs (fun ctx ->
         (* mcs performs no quantification, so the cache sees no traffic; the
            option is still honoured (uniform interface, and SDFT_CACHE can
            stay exported across a whole pipeline run: opening repairs a torn
            tail and validates the stamp). *)
         with_disk_cache cache_path (fun _disk_cache ->
         let sd = or_die (load_model file) in
-        let guard = guard_of_resource res in
+        let guard = guard_of_resource ctx res in
         let translation = Sdft_translate.translate sd ~horizon in
         let tree = translation.Sdft_translate.static_tree in
         let resolved = Sdft_analysis.resolve_engine engine tree in
+        Sdft_util.Obs.begin_phase ctx "generation" ();
         let generation =
-          Sdft_analysis.generate_cutsets ~cutoff ~guard resolved tree
+          Sdft_analysis.generate_cutsets ~cutoff ~guard ~obs:ctx resolved tree
         in
         (match generation.Mocus.limit_hit with
         | Some r when generation.Mocus.truncated && generation.Mocus.cutsets = []
@@ -497,7 +543,7 @@ let classify_cmd =
 let simulate_cmd =
   let run file horizon trials seed method_ domains batch bias no_forcing
       rel_error level verify cutoff engine cache_path obs =
-    with_observability obs (fun () ->
+    with_observability obs (fun ctx ->
         with_disk_cache cache_path (fun disk_cache ->
         let sd = or_die (load_model file) in
         let z =
@@ -532,7 +578,7 @@ let simulate_cmd =
                 target_rel_error = rel_error;
               }
             in
-            let e = Rare_event.run ~options sd ~horizon in
+            let e = Rare_event.run ~options ~obs:ctx sd ~horizon in
             let lo, hi = Rare_event.confidence ~z e in
             Printf.printf
               "method: importance sampling (%s, static bias x%g)\n\
@@ -555,7 +601,9 @@ let simulate_cmd =
           in
           (* The verification side is an ordinary analysis, so a warm
              persistent cache makes repeated cross-checks nearly free. *)
-          let result = Sdft_analysis.analyze ~options ?cache:disk_cache sd in
+          let result =
+            Sdft_analysis.analyze ~options ?cache:disk_cache ~obs:ctx sd
+          in
           let check = Sdft_analysis.verify_sim result ~sim_ci:(lo, hi) in
           Printf.printf "analytic rare-event total: %.4e\n"
             result.Sdft_analysis.total;
@@ -601,10 +649,11 @@ let simulate_cmd =
 
 let exact_cmd =
   let run file horizon max_states res obs =
-    with_observability obs (fun () ->
+    with_observability obs (fun ctx ->
         let sd = or_die (load_model file) in
-        let guard = guard_of_resource res in
-        match Sdft_product.solve ~max_states ~guard sd ~horizon with
+        let guard = guard_of_resource ctx res in
+        Sdft_util.Obs.begin_phase ctx "exact" ();
+        match Sdft_product.solve ~max_states ~guard ~obs:ctx sd ~horizon with
         | p -> Printf.printf "p(FT, %gh) = %.6e\n" horizon p
         | exception Sdft_product.Too_many_states n ->
           Printf.eprintf
@@ -644,12 +693,15 @@ let translate_cmd =
 
 let importance_cmd =
   let run file cutoff horizon top_n res obs =
-    with_observability obs (fun () ->
+    with_observability obs (fun ctx ->
         let sd = or_die (load_model file) in
         let translation = Sdft_translate.translate sd ~horizon in
         let tree = translation.Sdft_translate.static_tree in
         let options = { Mocus.default_options with cutoff } in
-        let generation = Mocus.run ~options ~guard:(guard_of_resource res) tree in
+        Sdft_util.Obs.begin_phase ctx "generation" ();
+        let generation =
+          Mocus.run ~options ~guard:(guard_of_resource ctx res) ~obs:ctx tree
+        in
         warn_generation_limit res generation;
         let cutsets = generation.Mocus.cutsets in
         let imp = Importance.compute tree cutsets in
@@ -676,12 +728,15 @@ let importance_cmd =
 
 let uncertainty_cmd =
   let run file cutoff horizon samples seed error_factor res obs =
-    with_observability obs (fun () ->
+    with_observability obs (fun ctx ->
         let sd = or_die (load_model file) in
         let translation = Sdft_translate.translate sd ~horizon in
         let tree = translation.Sdft_translate.static_tree in
         let options = { Mocus.default_options with cutoff } in
-        let generation = Mocus.run ~options ~guard:(guard_of_resource res) tree in
+        Sdft_util.Obs.begin_phase ctx "generation" ();
+        let generation =
+          Mocus.run ~options ~guard:(guard_of_resource ctx res) ~obs:ctx tree
+        in
         warn_generation_limit res generation;
         let cutsets = generation.Mocus.cutsets in
         let spec _ = Uncertainty.Lognormal { error_factor } in
@@ -703,12 +758,15 @@ let uncertainty_cmd =
 
 let sensitivity_cmd =
   let run file cutoff horizon factor top_n res obs =
-    with_observability obs (fun () ->
+    with_observability obs (fun ctx ->
         let sd = or_die (load_model file) in
         let translation = Sdft_translate.translate sd ~horizon in
         let tree = translation.Sdft_translate.static_tree in
         let options = { Mocus.default_options with cutoff } in
-        let generation = Mocus.run ~options ~guard:(guard_of_resource res) tree in
+        Sdft_util.Obs.begin_phase ctx "generation" ();
+        let generation =
+          Mocus.run ~options ~guard:(guard_of_resource ctx res) ~obs:ctx tree
+        in
         warn_generation_limit res generation;
         let cutsets = generation.Mocus.cutsets in
         let t = Sensitivity.tornado ~factor tree cutsets in
@@ -762,12 +820,13 @@ let convert_cmd =
 
 let sequences_cmd =
   let run file horizon cutoff top_n res obs =
-    with_observability obs (fun () ->
+    with_observability obs (fun ctx ->
         let sd = or_die (load_model file) in
         let translation = Sdft_translate.translate sd ~horizon in
         let options = { Mocus.default_options with cutoff } in
+        Sdft_util.Obs.begin_phase ctx "generation" ();
         let generation =
-          Mocus.run ~options ~guard:(guard_of_resource res)
+          Mocus.run ~options ~guard:(guard_of_resource ctx res) ~obs:ctx
             translation.Sdft_translate.static_tree
         in
         warn_generation_limit res generation;
@@ -797,10 +856,11 @@ let sequences_cmd =
 
 let availability_cmd =
   let run file cutoff res obs =
-    with_observability obs (fun () ->
+    with_observability obs (fun ctx ->
         let sd = or_die (load_model file) in
-        let guard = guard_of_resource res in
-        match Availability.analyze ~cutoff ~guard sd with
+        let guard = guard_of_resource ctx res in
+        Sdft_util.Obs.begin_phase ctx "generation" ();
+        match Availability.analyze ~cutoff ~guard ~obs:ctx sd with
         | Some r ->
           (* A deadline guard stays tripped after expiry, so probing it here
              tells us whether generation was cut short. *)

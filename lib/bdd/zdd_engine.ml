@@ -25,6 +25,31 @@
 
 module Int_set = Sdft_util.Int_set
 module Guard = Sdft_util.Guard
+module Metrics = Sdft_util.Metrics
+module Trace = Sdft_util.Trace
+module Obs = Sdft_util.Obs
+
+(* Per-observability-context instrument handles (physical-equality fast
+   path on the default context — see Sdft_util.Obs). *)
+type handles = {
+  m_runs : Metrics.counter;
+  m_modules : Metrics.counter;
+  m_emitted : Metrics.counter;
+  m_peak_nodes : Metrics.gauge;
+}
+
+let handles_in m =
+  {
+    m_runs = Metrics.counter_in m "zdd.runs";
+    m_modules = Metrics.counter_in m "zdd.modules";
+    m_emitted = Metrics.counter_in m "zdd.cutsets_emitted";
+    m_peak_nodes = Metrics.gauge_max_in m "zdd.peak_nodes";
+  }
+
+let default_handles = handles_in Metrics.default
+
+let handles_of m =
+  if m == Metrics.default then default_handles else handles_in m
 
 type module_stats = {
   ms_gate : int;
@@ -130,7 +155,7 @@ let atleast bm inputs k =
   in
   need 0 k
 
-let run ?(cutoff = 0.0) ?max_order ?(guard = Guard.none) tree =
+let run_inner ?(cutoff = 0.0) ?max_order ?(guard = Guard.none) ~fp tree =
   (* One unamortized probe up front: on small trees the strided checks
      inside the BDD/ZDD recursions may never fire, and an already-expired
      deadline must surface as a generation limit, not leak into the
@@ -149,6 +174,7 @@ let run ?(cutoff = 0.0) ?max_order ?(guard = Guard.none) tree =
   let info h = Hashtbl.find infos h in
   let max_zdd_nodes = ref 0 in
   let compile_module g =
+    Sdft_util.Failpoint.hit_in fp "zdd.module";
     (* Variable order: first DFS visit from the module root, the same
        static-ordering heuristic [Bdd.of_fault_tree] uses — then the unused
        variables, to complete the permutation the manager requires. *)
@@ -329,3 +355,19 @@ let run ?(cutoff = 0.0) ?max_order ?(guard = Guard.none) tree =
     n_modules = List.length mods;
     max_zdd_nodes = !max_zdd_nodes;
   }
+
+let run ?cutoff ?max_order ?guard ?(obs = Obs.default) tree =
+  let h = handles_of obs.Obs.metrics in
+  let sink = obs.Obs.trace in
+  Trace.with_span ~sink "zdd.run" (fun () ->
+      let r =
+        run_inner ?cutoff ?max_order ?guard ~fp:obs.Obs.failpoints tree
+      in
+      Metrics.incr h.m_runs;
+      Metrics.add h.m_modules r.n_modules;
+      Metrics.add h.m_emitted (List.length r.cutsets);
+      Metrics.set_max h.m_peak_nodes (float_of_int r.max_zdd_nodes);
+      Trace.add_attr ~sink "modules" (Trace.Int r.n_modules);
+      Trace.add_attr ~sink "emitted" (Trace.Int (List.length r.cutsets));
+      Trace.add_attr ~sink "max_zdd_nodes" (Trace.Int r.max_zdd_nodes);
+      r)

@@ -61,11 +61,16 @@ val run :
   ?cutoff:float ->
   ?max_order:int ->
   ?guard:Sdft_util.Guard.t ->
+  ?obs:Sdft_util.Obs.t ->
   Fault_tree.t ->
   result
 (** [run tree] quantifies the tree's minimal-cutset family with its own
     basic-event probabilities. [cutoff] defaults to [0.0] (emit every
-    minimal cutset); [max_order] defaults to unbounded.
+    minimal cutset); [max_order] defaults to unbounded. [obs] (default
+    {!Sdft_util.Obs.default}) receives the [zdd.run] trace span, the
+    [zdd.runs] / [zdd.modules] / [zdd.cutsets_emitted] tallies and the
+    [zdd.peak_nodes] high-water gauge; its [zdd.module] failpoint site
+    fires before each module compilation.
 
     @raise Sdft_util.Guard.Limit_hit when the guard trips — unlike MOCUS
     there is no sound partial result to salvage; the caller degrades. *)

@@ -65,7 +65,8 @@ type result = {
   n_cutsets : int;
 }
 
-let analyze ?(cutoff = 1e-15) ?(engine = Sdft_analysis.Mocus_sound) ?guard sd =
+let analyze ?(cutoff = 1e-15) ?(engine = Sdft_analysis.Mocus_sound) ?guard
+    ?obs sd =
   let tree = Sdft.tree sd in
   let nb = Fault_tree.n_basics tree in
   let rec per_event b acc =
@@ -82,9 +83,9 @@ let analyze ?(cutoff = 1e-15) ?(engine = Sdft_analysis.Mocus_sound) ?guard sd =
     let q = Array.of_list (List.map snd per_event) in
     (* Generate cutsets on the translated tree (same cutsets as the SD
        model); quantify with steady-state unavailabilities. *)
-    let translation = Sdft_translate.translate sd ~horizon:24.0 in
+    let translation = Sdft_translate.translate ?obs sd ~horizon:24.0 in
     let generation =
-      Sdft_analysis.generate_cutsets ~cutoff ?guard engine
+      Sdft_analysis.generate_cutsets ~cutoff ?guard ?obs engine
         translation.Sdft_translate.static_tree
     in
     let acc = Sdft_util.Kahan.create () in

@@ -23,7 +23,7 @@ type result = {
 
 val analyze :
   ?cutoff:float -> ?engine:Sdft_analysis.engine -> ?guard:Sdft_util.Guard.t ->
-  Sdft.t -> result option
+  ?obs:Sdft_util.Obs.t -> Sdft.t -> result option
 (** Minimal cutsets of the translated tree, quantified with steady-state
     unavailabilities: static events keep their probability (interpreted as
     an unavailability per demand), dynamic events use

@@ -24,11 +24,11 @@ type context = {
 let context sd =
   { ctx_sd = sd; class_memo = Hashtbl.create 16; tsets_memo = Hashtbl.create 64 }
 
-let classify_cached ctx g =
+let classify_cached ?obs ctx g =
   match Hashtbl.find_opt ctx.class_memo g with
   | Some c -> c
   | None ->
-    let c = Sdft_classify.classify ctx.ctx_sd g in
+    let c = Sdft_classify.classify ?obs ctx.ctx_sd g in
     Hashtbl.add ctx.class_memo g c;
     c
 
@@ -70,7 +70,7 @@ type rel_rule =
   | Paper
   | All_events
 
-let build ?context:ctx ?(rel_rule = Paper) ?guard sd cutset =
+let build ?context:ctx ?(rel_rule = Paper) ?guard ?obs sd cutset =
   let ctx = match ctx with Some c -> c | None -> context sd in
   let tree = Sdft.tree sd in
   let c_dyn, c_stat =
@@ -150,7 +150,7 @@ let build ?context:ctx ?(rel_rule = Paper) ?guard sd cutset =
             match rel_rule with
             | All_events -> general_rel ()
             | Paper -> (
-              match classify_cached ctx g with
+              match classify_cached ?obs ctx g with
               | Sdft_classify.Static_branching ->
                 Int_set.inter (Sdft.dynamic_descendants sd g) cutset
               | Sdft_classify.Static_joins _ -> Sdft.dynamic_descendants sd g
@@ -240,7 +240,7 @@ let no_solve ~probability t0 =
     seconds = Sdft_util.Timer.elapsed_s t0;
   }
 
-let quantify ?epsilon ?max_states ?guard ?workspace t ~horizon =
+let quantify ?epsilon ?max_states ?guard ?workspace ?obs t ~horizon =
   let t0 = Sdft_util.Timer.start () in
   if t.impossible then no_solve ~probability:0.0 t0
   else
@@ -252,9 +252,10 @@ let quantify ?epsilon ?max_states ?guard ?workspace t ~horizon =
       let ws =
         match workspace with Some w -> w | None -> Transient.workspace ()
       in
-      let built = Sdft_product.build ?max_states ?guard sd_c in
+      let built = Sdft_product.build ?max_states ?guard ?obs sd_c in
       let p =
-        Sdft_product.unreliability ?epsilon ?guard ~workspace:ws built ~horizon
+        Sdft_product.unreliability ?epsilon ?guard ~workspace:ws ?obs built
+          ~horizon
       in
       let eps = Option.value epsilon ~default:1e-12 in
       {

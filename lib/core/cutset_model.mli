@@ -70,6 +70,7 @@ val build :
   ?context:context ->
   ?rel_rule:rel_rule ->
   ?guard:Sdft_util.Guard.t ->
+  ?obs:Sdft_util.Obs.t ->
   Sdft.t ->
   Cutset.t ->
   t
@@ -102,6 +103,7 @@ val quantify :
   ?max_states:int ->
   ?guard:Sdft_util.Guard.t ->
   ?workspace:Transient.workspace ->
+  ?obs:Sdft_util.Obs.t ->
   t ->
   horizon:float ->
   quantification

@@ -101,7 +101,8 @@ val initial_on : t -> (int * float) list
 
 (** {1 Analysis} *)
 
-val worst_case_failure_probability : ?epsilon:float -> t -> horizon:float -> float
+val worst_case_failure_probability :
+  ?epsilon:float -> ?obs:Sdft_util.Obs.t -> t -> horizon:float -> float
 (** The static probability assigned by the translation of Section V-B2: the
     probability that the event fails at least once within the horizon in the
     worst triggering pattern — triggered at time zero and never untriggered

@@ -125,11 +125,9 @@ let to_json m =
   Buffer.add_string buf "]}\n";
   Buffer.contents buf
 
-let save path m =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_json m))
+(* Atomic write: a crash mid-save must never leave a torn manifest where a
+   good one stood — --diff trusts this file. *)
+let save path m = Sdft_util.Atomic_io.write_file path (to_json m)
 
 let of_json v =
   let ( let* ) r f = Result.bind r f in

@@ -1,13 +1,35 @@
 module Metrics = Sdft_util.Metrics
 module Trace = Sdft_util.Trace
+module Obs = Sdft_util.Obs
 module Store = Sdft_util.Store
 
-let m_hits = Metrics.counter "quant_cache.hits"
-let m_misses = Metrics.counter "quant_cache.misses"
-let m_disk_hits = Metrics.counter "cache.disk_hits"
-let m_disk_misses = Metrics.counter "cache.disk_misses"
 let m_appends = Metrics.counter "cache.appends"
 let m_load_ms = Metrics.gauge "cache.load_ms"
+
+(* Per-observability-context instrument handles, resolved once per lookup
+   (and through the physical-equality fast path, for free on the default
+   context). *)
+type handles = {
+  m_hits : Metrics.counter;
+  m_misses : Metrics.counter;
+  m_disk_hits : Metrics.counter;
+  m_disk_misses : Metrics.counter;
+  m_lookup_s : Metrics.histogram;
+}
+
+let handles_in m =
+  {
+    m_hits = Metrics.counter_in m "quant_cache.hits";
+    m_misses = Metrics.counter_in m "quant_cache.misses";
+    m_disk_hits = Metrics.counter_in m "cache.disk_hits";
+    m_disk_misses = Metrics.counter_in m "cache.disk_misses";
+    m_lookup_s = Metrics.histogram_in m "cache.lookup_s";
+  }
+
+let default_handles = handles_in Metrics.default
+
+let handles_of m =
+  if m == Metrics.default then default_handles else handles_in m
 
 (* What a hit must reproduce: the dynamic probability plus the provenance of
    the solve that produced it (chain size, transition count, DTMC steps),
@@ -366,27 +388,31 @@ let store t key v =
   if added then disk_append t key v
 
 let quantify t ~epsilon ~max_states ?guard ?workspace ?(engine_tag = "")
-    (cm : Cutset_model.t) ~horizon =
+    ?(obs = Obs.default) (cm : Cutset_model.t) ~horizon =
   match cm.Cutset_model.model with
   | None ->
     (* Purely static or impossible: quantification is a multiplication. *)
     Cutset_model.quantify ~epsilon ~max_states cm ~horizon
   | Some sd_c ->
     let t0 = Sdft_util.Timer.start () in
-    Sdft_util.Failpoint.hit "cache.lookup";
+    let h = handles_of obs.Obs.metrics in
+    let sink = obs.Obs.trace in
+    Sdft_util.Failpoint.hit_in obs.Obs.failpoints "cache.lookup";
     let key =
       key_of_digest (digest_of cm sd_c) ~epsilon ~max_states ~horizon
         ~engine_tag
     in
-    (match find t key with
+    let looked_up = find t key in
+    Metrics.observe h.m_lookup_s (Sdft_util.Timer.elapsed_s t0);
+    (match looked_up with
     | Some (e, origin) ->
       Atomic.incr t.hit_count;
-      Metrics.incr m_hits;
+      Metrics.incr h.m_hits;
       if origin = Warm then begin
         Atomic.incr t.disk_hit_count;
-        Metrics.incr m_disk_hits
+        Metrics.incr h.m_disk_hits
       end;
-      Trace.instant "quant_cache.hit";
+      Trace.instant ~sink "quant_cache.hit";
       {
         Cutset_model.probability =
           e.e_prob *. cm.Cutset_model.static_multiplier;
@@ -399,20 +425,21 @@ let quantify t ~epsilon ~max_states ?guard ?workspace ?(engine_tag = "")
       }
     | None ->
       Atomic.incr t.miss_count;
-      Metrics.incr m_misses;
+      Metrics.incr h.m_misses;
       if t.disk <> None then begin
         Atomic.incr t.disk_miss_count;
-        Metrics.incr m_disk_misses
+        Metrics.incr h.m_disk_misses
       end;
-      Trace.instant "quant_cache.miss";
+      Trace.instant ~sink "quant_cache.miss";
       (* Too_many_states and guard interrupts propagate before anything is
          stored, so a limit can never poison the cache with a partial value. *)
       let ws =
         match workspace with Some w -> w | None -> Transient.workspace ()
       in
-      let built = Sdft_product.build ~max_states ?guard sd_c in
+      let built = Sdft_product.build ~max_states ?guard ~obs sd_c in
       let p_dyn =
-        Sdft_product.unreliability ~epsilon ?guard ~workspace:ws built ~horizon
+        Sdft_product.unreliability ~epsilon ?guard ~workspace:ws ~obs built
+          ~horizon
       in
       let transitions = Ctmc.n_transitions built.Sdft_product.chain in
       let steps = Transient.last_steps ws in

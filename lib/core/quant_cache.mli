@@ -64,6 +64,7 @@ val quantify :
   ?guard:Sdft_util.Guard.t ->
   ?workspace:Transient.workspace ->
   ?engine_tag:string ->
+  ?obs:Sdft_util.Obs.t ->
   Cutset_model.t ->
   horizon:float ->
   Cutset_model.quantification
@@ -78,10 +79,13 @@ val quantify :
     events when tracing is enabled.
     [Sdft_product.Too_many_states] — like {!Sdft_util.Guard.Limit_hit} from
     [guard] — propagates uncached, so retrying with a larger bound is never
-    poisoned by a previous failure. The [cache.lookup] {!Sdft_util.Failpoint}
-    site fires before each cacheable lookup. [workspace] is per-caller
-    solver scratch (see {!Cutset_model.quantify}); the cache itself stays
-    shareable across domains. *)
+    poisoned by a previous failure. [obs] (default {!Sdft_util.Obs.default})
+    supplies the observability context: its [cache.lookup]
+    {!Sdft_util.Failpoint} site fires before each cacheable lookup, each
+    lookup's latency lands on its [cache.lookup_s] histogram, and the
+    hit/miss counters and trace instants go to its registries. [workspace]
+    is per-caller solver scratch (see {!Cutset_model.quantify}); the cache
+    itself stays shareable across domains. *)
 
 (** {1 Disk tier}
 

@@ -1,12 +1,35 @@
 module Metrics = Sdft_util.Metrics
 module Trace = Sdft_util.Trace
+module Obs = Sdft_util.Obs
 
-let m_runs = Metrics.counter "analysis.runs"
-let m_mcs_span = Metrics.span "analysis.mcs_generation"
-let m_quant_span = Metrics.span "analysis.quantification"
-let m_fallbacks = Metrics.counter "analysis.fallbacks"
-let m_product_states = Metrics.counter "analysis.product_states"
-let m_cutsets = Metrics.counter "analysis.cutsets_quantified"
+(* Per-observability-context instrument handles, resolved once per analyze
+   call (physical-equality fast path on the default context — see
+   Sdft_util.Obs). *)
+type handles = {
+  m_runs : Metrics.counter;
+  m_mcs_span : Metrics.span;
+  m_quant_span : Metrics.span;
+  m_fallbacks : Metrics.counter;
+  m_product_states : Metrics.counter;
+  m_cutsets : Metrics.counter;
+  m_solve_s : Metrics.histogram;
+}
+
+let handles_in m =
+  {
+    m_runs = Metrics.counter_in m "analysis.runs";
+    m_mcs_span = Metrics.span_in m "analysis.mcs_generation";
+    m_quant_span = Metrics.span_in m "analysis.quantification";
+    m_fallbacks = Metrics.counter_in m "analysis.fallbacks";
+    m_product_states = Metrics.counter_in m "analysis.product_states";
+    m_cutsets = Metrics.counter_in m "analysis.cutsets_quantified";
+    m_solve_s = Metrics.histogram_in m "analysis.cutset_solve_s";
+  }
+
+let default_handles = handles_in Metrics.default
+
+let handles_of m =
+  if m == Metrics.default then default_handles else handles_in m
 
 type engine =
   | Mocus_sound
@@ -93,7 +116,7 @@ let resolve_engine engine tree =
     else Zdd_engine
 
 let generate_cutsets ?(cutoff = 1e-15) ?(max_order = None)
-    ?(guard = Sdft_util.Guard.none) engine tree =
+    ?(guard = Sdft_util.Guard.none) ?(obs = Obs.default) engine tree =
   let empty_on limit =
     (* Unlike MOCUS there is no sound partial cutset list to salvage from
        an interrupted BDD/ZDD compilation, and no mass bound for what is
@@ -118,7 +141,7 @@ let generate_cutsets ?(cutoff = 1e-15) ?(max_order = None)
         gate_bound_pruning = (engine = Mocus_aggressive);
       }
     in
-    Mocus.run ~options ~guard tree
+    Mocus.run ~options ~guard ~obs tree
   | Bdd_engine -> (
     match Minsol.fault_tree_cutsets_above ?max_order ~guard tree ~cutoff with
     | cutsets ->
@@ -136,7 +159,7 @@ let generate_cutsets ?(cutoff = 1e-15) ?(max_order = None)
     | exception Sdft_util.Guard.Limit_hit r -> empty_on r
     | exception Out_of_memory -> empty_on Sdft_util.Guard.Mem_limit)
   | Zdd_engine -> (
-    match Zdd_engine.run ~cutoff ?max_order ~guard tree with
+    match Zdd_engine.run ~cutoff ?max_order ~guard ~obs tree with
     | r ->
       let emitted = List.length r.Zdd_engine.cutsets in
       {
@@ -208,37 +231,46 @@ type result = {
 let degraded r =
   r.degradation.generation_limit <> None || r.degradation.degraded_cutsets <> []
 
-let analyze ?(options = default_options) ?cache sd =
-  Trace.with_span "analysis.analyze" (fun () ->
-  Metrics.incr m_runs;
+let analyze ?(options = default_options) ?cache ?(obs = Obs.default) sd =
+  let h = handles_of obs.Obs.metrics in
+  let sink = obs.Obs.trace in
+  Trace.with_span ~sink "analysis.analyze" (fun () ->
+  Fun.protect ~finally:(fun () -> Obs.finish_progress obs) @@ fun () ->
+  Metrics.incr h.m_runs;
   (* One guard for the whole analysis: the deadline spans generation and
      quantification together, so a generation overrun eats the budget of the
-     quantification phase (which then degrades cutset by cutset). *)
+     quantification phase (which then degrades cutset by cutset). A live
+     progress reporter rides the same guard: its probe callback runs at the
+     guard's amortized stride, so an unlimited-but-observed analysis keeps a
+     (passive-limit) guard just for the heartbeat. *)
   let guard =
-    match (options.deadline, options.mem_limit_mb) with
-    | None, None -> Sdft_util.Guard.none
-    | deadline, mem_limit_mb -> Sdft_util.Guard.create ?deadline ?mem_limit_mb ()
+    match (options.deadline, options.mem_limit_mb, Obs.on_probe obs) with
+    | None, None, None -> Sdft_util.Guard.none
+    | deadline, mem_limit_mb, on_probe ->
+      Sdft_util.Guard.create ?deadline ?mem_limit_mb ?on_probe ()
   in
+  Obs.begin_phase obs "generation" ();
   (* Phase 1: translation and cutset generation. [Auto] is resolved against
      the translated tree (trigger gates only exist post-translation) and the
      concrete choice is recorded as provenance on the result and on every
      cutset record. *)
   let (translation, engine_used, mocus_result), mcs_generation_seconds =
     Sdft_util.Timer.time (fun () ->
-        Metrics.time m_mcs_span (fun () ->
-            Trace.with_span "analysis.mcs_generation" (fun () ->
+        Metrics.time h.m_mcs_span (fun () ->
+            Trace.with_span ~sink "analysis.mcs_generation" (fun () ->
             let translation =
-              Sdft_translate.translate ~epsilon:options.transient_epsilon sd
-                ~horizon:options.horizon
+              Sdft_translate.translate ~epsilon:options.transient_epsilon ~obs
+                sd ~horizon:options.horizon
             in
             let engine_used =
               resolve_engine options.engine translation.static_tree
             in
-            Trace.add_attr "engine" (Trace.Str (engine_name engine_used));
+            Trace.add_attr ~sink "engine"
+              (Trace.Str (engine_name engine_used));
             ( translation,
               engine_used,
               generate_cutsets ~cutoff:options.cutoff
-                ~max_order:options.max_cutset_order ~guard engine_used
+                ~max_order:options.max_cutset_order ~guard ~obs engine_used
                 translation.static_tree ))))
   in
   (* Phase 2: per-cutset quantification, walking a degradation ladder per
@@ -285,41 +317,50 @@ let analyze ?(options = default_options) ?cache sd =
       engine = engine_used;
     }
   in
+  (* ETA cost proxy for the progress schedule: the product chain grows
+     multiplicatively with the dynamic width of the cutset, so weight each
+     work item exponentially (capped) rather than uniformly. *)
+  let cost_of cutset =
+    float_of_int (1 lsl min (count_dynamic cutset) 20)
+  in
   let quantify_model ~workspace model ~horizon =
     match cache with
     | Some c ->
       Quant_cache.quantify c ~epsilon:options.transient_epsilon
         ~max_states:options.max_product_states ~guard ~workspace
-        ~engine_tag:(engine_name engine_used) model ~horizon
+        ~engine_tag:(engine_name engine_used) ~obs model ~horizon
     | None ->
       Cutset_model.quantify ~epsilon:options.transient_epsilon
-        ~max_states:options.max_product_states ~guard ~workspace model ~horizon
+        ~max_states:options.max_product_states ~guard ~workspace ~obs model
+        ~horizon
   in
-  let quantify_one (context, workspace) cutset =
-    Trace.with_span "analysis.cutset" (fun () ->
+  let quantify_one_inner (context, workspace) cutset =
+    Trace.with_span ~sink "analysis.cutset" (fun () ->
     match Sdft_util.Guard.status guard with
     | Some r ->
       (* The global limit tripped between work items: skip the model build
          and the solve outright so the remaining cutsets drain fast. *)
-      Trace.add_attr "fallback" (Trace.Bool true);
+      Trace.add_attr ~sink "fallback" (Trace.Bool true);
       fallback_info ~reason:r cutset
     | None ->
       (* Model construction answers to the same guard as the solve: its
          trigger-set BDD compilations can blow up on their own, and a limit
          tripping there is a resource degradation, not a worker crash. *)
       match
-        Cutset_model.build ~context ~rel_rule:options.rel_rule ~guard sd cutset
+        Cutset_model.build ~context ~rel_rule:options.rel_rule ~guard ~obs sd
+          cutset
       with
       | exception Sdft_util.Guard.Limit_hit r ->
-        Trace.add_attr "fallback" (Trace.Bool true);
+        Trace.add_attr ~sink "fallback" (Trace.Bool true);
         fallback_info ~reason:r cutset
       | model ->
       (match quantify_model ~workspace model ~horizon:options.horizon with
       | q ->
-        Trace.add_attr "probability" (Trace.Float q.Cutset_model.probability);
-        Trace.add_attr "states" (Trace.Int q.Cutset_model.product_states);
+        Trace.add_attr ~sink "probability"
+          (Trace.Float q.Cutset_model.probability);
+        Trace.add_attr ~sink "states" (Trace.Int q.Cutset_model.product_states);
         if q.Cutset_model.from_cache then
-          Trace.add_attr "cached" (Trace.Bool true);
+          Trace.add_attr ~sink "cached" (Trace.Bool true);
         {
           cutset;
           probability = q.Cutset_model.probability;
@@ -336,14 +377,22 @@ let analyze ?(options = default_options) ?cache sd =
           engine = engine_used;
         }
       | exception Sdft_product.Too_many_states _ ->
-        Trace.add_attr "fallback" (Trace.Bool true);
+        Trace.add_attr ~sink "fallback" (Trace.Bool true);
         fallback_info ~model ~reason:Sdft_util.Guard.State_limit cutset
       | exception Sdft_util.Guard.Limit_hit r ->
-        Trace.add_attr "fallback" (Trace.Bool true);
+        Trace.add_attr ~sink "fallback" (Trace.Bool true);
         fallback_info ~model ~reason:r cutset
       | exception Out_of_memory ->
-        Trace.add_attr "fallback" (Trace.Bool true);
+        Trace.add_attr ~sink "fallback" (Trace.Bool true);
         fallback_info ~model ~reason:Sdft_util.Guard.Mem_limit cutset))
+  in
+  let quantify_one worker cutset =
+    let info = quantify_one_inner worker cutset in
+    if not info.used_fallback then
+      Metrics.observe h.m_solve_s info.solve_seconds;
+    (* Atomic progress state: safe to step from worker domains. *)
+    Obs.step obs ~cost:(cost_of cutset) ();
+    info
   in
   (* Last rung of the ladder: any exception neither the guard nor the state
      bound accounts for (a genuine bug, an injected crash) poisons only its
@@ -353,7 +402,7 @@ let analyze ?(options = default_options) ?cache sd =
     match quantify_one worker cutset with
     | info -> info
     | exception exn ->
-      Trace.instant "analysis.worker_crash";
+      Trace.instant ~sink "analysis.worker_crash";
       ignore exn;
       fallback_info ~reason:Sdft_util.Guard.Worker_crash cutset
   in
@@ -426,13 +475,18 @@ let analyze ?(options = default_options) ?cache sd =
     Array.iteri (fun pos r -> restored.(order.(pos)) <- Some r) results;
     List.init n (fun i -> Option.get restored.(i))
   in
+  let all_cutsets = mocus_result.Mocus.cutsets in
+  Obs.begin_phase obs "quantification" ~total:(List.length all_cutsets)
+    ~cost_total:
+      (List.fold_left (fun acc c -> acc +. cost_of c) 0.0 all_cutsets)
+    ();
   let infos, quantification_seconds =
     Sdft_util.Timer.time (fun () ->
-        Metrics.time m_quant_span (fun () ->
-            Trace.with_span "analysis.quantification" (fun () ->
+        Metrics.time h.m_quant_span (fun () ->
+            Trace.with_span ~sink "analysis.quantification" (fun () ->
                 if options.domains > 1 then
-                  quantify_parallel options.domains mocus_result.Mocus.cutsets
-                else quantify_sequential mocus_result.Mocus.cutsets)))
+                  quantify_parallel options.domains all_cutsets
+                else quantify_sequential all_cutsets)))
   in
   let relevant =
     List.filter (fun info -> info.probability > options.cutoff) infos
@@ -450,9 +504,9 @@ let analyze ?(options = default_options) ?cache sd =
   let n_fallbacks =
     List.length (List.filter (fun info -> info.used_fallback) infos)
   in
-  Metrics.add m_cutsets (List.length infos);
-  Metrics.add m_fallbacks n_fallbacks;
-  Metrics.add m_product_states
+  Metrics.add h.m_cutsets (List.length infos);
+  Metrics.add h.m_fallbacks n_fallbacks;
+  Metrics.add h.m_product_states
     (List.fold_left (fun acc info -> acc + info.product_states) 0 infos);
   (* Error budget. Upper bound: the rare-event sum over-approximates the
      union, so adding back every discarded mass — branches pruned during
@@ -527,9 +581,9 @@ let analyze ?(options = default_options) ?cache sd =
           ];
     }
   in
-  Trace.add_attr "total" (Trace.Float total);
-  Trace.add_attr "lower" (Trace.Float budget.lower);
-  Trace.add_attr "upper" (Trace.Float budget.upper);
+  Trace.add_attr ~sink "total" (Trace.Float total);
+  Trace.add_attr ~sink "lower" (Trace.Float budget.lower);
+  Trace.add_attr ~sink "upper" (Trace.Float budget.upper);
   {
     total;
     cutoff = options.cutoff;
@@ -612,13 +666,13 @@ type sweep_point = {
   cache_misses : int;
 }
 
-let sweep ?cache sd option_sets =
+let sweep ?cache ?obs sd option_sets =
   let cache = match cache with Some c -> c | None -> Quant_cache.create () in
   let points =
     List.map
       (fun opts ->
         let h0 = Quant_cache.hits cache and m0 = Quant_cache.misses cache in
-        let r = analyze ~options:opts ~cache sd in
+        let r = analyze ~options:opts ~cache ?obs sd in
         {
           sweep_options = opts;
           sweep_result = r;

@@ -193,7 +193,9 @@ type result = {
   translation : Sdft_translate.result;
 }
 
-val analyze : ?options:options -> ?cache:Quant_cache.t -> Sdft.t -> result
+val analyze :
+  ?options:options -> ?cache:Quant_cache.t -> ?obs:Sdft_util.Obs.t ->
+  Sdft.t -> result
 (** [cache], when given, routes per-cutset quantification through a
     {!Quant_cache.t} so that isomorphic cutset sub-models — within this call
     or across calls sharing the cache — are solved once. Results are
@@ -205,7 +207,17 @@ val analyze : ?options:options -> ?cache:Quant_cache.t -> Sdft.t -> result
     [degradation] field records what was cut short. Totals and upper bounds
     remain sound because every degraded cutset is replaced by an upper
     bound on its probability; the certified lower bound never anchors on a
-    degraded cutset. *)
+    degraded cutset.
+
+    [obs] (default {!Sdft_util.Obs.default}) is the observability context
+    threaded through the whole pipeline: every counter, span, histogram
+    (notably the per-cutset [analysis.cutset_solve_s] solve times), trace
+    event and failpoint site of this analysis lands in its registries, and
+    a {!Sdft_util.Progress} reporter attached to it is driven through the
+    two phases (with a cost-weighted ETA over the quantification schedule)
+    via the shared guard's probe hook. Instrumentation never changes the
+    numbers: results are bit-identical whether [obs] is the default, a
+    fresh context, or one with a live progress reporter. *)
 
 val degraded : result -> bool
 (** Any degradation at all — generation stopped early, or at least one
@@ -224,6 +236,7 @@ type sweep_point = {
 
 val sweep :
   ?cache:Quant_cache.t ->
+  ?obs:Sdft_util.Obs.t ->
   Sdft.t ->
   options list ->
   sweep_point list * Quant_cache.t
@@ -242,7 +255,7 @@ val static_rare_event :
 
 val generate_cutsets :
   ?cutoff:float -> ?max_order:int option -> ?guard:Sdft_util.Guard.t ->
-  engine -> Fault_tree.t -> Mocus.result
+  ?obs:Sdft_util.Obs.t -> engine -> Fault_tree.t -> Mocus.result
 (** Run the chosen cutset engine on a static tree ([Auto] is resolved
     first). A tripped [guard] never raises: the MOCUS engines return their
     accounted partial result (see {!Mocus.run}); the BDD and ZDD engines

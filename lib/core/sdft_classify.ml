@@ -69,8 +69,8 @@ let has_uniform_triggering sd g =
   | [] -> false
   | first :: rest -> first <> None && List.for_all (fun t -> t = first) rest
 
-let classify sd g =
-  Sdft_util.Trace.with_span "classify.gate"
+let classify ?(obs = Sdft_util.Obs.default) sd g =
+  Sdft_util.Trace.with_span ~sink:obs.Sdft_util.Obs.trace "classify.gate"
     ~attrs:[ ("gate", Sdft_util.Trace.Int g) ]
     (fun () ->
       if has_static_branching sd g then Static_branching
@@ -86,11 +86,11 @@ type report = {
   n_general : int;
 }
 
-let report sd =
+let report ?obs sd =
   let gates =
     List.sort_uniq compare (List.map fst (Sdft.trigger_edges sd))
   in
-  let per_trigger_gate = List.map (fun g -> (g, classify sd g)) gates in
+  let per_trigger_gate = List.map (fun g -> (g, classify ?obs sd g)) gates in
   let count pred = List.length (List.filter (fun (_, c) -> pred c) per_trigger_gate) in
   {
     per_trigger_gate;

@@ -32,10 +32,11 @@ val has_uniform_triggering : Sdft.t -> int -> bool
 (** All dynamic basic events under the gate are triggered and share the same
     triggering gate. *)
 
-val classify : Sdft.t -> int -> gate_class
+val classify : ?obs:Sdft_util.Obs.t -> Sdft.t -> int -> gate_class
 (** Class of a gate: [Static_branching] when that condition holds (it is
     checked first because it yields the cheapest quantification), otherwise
-    [Static_joins] when that holds, otherwise [General]. *)
+    [Static_joins] when that holds, otherwise [General]. [obs] (default
+    {!Sdft_util.Obs.default}) receives the [classify.gate] trace span. *)
 
 type report = {
   per_trigger_gate : (int * gate_class) list;
@@ -45,7 +46,7 @@ type report = {
   n_general : int;
 }
 
-val report : Sdft.t -> report
+val report : ?obs:Sdft_util.Obs.t -> Sdft.t -> report
 (** Classify every triggering gate of the model. *)
 
 val pp_class : Format.formatter -> gate_class -> unit

@@ -1,4 +1,7 @@
 module Int_set = Sdft_util.Int_set
+module Obs = Sdft_util.Obs
+module Metrics = Sdft_util.Metrics
+module Failpoint = Sdft_util.Failpoint
 
 type built = {
   chain : Ctmc.t;
@@ -229,7 +232,7 @@ let unpack strides key state =
 (* Exploration produces identical state numbering (and hence bit-identical
    chains) on both paths: initial states are interned in the same order and
    the successor loops visit (slot, local transition) pairs identically. *)
-let build_packed sem ~max_states ~guard strides =
+let build_packed sem ~max_states ~guard ~fp strides =
   let components = sem.components in
   let n_components = Array.length components in
   let ids : (int, int) Hashtbl.t = Hashtbl.create 64 in
@@ -265,7 +268,7 @@ let build_packed sem ~max_states ~guard strides =
   let next = Array.make n_components 0 in
   while not (Queue.is_empty frontier) do
     Sdft_util.Guard.check guard;
-    Sdft_util.Failpoint.hit "product.explore";
+    Failpoint.hit_in fp "product.explore";
     let src = Queue.pop frontier in
     unpack strides (Sdft_util.Vec.get keys src) state;
     for slot = 0 to n_components - 1 do
@@ -302,7 +305,7 @@ let build_packed sem ~max_states ~guard strides =
 
 (* Generic fallback for oversized radix products: array-keyed interning with
    a state copy per explored transition. *)
-let build_generic sem ~max_states ~guard =
+let build_generic sem ~max_states ~guard ~fp =
   let components = sem.components in
   let ids : (int array, int) Hashtbl.t = Hashtbl.create 64 in
   let states = Sdft_util.Vec.create () in
@@ -331,7 +334,7 @@ let build_generic sem ~max_states ~guard =
   let transitions = Sdft_util.Vec.create () in
   while not (Queue.is_empty frontier) do
     Sdft_util.Guard.check guard;
-    Sdft_util.Failpoint.hit "product.explore";
+    Failpoint.hit_in fp "product.explore";
     let src = Queue.pop frontier in
     let state = Sdft_util.Vec.get states src in
     Array.iteri
@@ -360,28 +363,40 @@ let build_generic sem ~max_states ~guard =
   }
 
 let build ?(max_states = 1_000_000) ?assumed_failed ?(generic = false)
-    ?(guard = Sdft_util.Guard.none) sd =
-  Sdft_util.Trace.with_span "product.build" (fun () ->
+    ?(guard = Sdft_util.Guard.none) ?(obs = Obs.default) sd =
+  let sink = obs.Obs.trace in
+  let fp = obs.Obs.failpoints in
+  Sdft_util.Trace.with_span ~sink "product.build" (fun () ->
+      let t0 = Sdft_util.Timer.start () in
       let sem = semantics ?assumed_failed sd in
       let built =
-        if generic then build_generic sem ~max_states ~guard
+        if generic then build_generic sem ~max_states ~guard ~fp
         else
           match radix_strides sem.components with
-          | Some strides -> build_packed sem ~max_states ~guard strides
-          | None -> build_generic sem ~max_states ~guard
+          | Some strides -> build_packed sem ~max_states ~guard ~fp strides
+          | None -> build_generic sem ~max_states ~guard ~fp
       in
-      Sdft_util.Trace.add_attr "states" (Sdft_util.Trace.Int built.n_states);
-      Sdft_util.Trace.add_attr "transitions"
+      (* Exploration throughput, one observation per build: the latency
+         distribution across cutset products is exactly the per-module
+         heterogeneity the explain view wants to surface. *)
+      let dt = Sdft_util.Timer.elapsed_s t0 in
+      if dt > 0.0 then
+        Metrics.observe
+          (Metrics.histogram_in obs.Obs.metrics "product.build_states_per_s")
+          (float_of_int built.n_states /. dt);
+      Sdft_util.Trace.add_attr ~sink "states"
+        (Sdft_util.Trace.Int built.n_states);
+      Sdft_util.Trace.add_attr ~sink "transitions"
         (Sdft_util.Trace.Int (Ctmc.n_transitions built.chain));
       built)
 
-let unreliability ?(epsilon = 1e-12) ?guard ?workspace built ~horizon =
+let unreliability ?(epsilon = 1e-12) ?guard ?workspace ?obs built ~horizon =
   let options = { Transient.default_options with epsilon } in
-  Transient.reach_within ~options ?guard ?workspace built.chain
+  Transient.reach_within ~options ?guard ?workspace ?obs built.chain
     ~init:built.init
     ~target:(fun s -> built.failed.(s))
     ~t:horizon
 
-let solve ?max_states ?epsilon ?guard sd ~horizon =
-  let built = build ?max_states ?guard sd in
-  unreliability ?epsilon ?guard built ~horizon
+let solve ?max_states ?epsilon ?guard ?obs sd ~horizon =
+  let built = build ?max_states ?guard ?obs sd in
+  unreliability ?epsilon ?guard ?obs built ~horizon

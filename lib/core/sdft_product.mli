@@ -33,6 +33,7 @@ val build :
   ?assumed_failed:Sdft_util.Int_set.t ->
   ?generic:bool ->
   ?guard:Sdft_util.Guard.t ->
+  ?obs:Sdft_util.Obs.t ->
   Sdft.t ->
   built
 (** [build sd] explores the reachable consistent product states from the
@@ -51,20 +52,24 @@ val build :
     explored state; on a trip {!Sdft_util.Guard.Limit_hit} propagates to
     the caller (unlike a MOCUS run there is no sound partial result — a
     half-explored chain would silently under-count failure paths). The
-    [product.explore] {!Sdft_util.Failpoint} site fires at the same place.
+    [product.explore] failpoint site of [obs] (default
+    {!Sdft_util.Obs.default}) fires at the same place; each build also
+    observes its exploration throughput on the context's
+    [product.build_states_per_s] histogram.
 
     @raise Invalid_argument if [assumed_failed] contains a dynamic event. *)
 
 val unreliability :
   ?epsilon:float -> ?guard:Sdft_util.Guard.t ->
-  ?workspace:Transient.workspace -> built -> horizon:float -> float
+  ?workspace:Transient.workspace -> ?obs:Sdft_util.Obs.t -> built ->
+  horizon:float -> float
 (** [Pr(reach a failed product state within the horizon)]. [workspace]
     removes the solver's per-call vector allocations; [guard] is probed at
     every uniformization step. *)
 
 val solve :
-  ?max_states:int -> ?epsilon:float -> ?guard:Sdft_util.Guard.t -> Sdft.t ->
-  horizon:float -> float
+  ?max_states:int -> ?epsilon:float -> ?guard:Sdft_util.Guard.t ->
+  ?obs:Sdft_util.Obs.t -> Sdft.t -> horizon:float -> float
 (** [build] + [unreliability] on the whole tree — the exact semantics
     [p(FT)] of Section III-C2. *)
 

@@ -3,7 +3,7 @@ type result = {
   worst_case : float array;
 }
 
-let translate ?epsilon sd ~horizon =
+let translate ?epsilon ?obs sd ~horizon =
   let tree = Sdft.tree sd in
   let nb = Fault_tree.n_basics tree in
   let worst_case =
@@ -16,7 +16,7 @@ let translate ?epsilon sd ~horizon =
              ever used as upper bounds, so 1.0 stays sound — it merely
              prunes less. *)
           match
-            Dbe.worst_case_failure_probability ?epsilon (Sdft.dbe sd b)
+            Dbe.worst_case_failure_probability ?epsilon ?obs (Sdft.dbe sd b)
               ~horizon
           with
           | p -> p

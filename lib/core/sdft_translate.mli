@@ -19,6 +19,8 @@ type result = {
           probability for dynamic ones). *)
 }
 
-val translate : ?epsilon:float -> Sdft.t -> horizon:float -> result
+val translate :
+  ?epsilon:float -> ?obs:Sdft_util.Obs.t -> Sdft.t -> horizon:float -> result
 (** [epsilon] is the transient-analysis precision for the worst-case
-    probabilities (default 1e-12). *)
+    probabilities (default 1e-12); [obs] the observability context the
+    per-event transient solves report into (default {!Sdft_util.Obs.default}). *)

@@ -1,10 +1,27 @@
 module Metrics = Sdft_util.Metrics
 module Trace = Sdft_util.Trace
+module Failpoint = Sdft_util.Failpoint
+module Obs = Sdft_util.Obs
 
-let m_solves = Metrics.counter "transient.solves"
-let m_steps = Metrics.counter "transient.uniformization_steps"
-let m_window = Metrics.counter "transient.window_width_total"
-let m_steady = Metrics.counter "transient.steady_state_exits"
+type handles = {
+  m_solves : Metrics.counter;
+  m_steps : Metrics.counter;
+  m_window : Metrics.counter;
+  m_steady : Metrics.counter;
+}
+
+let handles_in m =
+  {
+    m_solves = Metrics.counter_in m "transient.solves";
+    m_steps = Metrics.counter_in m "transient.uniformization_steps";
+    m_window = Metrics.counter_in m "transient.window_width_total";
+    m_steady = Metrics.counter_in m "transient.steady_state_exits";
+  }
+
+let default_handles = handles_in Metrics.default
+
+let handles_of m =
+  if m == Metrics.default then default_handles else handles_in m
 
 type options = {
   epsilon : float;
@@ -26,10 +43,30 @@ type workspace = {
      much numerical work a result cost. *)
   mutable ws_steps : int;
   mutable ws_window : int;
+  (* Cached instrument handles for the registry of the last solve: a
+     workspace runs many small solves back to back, so resolving names per
+     solve would put a hashtable lookup on the per-cutset path. Keyed by
+     physical equality of the registry. *)
+  mutable ws_handles : (Metrics.t * handles) option;
 }
 
 let workspace () =
-  { ws_pi = [||]; ws_scratch = [||]; ws_result = [||]; ws_steps = 0; ws_window = 0 }
+  {
+    ws_pi = [||];
+    ws_scratch = [||];
+    ws_result = [||];
+    ws_steps = 0;
+    ws_window = 0;
+    ws_handles = None;
+  }
+
+let ws_handles ws m =
+  match ws.ws_handles with
+  | Some (m', h) when m' == m -> h
+  | _ ->
+    let h = handles_of m in
+    ws.ws_handles <- Some (m, h);
+    h
 
 let last_steps ws = ws.ws_steps
 
@@ -93,8 +130,11 @@ let max_abs_diff n a b =
 (* Core solve writing into [ws.ws_result] (first [n] entries); returns
    [false] when no motion happened and the result is just the initial
    distribution in [ws.ws_pi]. *)
-let solve_into ~options ~guard ws chain ~init ~t =
-  Trace.with_span "transient.solve" (fun () ->
+let solve_into ~options ~guard ~obs ws chain ~init ~t =
+  let sink = obs.Obs.trace in
+  let fp = obs.Obs.failpoints in
+  let h = ws_handles ws obs.Obs.metrics in
+  Trace.with_span ~sink "transient.solve" (fun () ->
   if t < 0.0 || not (Float.is_finite t) then
     invalid_arg "Transient.distribution: bad horizon";
   let n = Ctmc.n_states chain in
@@ -104,7 +144,7 @@ let solve_into ~options ~guard ws chain ~init ~t =
   Array.fill pi 0 n 0.0;
   List.iter (fun (s, m) -> pi.(s) <- pi.(s) +. m) init;
   let q = Ctmc.max_exit_rate chain in
-  Trace.add_attr "states" (Trace.Int n);
+  Trace.add_attr ~sink "states" (Trace.Int n);
   if t = 0.0 || q = 0.0 then begin
     ws.ws_steps <- 0;
     ws.ws_window <- 0;
@@ -112,8 +152,8 @@ let solve_into ~options ~guard ws chain ~init ~t =
   end
   else begin
     let window = Poisson.weights ~epsilon:options.epsilon (q *. t) in
-    Metrics.incr m_solves;
-    Metrics.add m_window (window.Poisson.right - window.Poisson.left + 1);
+    Metrics.incr h.m_solves;
+    Metrics.add h.m_window (window.Poisson.right - window.Poisson.left + 1);
     let result = ws.ws_result in
     Array.fill result 0 n 0.0;
     let accumulate weight pi =
@@ -137,7 +177,7 @@ let solve_into ~options ~guard ws chain ~init ~t =
       (match guard with
       | Some g -> Sdft_util.Guard.check_now g
       | None -> ());
-      Sdft_util.Failpoint.hit "transient.step";
+      Failpoint.hit_in fp "transient.step";
       let w = weight_of !k in
       accumulate w pi;
       remaining := !remaining -. w;
@@ -152,32 +192,32 @@ let solve_into ~options ~guard ws chain ~init ~t =
       incr k
     done;
     (* One atomic add per solve, not per step. *)
-    Metrics.add m_steps !k;
-    if !stationary then Metrics.incr m_steady;
+    Metrics.add h.m_steps !k;
+    if !stationary then Metrics.incr h.m_steady;
     if !stationary && !remaining > 0.0 then accumulate !remaining pi;
     ws.ws_steps <- !k;
     ws.ws_window <- window.Poisson.right - window.Poisson.left + 1;
-    Trace.add_attr "steps" (Trace.Int !k);
-    Trace.add_attr "window" (Trace.Int ws.ws_window);
-    if !stationary then Trace.add_attr "stationary" (Trace.Bool true);
+    Trace.add_attr ~sink "steps" (Trace.Int !k);
+    Trace.add_attr ~sink "window" (Trace.Int ws.ws_window);
+    if !stationary then Trace.add_attr ~sink "stationary" (Trace.Bool true);
     true
   end)
 
-let distribution ?(options = default_options) ?guard ?workspace:ws chain ~init
-    ~t =
+let distribution ?(options = default_options) ?guard ?workspace:ws
+    ?(obs = Obs.default) chain ~init ~t =
   let ws = match ws with Some w -> w | None -> workspace () in
   let n = Ctmc.n_states chain in
-  if solve_into ~options ~guard ws chain ~init ~t then
+  if solve_into ~options ~guard ~obs ws chain ~init ~t then
     Array.sub ws.ws_result 0 n
   else Array.sub ws.ws_pi 0 n
 
-let reach_within ?(options = default_options) ?guard ?workspace:ws chain ~init
-    ~target ~t =
+let reach_within ?(options = default_options) ?guard ?workspace:ws
+    ?(obs = Obs.default) chain ~init ~target ~t =
   let ws = match ws with Some w -> w | None -> workspace () in
   let absorbed = Ctmc.restrict_absorbing chain target in
   let n = Ctmc.n_states absorbed in
   let dist =
-    if solve_into ~options ~guard ws absorbed ~init ~t then ws.ws_result
+    if solve_into ~options ~guard ~obs ws absorbed ~init ~t then ws.ws_result
     else ws.ws_pi
   in
   let acc = Sdft_util.Kahan.create () in

@@ -41,6 +41,7 @@ val distribution :
   ?options:options ->
   ?guard:Sdft_util.Guard.t ->
   ?workspace:workspace ->
+  ?obs:Sdft_util.Obs.t ->
   Ctmc.t ->
   init:(int * float) list ->
   t:float ->
@@ -53,8 +54,9 @@ val distribution :
 
     [guard], when given, is probed (non-amortized) before every
     uniformization step and raises {!Sdft_util.Guard.Limit_hit} on a trip;
-    the [transient.step] {!Sdft_util.Failpoint} site fires at the same
-    place.
+    the [transient.step] failpoint site of [obs] (default
+    {!Sdft_util.Obs.default}) fires at the same place, and solve metrics
+    and trace spans go to the same context.
 
     @raise Invalid_argument on a negative horizon or an invalid initial
     distribution. *)
@@ -63,6 +65,7 @@ val reach_within :
   ?options:options ->
   ?guard:Sdft_util.Guard.t ->
   ?workspace:workspace ->
+  ?obs:Sdft_util.Obs.t ->
   Ctmc.t ->
   init:(int * float) list ->
   target:(int -> bool) ->

@@ -1,13 +1,38 @@
 module Int_set = Sdft_util.Int_set
 module Metrics = Sdft_util.Metrics
 module Trace = Sdft_util.Trace
+module Failpoint = Sdft_util.Failpoint
+module Obs = Sdft_util.Obs
 
-let m_run_span = Metrics.span "mocus.run"
-let m_runs = Metrics.counter "mocus.runs"
-let m_generated = Metrics.counter "mocus.partials_generated"
-let m_pruned = Metrics.counter "mocus.partials_pruned"
-let m_deduped = Metrics.counter "mocus.partials_deduped"
-let m_cutsets = Metrics.counter "mocus.cutsets"
+(* Instrument handles, resolved once per run from the observability
+   context's registry. The default context's handles are resolved once per
+   process and reused, so the historical global-metrics path costs the same
+   as before. *)
+type handles = {
+  m_run_span : Metrics.span;
+  m_runs : Metrics.counter;
+  m_generated : Metrics.counter;
+  m_pruned : Metrics.counter;
+  m_deduped : Metrics.counter;
+  m_cutsets : Metrics.counter;
+  m_peak_stack : Metrics.gauge;
+}
+
+let handles_in m =
+  {
+    m_run_span = Metrics.span_in m "mocus.run";
+    m_runs = Metrics.counter_in m "mocus.runs";
+    m_generated = Metrics.counter_in m "mocus.partials_generated";
+    m_pruned = Metrics.counter_in m "mocus.partials_pruned";
+    m_deduped = Metrics.counter_in m "mocus.partials_deduped";
+    m_cutsets = Metrics.counter_in m "mocus.cutsets";
+    m_peak_stack = Metrics.gauge_max_in m "mocus.peak_stack_depth";
+  }
+
+let default_handles = handles_in Metrics.default
+
+let handles_of m =
+  if m == Metrics.default then default_handles else handles_in m
 
 type options = {
   cutoff : float;
@@ -79,7 +104,9 @@ let gate_estimates tree =
     (Fault_tree.topological_gates tree);
   est
 
-let run_inner ~options ~guard tree =
+let run_inner ~options ~guard ~obs ~h tree =
+  let fp = obs.Obs.failpoints in
+  let sink = obs.Obs.trace in
   let tree = Expand.expand_atleast tree in
   let estimate = gate_estimates tree in
   let out = Sdft_util.Vec.create () in
@@ -168,13 +195,16 @@ let run_inner ~options ~guard tree =
       prob = 1.0;
     };
   let limit = ref None in
+  let max_depth = ref 0 in
   (try
     (* The resource checkpoints sit before the pop so that, when a limit
        fires, every partial not yet refined is still on the stack and its
        mass can be folded below — nothing escapes the accounting. *)
     while (not (Stack.is_empty stack)) && budget_left () do
     Sdft_util.Guard.check guard;
-    Sdft_util.Failpoint.hit "mocus.expand";
+    Failpoint.hit_in fp "mocus.expand";
+    let depth = Stack.length stack in
+    if depth > !max_depth then max_depth := depth;
     let p = Stack.pop stack in
     if Int_set.cardinal p.gates = 0 then Sdft_util.Vec.push out p.basics
     else begin
@@ -223,11 +253,12 @@ let run_inner ~options ~guard tree =
   let generated = Sdft_util.Vec.length out in
   let cutsets = Cutset.minimize (Sdft_util.Vec.to_list out) in
   (* Publish the locally accumulated tallies with one atomic add each. *)
-  Metrics.incr m_runs;
-  Metrics.add m_generated !pushes;
-  Metrics.add m_pruned !pruned;
-  Metrics.add m_deduped !deduped;
-  Metrics.add m_cutsets (List.length cutsets);
+  Metrics.incr h.m_runs;
+  Metrics.add h.m_generated !pushes;
+  Metrics.add h.m_pruned !pruned;
+  Metrics.add h.m_deduped !deduped;
+  Metrics.add h.m_cutsets (List.length cutsets);
+  Metrics.set_max h.m_peak_stack (float_of_int !max_depth);
   let result =
     {
       cutsets;
@@ -238,14 +269,17 @@ let run_inner ~options ~guard tree =
       limit_hit = !limit;
     }
   in
-  Trace.add_attr "cutsets" (Trace.Int (List.length cutsets));
-  Trace.add_attr "generated" (Trace.Int !pushes);
-  Trace.add_attr "pruned" (Trace.Int !pruned);
-  Trace.add_attr "pruned_mass" (Trace.Float result.pruned_mass);
+  Trace.add_attr ~sink "cutsets" (Trace.Int (List.length cutsets));
+  Trace.add_attr ~sink "generated" (Trace.Int !pushes);
+  Trace.add_attr ~sink "pruned" (Trace.Int !pruned);
+  Trace.add_attr ~sink "pruned_mass" (Trace.Float result.pruned_mass);
   result
 
-let run ?(options = default_options) ?(guard = Sdft_util.Guard.none) tree =
-  Trace.with_span "mocus.run" (fun () ->
-      Metrics.time m_run_span (fun () -> run_inner ~options ~guard tree))
+let run ?(options = default_options) ?(guard = Sdft_util.Guard.none)
+    ?(obs = Obs.default) tree =
+  let h = handles_of obs.Obs.metrics in
+  Trace.with_span ~sink:obs.Obs.trace "mocus.run" (fun () ->
+      Metrics.time h.m_run_span (fun () -> run_inner ~options ~guard ~obs ~h tree))
 
-let minimal_cutsets ?options ?guard tree = (run ?options ?guard tree).cutsets
+let minimal_cutsets ?options ?guard ?obs tree =
+  (run ?options ?guard ?obs tree).cutsets

@@ -53,14 +53,25 @@ type result = {
           so the error budget built on it stays sound. *)
 }
 
-val run : ?options:options -> ?guard:Sdft_util.Guard.t -> Fault_tree.t -> result
+val run :
+  ?options:options ->
+  ?guard:Sdft_util.Guard.t ->
+  ?obs:Sdft_util.Obs.t ->
+  Fault_tree.t ->
+  result
 (** K-of-N gates are expanded transparently. [guard] (default
     {!Sdft_util.Guard.none}) is checkpointed once per expansion step; on
     {!Sdft_util.Guard.Limit_hit} (or [Out_of_memory]) the run returns the
     cutsets found so far with [limit_hit] set and the unexplored mass folded
-    into [pruned_mass] instead of raising. The [mocus.expand]
-    {!Sdft_util.Failpoint} site is checkpointed at the same place. *)
+    into [pruned_mass] instead of raising. The [mocus.expand] failpoint site
+    of [obs] (default {!Sdft_util.Obs.default}) is checkpointed at the same
+    place; metrics and trace spans go to the same context, including the
+    [mocus.peak_stack_depth] high-water gauge. *)
 
 val minimal_cutsets :
-  ?options:options -> ?guard:Sdft_util.Guard.t -> Fault_tree.t -> Cutset.t list
+  ?options:options ->
+  ?guard:Sdft_util.Guard.t ->
+  ?obs:Sdft_util.Obs.t ->
+  Fault_tree.t ->
+  Cutset.t list
 (** Shorthand for [(run tree).cutsets]. *)

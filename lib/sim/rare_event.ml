@@ -43,11 +43,31 @@ type estimate = {
   mean_weight : float;
 }
 
-let m_trials = Metrics.counter "sim.trials"
-let m_hits = Metrics.counter "sim.hits"
-let m_jumps = Metrics.counter "sim.jumps"
-let m_forced = Metrics.counter "sim.forced_jumps"
-let m_span = Metrics.span "sim.run"
+(* Per-observability-context instrument handles (physical-equality fast
+   path on the default context — see Sdft_util.Obs). *)
+type handles = {
+  m_trials : Metrics.counter;
+  m_hits : Metrics.counter;
+  m_jumps : Metrics.counter;
+  m_forced : Metrics.counter;
+  m_span : Metrics.span;
+  m_weight : Metrics.histogram;
+}
+
+let handles_in m =
+  {
+    m_trials = Metrics.counter_in m "sim.trials";
+    m_hits = Metrics.counter_in m "sim.hits";
+    m_jumps = Metrics.counter_in m "sim.jumps";
+    m_forced = Metrics.counter_in m "sim.forced_jumps";
+    m_span = Metrics.span_in m "sim.run";
+    m_weight = Metrics.histogram_in m "sim.trial_weight";
+  }
+
+let default_handles = handles_in Metrics.default
+
+let handles_of m =
+  if m == Metrics.default then default_handles else handles_in m
 
 (* Per-batch accumulators: plain floats summed with Kahan inside the batch;
    batches are merged in index order so the final totals are bit-identical
@@ -137,7 +157,7 @@ let run_trial world rng ~horizon ~opts ~jumps ~forced =
   in
   step 0.0 0
 
-let run_batch world rng ~horizon ~opts ~size =
+let run_batch world rng ~horizon ~opts ~h ~size =
   let hits = ref 0 in
   let sum = Kahan.create () in
   let sum2 = Kahan.create () in
@@ -149,6 +169,9 @@ let run_batch world rng ~horizon ~opts ~size =
     Kahan.add weight w;
     if failed then begin
       incr hits;
+      (* Likelihood-weight spread of the hitting trials: a heavy upper tail
+         here is the classic symptom of an over-aggressive measure change. *)
+      Metrics.observe h.m_weight w;
       Kahan.add sum w;
       Kahan.add sum2 (w *. w)
     end
@@ -181,14 +204,17 @@ let estimate_of ~trials ~hits ~sum ~sum2 ~weight =
     mean_weight = weight /. n;
   }
 
-let run ?(options = default_options) sd ~horizon =
+let run ?(options = default_options) ?(obs = Sdft_util.Obs.default) sd
+    ~horizon =
   if options.trials <= 0 then
     invalid_arg "Rare_event: need at least one trial";
   if options.batch <= 0 then invalid_arg "Rare_event: batch must be positive";
   if options.static_bias_cap <= 0.0 || options.static_bias_cap >= 1.0 then
     invalid_arg "Rare_event: static_bias_cap must lie in (0, 1)";
   let t0 = Sdft_util.Timer.start () in
-  Trace.with_span "sim.run"
+  let h = handles_of obs.Sdft_util.Obs.metrics in
+  let sink = obs.Sdft_util.Obs.trace in
+  Trace.with_span ~sink "sim.run"
     ~attrs:[ ("trials", Trace.Int options.trials); ("seed", Trace.Int options.seed) ]
   @@ fun () ->
   let n_batches = (options.trials + options.batch - 1) / options.batch in
@@ -222,7 +248,7 @@ let run ?(options = default_options) sd ~horizon =
       Parallel.map_init ~domains:options.domains
         (fun () -> Sim_world.make sd)
         (fun world i ->
-          run_batch world rngs.(i) ~horizon ~opts:options ~size:sizes.(i))
+          run_batch world rngs.(i) ~horizon ~opts:options ~h ~size:sizes.(i))
         work
     in
     Array.iteri
@@ -245,12 +271,12 @@ let run ?(options = default_options) sd ~horizon =
       if e.rel_error <= target then stop := true
     | None -> ()
   done;
-  Metrics.add m_trials !trials_done;
-  Metrics.add m_hits !hits;
-  Metrics.add m_jumps !jumps;
-  Metrics.add m_forced !forced;
-  Metrics.record m_span (Sdft_util.Timer.elapsed_s t0);
-  Trace.add_attr "hits" (Trace.Int !hits);
+  Metrics.add h.m_trials !trials_done;
+  Metrics.add h.m_hits !hits;
+  Metrics.add h.m_jumps !jumps;
+  Metrics.add h.m_forced !forced;
+  Metrics.record h.m_span (Sdft_util.Timer.elapsed_s t0);
+  Trace.add_attr ~sink "hits" (Trace.Int !hits);
   estimate_of ~trials:!trials_done ~hits:!hits ~sum:(Kahan.total sum)
     ~sum2:(Kahan.total sum2) ~weight:(Kahan.total weight)
 
@@ -270,6 +296,6 @@ let variance_reduction e =
     Some (e.estimate *. (1.0 -. e.estimate) /. e.variance)
   else None
 
-let verify ?options ?(z = z99) sd ~horizon result =
-  let e = run ?options sd ~horizon in
+let verify ?options ?(z = z99) ?obs sd ~horizon result =
+  let e = run ?options ?obs sd ~horizon in
   (e, Sdft_analysis.verify_sim result ~sim_ci:(confidence ~z e))

@@ -74,11 +74,16 @@ type estimate = {
           cannot-fail trajectories. *)
 }
 
-val run : ?options:options -> Sdft.t -> horizon:float -> estimate
+val run :
+  ?options:options -> ?obs:Sdft_util.Obs.t -> Sdft.t -> horizon:float ->
+  estimate
 (** Estimate the probability that the top gate fails within the horizon.
     Deterministic per seed, independent of [domains]. Publishes the
-    ["sim.trials"/"sim.hits"/"sim.jumps"/"sim.forced_jumps"] counters and
-    the ["sim.run"] span on {!Sdft_util.Metrics}.
+    ["sim.trials"/"sim.hits"/"sim.jumps"/"sim.forced_jumps"] counters, the
+    ["sim.run"] span, and the per-hit likelihood-weight distribution on the
+    ["sim.trial_weight"] histogram of [obs] (default
+    {!Sdft_util.Obs.default}) — instrumentation never perturbs the
+    estimate.
 
     @raise Invalid_argument on non-positive [trials] or [batch], or a cap
     outside (0, 1). *)
@@ -101,6 +106,7 @@ val variance_reduction : estimate -> float option
 val verify :
   ?options:options ->
   ?z:float ->
+  ?obs:Sdft_util.Obs.t ->
   Sdft.t ->
   horizon:float ->
   Sdft_analysis.result ->

@@ -1,0 +1,20 @@
+(* The temp file must live in the destination directory: [Sys.rename] is
+   atomic only within one filesystem. *)
+let write_file path contents =
+  let dir = Filename.dirname path in
+  let base = Filename.basename path in
+  let tmp = Filename.temp_file ~temp_dir:dir ("." ^ base ^ ".") ".tmp" in
+  match
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc contents)
+  with
+  | () -> (
+    try Sys.rename tmp path
+    with e ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e)
+  | exception e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e

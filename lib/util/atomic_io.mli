@@ -1,0 +1,12 @@
+(** Crash-safe file writes: the contents are written to a fresh temporary
+    file in the {e same} directory as the destination and atomically
+    renamed over it, so a reader (or a CI artifact collector) never sees a
+    truncated file — even when the writing process is killed mid-dump by a
+    deadline or OOM. On any error the temporary file is removed and the
+    destination is left untouched. *)
+
+val write_file : string -> string -> unit
+(** [write_file path contents] atomically replaces [path] with [contents].
+
+    @raise Sys_error when the directory is not writable or the rename
+    fails. *)

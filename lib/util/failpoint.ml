@@ -17,43 +17,62 @@ type site = {
   hits : int Atomic.t;
 }
 
-(* [armed] gates the fast path; [env_read] makes the first hit of the
-   process pick up SDFT_FAILPOINTS so env-driven injection works in any
-   binary (tests included) without explicit initialisation. *)
-let armed = Atomic.make false
+(* [armed] gates the fast path. Each registry is an isolated set of sites;
+   the default registry additionally picks up SDFT_FAILPOINTS on the first
+   hit of the process, so env-driven injection works in any binary (tests
+   included) without explicit initialisation. Fresh registries never read
+   the environment: an injection configured by the operator targets the
+   process-level run, not every concurrent analysis context. *)
+type t = {
+  armed : bool Atomic.t;
+  lock : Mutex.t;
+  table : (string, site) Hashtbl.t;
+}
+
+let create () =
+  { armed = Atomic.make false; lock = Mutex.create (); table = Hashtbl.create 8 }
+
+let default = create ()
+
 let env_read = Atomic.make false
-let lock = Mutex.create ()
-let table : (string, site) Hashtbl.t = Hashtbl.create 8
 
-let locked f =
-  Mutex.lock lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let set name ?(trigger = Always) action =
+let set_in t name ?(trigger = Always) action =
   (match trigger with
   | Nth n when n <= 0 -> invalid_arg "Failpoint.set: nth trigger must be >= 1"
   | Prob (p, _) when Float.is_nan p || p < 0.0 || p > 1.0 ->
     invalid_arg "Failpoint.set: probability must be in [0,1]"
   | _ -> ());
-  locked (fun () ->
-      Hashtbl.replace table name { action; trigger; hits = Atomic.make 0 };
-      Atomic.set armed true)
+  locked t (fun () ->
+      Hashtbl.replace t.table name { action; trigger; hits = Atomic.make 0 };
+      Atomic.set t.armed true)
 
-let clear name =
-  locked (fun () ->
-      Hashtbl.remove table name;
-      if Hashtbl.length table = 0 then Atomic.set armed false)
+let set name ?trigger action = set_in default name ?trigger action
 
-let clear_all () =
-  locked (fun () ->
-      Hashtbl.reset table;
-      Atomic.set armed false)
+let clear_in t name =
+  locked t (fun () ->
+      Hashtbl.remove t.table name;
+      if Hashtbl.length t.table = 0 then Atomic.set t.armed false)
 
-let hit_count name =
-  locked (fun () ->
-      match Hashtbl.find_opt table name with
+let clear name = clear_in default name
+
+let clear_all_in t =
+  locked t (fun () ->
+      Hashtbl.reset t.table;
+      Atomic.set t.armed false)
+
+let clear_all () = clear_all_in default
+
+let hit_count_in t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table name with
       | Some s -> Atomic.get s.hits
       | None -> 0)
+
+let hit_count name = hit_count_in default name
 
 (* Stateless per-hit decision: mixing the seed with the hit index through
    splitmix64 gives every hit its own draw no matter how hits interleave
@@ -124,7 +143,7 @@ let parse_trigger entry s =
   | _ ->
     bad entry "unknown trigger %S (expected always, nth:N or prob:P:SEED)" s
 
-let parse_entry entry =
+let parse_entry t entry =
   match String.index_opt entry '=' with
   | None -> bad entry "missing '=' (expected SITE=ACTION[@TRIGGER])"
   | Some i ->
@@ -139,24 +158,28 @@ let parse_entry entry =
           parse_trigger entry
             (String.sub spec (j + 1) (String.length spec - j - 1)) )
     in
-    set name ~trigger action
+    set_in t name ~trigger action
 
-let configure_string s =
+let configure_string_in t s =
   List.iter
     (fun entry ->
       let entry = String.trim entry in
-      if entry <> "" then parse_entry entry)
+      if entry <> "" then parse_entry t entry)
     (String.split_on_char ',' s)
+
+let configure_string s = configure_string_in default s
 
 let load_env () =
   Atomic.set env_read true;
   match Sys.getenv_opt "SDFT_FAILPOINTS" with
-  | Some spec when String.trim spec <> "" -> configure_string spec
+  | Some spec when String.trim spec <> "" -> configure_string_in default spec
   | Some _ | None -> ()
 
-let hit name =
-  if not (Atomic.get env_read) then load_env ();
-  if Atomic.get armed then begin
-    let site = locked (fun () -> Hashtbl.find_opt table name) in
+let hit_in t name =
+  if t == default && not (Atomic.get env_read) then load_env ();
+  if Atomic.get t.armed then begin
+    let site = locked t (fun () -> Hashtbl.find_opt t.table name) in
     match site with None -> () | Some s -> fire name s
   end
+
+let hit name = hit_in default name

@@ -1,14 +1,21 @@
 (** Deterministic fault-injection sites for robustness testing.
 
-    Library code declares named sites by calling {!hit} at interesting
-    points (the toolkit uses [mocus.expand], [product.explore],
-    [transient.step], [cache.lookup] and [parallel.worker]). When no
-    failpoint is armed — the production default — a hit is two atomic loads.
-    Tests (via the API) or operators (via the [SDFT_FAILPOINTS] environment
-    variable) arm sites with an action and a deterministic trigger, which
-    lets every degradation path of the analysis be exercised on demand:
-    injected exceptions, simulated [Out_of_memory], simulated resource
-    limits, or plain delays.
+    Library code declares named sites by calling {!hit} (or {!hit_in} with
+    an explicit registry) at interesting points (the toolkit uses
+    [mocus.expand], [product.explore], [transient.step], [cache.lookup] and
+    [parallel.worker]). When no failpoint is armed — the production default
+    — a hit is two atomic loads. Tests (via the API) or operators (via the
+    [SDFT_FAILPOINTS] environment variable) arm sites with an action and a
+    deterministic trigger, which lets every degradation path of the
+    analysis be exercised on demand: injected exceptions, simulated
+    [Out_of_memory], simulated resource limits, or plain delays.
+
+    Sites live in a {e registry} ({!t}). The process-global {!default}
+    registry backs every call without an explicit registry and is the only
+    one that reads [SDFT_FAILPOINTS]; fresh registries (one per
+    {!Obs.create} context) start empty and are armed exclusively through
+    the API, so an injection armed for one analysis can never fire inside a
+    concurrent one.
 
     {2 Specification syntax}
 
@@ -27,8 +34,8 @@
     Example:
     [SDFT_FAILPOINTS="parallel.worker=raise@nth:3,transient.step=delay:0.001@prob:0.1:42"].
 
-    The registry is global and domain-safe; hit indices are assigned with an
-    atomic counter per site, so under parallelism the {e set} of firing hit
+    Registries are domain-safe; hit indices are assigned with an atomic
+    counter per site, so under parallelism the {e set} of firing hit
     indices is deterministic even though their assignment to work items can
     race. *)
 
@@ -46,29 +53,61 @@ type trigger =
   | Nth of int  (** fire on exactly the n-th hit (1-based) *)
   | Prob of float * int  (** probability, seed *)
 
+(** {1 Registries} *)
+
+type t
+(** A registry of armed sites. *)
+
+val create : unit -> t
+(** A fresh registry with no armed sites, isolated from every other. Never
+    reads [SDFT_FAILPOINTS]. *)
+
+val default : t
+(** The process-global registry behind the registry-less functions. *)
+
+(** {1 Hitting sites} *)
+
 val hit : string -> unit
-(** Checkpoint a site. No-op (two atomic loads) unless the site is armed.
-    The first hit in a process also arms any sites configured through
-    [SDFT_FAILPOINTS]. *)
+(** Checkpoint a site against {!default}. No-op (two atomic loads) unless
+    the site is armed. The first hit in a process also arms any sites
+    configured through [SDFT_FAILPOINTS]. *)
+
+val hit_in : t -> string -> unit
+(** Checkpoint a site against an explicit registry. Hot loops bind the
+    registry once outside the loop and call this — same cost as {!hit}. *)
+
+(** {1 Arming} *)
 
 val set : string -> ?trigger:trigger -> action -> unit
 (** Arm a site (replacing any previous arming and resetting its hit
     counter). [trigger] defaults to [Always]. *)
 
+val set_in : t -> string -> ?trigger:trigger -> action -> unit
+
 val clear : string -> unit
 (** Disarm one site. *)
+
+val clear_in : t -> string -> unit
 
 val clear_all : unit -> unit
 (** Disarm every site (including environment-configured ones). *)
 
+val clear_all_in : t -> unit
+
 val hit_count : string -> int
 (** Hits recorded at an armed site so far; 0 when not armed. *)
 
+val hit_count_in : t -> string -> int
+
 val configure_string : string -> unit
-(** Parse and arm a comma-separated [SITE=SPEC] list (see above).
+(** Parse and arm a comma-separated [SITE=SPEC] list (see above) on
+    {!default}.
 
     @raise Failure on a malformed specification, naming the entry. *)
 
+val configure_string_in : t -> string -> unit
+
 val load_env : unit -> unit
-(** Arm the sites described by [SDFT_FAILPOINTS], if set. Called implicitly
-    by the first {!hit}; explicit calls re-read the variable. *)
+(** Arm the sites described by [SDFT_FAILPOINTS], if set, on {!default}.
+    Called implicitly by the first {!hit}; explicit calls re-read the
+    variable. *)

@@ -30,11 +30,20 @@ val pp_reason : Format.formatter -> reason -> unit
 
 type t
 
-val create : ?deadline:float -> ?mem_limit_mb:int -> unit -> t
+val create :
+  ?deadline:float -> ?mem_limit_mb:int -> ?on_probe:(unit -> unit) -> unit -> t
 (** [create ?deadline ?mem_limit_mb ()] starts the clock now: [deadline] is
     a relative wall-clock budget in seconds, [mem_limit_mb] a ceiling on the
     major-heap size in megabytes (probed with [Gc.quick_stat], so it tracks
     the heap the runtime has actually grown to). Omitted limits never trip.
+
+    [on_probe] is called at every amortized probe of {!check} — once per
+    ~4096 calls, before the limit checks — and is the hook for live
+    progress reporting: it piggybacks on the stride the hot loops already
+    pay for, and attaching it makes {!check} take the stride path even
+    without limits. It must not raise and must be domain-safe when the
+    guard is shared across domains. It only {e observes} — analysis
+    results are bit-identical with or without it.
 
     @raise Invalid_argument on a negative deadline or non-positive
     ceiling. *)
@@ -58,7 +67,8 @@ val check_now : t -> unit
 
 val check : t -> unit
 (** Amortized cooperative checkpoint for hot loops: decrements a stride
-    counter and probes the clock/GC only every ~4096 calls.
+    counter and probes the clock/GC (and runs [on_probe]) only every ~4096
+    calls.
 
     @raise Limit_hit when a limit is exceeded. *)
 

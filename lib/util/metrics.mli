@@ -1,42 +1,89 @@
-(** Lightweight process-global metrics: named monotonic counters, gauges and
-    span timers, with JSON serialization.
+(** Lightweight metrics: named monotonic counters, gauges, span timers and
+    fixed-bucket histograms, grouped in registries, with JSON and
+    Prometheus text serialization.
 
-    The registry is shared by the whole process so that library code
-    ([Mocus.run], [Transient.distribution], [Sdft_analysis.analyze]) can
-    publish counters without threading handles through every call, and the
-    harnesses ([bin/main.ml --metrics], [bench/main.ml]) can dump one
-    consolidated snapshot at the end.
+    A {e registry} ({!t}) holds one process- or analysis-scoped set of
+    instruments. The process-global {!default} registry is shared by the
+    whole process so that library code ([Mocus.run],
+    [Transient.distribution], [Sdft_analysis.analyze]) can publish counters
+    without threading handles through every call, and the harnesses
+    ([bin/main.ml --metrics], [bench/main.ml]) can dump one consolidated
+    snapshot at the end. Code that needs isolation — concurrent analyses in
+    one process — creates its own registry (usually through
+    {!Obs.create}) and resolves instruments with the [_in] variants.
 
-    All updates are thread-safe under multiple domains: counters and spans
-    are updated with [Atomic] read-modify-write loops (no global mutex on
-    the hot path); only registration of a {e new} name takes a lock.
-    Instruments are cheap enough to update from parallel workers, but code
-    with a very hot inner loop should accumulate locally and publish once
-    per call (see {!add}). *)
+    All updates are thread-safe under multiple domains: counters, spans and
+    histograms are updated with [Atomic] read-modify-write loops (no
+    registry mutex on the hot path); only registration of a {e new} name
+    takes a lock. Instruments are cheap enough to update from parallel
+    workers, but code with a very hot inner loop should accumulate locally
+    and publish once per call (see {!add}). *)
 
 type counter
 (** A monotonically increasing integer. *)
 
 type gauge
-(** A last-write-wins float. *)
+(** A float cell: last-write-wins under {!set}, monotone max under
+    {!set_max}. *)
 
 type span
 (** An accumulating wall-clock timer: total seconds plus a count of the
     recorded intervals. *)
 
+type histogram
+(** A lock-free distribution: observations are counted into fixed
+    log-spaced buckets (four per decade over [1e-9 .. ~5.6e8], plus one
+    overflow bucket), and their sum is accumulated. Because the bucket
+    boundaries are fixed process-wide, snapshots taken on different domains
+    or at different times merge {e exactly} — merging is integer addition
+    per bucket (see {!hist_merge}). *)
+
+(** {1 Registries} *)
+
+type t
+(** A registry of instruments. *)
+
+val create : unit -> t
+(** A fresh, empty registry, isolated from every other. *)
+
+val default : t
+(** The process-global registry behind {!counter}, {!gauge}, {!span},
+    {!histogram}, {!snapshot} and friends. *)
+
 (** {1 Registration}
 
-    Registering the same name twice returns the same instrument, so
-    instruments can be created at module-initialization time or lazily.
-    Names are namespaced by convention, e.g. ["mocus.partials_generated"].
-    A name may be reused across kinds (counters, gauges and spans live in
-    separate namespaces). *)
+    Registering the same name twice in one registry returns the same
+    instrument, so instruments can be created at module-initialization time
+    or lazily. Names are namespaced by convention, e.g.
+    ["mocus.partials_generated"]. A name may be reused across kinds
+    (counters, gauges, spans and histograms live in separate namespaces).
+
+    The suffix-less functions operate on {!default}; the [_in] variants
+    take an explicit registry. *)
 
 val counter : string -> counter
 
 val gauge : string -> gauge
 
+val gauge_max : string -> gauge
+(** Same representation as {!gauge}; registered for updating with
+    {!set_max} (peak-heap, max-queue-depth). The name distinguishes intent
+    at the call site only — a [gauge] and a [gauge_max] with the same name
+    are the same instrument. *)
+
 val span : string -> span
+
+val histogram : string -> histogram
+
+val counter_in : t -> string -> counter
+
+val gauge_in : t -> string -> gauge
+
+val gauge_max_in : t -> string -> gauge
+
+val span_in : t -> string -> span
+
+val histogram_in : t -> string -> histogram
 
 (** {1 Updates} *)
 
@@ -48,12 +95,23 @@ val add : counter -> int -> unit
 
 val set : gauge -> float -> unit
 
+val set_max : gauge -> float -> unit
+(** [set_max g v] raises the gauge to [v] if [v] is larger, with a CAS
+    loop, so concurrent updates from parallel domains converge on the
+    maximum regardless of interleaving (plain {!set} keeps whichever write
+    lands last). Monotone with respect to the gauge's current value; the
+    initial value is [0.], so it is meant for non-negative quantities. *)
+
 val record : span -> float -> unit
 (** [record s seconds] adds one interval of the given length. *)
 
 val time : span -> (unit -> 'a) -> 'a
 (** [time s f] runs [f] and records its wall-clock duration on [s]. The
     duration is recorded whether [f] returns or raises. *)
+
+val observe : histogram -> float -> unit
+(** Count one observation into its bucket and add it to the sum. Lock-free:
+    one atomic increment plus one CAS-add. [NaN] counts as [0.]. *)
 
 (** {1 Reads} *)
 
@@ -67,6 +125,46 @@ val span_seconds : span -> float
 val span_count : span -> int
 (** Number of recorded intervals. *)
 
+(** {1 Histogram values}
+
+    The pure {!hist} record is both the snapshot form of a live
+    {!histogram} and a free-standing value for tests: {!hist_merge} is
+    associative and commutative, and exact on counts (bucket counts are
+    integers; only [sum] is subject to float rounding). *)
+
+type hist = {
+  buckets : int array;
+      (** per-bucket counts, {e not} cumulative; length {!n_buckets} *)
+  sum : float;
+  count : int;  (** sum of [buckets] *)
+}
+
+val n_buckets : int
+(** Number of buckets, including the final overflow bucket. *)
+
+val bucket_le : int -> float
+(** Inclusive upper boundary of bucket [i]; [infinity] for the overflow
+    bucket. Bucket [i] covers [(bucket_le (i-1), bucket_le i]], with
+    everything at or below the first boundary (including [NaN]) in bucket
+    0. *)
+
+val hist_empty : hist
+
+val hist_of_values : float array -> hist
+(** Pure construction: bucket every value. *)
+
+val hist_merge : hist -> hist -> hist
+
+val hist_quantile : hist -> float -> float
+(** [hist_quantile h q] estimates the [q]-quantile as the upper boundary of
+    the bucket holding the [q]-th ranked observation (the standard
+    fixed-bucket estimate). [nan] when the histogram is empty; [infinity]
+    when the rank falls in the overflow bucket. [q] is clamped to
+    [\[0,1\]]. *)
+
+val hist_value : histogram -> hist
+(** Snapshot one live histogram. *)
+
 (** {1 Snapshots} *)
 
 type snapshot = {
@@ -74,20 +172,53 @@ type snapshot = {
   gauges : (string * float) list;
   spans : (string * (float * int)) list;
       (** name -> (total seconds, interval count) *)
+  histograms : (string * hist) list;
 }
 (** All lists are sorted by name. *)
 
 val snapshot : unit -> snapshot
+
+val snapshot_in : t -> snapshot
 
 val reset : unit -> unit
 (** Zero every registered instrument (the registrations themselves are
     kept, so handles created earlier remain valid). Meant for tests and
     for harnesses that dump several windows from one process. *)
 
+val reset_in : t -> unit
+
+(** {1 Serialization} *)
+
 val to_json : unit -> string
 (** The current snapshot as a JSON object:
     [{"counters": {..}, "gauges": {..}, "spans": {"name": {"seconds": s,
-    "count": n}, ..}}]. *)
+    "count": n}, ..}, "histograms": {"name": {"count": n, "sum": s,
+    "p50": .., "p90": .., "p99": .., "buckets": [[le, count], ..]}, ..}}].
+    Histogram buckets list only non-empty buckets, with per-bucket (not
+    cumulative) counts; the overflow boundary is the string ["+Inf"]. *)
 
-val write_file : string -> unit
-(** Write {!to_json} (plus a trailing newline) to the given path. *)
+val to_json_in : t -> string
+
+val to_prometheus : unit -> string
+(** The current snapshot in Prometheus text exposition format: metric
+    names are prefixed with [sdft_] and mangled to [\[a-zA-Z0-9_\]], each
+    preceded by a [# TYPE] line. Counters and gauges map directly; spans
+    become summaries named [<name>_seconds] with [_sum]/[_count];
+    histograms emit every bucket as [<name>_bucket{le="..."}] with
+    {e cumulative} counts ending in [le="+Inf"], plus [_sum] and [_count].
+    [_sum]/[_count] agree exactly with the JSON export, since both read
+    the same snapshot. *)
+
+val to_prometheus_in : t -> string
+
+type format =
+  | Json_format
+  | Prom_format
+
+val write_file : ?format:format -> string -> unit
+(** Write the current snapshot to the given path — {!to_json} plus a
+    trailing newline by default, {!to_prometheus} with [~format:Prom_format]
+    — via {!Atomic_io.write_file}, so a kill mid-dump never leaves a
+    truncated file. *)
+
+val write_file_in : ?format:format -> t -> string -> unit

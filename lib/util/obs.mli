@@ -1,0 +1,68 @@
+(** Observability contexts: one bundle of a {!Metrics} registry, a
+    {!Trace} sink, a {!Failpoint} registry and an optional {!Progress}
+    reporter, created per analysis and threaded through the pipeline as
+    [?obs].
+
+    The {e default-context compatibility rule}: every pipeline entry point
+    defaults [?obs] to {!default}, which wraps the process-global
+    [Metrics.default] / [Trace.default] / [Failpoint.default] — so
+    existing call sites, the CLI flags ([--metrics], [--trace],
+    [SDFT_FAILPOINTS]) and the benches behave exactly as before. Code that
+    must be reentrant — concurrent analyses in one process, the future
+    analysis server — calls {!create} per request and gets instruments,
+    spans and failpoints that are fully isolated from every other context.
+
+    Observability only observes: for a fixed model and options, analysis
+    results are bit-identical whichever context is passed, with progress
+    on or off. *)
+
+type t = {
+  metrics : Metrics.t;
+  trace : Trace.t;
+  failpoints : Failpoint.t;
+  progress : Progress.t option;
+  peak_heap : Metrics.gauge;
+      (** the context's ["analysis.peak_heap_mb"] gauge, updated with
+          [set_max] at every {!tick}/{!step} *)
+}
+
+val default : t
+(** The process-global context: default registries, no progress. *)
+
+val create :
+  ?metrics:Metrics.t ->
+  ?trace:Trace.t ->
+  ?failpoints:Failpoint.t ->
+  ?progress:Progress.t ->
+  unit ->
+  t
+(** A fresh, fully isolated context. Omitted components are created fresh
+    (the trace sink enabled); pass a component explicitly to share or
+    preconfigure it. No progress reporter unless one is given. *)
+
+val with_progress : t -> Progress.t -> t
+(** The same context with a progress reporter attached — how the CLI adds
+    [--progress] to {!default}. *)
+
+(** {1 Progress driving}
+
+    All of these are no-ops when the context has no progress reporter. *)
+
+val tick : t -> unit
+(** Heartbeat: update the peak-heap gauge ([set_max]) and rate-limited
+    display. Wired into guard probes via {!on_probe}. *)
+
+val step : t -> ?cost:float -> unit -> unit
+(** One work item (cutset) finished, with its schedule-cost proxy. *)
+
+val begin_phase : t -> string -> ?total:int -> ?cost_total:float -> unit -> unit
+
+val finish_progress : t -> unit
+
+val on_probe : t -> (unit -> unit) option
+(** [Some] probe callback for [Guard.create ?on_probe] when the context has
+    a progress reporter, [None] otherwise — so guards stay passive when
+    nothing wants the heartbeat. *)
+
+val heap_mb : unit -> float
+(** Current major-heap size in MB ([Gc.quick_stat]). *)

@@ -1,0 +1,47 @@
+(** Live, rate-limited progress reporting for long analyses.
+
+    A reporter renders a single status line — phase, items done/total,
+    percent complete, an ETA extrapolated from the declared work costs,
+    elapsed time, and peak heap — and emits it at most once per interval
+    through an injectable sink (a carriage-return-overwritten stderr line
+    by default; tests inject a capturing function).
+
+    The reporter is driven from two places: {!step}, called once per
+    completed work item (e.g. per quantified cutset), and {!tick}, wired
+    into the {!Guard.check} amortized probe so even a single long-running
+    item keeps the display alive. Both are cheap, domain-safe (all state is
+    atomics) and purely observational: analysis results are bit-identical
+    with progress on or off. *)
+
+type t
+
+val create :
+  ?interval:float ->
+  ?emit:(string -> unit) ->
+  ?emit_end:(unit -> unit) ->
+  unit ->
+  t
+(** [create ()] starts the elapsed-time clock. [interval] (default 0.2 s)
+    rate-limits emission. [emit] receives each rendered status line
+    (default: overwrite one stderr line); [emit_end] is called once by
+    {!finish} if anything was emitted (default: newline to stderr, leaving
+    the last status visible). *)
+
+val begin_phase : t -> string -> ?total:int -> ?cost_total:float -> unit -> unit
+(** Enter a named phase and reset the item counters. [total] is the number
+    of work items (0 = unknown: only phase, elapsed and heap are shown);
+    [cost_total] the summed cost proxies of all items — when given, ETA is
+    based on completed cost rather than item count, which is honest under
+    the cost-descending schedule (expensive items run first). Emits
+    immediately. *)
+
+val step : t -> ?cost:float -> unit -> unit
+(** One work item finished, with its cost proxy. May emit (rate-limited). *)
+
+val tick : t -> heap_mb:float -> unit
+(** Heartbeat from a guard probe: record the heap high-water mark for
+    display and maybe emit (rate-limited). *)
+
+val finish : t -> unit
+(** Emit one final line and terminate the display (no-op when nothing was
+    ever emitted). *)

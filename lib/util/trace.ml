@@ -18,14 +18,6 @@ type event = {
   ev_attrs : (string * value) list;
 }
 
-(* Disabled is the common case: every entry point loads one atomic and
-   leaves. No buffer is touched, no time is read, nothing allocates. *)
-let enabled_flag = Atomic.make false
-
-let enabled () = Atomic.get enabled_flag
-
-let set_enabled b = Atomic.set enabled_flag b
-
 (* An open span carries everything needed to close it. Attributes are added
    front-first while the span is open ([add_attr]) and reversed on close so
    the export order matches the call order. *)
@@ -36,37 +28,68 @@ type open_span = {
   mutable os_attrs : (string * value) list;
 }
 
-(* One buffer per domain, reached through DLS so the hot path never locks.
-   Buffers are registered in a global list at creation and stay registered
-   after their domain dies, which is how spans recorded by short-lived
-   [Parallel.map_init] workers survive the join and appear in the export. *)
+(* One buffer per (sink, domain): the writing side of a buffer is only
+   ever touched by its own domain, so the hot path never locks. Buffers
+   stay registered in their sink after their domain dies, which is how
+   spans recorded by short-lived [Parallel.map_init] workers survive the
+   join and appear in the export. *)
 type buffer = {
   buf_id : int;
   events : event Vec.t;
   mutable stack : open_span list;
 }
 
-let registry : buffer list ref = ref []
+(* A sink is one isolated trace destination. Buffers are looked up by the
+   calling domain's id in a CAS-updated association list; domain ids are
+   never reused within a process, so an entry can only be claimed once.
+   The list stays short (one entry per domain that ever traced into the
+   sink), so the scan costs less than the [Unix.gettimeofday] every
+   recording makes anyway. *)
+type sink = {
+  enabled_flag : bool Atomic.t;
+  buffers : (int * buffer) list Atomic.t;
+  next_buffer_id : int Atomic.t;
+}
 
-let registry_lock = Mutex.create ()
+type t = sink
 
-let next_buffer_id = Atomic.make 0
+let make_sink enabled =
+  {
+    enabled_flag = Atomic.make enabled;
+    buffers = Atomic.make [];
+    next_buffer_id = Atomic.make 0;
+  }
 
-let buffer_key =
-  Domain.DLS.new_key (fun () ->
-      let b =
-        {
-          buf_id = Atomic.fetch_and_add next_buffer_id 1;
-          events = Vec.create ();
-          stack = [];
-        }
-      in
-      Mutex.lock registry_lock;
-      registry := b :: !registry;
-      Mutex.unlock registry_lock;
-      b)
+(* The default sink keeps the historical global behavior: disabled until
+   the harness flips it on. Fresh sinks are for explicitly-created
+   observability contexts, where creation is the intent to record. *)
+let default = make_sink false
 
-let buffer () = Domain.DLS.get buffer_key
+let create ?(enabled = true) () = make_sink enabled
+
+let enabled_in s = Atomic.get s.enabled_flag
+
+let set_enabled_in s b = Atomic.set s.enabled_flag b
+
+let enabled () = enabled_in default
+
+let set_enabled b = set_enabled_in default b
+
+let rec buffer_for s =
+  let did = (Domain.self () :> int) in
+  let l = Atomic.get s.buffers in
+  match List.assoc_opt did l with
+  | Some b -> b
+  | None ->
+    let b =
+      {
+        buf_id = Atomic.fetch_and_add s.next_buffer_id 1;
+        events = Vec.create ();
+        stack = [];
+      }
+    in
+    if Atomic.compare_and_set s.buffers l ((did, b) :: l) then b
+    else buffer_for s (* another domain's insert won; retry on the new list *)
 
 let begin_span buf name =
   let os =
@@ -105,25 +128,25 @@ let end_span buf os attrs =
       ev_attrs = List.rev_append os.os_attrs (List.rev attrs);
     }
 
-let with_span ?(attrs = []) name f =
-  if not (Atomic.get enabled_flag) then f ()
+let with_span ?(sink = default) ?(attrs = []) name f =
+  if not (Atomic.get sink.enabled_flag) then f ()
   else begin
-    let buf = buffer () in
+    let buf = buffer_for sink in
     let os = begin_span buf name in
     Fun.protect ~finally:(fun () -> end_span buf os attrs) f
   end
 
-let add_attr name v =
-  if Atomic.get enabled_flag then begin
-    let buf = buffer () in
+let add_attr ?(sink = default) name v =
+  if Atomic.get sink.enabled_flag then begin
+    let buf = buffer_for sink in
     match buf.stack with
     | [] -> ()
     | os :: _ -> os.os_attrs <- (name, v) :: os.os_attrs
   end
 
-let instant ?(attrs = []) name =
-  if Atomic.get enabled_flag then begin
-    let buf = buffer () in
+let instant ?(sink = default) ?(attrs = []) name =
+  if Atomic.get sink.enabled_flag then begin
+    let buf = buffer_for sink in
     Vec.push buf.events
       {
         ev_name = name;
@@ -137,12 +160,9 @@ let instant ?(attrs = []) name =
   end
 
 (* Snapshot/reset walk every registered buffer. They are meant to run while
-   the traced workload is quiescent (after Parallel.map_init has joined);
-   the lock only protects the registry list itself. *)
-let snapshot () =
-  Mutex.lock registry_lock;
-  let buffers = !registry in
-  Mutex.unlock registry_lock;
+   the traced workload is quiescent (after Parallel.map_init has joined). *)
+let snapshot_in s =
+  let buffers = List.map snd (Atomic.get s.buffers) in
   let all = List.concat_map (fun b -> Vec.to_list b.events) buffers in
   List.sort
     (fun a b ->
@@ -153,34 +173,57 @@ let snapshot () =
         if c <> 0 then c else compare b.ev_depth a.ev_depth)
     all
 
-let reset () =
-  Mutex.lock registry_lock;
-  let buffers = !registry in
-  Mutex.unlock registry_lock;
+let snapshot () = snapshot_in default
+
+let reset_in s =
   List.iter
-    (fun b ->
+    (fun (_, b) ->
       Vec.clear b.events;
       b.stack <- [])
-    buffers
+    (Atomic.get s.buffers)
 
-(* Aggregation for terminal reporting ("top spans"). *)
-let aggregate () =
-  let tbl : (string, (int * float) ref) Hashtbl.t = Hashtbl.create 32 in
+let reset () = reset_in default
+
+(* Aggregation for terminal reporting ("top spans"). The per-name totals
+   are summed in a canonical event order (start time, then duration, then
+   domain) with Kahan compensation, so the reported total for a given set
+   of events does not depend on which domain's buffer they landed in or on
+   the buffer registration order. Rows sort by total descending with a
+   stable tie-break on name. *)
+let aggregate_in s =
+  let tbl : (string, event list ref) Hashtbl.t = Hashtbl.create 32 in
   List.iter
     (fun ev ->
       if ev.ev_kind = Span then
         match Hashtbl.find_opt tbl ev.ev_name with
-        | Some cell ->
-          let n, total = !cell in
-          cell := (n + 1, total +. ev.ev_dur)
-        | None -> Hashtbl.add tbl ev.ev_name (ref (1, ev.ev_dur)))
-    (snapshot ());
-  let rows = Hashtbl.fold (fun name cell acc -> (name, !cell) :: acc) tbl [] in
+        | Some cell -> cell := ev :: !cell
+        | None -> Hashtbl.add tbl ev.ev_name (ref [ ev ]))
+    (snapshot_in s);
+  let rows =
+    Hashtbl.fold
+      (fun name cell acc ->
+        let events =
+          List.sort
+            (fun a b ->
+              let c = compare a.ev_start b.ev_start in
+              if c <> 0 then c
+              else
+                let c = compare a.ev_dur b.ev_dur in
+                if c <> 0 then c else compare a.ev_domain b.ev_domain)
+            !cell
+        in
+        let total = Kahan.create () in
+        List.iter (fun ev -> Kahan.add total ev.ev_dur) events;
+        (name, (List.length events, Kahan.total total)) :: acc)
+      tbl []
+  in
   List.sort
     (fun (na, (_, ta)) (nb, (_, tb)) ->
       let c = compare tb ta in
       if c <> 0 then c else String.compare na nb)
     rows
+
+let aggregate () = aggregate_in default
 
 (* Serialization. *)
 
@@ -201,7 +244,7 @@ let add_attrs buf attrs =
     attrs;
   Buffer.add_char buf '}'
 
-let to_jsonl () =
+let to_jsonl_in s =
   let buf = Buffer.create 4096 in
   List.iter
     (fun ev ->
@@ -218,14 +261,16 @@ let to_jsonl () =
         ", \"depth\": %d, \"domain\": %d, \"args\": " ev.ev_depth ev.ev_domain;
       add_attrs buf ev.ev_attrs;
       Buffer.add_string buf "}\n")
-    (snapshot ());
+    (snapshot_in s);
   Buffer.contents buf
+
+let to_jsonl () = to_jsonl_in default
 
 (* Chrome trace-event JSON (chrome://tracing, Perfetto): complete events
    ("X") with microsecond timestamps rebased to the earliest event, one
    thread lane per domain. Instants become thread-scoped "i" events. *)
-let to_chrome () =
-  let events = snapshot () in
+let to_chrome_in s =
+  let events = snapshot_in s in
   let t0 =
     List.fold_left (fun acc ev -> Float.min acc ev.ev_start) infinity events
   in
@@ -253,11 +298,13 @@ let to_chrome () =
   Buffer.add_string buf "\n]\n";
   Buffer.contents buf
 
-let write_file path =
+let to_chrome () = to_chrome_in default
+
+let write_file_in s path =
   let contents =
-    if Filename.check_suffix path ".json" then to_chrome () else to_jsonl ()
+    if Filename.check_suffix path ".json" then to_chrome_in s
+    else to_jsonl_in s
   in
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc contents)
+  Atomic_io.write_file path contents
+
+let write_file path = write_file_in default path

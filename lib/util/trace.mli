@@ -7,18 +7,21 @@
     nesting depth and domain — "which cutset cost the time" instead of "how
     much time cutsets cost in total".
 
-    Tracing is {e disabled} by default and the disabled path is one atomic
-    load per call — no time source is read, nothing allocates — so
-    instrumentation can stay in hot library code permanently. Analysis
-    results are bit-identical with tracing enabled or disabled: tracing only
-    observes.
+    Events are recorded into a {e sink} ({!t}). The process-global
+    {!default} sink keeps the historical behavior: disabled until
+    {!set_enabled}, shared by every call that does not pass [?sink].
+    Observability contexts ({!Obs}) carry their own sink, so concurrent
+    analyses in one process never interleave events. The disabled path is
+    one atomic load per call — no time source is read, nothing allocates —
+    so instrumentation can stay in hot library code permanently. Analysis
+    results are bit-identical with tracing enabled or disabled: tracing
+    only observes.
 
-    Each domain writes to its own buffer (reached through domain-local
-    storage, never locked on the hot path). Buffers are registered globally
-    at creation and outlive their domain, so spans recorded by
-    {!Parallel.map_init} workers are merged into the export after the join.
-    {!snapshot}, {!reset} and the exporters are meant to run while the
-    traced workload is quiescent. *)
+    Each domain writes to its own buffer within a sink (the writing side is
+    only touched by the owning domain, never locked). Buffers outlive their
+    domain, so spans recorded by {!Parallel.map_init} workers are merged
+    into the export after the join. {!snapshot}, {!reset} and the exporters
+    are meant to run while the traced workload is quiescent. *)
 
 type value =
   | Str of string
@@ -40,50 +43,90 @@ type event = {
   ev_attrs : (string * value) list;
 }
 
+(** {1 Sinks} *)
+
+type t
+(** A trace sink: an isolated set of per-domain buffers plus an enable
+    flag. *)
+
+val default : t
+(** The process-global sink, used by every call without [?sink]. Starts
+    disabled. *)
+
+val create : ?enabled:bool -> unit -> t
+(** A fresh sink, isolated from every other. Enabled by default — creating
+    a sink is the intent to record into it. *)
+
 (** {1 Enabling} *)
 
 val enabled : unit -> bool
 
 val set_enabled : bool -> unit
-(** Global switch. Flip it before the traced workload starts; flipping it
-    while spans are open is safe but those spans may be dropped. *)
+(** Switch for the {!default} sink. Flip it before the traced workload
+    starts; flipping it while spans are open is safe but those spans may be
+    dropped. *)
+
+val enabled_in : t -> bool
+
+val set_enabled_in : t -> bool -> unit
 
 (** {1 Recording} *)
 
-val with_span : ?attrs:(string * value) list -> string -> (unit -> 'a) -> 'a
+val with_span :
+  ?sink:t -> ?attrs:(string * value) list -> string -> (unit -> 'a) -> 'a
 (** [with_span name f] runs [f] inside a span. The span closes (and is
     recorded) whether [f] returns or raises. [attrs] are attached at close
     time, after any {!add_attr} made during the span. *)
 
-val add_attr : string -> value -> unit
+val add_attr : ?sink:t -> string -> value -> unit
 (** Attach an attribute to the innermost open span of the calling domain;
-    no-op when tracing is disabled or no span is open. *)
+    no-op when the sink is disabled or no span is open. *)
 
-val instant : ?attrs:(string * value) list -> string -> unit
+val instant : ?sink:t -> ?attrs:(string * value) list -> string -> unit
 (** Record a point event at the current time and depth. *)
 
 (** {1 Export} *)
 
 val snapshot : unit -> event list
-(** Every recorded event from every domain buffer, sorted by start time. *)
+(** Every recorded event from every domain buffer of the {!default} sink,
+    sorted by start time. *)
+
+val snapshot_in : t -> event list
 
 val aggregate : unit -> (string * (int * float)) list
 (** Spans grouped by name as [(name, (count, total seconds))], sorted by
-    decreasing total time — the "top spans" view. *)
+    decreasing total time with a stable tie-break on name — the "top spans"
+    view. For a given set of events the result is deterministic regardless
+    of which domain buffers recorded them: per-name durations are summed in
+    a canonical order (start time, duration, domain) with Kahan
+    compensation. *)
+
+val aggregate_in : t -> (string * (int * float)) list
 
 val reset : unit -> unit
-(** Drop all recorded events (buffers stay registered). *)
+(** Drop all recorded events of the {!default} sink (buffers stay
+    registered). *)
+
+val reset_in : t -> unit
 
 val to_jsonl : unit -> string
 (** One JSON object per line:
     [{"name":..,"kind":"span"|"instant","ts":..,"dur":..,"depth":..,
     "domain":..,"args":{..}}]. *)
 
+val to_jsonl_in : t -> string
+
 val to_chrome : unit -> string
 (** Chrome trace-event JSON array: spans as complete ("X") events with
     microsecond timestamps rebased to the earliest event, one [tid] lane per
     domain, instants as thread-scoped "i" events. *)
 
+val to_chrome_in : t -> string
+
 val write_file : string -> unit
 (** Write the current snapshot to [path]: Chrome trace-event JSON when the
-    path ends in [.json], JSONL otherwise. *)
+    path ends in [.json], JSONL otherwise. The write is atomic
+    ({!Atomic_io.write_file}), so a kill mid-dump never leaves a truncated
+    file. *)
+
+val write_file_in : t -> string -> unit
