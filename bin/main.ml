@@ -960,6 +960,282 @@ let gen_cmd =
     (Cmd.info "gen" ~doc:"Emit one of the bundled models in the text format.")
     Term.(const run $ which $ output)
 
+(* serve — the resident analysis daemon. *)
+
+let listen_arg =
+  Arg.(value & opt string "unix:sdft.sock"
+       & info [ "listen" ] ~docv:"ADDR"
+           ~doc:"Endpoint to serve on: $(b,unix:PATH) (default: \
+                 $(b,unix:sdft.sock)), $(b,tcp:HOST:PORT), or a bare path \
+                 (a Unix socket). A stale socket file is replaced.")
+
+let serve_cmd =
+  let run listen workers queue quota request_domains default_deadline
+      default_mem cache_path metrics_path metrics_format =
+    let addr = or_die (Sdft_server.Daemon.addr_of_string listen) in
+    let config =
+      {
+        Sdft_server.Server_core.default_config with
+        Sdft_server.Server_core.workers;
+        queue_capacity = queue;
+        client_quota = quota;
+        max_request_domains = request_domains;
+        default_deadline;
+        default_mem_limit_mb = default_mem;
+      }
+    in
+    (* A client vanishing mid-response must degrade to a failed write on
+       that connection, not a fatal SIGPIPE. *)
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    with_disk_cache cache_path (fun disk_cache ->
+        let cache =
+          match disk_cache with Some c -> c | None -> Quant_cache.create ()
+        in
+        let core = Sdft_server.Server_core.create ~config ~cache () in
+        let stop_on_signal =
+          Sys.Signal_handle
+            (fun _ -> Sdft_server.Daemon.request_stop core)
+        in
+        Sys.set_signal Sys.sigint stop_on_signal;
+        Sys.set_signal Sys.sigterm stop_on_signal;
+        let write_metrics () =
+          match metrics_path with
+          | None -> ()
+          | Some path -> (
+            try
+              Sdft_util.Metrics.write_file_in ~format:metrics_format
+                (Sdft_server.Server_core.metrics core)
+                path
+            with Sys_error m -> Printf.eprintf "sdft: %s\n" m)
+        in
+        Fun.protect ~finally:write_metrics (fun () ->
+            Sdft_server.Daemon.serve core addr ~on_ready:(fun () ->
+                Printf.printf
+                  "sdft: serving on %s (%d workers, queue %d, quota %d)\n%!"
+                  (Sdft_server.Daemon.addr_to_string addr)
+                  config.Sdft_server.Server_core.workers queue quota));
+        (match disk_cache with
+        | Some c -> report_disk_cache c
+        | None -> ());
+        Printf.printf "sdft: server stopped\n%!")
+  in
+  let workers =
+    Arg.(value & opt int 2
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"Worker domains executing analyze requests.")
+  in
+  let queue =
+    Arg.(value & opt int 64
+         & info [ "queue" ] ~docv:"N"
+             ~doc:"Admission queue bound; a saturated queue rejects with a \
+                   structured $(i,retry_after) response instead of queueing \
+                   unboundedly.")
+  in
+  let quota =
+    Arg.(value & opt int 16
+         & info [ "quota" ] ~docv:"N"
+             ~doc:"Maximum in-flight (queued plus running) requests per \
+                   client.")
+  in
+  let request_domains =
+    Arg.(value & opt int 1
+         & info [ "request-domains" ] ~docv:"N"
+             ~doc:"Clamp on the per-request $(i,domains) parameter (solver \
+                   domains nested inside one worker).")
+  in
+  let default_deadline =
+    Arg.(value & opt (some float) None
+         & info [ "default-deadline" ] ~docv:"SECONDS"
+             ~doc:"Guard deadline applied to requests that do not set \
+                   their own; requests degrade gracefully when it \
+                   expires.")
+  in
+  let default_mem =
+    Arg.(value & opt (some int) None
+         & info [ "default-mem-limit-mb" ] ~docv:"MB"
+             ~doc:"Guard heap ceiling applied to requests that do not set \
+                   their own.")
+  in
+  let metrics =
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ] ~docv:"FILE"
+             ~doc:"Dump the server registry (requests, rejections, request \
+                   latency histogram, cache roll-up) to $(docv) on exit. \
+                   The live equivalents are the $(b,metrics) op and a plain \
+                   HTTP $(b,GET /metrics) on the same socket.")
+  in
+  let metrics_format =
+    Arg.(value
+         & opt (enum [ ("json", Sdft_util.Metrics.Json_format);
+                       ("prom", Sdft_util.Metrics.Prom_format) ])
+             Sdft_util.Metrics.Json_format
+         & info [ "metrics-format" ] ~docv:"FMT"
+             ~doc:"Format of the $(b,--metrics) dump: $(b,json) or \
+                   $(b,prom).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Resident analysis server: accept newline-delimited JSON \
+             analysis requests over a Unix or TCP socket, multiplexed over \
+             a worker-domain pool and one shared quantification cache \
+             (flushed on graceful shutdown). Each request runs under its \
+             own observability context and resource guard; errors are \
+             answered, never fatal.")
+    Term.(const run $ listen_arg $ workers $ queue $ quota $ request_domains
+          $ default_deadline $ default_mem $ cache_arg $ metrics $ metrics_format)
+
+(* client — line-oriented scripting client for serve. *)
+
+let client_cmd =
+  let run connect op file id client_name horizon cutoff engine domains
+      deadline mem_limit_mb max_order failpoints verbose raw =
+    let addr = or_die (Sdft_server.Daemon.addr_of_string connect) in
+    let line =
+      match raw with
+      | Some l -> l
+      | None -> (
+        match op with
+        | "analyze" ->
+          let path =
+            match file with
+            | Some f -> f
+            | None ->
+              or_die (Error "analyze needs a MODEL file (or use --raw)")
+          in
+          (* .xml goes through the Open-PSA reader and is re-serialized;
+             the native text format travels as-is. *)
+          let model =
+            if Filename.check_suffix path ".xml" then
+              Sdft_format.to_string (or_die (load_model path))
+            else
+              or_die
+                (try
+                   Ok In_channel.(with_open_bin path input_all)
+                 with Sys_error m -> Error m)
+          in
+          Sdft_server.Protocol.analyze_line ?id ?client:client_name ?horizon
+            ?cutoff ?engine ?domains ?deadline ?mem_limit_mb ?max_order
+            ?failpoints ~verbose ~model ()
+        | other -> Sdft_server.Protocol.simple_line ?id ?client:client_name other)
+    in
+    let cl =
+      try Sdft_server.Client.connect addr
+      with Unix.Unix_error (e, _, _) ->
+        or_die
+          (Error
+             (Printf.sprintf "cannot connect to %s: %s" connect
+                (Unix.error_message e)))
+    in
+    let response =
+      match Sdft_server.Client.request cl line with
+      | r -> r
+      | exception End_of_file ->
+        or_die (Error "server closed the connection before replying")
+      | exception Unix.Unix_error (e, _, _) ->
+        or_die (Error (Unix.error_message e))
+    in
+    Sdft_server.Client.close cl;
+    (* The metrics op unwraps to the raw exposition text (scrape-friendly);
+       everything else prints the raw response line for jq-style piping. *)
+    let module J = Sdft_util.Json in
+    (match
+       if op = "metrics" && raw = None then
+         Option.bind (Result.to_option (J.parse response)) (fun v ->
+             Option.bind (J.member "result" v) (fun r ->
+                 Option.bind (J.member "prometheus" r) J.to_string))
+       else None
+     with
+    | Some text -> print_string text
+    | None -> print_endline response);
+    match Result.to_option (J.parse response) with
+    | Some v when J.member "ok" v = Some (J.Bool true) -> ()
+    | _ -> raise (Exit_code 1)
+  in
+  let connect =
+    Arg.(value & opt string "unix:sdft.sock"
+         & info [ "connect" ] ~docv:"ADDR"
+             ~doc:"Server endpoint: $(b,unix:PATH), $(b,tcp:HOST:PORT) or a \
+                   bare socket path.")
+  in
+  let op =
+    Arg.(value
+         & opt (enum [ ("analyze", "analyze"); ("ping", "ping");
+                       ("metrics", "metrics"); ("stats", "stats");
+                       ("shutdown", "shutdown") ])
+             "analyze"
+         & info [ "op" ] ~docv:"OP"
+             ~doc:"Request op: $(b,analyze) (default), $(b,ping), \
+                   $(b,metrics), $(b,stats) or $(b,shutdown).")
+  in
+  let file =
+    Arg.(value & pos 0 (some file) None
+         & info [] ~docv:"MODEL" ~doc:"Model file for $(b,analyze).")
+  in
+  let id =
+    Arg.(value & opt (some string) None
+         & info [ "id" ] ~docv:"ID" ~doc:"Request id, echoed in the response.")
+  in
+  let client_name =
+    Arg.(value & opt (some string) None
+         & info [ "client" ] ~docv:"NAME" ~doc:"Quota bucket to bill this request to.")
+  in
+  let horizon =
+    Arg.(value & opt (some float) None
+         & info [ "horizon"; "t" ] ~docv:"HOURS" ~doc:"Analysis horizon.")
+  in
+  let cutoff =
+    Arg.(value & opt (some float) None
+         & info [ "cutoff"; "c" ] ~docv:"P" ~doc:"Generation cutoff.")
+  in
+  let engine =
+    Arg.(value & opt (some string) None
+         & info [ "engine" ] ~docv:"ENGINE"
+             ~doc:"Cutset engine: mocus, mocus-aggressive, bdd, zdd or auto.")
+  in
+  let domains =
+    Arg.(value & opt (some int) None
+         & info [ "domains"; "j" ] ~docv:"N"
+             ~doc:"Requested solver domains (server clamps).")
+  in
+  let deadline =
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ] ~docv:"SECONDS" ~doc:"Per-request guard deadline.")
+  in
+  let mem_limit =
+    Arg.(value & opt (some int) None
+         & info [ "mem-limit-mb" ] ~docv:"MB" ~doc:"Per-request heap ceiling.")
+  in
+  let max_order =
+    Arg.(value & opt (some int) None
+         & info [ "max-order" ] ~docv:"K" ~doc:"Cutset order bound.")
+  in
+  let failpoints =
+    Arg.(value & opt (some string) None
+         & info [ "failpoints" ] ~docv:"SPEC"
+             ~doc:"Fault-injection spec armed on this request's private \
+                   registry only (SDFT_FAILPOINTS syntax).")
+  in
+  let verbose =
+    Arg.(value & flag
+         & info [ "verbose" ]
+             ~doc:"Ask for the nondeterministic timing/cache section in \
+                   the response.")
+  in
+  let raw =
+    Arg.(value & opt (some string) None
+         & info [ "raw" ] ~docv:"LINE"
+             ~doc:"Send $(docv) verbatim as the request frame (overrides \
+                   every other request option).")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send one request to a running $(b,sdft serve) daemon and \
+             print the response line (exit 0 on ok, 1 on a structured \
+             error, 2 on transport trouble).")
+    Term.(const run $ connect $ op $ file $ id $ client_name $ horizon
+          $ cutoff $ engine $ domains $ deadline $ mem_limit $ max_order
+          $ failpoints $ verbose $ raw)
+
 let main_cmd =
   let info =
     Cmd.info "sdft" ~version:"1.0.0"
@@ -983,6 +1259,8 @@ let main_cmd =
       sensitivity_cmd;
       dot_cmd;
       gen_cmd;
+      serve_cmd;
+      client_cmd;
     ]
 
 (* [~catch:false] so our exceptions reach this handler instead of cmdliner's

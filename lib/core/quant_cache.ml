@@ -62,6 +62,13 @@ type t = {
   miss_count : int Atomic.t;
   disk_hit_count : int Atomic.t;
   disk_miss_count : int Atomic.t;
+  disk_lock : Mutex.t;
+      (* serializes the disk tier's state machine ([broken]/[disk_error]
+         and their check-then-act transitions) under multi-domain callers
+         — the analysis server runs many analyses over one shared cache.
+         Separate from [lock] so a slow append never blocks lookups; the
+         [disk] field itself is written only in [open_disk], before the
+         cache can be shared. Store's own mutex covers the raw IO. *)
   mutable disk : disk option;
 }
 
@@ -73,6 +80,7 @@ let create () =
     miss_count = Atomic.make 0;
     disk_hit_count = Atomic.make 0;
     disk_miss_count = Atomic.make 0;
+    disk_lock = Mutex.create ();
     disk = None;
   }
 
@@ -291,6 +299,15 @@ let disk_stats t =
   match t.disk with
   | None -> None
   | Some d ->
+    (* broken/disk_error are read under disk_lock so a snapshot taken
+       while another domain is degrading the tier is consistent (never an
+       error message without the broken flag's effects, or vice versa). *)
+    let disk_error =
+      Mutex.lock t.disk_lock;
+      let e = d.disk_error in
+      Mutex.unlock t.disk_lock;
+      e
+    in
     Some
       {
         disk_path = Store.path d.store;
@@ -300,53 +317,62 @@ let disk_stats t =
         disk_hits = Atomic.get t.disk_hit_count;
         disk_misses = Atomic.get t.disk_miss_count;
         appends = Store.appended d.store;
-        disk_error = d.disk_error;
+        disk_error;
       }
+
+let disk_locked t f =
+  Mutex.lock t.disk_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.disk_lock) f
 
 (* Append one freshly solved entry; never raises. The [store.append]
    failpoint (inside Store.append) and real IO errors both land here: the
-   disk tier is marked broken and the analysis carries on memory-only. *)
+   disk tier is marked broken and the analysis carries on memory-only.
+   Under [disk_lock] so the broken-check and its transition are atomic
+   with respect to concurrent appends from other domains. *)
 let disk_append t key e =
   match t.disk with
   | None -> ()
   | Some d ->
-    if not d.broken then (
-      match Store.append d.store (encode_record key e) with
-      | true -> Metrics.incr m_appends
-      | false -> ()
-      | exception exn -> (
-        match io_error_message exn with
-        | Some m ->
-          d.broken <- true;
-          d.disk_error <- Some m
-        | None -> raise exn))
+    disk_locked t (fun () ->
+        if not d.broken then
+          match Store.append d.store (encode_record key e) with
+          | true -> Metrics.incr m_appends
+          | false -> ()
+          | exception exn -> (
+            match io_error_message exn with
+            | Some m ->
+              d.broken <- true;
+              d.disk_error <- Some m
+            | None -> raise exn))
 
 let flush t =
   match t.disk with
   | None -> ()
   | Some d ->
-    if not d.broken then (
-      match Store.flush d.store with
-      | () -> Trace.instant "cache.disk_flush"
-      | exception exn -> (
-        match io_error_message exn with
-        | Some m ->
-          d.broken <- true;
-          d.disk_error <- Some m
-        | None -> raise exn))
+    disk_locked t (fun () ->
+        if not d.broken then
+          match Store.flush d.store with
+          | () -> Trace.instant "cache.disk_flush"
+          | exception exn -> (
+            match io_error_message exn with
+            | Some m ->
+              d.broken <- true;
+              d.disk_error <- Some m
+            | None -> raise exn))
 
 let close t =
   match t.disk with
   | None -> ()
-  | Some d -> (
-    match Store.close d.store with
-    | () -> Trace.instant "cache.disk_flush"
-    | exception exn -> (
-      match io_error_message exn with
-      | Some m ->
-        d.broken <- true;
-        d.disk_error <- Some m
-      | None -> raise exn))
+  | Some d ->
+    disk_locked t (fun () ->
+        match Store.close d.store with
+        | () -> Trace.instant "cache.disk_flush"
+        | exception exn -> (
+          match io_error_message exn with
+          | Some m ->
+            d.broken <- true;
+            d.disk_error <- Some m
+          | None -> raise exn))
 
 let export t =
   locked t (fun () ->

@@ -1,0 +1,44 @@
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  mutable closed : bool;
+}
+
+let connect addr =
+  let fd =
+    match addr with
+    | Daemon.Unix_sock path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX path)
+       with e ->
+         (try Unix.close fd with _ -> ());
+         raise e);
+      fd
+    | Daemon.Tcp (host, port) ->
+      let ip =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_INET (ip, port))
+       with e ->
+         (try Unix.close fd with _ -> ());
+         raise e);
+      fd
+  in
+  { fd; ic = Unix.in_channel_of_descr fd; closed = false }
+
+let request t line =
+  let payload = Bytes.of_string (line ^ "\n") in
+  let n = Bytes.length payload in
+  let rec write_all off =
+    if off < n then write_all (off + Unix.write t.fd payload off (n - off))
+  in
+  write_all 0;
+  input_line t.ic
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try close_in t.ic with Sys_error _ -> ()
+  end

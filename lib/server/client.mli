@@ -1,0 +1,19 @@
+(** Blocking line-oriented client for the analysis server — the engine of
+    [sdft client] and of the CI smoke tests.
+
+    One {!t} is one connection. {!request} writes one frame and blocks for
+    one response line; it is the right shape for scripting, where requests
+    are sequential and the (id-correlated) pipelining freedom of the wire
+    protocol is unnecessary. *)
+
+type t
+
+val connect : Daemon.addr -> t
+(** @raise Unix.Unix_error when the endpoint refuses or does not exist. *)
+
+val request : t -> string -> string
+(** Send one request line, return the next response line.
+    @raise End_of_file when the server closes the connection first. *)
+
+val close : t -> unit
+(** Idempotent. *)

@@ -1,0 +1,230 @@
+(* Socket layer. One lightweight thread per connection feeds frames to
+   Server_core; the accept loop polls with select so a shutdown op (or
+   signal) is noticed within a poll interval without fd-closing races. *)
+
+type addr =
+  | Unix_sock of string
+  | Tcp of string * int
+
+let addr_of_string s =
+  let unix_of p =
+    if p = "" then Error "empty unix socket path" else Ok (Unix_sock p)
+  in
+  match String.index_opt s ':' with
+  | None -> unix_of s
+  | Some i -> (
+    let scheme = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    match scheme with
+    | "unix" -> unix_of rest
+    | "tcp" -> (
+      match String.rindex_opt rest ':' with
+      | None -> Error (Printf.sprintf "tcp address %S needs HOST:PORT" rest)
+      | Some j -> (
+        let host = String.sub rest 0 j in
+        let port = String.sub rest (j + 1) (String.length rest - j - 1) in
+        match int_of_string_opt port with
+        | Some p when p > 0 && p < 65536 ->
+          Ok (Tcp ((if host = "" then "127.0.0.1" else host), p))
+        | _ -> Error (Printf.sprintf "bad tcp port %S" port)))
+    | _ ->
+      (* A bare relative path with a colon in it is unlikely; be strict. *)
+      Error (Printf.sprintf "unknown address scheme %S (use unix: or tcp:)" scheme))
+
+let addr_to_string = function
+  | Unix_sock p -> "unix:" ^ p
+  | Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
+
+let request_stop core =
+  Server_core.request_shutdown core
+
+(* ------------------------------------------------------------------ *)
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      let w = Unix.write fd b off (n - off) in
+      go (off + w)
+  in
+  go 0
+
+(* Per-connection state. Worker domains reply asynchronously, so writes
+   are serialized by [wm]; the reader must not close the fd while replies
+   are outstanding (fd reuse would misdirect a late write), so completions
+   are counted and the close waits for the last one. *)
+type conn = {
+  fd : Unix.file_descr;
+  wm : Mutex.t;
+  cm : Mutex.t;
+  done_cv : Condition.t;
+  mutable pending : int;
+  mutable eof : bool;
+}
+
+let conn_send c line =
+  Mutex.lock c.wm;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock c.wm)
+    (fun () -> write_all c.fd (line ^ "\n"))
+
+let conn_track c =
+  Mutex.lock c.cm;
+  c.pending <- c.pending + 1;
+  Mutex.unlock c.cm
+
+let conn_done c =
+  Mutex.lock c.cm;
+  c.pending <- c.pending - 1;
+  if c.pending = 0 && c.eof then Condition.signal c.done_cv;
+  Mutex.unlock c.cm
+
+(* Registry of live connections, so shutdown can wake readers blocked in
+   [input_line]. A connection unregisters (under the same lock) before
+   closing its fd — the sweeper never touches a closed, possibly reused,
+   descriptor. *)
+type registry = { reg_m : Mutex.t; reg : (int, conn) Hashtbl.t }
+
+let conn_close reg id c =
+  Mutex.lock c.cm;
+  c.eof <- true;
+  while c.pending > 0 do
+    Condition.wait c.done_cv c.cm
+  done;
+  Mutex.unlock c.cm;
+  Mutex.lock reg.reg_m;
+  Hashtbl.remove reg.reg id;
+  (try Unix.close c.fd with Unix.Unix_error _ -> ());
+  Mutex.unlock reg.reg_m
+
+let wake_all reg =
+  Mutex.lock reg.reg_m;
+  Hashtbl.iter
+    (fun _ c ->
+      try Unix.shutdown c.fd Unix.SHUTDOWN_RECEIVE
+      with Unix.Unix_error _ -> ())
+    reg.reg;
+  Mutex.unlock reg.reg_m
+
+let http_scrape core c ic =
+  (* Drain the request headers (we answer any GET with the exposition). *)
+  (try
+     let rec skip () =
+       match input_line ic with
+       | "" | "\r" -> ()
+       | _ -> skip ()
+     in
+     skip ()
+   with End_of_file -> ());
+  let body = Server_core.prometheus core in
+  let head =
+    Printf.sprintf
+      "HTTP/1.1 200 OK\r\n\
+       Content-Type: text/plain; version=0.0.4\r\n\
+       Content-Length: %d\r\n\
+       Connection: close\r\n\r\n"
+      (String.length body)
+  in
+  try write_all c.fd (head ^ body) with Unix.Unix_error _ -> ()
+
+let handle_conn core reg fd conn_id =
+  let c =
+    {
+      fd;
+      wm = Mutex.create ();
+      cm = Mutex.create ();
+      done_cv = Condition.create ();
+      pending = 0;
+      eof = false;
+    }
+  in
+  Mutex.lock reg.reg_m;
+  Hashtbl.replace reg.reg conn_id c;
+  Mutex.unlock reg.reg_m;
+  let ic = Unix.in_channel_of_descr fd in
+  let client = Printf.sprintf "conn-%d" conn_id in
+  let submit line =
+    conn_track c;
+    Server_core.submit core ~client line ~reply:(fun response ->
+        Fun.protect
+          ~finally:(fun () -> conn_done c)
+          (fun () -> try conn_send c response with _ -> ()))
+  in
+  (try
+     let rec loop first =
+       match input_line ic with
+       | exception End_of_file -> ()
+       | exception Sys_error _ -> ()
+       | line ->
+         if
+           first
+           && String.length line >= 4
+           && String.sub line 0 4 = "GET "
+         then http_scrape core c ic
+         else begin
+           if String.trim line <> "" then submit line;
+           loop false
+         end
+     in
+     loop true
+   with _ -> ());
+  conn_close reg conn_id c
+
+(* ------------------------------------------------------------------ *)
+
+let listener = function
+  | Unix_sock path ->
+    if Sys.file_exists path then (try Unix.unlink path with Sys_error _ | Unix.Unix_error _ -> ());
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.bind fd (Unix.ADDR_UNIX path)
+     with e -> (try Unix.close fd with _ -> ()); raise e);
+    Unix.listen fd 64;
+    fd
+  | Tcp (host, port) ->
+    let ip =
+      try Unix.inet_addr_of_string host
+      with Failure _ ->
+        (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    (try
+       Unix.bind fd (Unix.ADDR_INET (ip, port));
+       Unix.listen fd 64
+     with e -> (try Unix.close fd with _ -> ()); raise e);
+    fd
+
+let serve ?on_ready core addr =
+  let fd = listener addr in
+  (match on_ready with Some f -> f () | None -> ());
+  let reg = { reg_m = Mutex.create (); reg = Hashtbl.create 16 } in
+  let conn_counter = ref 0 in
+  let threads = ref [] in
+  (* Poll so that a shutdown requested by an op (possibly on another
+     thread) breaks the loop without having to close the listener out from
+     under a blocked accept. *)
+  while not (Server_core.stopping core) do
+    match Unix.select [ fd ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+      match Unix.accept fd with
+      | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ()
+      | cfd, _ ->
+        incr conn_counter;
+        let id = !conn_counter in
+        threads :=
+          Thread.create (fun () -> handle_conn core reg cfd id) ()
+          :: !threads)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  (match addr with
+  | Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+  | Tcp _ -> ());
+  (* Wake readers blocked on idle connections, let in-flight connections
+     hand their last frames to the core, then drain the pool and flush the
+     cache. *)
+  wake_all reg;
+  List.iter (fun th -> try Thread.join th with _ -> ()) !threads;
+  Server_core.shutdown core

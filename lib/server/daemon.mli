@@ -1,0 +1,37 @@
+(** The socket front of the analysis server: listener, connection
+    handling, and the [/metrics] scrape endpoint.
+
+    Each accepted connection gets a lightweight thread that reads
+    newline-delimited request frames and hands them to
+    {!Server_core.submit}; worker domains write the response lines back
+    through a per-connection mutex, so responses to pipelined requests may
+    interleave (correlate by [id]). A connection whose first line starts
+    with ["GET "] is treated as a plain HTTP/1.x scrape: the daemon
+    answers one [200 text/plain] response carrying
+    {!Server_core.prometheus} and closes — enough for a Prometheus
+    scraper, with no HTTP stack.
+
+    {!serve} returns after a graceful shutdown (a [shutdown] op, or
+    {!request_stop} from a signal handler): the listener closes, admitted
+    requests drain, the worker pool joins and the shared cache is
+    flushed. *)
+
+type addr =
+  | Unix_sock of string  (** path; any stale socket file is replaced *)
+  | Tcp of string * int  (** host, port *)
+
+val addr_of_string : string -> (addr, string) result
+(** Accepts ["unix:PATH"], ["tcp:HOST:PORT"], and bare [PATH] (a Unix
+    socket). *)
+
+val addr_to_string : addr -> string
+
+val serve : ?on_ready:(unit -> unit) -> Server_core.t -> addr -> unit
+(** Bind, listen and serve until shutdown. [on_ready] runs once the
+    listener is accepting (the CLI prints its banner there).
+    @raise Unix.Unix_error when the initial bind/listen fails — after
+    that, per-connection errors never escape. *)
+
+val request_stop : Server_core.t -> unit
+(** Initiate the same graceful shutdown as a [shutdown] op; safe to call
+    from a signal handler. *)

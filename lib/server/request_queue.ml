@@ -1,0 +1,48 @@
+(* Mutex + condition bounded FIFO. The lock is held only for O(1) queue
+   operations; analysis work happens outside. *)
+
+type 'a t = {
+  capacity : int;
+  q : 'a Queue.t;
+  m : Mutex.t;
+  nonempty : Condition.t;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Request_queue.create: capacity < 1";
+  {
+    capacity;
+    q = Queue.create ();
+    m = Mutex.create ();
+    nonempty = Condition.create ();
+    closed = false;
+  }
+
+let with_lock t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let try_push t x =
+  with_lock t (fun () ->
+      if t.closed then `Closed
+      else if Queue.length t.q >= t.capacity then `Full
+      else begin
+        Queue.push x t.q;
+        Condition.signal t.nonempty;
+        `Ok (Queue.length t.q)
+      end)
+
+let take t =
+  with_lock t (fun () ->
+      while Queue.is_empty t.q && not t.closed do
+        Condition.wait t.nonempty t.m
+      done;
+      if Queue.is_empty t.q then None else Some (Queue.pop t.q))
+
+let close t =
+  with_lock t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+let length t = with_lock t (fun () -> Queue.length t.q)

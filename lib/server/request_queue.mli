@@ -1,0 +1,28 @@
+(** Bounded multi-producer/multi-consumer FIFO — the server's admission
+    queue.
+
+    Producers never block: when the queue is at capacity {!try_push}
+    reports [`Full] and the caller turns that into a structured
+    [saturated] rejection instead of queueing unboundedly. Consumers
+    (worker domains) block in {!take} until a job or shutdown arrives.
+    After {!close}, pushes are refused but takers drain what was already
+    admitted before seeing [None] — graceful shutdown finishes accepted
+    work. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+val try_push : 'a t -> 'a -> [ `Ok of int | `Full | `Closed ]
+(** Non-blocking admission. [`Ok depth] is the queue length {e after} the
+    push (for the depth gauge). *)
+
+val take : 'a t -> 'a option
+(** Block until an element is available ([Some]) or the queue is closed
+    {e and} drained ([None]). Safe from any number of domains. *)
+
+val close : 'a t -> unit
+(** Refuse further pushes and wake every blocked taker. Idempotent. *)
+
+val length : 'a t -> int

@@ -1,0 +1,96 @@
+(** The resident analysis engine behind [sdft serve]: admission control,
+    a fixed worker-domain pool, per-request isolation and the shared
+    quantification cache — everything except the socket.
+
+    The transport-free API is deliberate: the in-process test battery
+    drives {!submit}/{!call} directly with the same code paths the socket
+    daemon ({!Daemon}) uses, so concurrency and fault-injection properties
+    proven here hold for the wire.
+
+    {b Isolation.} Every [analyze] request runs under its own
+    {!Sdft_util.Obs.create} context (fresh metrics/trace/failpoint
+    registries) and its own {!Sdft_util.Guard} budget (the request's
+    [deadline]/[mem_limit_mb], falling back to the server defaults), so
+    concurrent requests can never contaminate each other's instruments or
+    injected faults, and a runaway request degrades itself instead of the
+    daemon. A per-request [failpoints] spec arms only that request's
+    registry. The aggregate server registry ({!metrics}) carries only the
+    server's own instruments ([server.*]).
+
+    {b Admission.} [analyze] requests pass a per-client in-flight quota
+    and a bounded queue; both reject {e immediately} with a structured
+    error carrying [retry_after] (an EWMA-based estimate of when capacity
+    frees up) instead of queueing unboundedly. Cheap ops (ping, metrics,
+    stats, shutdown) are answered inline and are not subject to quota.
+
+    {b Crash containment.} Inside the analysis, per-cutset failures are
+    contained by the [Worker_crash] machinery and degrade the result;
+    anything that still escapes a worker is caught per request and
+    answered as a [crash] error — a poisoned request can never kill the
+    daemon or its pool. *)
+
+type config = {
+  workers : int;  (** worker domains executing [analyze] requests *)
+  queue_capacity : int;  (** admission queue bound *)
+  client_quota : int;  (** max in-flight (queued + running) per client *)
+  max_request_bytes : int;  (** hard frame-size cap *)
+  max_request_domains : int;
+      (** clamp on the per-request solver [domains] parameter *)
+  default_deadline : float option;
+      (** guard deadline for requests that do not set one *)
+  default_mem_limit_mb : int option;
+}
+
+val default_config : config
+(** 2 workers, queue 64, quota 16, 8 MiB frames, 1 solver domain per
+    request, no default deadline or memory ceiling. *)
+
+type t
+
+val create : ?config:config -> ?cache:Quant_cache.t -> unit -> t
+(** Start the worker pool. [cache] (default: a fresh memory-only cache) is
+    shared by every request; the caller keeps ownership and is responsible
+    for {!Quant_cache.close} after {!shutdown}. *)
+
+val submit : t -> client:string -> reply:(string -> unit) -> string -> unit
+(** Admit one request line. [reply] is invoked exactly once with the
+    response line — synchronously for inline ops and rejections, from a
+    worker domain for admitted [analyze] requests. Exceptions raised by
+    [reply] are swallowed (a vanished connection must not hurt the
+    worker). [client] is the quota bucket unless the request carries its
+    own ["client"] field. *)
+
+val call : t -> client:string -> string -> string
+(** Synchronous convenience over {!submit}: block until the response
+    line. *)
+
+val stopping : t -> bool
+(** A shutdown has been requested (op or {!shutdown}); new requests are
+    answered with [shutting_down]. *)
+
+val set_on_shutdown_request : t -> (unit -> unit) -> unit
+(** Hook invoked at most once, on the first [shutdown] op or
+    {!request_shutdown} — lets a transport break its accept loop. *)
+
+val request_shutdown : t -> unit
+(** Flip into the [stopping] state and fire the shutdown hook, exactly as
+    a [shutdown] op would; safe from a signal handler. Does not drain —
+    follow with {!shutdown}. *)
+
+val shutdown : t -> unit
+(** Graceful shutdown: refuse new work, drain already-admitted requests,
+    join the worker pool and {!Quant_cache.flush} the shared cache.
+    Idempotent. *)
+
+val cache : t -> Quant_cache.t
+
+val metrics : t -> Sdft_util.Metrics.t
+(** The aggregate server registry ([server.requests], [server.ok],
+    [server.errors], [server.rejected_saturated], [server.rejected_quota],
+    [server.crashes], [server.queue_depth], [server.request_s], cache
+    roll-up gauges). *)
+
+val prometheus : t -> string
+(** Prometheus exposition of {!metrics} with the cache roll-up gauges
+    refreshed — the body of the [/metrics] scrape and of the [metrics]
+    op. *)

@@ -214,6 +214,40 @@ let parse s =
     else Ok v
   | exception Parse_error m -> Error m
 
+(* Emission of parsed values, used to echo client-supplied fragments
+   (e.g. request ids) back verbatim. Together with [add_float]'s
+   17-significant-digit rendering, [parse] ∘ [value_to_string] is the
+   identity on everything our own writers emit. *)
+
+let rec add_value buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Number v -> add_float buf v
+  | String s -> add_string buf s
+  | Array vs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char buf ',';
+        add_value buf v)
+      vs;
+    Buffer.add_char buf ']'
+  | Object fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        add_string buf k;
+        Buffer.add_char buf ':';
+        add_value buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let value_to_string v =
+  let buf = Buffer.create 64 in
+  add_value buf v;
+  Buffer.contents buf
+
 (* Accessors: total, returning [None] on a shape mismatch, so manifest
    loaders can produce one diagnostic instead of raising mid-walk. *)
 

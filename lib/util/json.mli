@@ -33,6 +33,15 @@ val parse : string -> (value, string) result
     the first offense. Numbers are represented as floats (like JSON
     itself); [\u] escapes decode to UTF-8. *)
 
+val add_value : Buffer.t -> value -> unit
+(** Re-emit a parsed value. Floats render via {!add_float}, so
+    [parse] ∘ {!value_to_string} is the identity on any document our own
+    writers emit; used to echo client-supplied fragments (request ids)
+    back verbatim. *)
+
+val value_to_string : value -> string
+(** [value_to_string v] is [add_value] into a fresh buffer. *)
+
 (** {2 Accessors}
 
     All total: a shape mismatch yields [None] rather than an exception, so

@@ -18,14 +18,37 @@ type t = {
   emitted : bool Atomic.t;
 }
 
-(* Default sink: a single overwritten stderr line. Padded to a fixed width
-   so a shorter line fully covers its predecessor. *)
-let stderr_emit line = Printf.eprintf "\r%-79s%!" line
+(* Default sink: on a TTY, a single carriage-return-overwritten stderr
+   line, padded to a fixed width so a shorter line fully covers its
+   predecessor; everywhere else (piped logs, CI captures, redirects) plain
+   newline-terminated lines — CR overwriting would garble the capture. *)
+let rendered ~tty line =
+  if tty then Printf.sprintf "\r%-79s" line else line ^ "\n"
 
-let stderr_emit_end () = prerr_newline ()
+let stderr_is_tty = lazy (Unix.isatty Unix.stderr)
 
-let create ?(interval = 0.2) ?(emit = stderr_emit)
-    ?(emit_end = stderr_emit_end) () =
+let create ?tty ?interval ?emit ?emit_end () =
+  let tty =
+    match tty with Some b -> b | None -> Lazy.force stderr_is_tty
+  in
+  (* Plain-line mode appends instead of overwriting, so it defaults to a
+     gentler cadence to keep captured logs readable. *)
+  let interval =
+    match interval with Some i -> i | None -> if tty then 0.2 else 1.0
+  in
+  let emit =
+    match emit with
+    | Some e -> e
+    | None ->
+      fun line ->
+        output_string stderr (rendered ~tty line);
+        flush stderr
+  in
+  let emit_end =
+    match emit_end with
+    | Some e -> e
+    | None -> if tty then prerr_newline else fun () -> ()
+  in
   {
     emit;
     emit_end;

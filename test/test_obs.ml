@@ -366,6 +366,68 @@ let test_progress_rendering () =
     (contains final "quantification");
   Alcotest.(check bool) "final line shows 4/4" true (contains final "4/4")
 
+(* The default sink frames lines for its destination: CR-overwriting on a
+   TTY, plain newline-terminated lines anywhere else — a captured log or
+   CI pipe must never receive carriage returns. *)
+let test_progress_rendered_modes () =
+  let tty = Progress.rendered ~tty:true "phase 1/2" in
+  Alcotest.(check bool) "tty framing leads with CR" true (tty.[0] = '\r');
+  Alcotest.(check int) "tty framing pads to a fixed width" 80
+    (String.length tty);
+  Alcotest.(check bool) "tty framing has no newline" true
+    (not (String.contains tty '\n'));
+  Alcotest.(check string) "plain framing appends a newline" "phase 1/2\n"
+    (Progress.rendered ~tty:false "phase 1/2");
+  Alcotest.(check bool) "plain framing has no CR" true
+    (not (String.contains (Progress.rendered ~tty:false "x") '\r'))
+
+(* Drive the real default sink in both modes, capturing stderr through a
+   temporary file. *)
+let capture_stderr f =
+  let path = Filename.temp_file "sdft_progress" ".log" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  flush stderr;
+  let saved = Unix.dup Unix.stderr in
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  Unix.dup2 fd Unix.stderr;
+  Unix.close fd;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stderr;
+      Unix.dup2 saved Unix.stderr;
+      Unix.close saved)
+    f;
+  In_channel.with_open_bin path In_channel.input_all
+
+let test_progress_sink_adapts () =
+  let run ~tty =
+    capture_stderr (fun () ->
+        let p = Progress.create ~tty ~interval:0.0 () in
+        Progress.begin_phase p "demo" ~total:2 ();
+        Progress.step p ();
+        Progress.finish p)
+  in
+  let on_tty = run ~tty:true in
+  Alcotest.(check bool) "tty sink overwrites with CR" true
+    (String.contains on_tty '\r');
+  Alcotest.(check bool) "tty sink terminates the display" true
+    (String.length on_tty > 0 && on_tty.[String.length on_tty - 1] = '\n');
+  let plain = run ~tty:false in
+  Alcotest.(check bool) "captured log is CR-free" true
+    (not (String.contains plain '\r'));
+  Alcotest.(check bool) "captured log lines are newline-terminated" true
+    (String.length plain > 0 && plain.[String.length plain - 1] = '\n');
+  Alcotest.(check bool) "captured log names the phase" true
+    (let contains hay needle =
+       let rec search i =
+         i + String.length needle <= String.length hay
+         && (String.sub hay i (String.length needle) = needle || search (i + 1))
+       in
+       search 0
+     in
+     contains plain "demo")
+
 (* ------------------------------------------------------------------ *)
 (* Trace aggregation determinism *)
 
@@ -476,6 +538,10 @@ let () =
         [
           Alcotest.test_case "rendering and finish" `Quick
             test_progress_rendering;
+          Alcotest.test_case "tty vs plain framing" `Quick
+            test_progress_rendered_modes;
+          Alcotest.test_case "default sink adapts to non-TTY stderr" `Quick
+            test_progress_sink_adapts;
         ] );
       ( "trace",
         [
