@@ -417,7 +417,52 @@ let explain_cmd =
 (* sweep *)
 
 let sweep_cmd =
-  let run file horizons cutoff engine domains cache_path res obs =
+  let print_header () =
+    Printf.printf "%10s %14s %9s %11s %11s\n" "horizon" "frequency" "cutsets"
+      "cache-hits" "cache-miss"
+  in
+  (* Rows are flushed as they complete so a killed sweep leaves a readable
+     prefix on the terminal to match the checkpoint journal's state. *)
+  let print_item = function
+    | Sdft_analysis.Sweep_run p ->
+      Printf.printf "%10g %14.6e %9d %11d %11d\n%!"
+        p.Sdft_analysis.sweep_options.Sdft_analysis.horizon
+        p.Sdft_analysis.sweep_result.Sdft_analysis.total
+        p.Sdft_analysis.sweep_result.Sdft_analysis.n_cutsets
+        p.Sdft_analysis.cache_hits p.Sdft_analysis.cache_misses
+    | Sdft_analysis.Sweep_skipped pt ->
+      Printf.printf "%10g %14.6e %9d %11d %11d (checkpointed)\n%!"
+        pt.Checkpoint.pt_horizon pt.Checkpoint.pt_total
+        pt.Checkpoint.pt_n_cutsets 0 0
+  in
+  let item_degradation = function
+    | Sdft_analysis.Sweep_run p ->
+      if Sdft_analysis.degraded p.Sdft_analysis.sweep_result then
+        Some
+          ( p.Sdft_analysis.sweep_options.Sdft_analysis.horizon,
+            Sdft_analysis.degradation_description
+              p.Sdft_analysis.sweep_result )
+      else None
+    | Sdft_analysis.Sweep_skipped pt ->
+      Option.map
+        (fun d -> (pt.Checkpoint.pt_horizon, d))
+        pt.Checkpoint.pt_degraded
+  in
+  let finish_sweep res items cache =
+    Printf.printf "cache: %d hits / %d misses\n" (Quant_cache.hits cache)
+      (Quant_cache.misses cache);
+    report_disk_cache cache;
+    let degradations = List.filter_map item_degradation items in
+    List.iter
+      (fun (h, d) -> Printf.printf "DEGRADED at horizon %g: %s\n" h d)
+      degradations;
+    if res.res_fail && degradations <> [] then begin
+      Printf.eprintf "sdft: sweep degraded and --on-limit=fail is set\n";
+      raise (Exit_code 1)
+    end
+  in
+  let run file horizons cutoff engine domains cache_path ckpt_path resume res
+      obs =
     with_observability obs (fun ctx ->
         with_disk_cache cache_path (fun disk_cache ->
         let sd = or_die (load_model file) in
@@ -435,47 +480,75 @@ let sweep_cmd =
               })
             horizons
         in
-        let points, cache =
-          Sdft_analysis.sweep ?cache:disk_cache ~obs:ctx sd option_sets
-        in
-        Printf.printf "%10s %14s %9s %11s %11s\n" "horizon" "frequency"
-          "cutsets" "cache-hits" "cache-miss";
-        List.iter
-          (fun (p : Sdft_analysis.sweep_point) ->
-            Printf.printf "%10g %14.6e %9d %11d %11d\n"
-              p.sweep_options.Sdft_analysis.horizon
-              p.sweep_result.Sdft_analysis.total
-              p.sweep_result.Sdft_analysis.n_cutsets p.cache_hits p.cache_misses)
-          points;
-        Printf.printf "cache: %d hits / %d misses\n" (Quant_cache.hits cache)
-          (Quant_cache.misses cache);
-        report_disk_cache cache;
-        List.iter
-          (fun (p : Sdft_analysis.sweep_point) ->
-            if Sdft_analysis.degraded p.sweep_result then
-              Printf.printf "DEGRADED at horizon %g: %s\n"
-                p.sweep_options.Sdft_analysis.horizon
-                (Sdft_analysis.degradation_description p.sweep_result))
-          points;
-        if res.res_fail
-           && List.exists
-                (fun (p : Sdft_analysis.sweep_point) ->
-                  Sdft_analysis.degraded p.sweep_result)
-                points
-        then begin
-          Printf.eprintf
-            "sdft: sweep degraded and --on-limit=fail is set\n";
-          raise (Exit_code 1)
-        end))
+        match ckpt_path with
+        | None ->
+          if resume then
+            or_die (Error "--resume needs --checkpoint FILE");
+          let points, cache =
+            Sdft_analysis.sweep ?cache:disk_cache ~obs:ctx sd option_sets
+          in
+          print_header ();
+          List.iter (fun p -> print_item (Sdft_analysis.Sweep_run p)) points;
+          finish_sweep res
+            (List.map (fun p -> Sdft_analysis.Sweep_run p) points)
+            cache
+        | Some path ->
+          let journal =
+            try Checkpoint.open_ path with
+            | Sys_error m | Failure m ->
+              or_die (Error (Printf.sprintf "checkpoint %s: %s" path m))
+            | Unix.Unix_error (e, _, _) ->
+              or_die
+                (Error
+                   (Printf.sprintf "checkpoint %s: %s" path
+                      (Unix.error_message e)))
+          in
+          Fun.protect
+            ~finally:(fun () ->
+              try Checkpoint.close journal
+              with Sys_error m ->
+                Printf.eprintf "sdft: checkpoint: %s\n" m)
+            (fun () ->
+              print_header ();
+              let items, cache =
+                Sdft_analysis.sweep_checkpointed ?cache:disk_cache ~obs:ctx
+                  ~journal ~resume ~on_point:print_item sd option_sets
+              in
+              (match Checkpoint.journal_error journal with
+              | Some m ->
+                Printf.eprintf
+                  "sdft: checkpoint degraded (results unaffected): %s\n" m
+              | None -> ());
+              finish_sweep res items cache)))
   in
   let horizons =
     Arg.(value & opt (list float) [ 8.0; 24.0; 72.0 ]
          & info [ "horizons" ] ~docv:"H1,H2,.." ~doc:"Comma-separated analysis horizons in hours.")
   in
+  let checkpoint =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ] ~docv:"FILE"
+             ~doc:"Append a crash-safe journal record to $(docv) after every \
+                   completed sweep point (and after every fresh \
+                   quantification), so a killed sweep can be finished with \
+                   $(b,--resume) instead of recomputed. The journal uses the \
+                   same CRC-framed store format as $(b,--cache); a torn tail \
+                   from a crash is truncated away on reopen.")
+  in
+  let resume =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:"Resume from the $(b,--checkpoint) journal: sweep points \
+                   already certified there are printed from the journal \
+                   (marked $(i,checkpointed)) without re-analysis, cached \
+                   quantifications are warm-started, and only unfinished \
+                   points run. The completed output is bit-identical to an \
+                   uninterrupted run.")
+  in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Analyze one model over several horizons, sharing the quantification cache across points.")
-    Term.(const run $ file_arg $ horizons $ cutoff_arg $ engine_arg $ domains_arg $ cache_arg $ resource_term $ observability_term)
+    Term.(const run $ file_arg $ horizons $ cutoff_arg $ engine_arg $ domains_arg $ cache_arg $ checkpoint $ resume $ resource_term $ observability_term)
 
 (* mcs *)
 
@@ -971,7 +1044,8 @@ let listen_arg =
 
 let serve_cmd =
   let run listen workers queue quota request_domains default_deadline
-      default_mem cache_path metrics_path metrics_format =
+      default_mem watchdog idem_window cache_path metrics_path metrics_format
+      =
     let addr = or_die (Sdft_server.Daemon.addr_of_string listen) in
     let config =
       {
@@ -982,6 +1056,8 @@ let serve_cmd =
         max_request_domains = request_domains;
         default_deadline;
         default_mem_limit_mb = default_mem;
+        watchdog_timeout = (if watchdog > 0.0 then Some watchdog else None);
+        response_window = idem_window;
       }
     in
     (* A client vanishing mid-response must degrade to a failed write on
@@ -1056,6 +1132,23 @@ let serve_cmd =
              ~doc:"Guard heap ceiling applied to requests that do not set \
                    their own.")
   in
+  let watchdog =
+    Arg.(value & opt float 60.0
+         & info [ "watchdog" ] ~docv:"SECONDS"
+             ~doc:"Declare a busy worker domain lost after $(docv) seconds \
+                   without a heartbeat: its request is failed with a \
+                   retryable $(i,worker_lost) error and its pool slot is \
+                   respawned, so one hung analysis cannot shrink the pool. \
+                   $(b,0) disables the watchdog.")
+  in
+  let idem_window =
+    Arg.(value & opt int 128
+         & info [ "idem-window" ] ~docv:"N"
+             ~doc:"Remember the last $(docv) response lines per \
+                   (client, idem) pair so retried requests carrying an \
+                   $(i,idem) key are answered verbatim instead of \
+                   recomputed. $(b,0) disables the window.")
+  in
   let metrics =
     Arg.(value & opt (some string) None
          & info [ "metrics" ] ~docv:"FILE"
@@ -1082,14 +1175,29 @@ let serve_cmd =
              own observability context and resource guard; errors are \
              answered, never fatal.")
     Term.(const run $ listen_arg $ workers $ queue $ quota $ request_domains
-          $ default_deadline $ default_mem $ cache_arg $ metrics $ metrics_format)
+          $ default_deadline $ default_mem $ watchdog $ idem_window
+          $ cache_arg $ metrics $ metrics_format)
 
 (* client — line-oriented scripting client for serve. *)
 
 let client_cmd =
-  let run connect op file id client_name horizon cutoff engine domains
-      deadline mem_limit_mb max_order failpoints verbose raw =
+  let run connect op file id client_name idem timeout retries horizon cutoff
+      engine domains deadline mem_limit_mb max_order failpoints verbose raw =
     let addr = or_die (Sdft_server.Daemon.addr_of_string connect) in
+    (* Retried analyzes get an idempotency key automatically so a resend
+       after a broken socket or a lost worker is answered from the
+       server's response window instead of recomputed. *)
+    let idem =
+      match (idem, raw, op) with
+      | (Some _ as k), _, _ -> k
+      | None, None, "analyze" when retries > 0 ->
+        Some
+          (Digest.to_hex
+             (Digest.string
+                (Printf.sprintf "%d|%.9f|%s" (Unix.getpid ())
+                   (Unix.gettimeofday ()) connect)))
+      | _ -> None
+    in
     let line =
       match raw with
       | Some l -> l
@@ -1113,18 +1221,23 @@ let client_cmd =
                    Ok In_channel.(with_open_bin path input_all)
                  with Sys_error m -> Error m)
           in
-          Sdft_server.Protocol.analyze_line ?id ?client:client_name ?horizon
-            ?cutoff ?engine ?domains ?deadline ?mem_limit_mb ?max_order
-            ?failpoints ~verbose ~model ()
+          Sdft_server.Protocol.analyze_line ?id ?client:client_name ?idem
+            ?horizon ?cutoff ?engine ?domains ?deadline ?mem_limit_mb
+            ?max_order ?failpoints ~verbose ~model ()
         | other -> Sdft_server.Protocol.simple_line ?id ?client:client_name other)
     in
     let cl =
-      try Sdft_server.Client.connect addr
-      with Unix.Unix_error (e, _, _) ->
+      try Sdft_server.Client.connect ?timeout ~retries addr with
+      | Unix.Unix_error (e, _, _) ->
         or_die
           (Error
              (Printf.sprintf "cannot connect to %s: %s" connect
                 (Unix.error_message e)))
+      | Sdft_server.Client.Timeout tmo ->
+        or_die
+          (Error
+             (Printf.sprintf "connecting to %s timed out after %gs" connect
+                tmo))
     in
     let response =
       match Sdft_server.Client.request cl line with
@@ -1133,6 +1246,9 @@ let client_cmd =
         or_die (Error "server closed the connection before replying")
       | exception Unix.Unix_error (e, _, _) ->
         or_die (Error (Unix.error_message e))
+      | exception Sdft_server.Client.Timeout tmo ->
+        or_die
+          (Error (Printf.sprintf "no response after %gs (--timeout)" tmo))
     in
     Sdft_server.Client.close cl;
     (* The metrics op unwraps to the raw exposition text (scrape-friendly);
@@ -1161,11 +1277,12 @@ let client_cmd =
     Arg.(value
          & opt (enum [ ("analyze", "analyze"); ("ping", "ping");
                        ("metrics", "metrics"); ("stats", "stats");
-                       ("shutdown", "shutdown") ])
+                       ("health", "health"); ("shutdown", "shutdown") ])
              "analyze"
          & info [ "op" ] ~docv:"OP"
              ~doc:"Request op: $(b,analyze) (default), $(b,ping), \
-                   $(b,metrics), $(b,stats) or $(b,shutdown).")
+                   $(b,metrics), $(b,stats), $(b,health) or \
+                   $(b,shutdown).")
   in
   let file =
     Arg.(value & pos 0 (some file) None
@@ -1178,6 +1295,31 @@ let client_cmd =
   let client_name =
     Arg.(value & opt (some string) None
          & info [ "client" ] ~docv:"NAME" ~doc:"Quota bucket to bill this request to.")
+  in
+  let idem =
+    Arg.(value & opt (some string) None
+         & info [ "idem" ] ~docv:"KEY"
+             ~doc:"Idempotency key: the server answers a retry of the same \
+                   (client, $(docv)) pair with the remembered response line \
+                   instead of recomputing. Auto-generated for $(b,analyze) \
+                   when $(b,--retries) is positive.")
+  in
+  let timeout =
+    Arg.(value & opt (some float) None
+         & info [ "timeout" ] ~docv:"SECONDS"
+             ~doc:"Give up on the connect handshake or on waiting for the \
+                   response after $(docv) seconds, with a structured error \
+                   and exit 2, instead of blocking forever. Timeouts are \
+                   never retried.")
+  in
+  let retries =
+    Arg.(value & opt int 0
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Retry budget for this request: reconnect-and-resend on a \
+                   broken socket and re-submit after $(i,retry_after) on \
+                   retryable rejections (saturated, quota_exceeded, \
+                   shutting_down, worker_lost), with capped exponential \
+                   backoff. Default $(b,0): fail fast.")
   in
   let horizon =
     Arg.(value & opt (some float) None
@@ -1232,9 +1374,9 @@ let client_cmd =
        ~doc:"Send one request to a running $(b,sdft serve) daemon and \
              print the response line (exit 0 on ok, 1 on a structured \
              error, 2 on transport trouble).")
-    Term.(const run $ connect $ op $ file $ id $ client_name $ horizon
-          $ cutoff $ engine $ domains $ deadline $ mem_limit $ max_order
-          $ failpoints $ verbose $ raw)
+    Term.(const run $ connect $ op $ file $ id $ client_name $ idem
+          $ timeout $ retries $ horizon $ cutoff $ engine $ domains
+          $ deadline $ mem_limit $ max_order $ failpoints $ verbose $ raw)
 
 let main_cmd =
   let info =

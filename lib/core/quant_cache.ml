@@ -5,6 +5,8 @@ module Store = Sdft_util.Store
 
 let m_appends = Metrics.counter "cache.appends"
 let m_load_ms = Metrics.gauge "cache.load_ms"
+let m_breaker_opens = Metrics.counter "cache.breaker_opens"
+let m_breaker_recoveries = Metrics.counter "cache.breaker_recoveries"
 
 (* Per-observability-context instrument handles, resolved once per lookup
    (and through the physical-equality fast path, for free on the default
@@ -47,11 +49,36 @@ type entry = {
    observability counters; the values are interchangeable. *)
 type origin = Fresh | Warm
 
+(* The disk tier's circuit breaker. [Closed] appends normally; repeated
+   failures (or a single failure that tore the Store handle down) trip it
+   to [Open], where appends are skipped — but remembered — for a
+   deterministic cooldown counted in skipped appends; the cooldown's end
+   moves to [Half_open], and the next append becomes a probe that reopens
+   the file if necessary, reconciles it with the table, and closes the
+   breaker on success. Each failed probe doubles the next cooldown (capped),
+   so a persistently broken disk costs one probe per ~cooldown appends
+   instead of one syscall failure per solve. *)
+type breaker_state = Closed | Open | Half_open
+
 type disk = {
-  store : Store.t;
+  dk_path : string;
+  dk_batch : int option;
   entries_loaded : int;
   load_ms : float;
-  mutable broken : bool; (* an IO failure stopped the appends *)
+  threshold : int; (* consecutive Closed-state failures that trip *)
+  cooldown : int; (* skipped appends before the first re-probe *)
+  cooldown_cap : int;
+  mutable dk_store : Store.t option; (* None while torn down *)
+  mutable dk_state : breaker_state;
+  mutable failures : int; (* consecutive failures while Closed *)
+  mutable skips_left : int; (* Open: appends left before Half_open *)
+  mutable episodes : int; (* consecutive Open episodes, for the backoff *)
+  mutable opens : int; (* times the breaker tripped, ever *)
+  mutable probes : int;
+  mutable recoveries : int;
+  mutable appends_before : int; (* appends on store handles since closed *)
+  mutable lost : (string * entry) list; (* skipped/failed, newest first *)
+  mutable dk_closed : bool; (* [close] was called; tier is done *)
   mutable disk_error : string option;
 }
 
@@ -63,13 +90,17 @@ type t = {
   disk_hit_count : int Atomic.t;
   disk_miss_count : int Atomic.t;
   disk_lock : Mutex.t;
-      (* serializes the disk tier's state machine ([broken]/[disk_error]
-         and their check-then-act transitions) under multi-domain callers
-         — the analysis server runs many analyses over one shared cache.
-         Separate from [lock] so a slow append never blocks lookups; the
-         [disk] field itself is written only in [open_disk], before the
-         cache can be shared. Store's own mutex covers the raw IO. *)
+      (* serializes the disk tier's breaker state machine (all the mutable
+         [disk] fields and their check-then-act transitions) under
+         multi-domain callers — the analysis server runs many analyses over
+         one shared cache. Separate from [lock] so a slow append never
+         blocks lookups; lock order is [lock] strictly inside [disk_lock]
+         (the probe's reconcile step), never the other way. Store's own
+         mutex covers the raw IO. *)
   mutable disk : disk option;
+  mutable on_store : (string -> entry -> unit) option;
+      (* fired after a fresh solve lands in the table (not for seeded or
+         warm-loaded entries) — the checkpoint journal's feed *)
 }
 
 let create () =
@@ -82,7 +113,10 @@ let create () =
     disk_miss_count = Atomic.make 0;
     disk_lock = Mutex.create ();
     disk = None;
+    on_store = None;
   }
+
+let set_on_store t f = t.on_store <- Some f
 
 let hits t = Atomic.get t.hit_count
 
@@ -248,7 +282,8 @@ let io_error_message = function
   | Failure m -> Some m
   | _ -> None
 
-let open_disk ?batch path =
+let open_disk ?batch ?(breaker_threshold = 3) ?(breaker_cooldown = 4)
+    ?(breaker_cooldown_cap = 64) path =
   let t = create () in
   let t0 = Sdft_util.Timer.start () in
   (match Store.open_ ?batch ~stamp:version_stamp path with
@@ -267,18 +302,35 @@ let open_disk ?batch path =
     let load_ms = Sdft_util.Timer.elapsed_s t0 *. 1000.0 in
     Metrics.set m_load_ms load_ms;
     Trace.instant "cache.disk_load";
+    let threshold = max 1 breaker_threshold in
+    let cooldown = max 1 breaker_cooldown in
     t.disk <-
       Some
         {
-          store;
+          dk_path = path;
+          dk_batch = batch;
           entries_loaded = !loaded;
           load_ms;
-          broken = false;
+          threshold;
+          cooldown;
+          cooldown_cap = max cooldown breaker_cooldown_cap;
+          dk_store = Some store;
+          dk_state = Closed;
+          failures = 0;
+          skips_left = 0;
+          episodes = 0;
+          opens = 0;
+          probes = 0;
+          recoveries = 0;
+          appends_before = 0;
+          lost = [];
+          dk_closed = false;
           disk_error = None;
         }
   | exception e -> (
-    (* An unusable store must never take the analysis down: degrade to a
-       memory-only cache and surface the reason through disk_stats. *)
+    (* A store that cannot even be opened must never take the analysis
+       down: degrade to a plain memory-only cache (no breaker — there is
+       nothing to recover to) and stay silent beyond disk_stats = None. *)
     match io_error_message e with
     | Some _ -> ()
     | None -> raise e));
@@ -293,86 +345,247 @@ type disk_stats = {
   disk_misses : int;
   appends : int;
   disk_error : string option;
+  breaker : string;
+  breaker_opens : int;
+  breaker_probes : int;
+  breaker_recoveries : int;
 }
 
-let disk_stats t =
-  match t.disk with
-  | None -> None
-  | Some d ->
-    (* broken/disk_error are read under disk_lock so a snapshot taken
-       while another domain is degrading the tier is consistent (never an
-       error message without the broken flag's effects, or vice versa). *)
-    let disk_error =
-      Mutex.lock t.disk_lock;
-      let e = d.disk_error in
-      Mutex.unlock t.disk_lock;
-      e
-    in
-    Some
-      {
-        disk_path = Store.path d.store;
-        read_only = Store.mode d.store = Store.Reader;
-        entries_loaded = d.entries_loaded;
-        load_ms = d.load_ms;
-        disk_hits = Atomic.get t.disk_hit_count;
-        disk_misses = Atomic.get t.disk_miss_count;
-        appends = Store.appended d.store;
-        disk_error;
-      }
+let breaker_name = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half_open"
 
 let disk_locked t f =
   Mutex.lock t.disk_lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.disk_lock) f
 
-(* Append one freshly solved entry; never raises. The [store.append]
-   failpoint (inside Store.append) and real IO errors both land here: the
-   disk tier is marked broken and the analysis carries on memory-only.
-   Under [disk_lock] so the broken-check and its transition are atomic
-   with respect to concurrent appends from other domains. *)
+let disk_stats t =
+  match t.disk with
+  | None -> None
+  | Some d ->
+    (* The whole snapshot is taken under disk_lock so a reading domain
+       never sees an error message without the breaker transition's other
+       effects, or vice versa. *)
+    disk_locked t (fun () ->
+        Some
+          {
+            disk_path = d.dk_path;
+            read_only =
+              (match d.dk_store with
+              | Some s -> Store.mode s = Store.Reader
+              | None -> false);
+            entries_loaded = d.entries_loaded;
+            load_ms = d.load_ms;
+            disk_hits = Atomic.get t.disk_hit_count;
+            disk_misses = Atomic.get t.disk_miss_count;
+            appends =
+              (d.appends_before
+              + match d.dk_store with Some s -> Store.appended s | None -> 0);
+            disk_error = d.disk_error;
+            breaker = breaker_name d.dk_state;
+            breaker_opens = d.opens;
+            breaker_probes = d.probes;
+            breaker_recoveries = d.recoveries;
+          })
+
+(* Breaker transitions below all run under [disk_lock]. *)
+
+let cooldown_for d episodes =
+  let rec go c i =
+    if i >= episodes || c >= d.cooldown_cap then c else go (c * 2) (i + 1)
+  in
+  min d.cooldown_cap (go d.cooldown 1)
+
+let trip d msg =
+  d.dk_state <- Open;
+  d.episodes <- d.episodes + 1;
+  d.skips_left <- cooldown_for d d.episodes;
+  d.failures <- 0;
+  d.opens <- d.opens + 1;
+  d.disk_error <- Some msg;
+  Metrics.incr m_breaker_opens;
+  Trace.instant "cache.breaker_open"
+
+(* Drop a store handle that can no longer append (fd torn down by Store on
+   a real IO error, or externally closed), folding its append tally into
+   the running total so [disk_stats] stays monotone across reopens. *)
+let shed_torn_store d =
+  match d.dk_store with
+  | Some s when not (Store.healthy s) ->
+    d.appends_before <- d.appends_before + Store.appended s;
+    (try Store.close s with _ -> ());
+    d.dk_store <- None
+  | _ -> ()
+
+let note_append_failure d msg =
+  let torn =
+    match d.dk_store with Some s -> not (Store.healthy s) | None -> true
+  in
+  if torn then begin
+    (* The handle is gone: no point counting towards the threshold, every
+       further append would fail the same way. Trip immediately; the
+       half-open probe will reopen the file. *)
+    shed_torn_store d;
+    trip d msg
+  end
+  else begin
+    d.failures <- d.failures + 1;
+    if d.failures >= d.threshold then trip d msg
+  end
+
+let closed_append d key e =
+  match d.dk_store with
+  | None ->
+    d.lost <- (key, e) :: d.lost;
+    note_append_failure d "store handle lost"
+  | Some s -> (
+    match Store.append s (encode_record key e) with
+    | true ->
+      d.failures <- 0;
+      Metrics.incr m_appends
+    | false ->
+      (* Reader mode drops appends by design (someone else owns the file);
+         a Writer refusing means its fd is gone — that is a failure. *)
+      if Store.mode s = Store.Writer then begin
+        d.lost <- (key, e) :: d.lost;
+        note_append_failure d "store handle closed"
+      end
+    | exception exn -> (
+      match io_error_message exn with
+      | Some m ->
+        d.lost <- (key, e) :: d.lost;
+        note_append_failure d m
+      | None -> raise exn))
+
+(* The half-open probe: ensure a live store (reopening the file when the
+   old handle was torn down), reconcile file and table, then write the
+   pending record and flush so the recovery is durable. Success closes the
+   breaker; failure re-opens it with a doubled cooldown. *)
+let probe t d key e =
+  d.probes <- d.probes + 1;
+  Trace.instant "cache.breaker_probe";
+  match
+    let store, file_keys =
+      match d.dk_store with
+      | Some s when Store.healthy s -> (s, None)
+      | _ ->
+        shed_torn_store d;
+        let s, records =
+          Store.open_ ?batch:d.dk_batch ~stamp:version_stamp d.dk_path
+        in
+        d.dk_store <- Some s;
+        let keys = Hashtbl.create (List.length records + 1) in
+        List.iter
+          (fun r ->
+            match decode_record r with
+            | Some (k, re) ->
+              Hashtbl.replace keys k ();
+              (* Records flushed by the previous handle that this process
+                 has not seen (none today, but cheap insurance) merge in
+                 as warm entries. Taking [lock] inside [disk_lock] is the
+                 sanctioned order. *)
+              locked t (fun () ->
+                  if not (Hashtbl.mem t.table k) then
+                    Hashtbl.add t.table k (re, Warm))
+            | None -> ())
+          records;
+        (s, Some keys)
+    in
+    (* Backfill what the file is missing: after a reopen, diff the table
+       against the file's own key set (covers whole batches lost to the
+       crash); on a still-live handle, exactly the records the breaker saw
+       fail or skipped while open. *)
+    let to_append =
+      match file_keys with
+      | Some keys ->
+        locked t (fun () ->
+            Hashtbl.fold
+              (fun k (entry, _) acc ->
+                if Hashtbl.mem keys k then acc else (k, entry) :: acc)
+              t.table [])
+      | None -> List.rev d.lost
+    in
+    List.iter
+      (fun (k, entry) ->
+        if Store.append store (encode_record k entry) then
+          Metrics.incr m_appends)
+      to_append;
+    if Store.append store (encode_record key e) then Metrics.incr m_appends;
+    Store.flush store
+  with
+  | () ->
+    d.dk_state <- Closed;
+    d.failures <- 0;
+    d.episodes <- 0;
+    d.lost <- [];
+    d.recoveries <- d.recoveries + 1;
+    d.disk_error <- None;
+    Metrics.incr m_breaker_recoveries;
+    Trace.instant "cache.breaker_recover"
+  | exception exn -> (
+    match io_error_message exn with
+    | Some m ->
+      d.lost <- (key, e) :: d.lost;
+      shed_torn_store d;
+      trip d m (* episodes grows: the next cooldown doubles *)
+    | None -> raise exn)
+
+(* Append one freshly solved entry; never raises on IO trouble. The
+   [store.append] failpoint (inside Store.append) and real IO errors both
+   land in the breaker. Under [disk_lock] so every check-then-act breaker
+   transition is atomic with respect to concurrent appends from other
+   domains. *)
 let disk_append t key e =
   match t.disk with
   | None -> ()
   | Some d ->
     disk_locked t (fun () ->
-        if not d.broken then
-          match Store.append d.store (encode_record key e) with
-          | true -> Metrics.incr m_appends
-          | false -> ()
-          | exception exn -> (
-            match io_error_message exn with
-            | Some m ->
-              d.broken <- true;
-              d.disk_error <- Some m
-            | None -> raise exn))
+        if not d.dk_closed then
+          match d.dk_state with
+          | Closed -> closed_append d key e
+          | Open ->
+            d.lost <- (key, e) :: d.lost;
+            d.skips_left <- d.skips_left - 1;
+            if d.skips_left <= 0 then begin
+              d.dk_state <- Half_open;
+              Trace.instant "cache.breaker_half_open"
+            end
+          | Half_open -> probe t d key e)
 
 let flush t =
   match t.disk with
   | None -> ()
   | Some d ->
     disk_locked t (fun () ->
-        if not d.broken then
-          match Store.flush d.store with
-          | () -> Trace.instant "cache.disk_flush"
-          | exception exn -> (
-            match io_error_message exn with
-            | Some m ->
-              d.broken <- true;
-              d.disk_error <- Some m
-            | None -> raise exn))
+        if (not d.dk_closed) && d.dk_state = Closed then
+          match d.dk_store with
+          | None -> ()
+          | Some s -> (
+            match Store.flush s with
+            | () -> Trace.instant "cache.disk_flush"
+            | exception exn -> (
+              match io_error_message exn with
+              | Some m -> note_append_failure d m
+              | None -> raise exn)))
 
 let close t =
   match t.disk with
   | None -> ()
   | Some d ->
     disk_locked t (fun () ->
-        match Store.close d.store with
-        | () -> Trace.instant "cache.disk_flush"
-        | exception exn -> (
-          match io_error_message exn with
-          | Some m ->
-            d.broken <- true;
-            d.disk_error <- Some m
-          | None -> raise exn))
+        if not d.dk_closed then begin
+          d.dk_closed <- true;
+          match d.dk_store with
+          | None -> ()
+          | Some s -> (
+            match Store.close s with
+            | () -> Trace.instant "cache.disk_flush"
+            | exception exn -> (
+              match io_error_message exn with
+              | Some m -> d.disk_error <- Some m
+              | None -> raise exn))
+        end)
 
 let export t =
   locked t (fun () ->
@@ -411,7 +624,10 @@ let store t key v =
           true
         end)
   in
-  if added then disk_append t key v
+  if added then begin
+    disk_append t key v;
+    match t.on_store with Some f -> f key v | None -> ()
+  end
 
 let quantify t ~epsilon ~max_states ?guard ?workspace ?(engine_tag = "")
     ?(obs = Obs.default) (cm : Cutset_model.t) ~horizon =

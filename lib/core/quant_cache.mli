@@ -97,10 +97,25 @@ val quantify :
     files instead of replaying stale certified results. When another
     process (or another handle in this one) already owns the writer lock,
     the store degrades to read-only sharing: warm entries still hit, fresh
-    solves stay memory-only. Any IO failure — including the [store.open] /
-    [store.append] {!Sdft_util.Failpoint} sites — degrades the cache to
-    memory-only operation rather than failing the analysis; the reason is
-    reported through {!disk_stats}. *)
+    solves stay memory-only.
+
+    IO failures after a successful open — including the [store.append]
+    {!Sdft_util.Failpoint} site — never fail the analysis: they feed a
+    {e circuit breaker}. The breaker starts [closed]; [breaker_threshold]
+    consecutive append failures (or a single failure that tore the
+    {!Sdft_util.Store} handle down) trip it [open], where appends are
+    skipped — but remembered — for a deterministic cooldown counted in
+    skipped appends ([breaker_cooldown], doubling per consecutive open
+    episode up to [breaker_cooldown_cap]). The cooldown's end moves the
+    breaker to [half_open]; the next append becomes a {e probe} that
+    reopens the file if necessary, backfills every entry the file is
+    missing (skipped records, and — after a reopen — anything lost with an
+    unflushed batch), writes the pending record and flushes. A successful
+    probe closes the breaker and clears [disk_error] — the disk tier heals
+    without restarting the process; a failed probe re-opens it with a
+    doubled cooldown. State and counters are visible in {!disk_stats}; a
+    failed {!open_disk} itself still degrades to a plain memory-only cache
+    (no breaker — there is nothing to recover to). *)
 
 type entry = {
   e_prob : float;  (** dynamic probability, before the static multiplier *)
@@ -114,11 +129,21 @@ val version_stamp : string
 (** Store-header stamp: record-codec revision + build-time digest of the
     solver sources (see [tools/gen_stamp]). *)
 
-val open_disk : ?batch:int -> string -> t
+val open_disk :
+  ?batch:int ->
+  ?breaker_threshold:int ->
+  ?breaker_cooldown:int ->
+  ?breaker_cooldown_cap:int ->
+  string ->
+  t
 (** [open_disk path] returns a cache warm-started from [path] (created
     empty if absent) that persists fresh solves back to it. [batch] is the
-    append count between flushes (default 32). Never raises on IO trouble:
-    the result is then an ordinary memory-only cache ({!disk_stats} =
+    append count between flushes (default 32). [breaker_threshold] (default
+    3) is the consecutive-append-failure count that trips the circuit
+    breaker; [breaker_cooldown] (default 4) the skipped-append count before
+    the first half-open probe, doubling per consecutive open episode up to
+    [breaker_cooldown_cap] (default 64). Never raises on IO trouble: the
+    result is then an ordinary memory-only cache ({!disk_stats} =
     [None]). *)
 
 val flush : t -> unit
@@ -135,17 +160,28 @@ type disk_stats = {
   load_ms : float;  (** wall time of the preload *)
   disk_hits : int;  (** hits served by preloaded/seeded entries *)
   disk_misses : int;  (** misses while the disk tier was attached *)
-  appends : int;  (** records appended through this handle *)
+  appends : int;  (** records appended, monotone across breaker reopens *)
   disk_error : string option;
-      (** set when an IO failure degraded the tier to memory-only *)
+      (** the failure that tripped the breaker; cleared when a probe
+          recovers the tier *)
+  breaker : string;  (** ["closed"], ["open"] or ["half_open"] *)
+  breaker_opens : int;  (** times the breaker tripped *)
+  breaker_probes : int;  (** half-open probes attempted *)
+  breaker_recoveries : int;  (** probes that restored the disk tier *)
 }
 
 val disk_stats : t -> disk_stats option
 (** [None] for memory-only caches (including an {!open_disk} whose open
     failed outright). The counters are also published as metrics
     [cache.disk_hits] / [cache.disk_misses] / [cache.appends] /
-    [cache.load_ms], and the load and each flush emit {!Sdft_util.Trace}
-    instants. *)
+    [cache.load_ms] / [cache.breaker_opens] / [cache.breaker_recoveries],
+    and the load and each flush emit {!Sdft_util.Trace} instants. *)
+
+val set_on_store : t -> (string -> entry -> unit) -> unit
+(** Register a callback fired (outside the table lock) each time a {e
+    fresh} solve lands in the table — not for warm-loaded or seeded
+    entries, and at most once per key. The checkpointed sweep uses this to
+    journal every completed work item as it happens. *)
 
 (** {1 Warm-start import/export}
 

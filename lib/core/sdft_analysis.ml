@@ -702,6 +702,102 @@ let degradation_description r =
             (Sdft_util.Guard.reason_to_string reason))
         d.degraded_cutsets)
 
+(* ------------------------------------------------------------------ *)
+(* Checkpointed sweeps. *)
+
+(* Canonical serialization of everything in [options] that can influence
+   the result bits: numerical parameters, engine, rel-rule and the resource
+   limits (which steer the degradation ladder). [domains] is deliberately
+   excluded — the work partition never changes the result, only the wall
+   time — so a resume may use a different [-j] than the interrupted run. *)
+let options_fingerprint o =
+  Printf.sprintf "h=%h;c=%h;e=%h;s=%d;o=%s;eng=%s;rr=%s;d=%s;m=%s"
+    o.horizon o.cutoff o.transient_epsilon o.max_product_states
+    (match o.max_cutset_order with None -> "-" | Some k -> string_of_int k)
+    (engine_name o.engine)
+    (match o.rel_rule with
+    | Cutset_model.Paper -> "paper"
+    | Cutset_model.All_events -> "all")
+    (match o.deadline with None -> "-" | Some d -> Printf.sprintf "%h" d)
+    (match o.mem_limit_mb with None -> "-" | Some m -> string_of_int m)
+
+let point_key sd options =
+  Digest.to_hex
+    (Digest.string
+       (Quant_cache.fingerprint sd ^ "\x00" ^ options_fingerprint options))
+
+type sweep_item =
+  | Sweep_run of sweep_point
+  | Sweep_skipped of Checkpoint.point
+
+let checkpoint_point key opts r =
+  {
+    Checkpoint.pt_key = key;
+    pt_horizon = opts.horizon;
+    pt_total = r.total;
+    pt_lower = r.budget.lower;
+    pt_upper = r.budget.upper;
+    pt_vacuous = r.budget.vacuous;
+    pt_n_cutsets = r.n_cutsets;
+    pt_n_dynamic = r.n_dynamic_cutsets;
+    pt_degraded =
+      (if degraded r then Some (degradation_description r) else None);
+  }
+
+let sweep_checkpointed ?cache ?(obs = Obs.default) ~journal ~resume
+    ?on_point sd option_sets =
+  let cache = match cache with Some c -> c | None -> Quant_cache.create () in
+  (* Warm-start from the journal's item records: points the crash caught
+     mid-flight re-solve only their unfinished cutsets, and finished work
+     replays bit-identically from the cache (cached and fresh values are
+     indistinguishable by the cache's contract). *)
+  if resume then ignore (Quant_cache.seed cache (Checkpoint.entries journal));
+  (* Journal every fresh solve as it lands — the crash-safety feed. *)
+  Quant_cache.set_on_store cache (fun key e ->
+      Checkpoint.record_entry journal key e);
+  let plan = List.map (fun o -> (o, point_key sd o)) option_sets in
+  let skipped =
+    if resume then
+      List.length
+        (List.filter (fun (_, k) -> Checkpoint.find_point journal k <> None)
+           plan)
+    else 0
+  in
+  let total_run = List.length plan - skipped in
+  let n_done = ref 0 in
+  let items =
+    List.map
+      (fun (opts, key) ->
+        let item =
+          match
+            if resume then Checkpoint.find_point journal key else None
+          with
+          | Some p -> Sweep_skipped p
+          | None ->
+            (* Re-assert the sweep-level phase between points: the ETA
+               prices only the [total_run] points that actually run, with
+               the checkpoint-skipped count surfaced separately. *)
+            Obs.begin_phase obs "sweep" ~total:total_run ~skipped
+              ~n_done:!n_done ();
+            let h0 = Quant_cache.hits cache
+            and m0 = Quant_cache.misses cache in
+            let r = analyze ~options:opts ~cache ~obs sd in
+            incr n_done;
+            Checkpoint.record_point journal (checkpoint_point key opts r);
+            Sweep_run
+              {
+                sweep_options = opts;
+                sweep_result = r;
+                cache_hits = Quant_cache.hits cache - h0;
+                cache_misses = Quant_cache.misses cache - m0;
+              }
+        in
+        (match on_point with Some f -> f item | None -> ());
+        item)
+      plan
+  in
+  (items, cache)
+
 let pp_summary ppf r =
   Format.fprintf ppf "@[<v>";
   if degraded r then

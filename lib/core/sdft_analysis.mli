@@ -247,6 +247,50 @@ val sweep :
     reuse or inspection. Aggregate hit/miss totals are also published on the
     ["quant_cache.hits"/"quant_cache.misses"] metrics counters. *)
 
+(** {1 Checkpointed sweeps}
+
+    A sweep run with a {!Checkpoint} journal survives being killed — even
+    with [SIGKILL] — at any instant: every certified per-cutset solve and
+    every completed point is journaled as it happens, and a [--resume] run
+    skips completed points outright, re-solves only the unfinished cutsets
+    of the interrupted point, and produces final results bit-identical to
+    an uninterrupted run. *)
+
+val options_fingerprint : options -> string
+(** Canonical serialization of every result-influencing option (numerics,
+    engine, rel-rule, resource limits). [domains] is excluded: the work
+    partition never changes result bits, so a resume may use a different
+    parallelism than the interrupted run. *)
+
+val point_key : Sdft.t -> options -> string
+(** Stable identity of one sweep point: MD5 of the model's canonical
+    fingerprint plus {!options_fingerprint}. This is the key under which
+    {!sweep_checkpointed} journals and finds completed points. *)
+
+type sweep_item =
+  | Sweep_run of sweep_point  (** computed (or recomputed) this run *)
+  | Sweep_skipped of Checkpoint.point
+      (** certified by the journal; result replayed without recomputing *)
+
+val sweep_checkpointed :
+  ?cache:Quant_cache.t ->
+  ?obs:Sdft_util.Obs.t ->
+  journal:Checkpoint.t ->
+  resume:bool ->
+  ?on_point:(sweep_item -> unit) ->
+  Sdft.t ->
+  options list ->
+  sweep_item list * Quant_cache.t
+(** Like {!sweep}, journaling into [journal]: each fresh solve is recorded
+    through {!Quant_cache.set_on_store}, each completed point as a point
+    record. With [resume], the cache is first seeded from the journal's
+    item records and points already journaled are returned as
+    [Sweep_skipped] without running. [on_point] fires after each item in
+    sweep order — the CLI prints (and flushes) its row there, so progress
+    is visible and a kill between points loses nothing. The observability
+    context's progress phase ["sweep"] prices only the points that actually
+    run, surfacing the checkpoint-skipped count separately. *)
+
 val static_rare_event :
   ?cutoff:float -> ?engine:engine -> Fault_tree.t -> float * int
 (** Baseline "no timing" analysis of a plain static tree: cutset generation

@@ -1,44 +1,234 @@
+(* Retrying line client for the analysis daemon. One connection at a
+   time; a select-based reader enforces the optional deadline, transport
+   failures trigger reconnect-and-resend, and structured retryable
+   rejections (saturated, quota_exceeded, shutting_down, worker_lost)
+   are honoured by sleeping [retry_after] before resending. All retries
+   within one [request] share a single budget of [retries] attempts. *)
+
+module Json = Sdft_util.Json
+module Backoff = Sdft_util.Backoff
+
+exception Timeout of float
+
+type conn = { fd : Unix.file_descr; mutable residue : string }
+
 type t = {
-  fd : Unix.file_descr;
-  ic : in_channel;
+  addr : Daemon.addr;
+  timeout : float option;
+  retries : int;
+  backoff : Backoff.t;
+  mutable conn : conn option;
+  mutable retried : int;
   mutable closed : bool;
 }
 
-let connect addr =
-  let fd =
-    match addr with
-    | Daemon.Unix_sock path ->
-      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      (try Unix.connect fd (Unix.ADDR_UNIX path)
-       with e ->
-         (try Unix.close fd with _ -> ());
-         raise e);
-      fd
-    | Daemon.Tcp (host, port) ->
-      let ip =
-        try Unix.inet_addr_of_string host
-        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
-      in
-      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-      (try Unix.connect fd (Unix.ADDR_INET (ip, port))
-       with e ->
-         (try Unix.close fd with _ -> ());
-         raise e);
-      fd
+(* A transport error means the daemon (or the socket to it) went away:
+   the connection is dead and a fresh connect + resend is the only
+   recovery. Anything else is the caller's problem. ENOENT covers a
+   unix-socket path that vanished while the daemon restarts. *)
+let transport_error = function
+  | End_of_file -> true
+  | Unix.Unix_error
+      ( ( Unix.EPIPE | Unix.ECONNRESET | Unix.ECONNREFUSED
+        | Unix.ECONNABORTED | Unix.ENOTCONN | Unix.EBADF | Unix.ENOENT ),
+        _,
+        _ ) ->
+    true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Raw connect. *)
+
+let sockaddr_of = function
+  | Daemon.Unix_sock path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+  | Daemon.Tcp (host, port) ->
+    let ip =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    in
+    (Unix.PF_INET, Unix.ADDR_INET (ip, port))
+
+(* Connect with the deadline also bounding the handshake: non-blocking
+   connect, EINPROGRESS waited out with select, and any pending SO_ERROR
+   re-raised as the Unix error the blocking connect would have given. *)
+let connect_fd ?timeout addr =
+  let domain, sockaddr = sockaddr_of addr in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try
+     match timeout with
+     | None -> Unix.connect fd sockaddr
+     | Some tmo ->
+       Unix.set_nonblock fd;
+       (try Unix.connect fd sockaddr with
+       | Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _) -> (
+         let _, w, _ = Unix.select [] [ fd ] [] tmo in
+         if w = [] then raise (Timeout tmo);
+         match Unix.getsockopt_error fd with
+         | None -> ()
+         | Some err -> raise (Unix.Unix_error (err, "connect", ""))));
+       Unix.clear_nonblock fd
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  { fd; residue = "" }
+
+(* ------------------------------------------------------------------ *)
+(* Deadline-bounded line IO over the raw fd. *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+let take_line c =
+  match String.index_opt c.residue '\n' with
+  | None -> None
+  | Some i ->
+    let line = String.sub c.residue 0 i in
+    c.residue <-
+      String.sub c.residue (i + 1) (String.length c.residue - i - 1);
+    Some line
+
+let read_line_deadline ?timeout c =
+  let deadline = Option.map (fun tmo -> Unix.gettimeofday () +. tmo) timeout in
+  let scratch = Bytes.create 65536 in
+  let rec go () =
+    match take_line c with
+    | Some line -> line
+    | None ->
+      (match deadline with
+      | None -> ()
+      | Some d ->
+        let remaining = d -. Unix.gettimeofday () in
+        if remaining <= 0. then raise (Timeout (Option.get timeout));
+        let r, _, _ = Unix.select [ c.fd ] [] [] remaining in
+        if r = [] then raise (Timeout (Option.get timeout)));
+      let n = Unix.read c.fd scratch 0 (Bytes.length scratch) in
+      if n = 0 then raise End_of_file;
+      c.residue <- c.residue ^ Bytes.sub_string scratch 0 n;
+      go ()
   in
-  { fd; ic = Unix.in_channel_of_descr fd; closed = false }
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Retry classification of a structured response line. *)
+
+(* [Some retry_after] when the response is a structured error the server
+   itself marked transient. [shutting_down] and [worker_lost] carry no
+   retry_after; the backoff schedule alone paces those. *)
+let retryable_rejection line =
+  match Json.parse line with
+  | Error _ -> None
+  | Ok obj -> (
+    match Json.member "ok" obj with
+    | Some (Json.Bool false) -> (
+      match Json.member "error" obj with
+      | None -> None
+      | Some err -> (
+        match Option.bind (Json.member "code" err) Json.to_string with
+        | Some
+            ("saturated" | "quota_exceeded" | "shutting_down" | "worker_lost")
+          ->
+          Some
+            (Option.value
+               (Option.bind (Json.member "retry_after" err) Json.to_float)
+               ~default:0.)
+        | _ -> None))
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Connection lifecycle. *)
+
+let drop_conn t =
+  match t.conn with
+  | None -> ()
+  | Some c ->
+    t.conn <- None;
+    (try Unix.close c.fd with Unix.Unix_error _ -> ())
+
+let ensure_conn t =
+  match t.conn with
+  | Some c -> c
+  | None ->
+    let c = connect_fd ?timeout:t.timeout t.addr in
+    t.conn <- Some c;
+    c
+
+let connect ?timeout ?(retries = 0) ?backoff_seed addr =
+  (* A write to a socket whose daemon died raises SIGPIPE before the
+     EPIPE this client recovers from can surface; a retrying client is
+     useless under the default kill-the-process disposition. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let backoff = Backoff.create ?seed:backoff_seed () in
+  let t =
+    {
+      addr;
+      timeout;
+      retries;
+      backoff;
+      conn = None;
+      retried = 0;
+      closed = false;
+    }
+  in
+  let rec attempt budget =
+    match connect_fd ?timeout addr with
+    | c -> t.conn <- Some c
+    | exception e when transport_error e && budget > 0 ->
+      t.retried <- t.retried + 1;
+      Unix.sleepf (Backoff.next t.backoff);
+      attempt (budget - 1)
+  in
+  attempt retries;
+  Backoff.reset t.backoff;
+  t
 
 let request t line =
-  let payload = Bytes.of_string (line ^ "\n") in
-  let n = Bytes.length payload in
-  let rec write_all off =
-    if off < n then write_all (off + Unix.write t.fd payload off (n - off))
+  if t.closed then invalid_arg "Client.request: closed client";
+  let budget = ref t.retries in
+  let spend () =
+    decr budget;
+    t.retried <- t.retried + 1
   in
-  write_all 0;
-  input_line t.ic
+  let rec attempt () =
+    match
+      let c = ensure_conn t in
+      write_all c.fd (line ^ "\n");
+      read_line_deadline ?timeout:t.timeout c
+    with
+    | response -> (
+      match retryable_rejection response with
+      | Some retry_after when !budget > 0 ->
+        spend ();
+        Unix.sleepf (Float.max retry_after (Backoff.next t.backoff));
+        attempt ()
+      | _ ->
+        Backoff.reset t.backoff;
+        response)
+    | exception (Timeout _ as e) ->
+      (* A timed-out request may still complete server-side; the caller
+         decides whether resending (ideally under an idem key) is safe. *)
+      drop_conn t;
+      raise e
+    | exception e when transport_error e ->
+      drop_conn t;
+      if !budget > 0 then begin
+        spend ();
+        Unix.sleepf (Backoff.next t.backoff);
+        attempt ()
+      end
+      else raise e
+  in
+  attempt ()
+
+let retries_used t = t.retried
 
 let close t =
   if not t.closed then begin
     t.closed <- true;
-    try close_in t.ic with Sys_error _ -> ()
+    drop_conn t
   end

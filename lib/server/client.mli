@@ -1,19 +1,68 @@
-(** Blocking line-oriented client for the analysis server — the engine of
-    [sdft client] and of the CI smoke tests.
+(** Blocking, retrying line client for the analysis server — the engine
+    of [sdft client] and of the CI smoke and chaos tests.
 
-    One {!t} is one connection. {!request} writes one frame and blocks for
-    one response line; it is the right shape for scripting, where requests
-    are sequential and the (id-correlated) pipelining freedom of the wire
-    protocol is unnecessary. *)
+    One {!t} is one logical connection that survives daemon restarts:
+    when the socket breaks mid-conversation (daemon killed, connection
+    reset, unix-socket path vanished) the client reconnects and resends,
+    sleeping a capped exponential {!Sdft_util.Backoff} between attempts.
+    Structured transient rejections from the server ([saturated],
+    [quota_exceeded], [shutting_down], [worker_lost]) are likewise
+    retried, honouring the server's [retry_after] price when it is
+    larger than the backoff step. All retries within one {!request}
+    share a single budget of [retries] attempts; [retries = 0] (the
+    default) restores fail-fast behaviour.
+
+    Resending is only {e exactly-once} when the request carries an
+    [idem] key (see {!Protocol.analyze_line}): the server then answers a
+    replay from its response window instead of recomputing. Without one,
+    a retried analyze may run twice — harmless for deterministic
+    analyses, but the CLI attaches idem keys whenever retries are
+    enabled.
+
+    {!request} blocks for one response line; the shape is right for
+    scripting, where requests are sequential and the id-correlated
+    pipelining freedom of the wire protocol is unnecessary. *)
 
 type t
 
-val connect : Daemon.addr -> t
-(** @raise Unix.Unix_error when the endpoint refuses or does not exist. *)
+exception Timeout of float
+(** Raised by {!connect} and {!request} when the configured [timeout]
+    elapses before the handshake completes or the response line arrives.
+    Deliberately {e not} retried by {!request}: the request may still be
+    running server-side, and only the caller knows whether resending is
+    safe. The payload is the timeout that was exceeded, in seconds. *)
+
+val connect :
+  ?timeout:float -> ?retries:int -> ?backoff_seed:int -> Daemon.addr -> t
+(** Connect eagerly. [timeout] (seconds) bounds the connect handshake
+    and every subsequent response wait; omitted means block forever.
+    [retries] (default 0) is the per-operation retry budget, applied to
+    this initial connect as well. [backoff_seed] makes the retry jitter
+    schedule reproducible (default 1). Sets the process's [SIGPIPE]
+    disposition to ignore: a daemon dying mid-write must surface as the
+    [EPIPE] this client recovers from, not a fatal signal.
+    @raise Unix.Unix_error when the endpoint refuses or does not exist
+    and the budget is exhausted.
+    @raise Timeout when a [timeout] is set and the handshake exceeds
+    it. *)
 
 val request : t -> string -> string
-(** Send one request line, return the next response line.
-    @raise End_of_file when the server closes the connection first. *)
+(** Send one request line, return the next response line — transparently
+    reconnecting and resending on transport failure, and re-submitting
+    after [retry_after] on a transient structured rejection, until the
+    retry budget runs out. The returned line is whatever the server
+    finally said (including a non-retryable or budget-exhausted error
+    response, verbatim).
+    @raise End_of_file when the server closes the connection and the
+    budget is exhausted.
+    @raise Unix.Unix_error likewise for socket-level failures.
+    @raise Timeout when a [timeout] is set and the response does not
+    arrive in time (never retried internally). *)
+
+val retries_used : t -> int
+(** Total retry attempts spent over the life of this client — connect
+    and request retries combined. Observability for tests and the CLI's
+    verbose mode. *)
 
 val close : t -> unit
 (** Idempotent. *)

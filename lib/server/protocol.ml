@@ -13,6 +13,7 @@ type error_code =
   | Quota_exceeded
   | Crash
   | Shutting_down
+  | Worker_lost
 
 let error_code_name = function
   | Bad_request -> "bad_request"
@@ -20,6 +21,7 @@ let error_code_name = function
   | Quota_exceeded -> "quota_exceeded"
   | Crash -> "crash"
   | Shutting_down -> "shutting_down"
+  | Worker_lost -> "worker_lost"
 
 type error = {
   code : error_code;
@@ -44,12 +46,14 @@ type op =
   | Ping
   | Metrics
   | Stats
+  | Health
   | Shutdown
 
 type request = {
   id : Json.value;
   client : string option;
   failpoints : string option;
+  idem : string option;
   op : op;
 }
 
@@ -170,6 +174,7 @@ let parse_request ~max_bytes line =
       try
         let client = opt_string obj "client" in
         let failpoints = opt_string obj "failpoints" in
+        let idem = opt_string obj "idem" in
         let op =
           match opt_string obj "op" with
           | None -> reject "request needs an \"op\" field"
@@ -177,10 +182,11 @@ let parse_request ~max_bytes line =
           | Some "ping" -> Ping
           | Some "metrics" -> Metrics
           | Some "stats" -> Stats
+          | Some "health" -> Health
           | Some "shutdown" -> Shutdown
           | Some other -> reject "unknown op %S" other
         in
-        Ok { id; client; failpoints; op }
+        Ok { id; client; failpoints; idem; op }
       with Reject m -> fail id m)
     | Ok _ -> fail Json.Null "request must be a JSON object"
 
@@ -222,8 +228,9 @@ let add_field buf ~first name emit =
   Buffer.add_char buf ':';
   emit buf
 
-let analyze_line ?id ?client ?horizon ?cutoff ?engine ?domains ?deadline
-    ?mem_limit_mb ?max_order ?failpoints ?(verbose = false) ~model () =
+let analyze_line ?id ?client ?idem ?horizon ?cutoff ?engine ?domains
+    ?deadline ?mem_limit_mb ?max_order ?failpoints ?(verbose = false) ~model
+    () =
   let buf = Buffer.create (String.length model + 128) in
   let first = ref true in
   Buffer.add_char buf '{';
@@ -233,6 +240,9 @@ let analyze_line ?id ?client ?horizon ?cutoff ?engine ?domains ?deadline
   Option.iter
     (fun v -> add_field buf ~first "client" (fun b -> Json.add_string b v))
     client;
+  Option.iter
+    (fun v -> add_field buf ~first "idem" (fun b -> Json.add_string b v))
+    idem;
   add_field buf ~first "op" (fun b -> Json.add_string b "analyze");
   add_field buf ~first "model" (fun b -> Json.add_string b model);
   let params = Buffer.create 64 in

@@ -13,7 +13,8 @@
     {v
     {"id": <any JSON value, echoed verbatim>,
      "client": "<quota bucket, optional>",
-     "op": "analyze" | "ping" | "metrics" | "stats" | "shutdown",
+     "idem": "<idempotency key, optional>",
+     "op": "analyze" | "ping" | "metrics" | "stats" | "health" | "shutdown",
      "model": "<sdft model text>",            // analyze only
      "params": {"horizon": 24, "cutoff": 1e-15, "engine": "auto",
                 "domains": 1, "deadline": 0.5, "mem_limit_mb": 512,
@@ -45,10 +46,13 @@ type error_code =
       (** per-client in-flight quota reached; comes with [retry_after] *)
   | Crash  (** contained internal failure of this one request *)
   | Shutting_down  (** daemon is draining; no new work accepted *)
+  | Worker_lost
+      (** the watchdog declared the worker domain running this request
+          hung or dead; the slot was respawned and a retry is safe *)
 
 val error_code_name : error_code -> string
 (** The wire spelling: ["bad_request"], ["saturated"], ["quota_exceeded"],
-    ["crash"], ["shutting_down"]. *)
+    ["crash"], ["shutting_down"], ["worker_lost"]. *)
 
 type error = {
   code : error_code;
@@ -75,6 +79,9 @@ type op =
   | Ping
   | Metrics  (** Prometheus exposition of the server registry *)
   | Stats  (** queue/cache/uptime snapshot *)
+  | Health
+      (** liveness snapshot: worker states, queue depth, breaker state,
+          uptime — cheap enough for an external prober *)
   | Shutdown  (** request a graceful drain-and-flush shutdown *)
 
 type request = {
@@ -84,6 +91,10 @@ type request = {
   failpoints : string option;
       (** {!Sdft_util.Failpoint.configure_string} spec armed on this
           request's private registry only *)
+  idem : string option;
+      (** idempotency key: the server remembers the response line it sent
+          for each (client, idem) pair in a bounded window, and answers a
+          retried request from that window instead of recomputing *)
   op : op;
 }
 
@@ -108,6 +119,7 @@ val error_response : id:Sdft_util.Json.value -> error -> string
 val analyze_line :
   ?id:string ->
   ?client:string ->
+  ?idem:string ->
   ?horizon:float ->
   ?cutoff:float ->
   ?engine:string ->
@@ -125,4 +137,4 @@ val analyze_line :
 
 val simple_line : ?id:string -> ?client:string -> string -> string
 (** [simple_line op] is a request line for a model-less op
-    (["ping"], ["metrics"], ["stats"], ["shutdown"]). *)
+    (["ping"], ["metrics"], ["stats"], ["health"], ["shutdown"]). *)

@@ -18,6 +18,8 @@ type config = {
   max_request_domains : int;
   default_deadline : float option;
   default_mem_limit_mb : int option;
+  watchdog_timeout : float option;
+  response_window : int;
 }
 
 let default_config =
@@ -29,6 +31,8 @@ let default_config =
     max_request_domains = 1;
     default_deadline = None;
     default_mem_limit_mb = None;
+    watchdog_timeout = None;
+    response_window = 128;
   }
 
 type job = {
@@ -36,6 +40,25 @@ type job = {
   params : Protocol.analyze_params;
   job_client : string;
   reply : string -> unit;
+}
+
+(* One in-flight request on a worker slot. [answered] is the ownership
+   token: whoever wins the false->true CAS — the worker finishing normally,
+   or the watchdog declaring the worker lost — replies and does the
+   accounting, exactly once. The loser does neither. *)
+type running = { r_job : job; r_started : float; answered : bool Atomic.t }
+
+(* One pool slot. A slot whose worker the watchdog declared hung is
+   [retired] and replaced by a fresh slot (and domain) at the same pool
+   index; the zombie domain, if it ever wakes up, sees [retired], skips the
+   already-done reply/accounting, and exits its loop without taking more
+   work. *)
+type slot = {
+  slot_index : int;
+  hb : float Atomic.t; (* last heartbeat (Unix time) *)
+  current : running option Atomic.t;
+  retired : bool Atomic.t;
+  mutable dom : unit Domain.t option; (* None only during construction *)
 }
 
 type handles = {
@@ -46,6 +69,8 @@ type handles = {
   c_rejected_quota : Metrics.counter;
   c_bad_requests : Metrics.counter;
   c_crashes : Metrics.counter;
+  c_worker_lost : Metrics.counter;
+  c_idem_hits : Metrics.counter;
   g_queue_depth : Metrics.gauge;
   h_request_s : Metrics.histogram;
 }
@@ -69,9 +94,21 @@ type t = {
   served : int Atomic.t;
   ok_count : int Atomic.t;
   error_count : int Atomic.t;
+  worker_lost_count : int Atomic.t;
   stop : bool Atomic.t;
   started_at : float;
-  mutable worker_handles : unit Domain.t list;
+  (* The worker pool, under [admission]: one live slot per index; retired
+     slots are replaced in place. Zombie domains are remembered but never
+     joined (they may be hung forever — that is why they were retired). *)
+  mutable slots : slot array;
+  mutable zombies : unit Domain.t list;
+  mutable watchdog : Thread.t option;
+  watchdog_stop : bool Atomic.t;
+  (* Recent-response window for idempotent retries, under [idem_lock]:
+     (client, idem key) -> verbatim response line, bounded FIFO. *)
+  idem_lock : Mutex.t;
+  idem_table : (string, string) Hashtbl.t;
+  idem_order : string Queue.t;
 }
 
 let handles_of m =
@@ -83,6 +120,8 @@ let handles_of m =
     c_rejected_quota = Metrics.counter_in m "server.rejected_quota";
     c_bad_requests = Metrics.counter_in m "server.bad_requests";
     c_crashes = Metrics.counter_in m "server.crashes";
+    c_worker_lost = Metrics.counter_in m "server.worker_lost";
+    c_idem_hits = Metrics.counter_in m "server.idem_hits";
     g_queue_depth = Metrics.gauge_max_in m "server.queue_depth";
     h_request_s = Metrics.histogram_in m "server.request_s";
   }
@@ -90,6 +129,44 @@ let handles_of m =
 let with_admission t f =
   Mutex.lock t.admission;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.admission) f
+
+(* ------------------------------------------------------------------ *)
+(* Recent-response window: (client, idem) -> verbatim response line. A
+   client that retries after a broken connection or a worker_lost gets the
+   exact bytes of the original answer instead of a recomputation. *)
+
+let idem_key ~client idem = client ^ "\x00" ^ idem
+
+let idem_lookup t key =
+  Mutex.lock t.idem_lock;
+  let r = Hashtbl.find_opt t.idem_table key in
+  Mutex.unlock t.idem_lock;
+  r
+
+let idem_store t key response =
+  if t.config.response_window > 0 then begin
+    Mutex.lock t.idem_lock;
+    if not (Hashtbl.mem t.idem_table key) then begin
+      Hashtbl.replace t.idem_table key response;
+      Queue.push key t.idem_order;
+      while Queue.length t.idem_order > t.config.response_window do
+        Hashtbl.remove t.idem_table (Queue.pop t.idem_order)
+      done
+    end;
+    Mutex.unlock t.idem_lock
+  end
+
+(* ------------------------------------------------------------------ *)
+(* retry_after pricing. Clamped so a structured rejection can never tell a
+   client "retry immediately" (a stampede) or "retry in an hour" (an
+   outage of our own making) because the EWMA went weird. *)
+
+let retry_after_floor = 0.05
+let retry_after_cap = 60.0
+
+let clamp_retry_after ra =
+  if Float.is_nan ra then retry_after_floor
+  else Float.max retry_after_floor (Float.min retry_after_cap ra)
 
 (* ------------------------------------------------------------------ *)
 (* Request execution (worker side). *)
@@ -158,10 +235,20 @@ let render_result t ~id ~verbose (r : Sdft_analysis.result) =
    raises: the worker loop wraps it once more as a belt-and-braces
    backstop, but every anticipated failure is converted to a structured
    error here. *)
-let run_analyze t (job : job) =
+let run_analyze t (slot : slot) (job : job) =
   let id = job.req.Protocol.id in
   let p = job.params in
-  let obs = Obs.create () in
+  let obs =
+    (* The worker's liveness heartbeat rides the analysis guard's amortized
+       probe: a worker making solver progress keeps its slot's [hb] fresh
+       without any extra instrumentation in the hot loops. Only armed when
+       a watchdog is actually watching. *)
+    match t.config.watchdog_timeout with
+    | Some _ ->
+      Obs.with_on_probe (Obs.create ()) (fun () ->
+          Atomic.set slot.hb (Unix.gettimeofday ()))
+    | None -> Obs.create ()
+  in
   let arm_result =
     match job.req.Protocol.failpoints with
     | None -> Ok ()
@@ -209,39 +296,71 @@ let run_analyze t (job : job) =
       let r = Sdft_analysis.analyze ~options ~cache:t.cache ~obs sd in
       (true, render_result t ~id ~verbose:p.Protocol.verbose r))
 
-let worker_loop t =
+(* Everything that must happen exactly once per completed request, after
+   the reply: request metrics, quota release, throughput counters. Owned
+   by whoever won the [answered] CAS — the worker on a normal finish, the
+   watchdog on a takeover (which skips the EWMA update: a watchdog timeout
+   says nothing about how long healthy requests take). *)
+let finish_accounting t ~ok ~dt ~update_ewma (job : job) =
+  Metrics.observe t.h.h_request_s dt;
+  Metrics.incr (if ok then t.h.c_ok else t.h.c_errors);
+  Atomic.incr (if ok then t.ok_count else t.error_count);
+  with_admission t (fun () ->
+      (match Hashtbl.find_opt t.in_flight job.job_client with
+      | Some n when n > 1 -> Hashtbl.replace t.in_flight job.job_client (n - 1)
+      | Some _ -> Hashtbl.remove t.in_flight job.job_client
+      | None -> ());
+      if update_ewma then
+        t.ewma_request_s <- (0.8 *. t.ewma_request_s) +. (0.2 *. dt));
+  Atomic.decr t.running;
+  Atomic.incr t.served
+
+let worker_loop t slot =
   let rec loop () =
-    match Request_queue.take t.queue with
-    | None -> ()
-    | Some job ->
-      Atomic.incr t.running;
-      let t0 = Unix.gettimeofday () in
-      let ok, response =
-        try run_analyze t job
-        with exn ->
-          Metrics.incr t.h.c_crashes;
-          ( false,
-            Protocol.error_response ~id:job.req.Protocol.id
-              {
-                Protocol.code = Protocol.Crash;
-                message = "contained internal error: " ^ Printexc.to_string exn;
-                retry_after = None;
-              } )
-      in
-      (try job.reply response with _ -> ());
-      let dt = Unix.gettimeofday () -. t0 in
-      Metrics.observe t.h.h_request_s dt;
-      Metrics.incr (if ok then t.h.c_ok else t.h.c_errors);
-      Atomic.incr (if ok then t.ok_count else t.error_count);
-      with_admission t (fun () ->
-          (match Hashtbl.find_opt t.in_flight job.job_client with
-          | Some n when n > 1 -> Hashtbl.replace t.in_flight job.job_client (n - 1)
-          | Some _ -> Hashtbl.remove t.in_flight job.job_client
+    if Atomic.get slot.retired then ()
+    else
+      match Request_queue.take t.queue with
+      | None -> ()
+      | Some job ->
+        let t0 = Unix.gettimeofday () in
+        let r =
+          { r_job = job; r_started = t0; answered = Atomic.make false }
+        in
+        Atomic.set slot.hb t0;
+        Atomic.set slot.current (Some r);
+        Atomic.incr t.running;
+        let ok, response =
+          try run_analyze t slot job
+          with exn ->
+            Metrics.incr t.h.c_crashes;
+            ( false,
+              Protocol.error_response ~id:job.req.Protocol.id
+                {
+                  Protocol.code = Protocol.Crash;
+                  message =
+                    "contained internal error: " ^ Printexc.to_string exn;
+                  retry_after = None;
+                } )
+        in
+        Atomic.set slot.current None;
+        if Atomic.compare_and_set r.answered false true then begin
+          (match job.req.Protocol.idem with
+          | Some idem ->
+            (* Only real completions enter the window — a watchdog
+               worker_lost must not be replayed to a retry. Stored
+               before the reply goes out: the moment the client can see
+               the answer, a retry of the same key replays it. *)
+            idem_store t (idem_key ~client:job.job_client idem) response
           | None -> ());
-          t.ewma_request_s <- (0.8 *. t.ewma_request_s) +. (0.2 *. dt));
-      Atomic.decr t.running;
-      Atomic.incr t.served;
-      loop ()
+          (try job.reply response with _ -> ());
+          finish_accounting t ~ok
+            ~dt:(Unix.gettimeofday () -. t0)
+            ~update_ewma:true job
+        end;
+        (* If the watchdog won the CAS it also retired this slot and
+           spawned a replacement: this (now zombie) domain must not steal
+           jobs from the fresh worker. *)
+        if Atomic.get slot.retired then () else loop ()
   in
   loop ()
 
@@ -263,7 +382,12 @@ let prometheus t =
   | Some d ->
     set "server.cache_disk_hits" d.Quant_cache.disk_hits;
     set "server.cache_disk_entries_loaded" d.Quant_cache.entries_loaded;
-    set "server.cache_disk_appends" d.Quant_cache.appends);
+    set "server.cache_disk_appends" d.Quant_cache.appends;
+    set "server.cache_breaker_open"
+      (if d.Quant_cache.breaker = "closed" then 0 else 1);
+    set "server.cache_breaker_opens" d.Quant_cache.breaker_opens;
+    set "server.cache_breaker_probes" d.Quant_cache.breaker_probes;
+    set "server.cache_breaker_recoveries" d.Quant_cache.breaker_recoveries);
   Metrics.to_prometheus_in t.server_metrics
 
 let stats_response t ~id =
@@ -304,6 +428,12 @@ let stats_response t ~id =
             add_int b d.Quant_cache.disk_hits;
             Buffer.add_string b ",\"appends\":";
             add_int b d.Quant_cache.appends;
+            Buffer.add_string b ",\"breaker\":";
+            Json.add_string b d.Quant_cache.breaker;
+            Buffer.add_string b ",\"breaker_opens\":";
+            add_int b d.Quant_cache.breaker_opens;
+            Buffer.add_string b ",\"breaker_recoveries\":";
+            add_int b d.Quant_cache.breaker_recoveries;
             Buffer.add_string b ",\"error\":";
             (match d.Quant_cache.disk_error with
             | None -> Buffer.add_string b "null"
@@ -311,16 +441,50 @@ let stats_response t ~id =
             Buffer.add_char b '}');
           Buffer.add_char b '}'))
 
+(* The health op: a cheap liveness snapshot an external prober (or the
+   retrying client) can poll without touching the analysis pipeline. *)
+let health_response t ~id =
+  Protocol.ok_response ~id (fun buf ->
+      let first = ref true in
+      let field name emit =
+        if not !first then Buffer.add_char buf ',';
+        first := false;
+        Json.add_string buf name;
+        Buffer.add_char buf ':';
+        emit buf
+      in
+      field "healthy" (fun b -> add_bool b (not (Atomic.get t.stop)));
+      field "uptime_s" (fun b -> Json.add_float b (uptime t));
+      field "workers" (fun b -> add_int b (Array.length t.slots));
+      field "workers_busy" (fun b -> add_int b (Atomic.get t.running));
+      field "workers_lost" (fun b ->
+          add_int b (Atomic.get t.worker_lost_count));
+      field "watchdog_s" (fun b ->
+          match t.config.watchdog_timeout with
+          | None -> Buffer.add_string b "null"
+          | Some s -> Json.add_float b s);
+      field "queued" (fun b -> add_int b (Request_queue.length t.queue));
+      field "queue_capacity" (fun b -> add_int b t.config.queue_capacity);
+      field "breaker" (fun b ->
+          match Quant_cache.disk_stats t.cache with
+          | None -> Buffer.add_string b "null"
+          | Some d -> Json.add_string b d.Quant_cache.breaker);
+      field "disk_error" (fun b ->
+          match Quant_cache.disk_stats t.cache with
+          | Some { Quant_cache.disk_error = Some e; _ } -> Json.add_string b e
+          | _ -> Buffer.add_string b "null"))
+
 (* ------------------------------------------------------------------ *)
 (* Admission (caller side). *)
 
 (* Estimate, under the admission lock, how long until a pool slot frees
    up: backlog ahead of a hypothetical retry, priced at the EWMA request
-   duration, divided across the pool. Floor keeps clients from hammering a
-   momentarily saturated daemon. *)
+   duration, divided across the pool. [clamp_retry_after] keeps the
+   estimate inside [retry_after_floor, retry_after_cap] whatever the EWMA
+   and backlog arithmetic produce. *)
 let retry_after_locked t =
   let backlog = Request_queue.length t.queue + Atomic.get t.running in
-  Float.max 0.05
+  clamp_retry_after
     (t.ewma_request_s *. float_of_int (backlog + 1)
     /. float_of_int t.config.workers)
 
@@ -368,6 +532,7 @@ let submit t ~client ~reply line =
                Buffer.add_string b "\"prometheus\":";
                Json.add_string b text))
       | Protocol.Stats -> reply (stats_response t ~id)
+      | Protocol.Health -> reply (health_response t ~id)
       | Protocol.Shutdown ->
         Atomic.set t.stop true;
         (* Reply before waking the transport's shutdown hook so the
@@ -377,6 +542,22 @@ let submit t ~client ~reply line =
                Buffer.add_string b "\"stopping\":true"));
         fire_shutdown_hook t
       | Protocol.Analyze params ->
+        (* Idempotent retry: if this (client, idem) pair already completed
+           inside the response window, answer with the verbatim original
+           response line — bit-identical, and no recomputation. *)
+        let replayed =
+          match req.Protocol.idem with
+          | None -> false
+          | Some idem -> (
+            match idem_lookup t (idem_key ~client idem) with
+            | Some cached ->
+              Metrics.incr t.h.c_idem_hits;
+              reply cached;
+              true
+            | None -> false)
+        in
+        if replayed then ()
+        else
         let job = { req; params; job_client = client; reply } in
         let verdict =
           with_admission t (fun () ->
@@ -434,6 +615,72 @@ let call t ~client line =
   r
 
 (* ------------------------------------------------------------------ *)
+(* Watchdog. *)
+
+let make_slot index =
+  {
+    slot_index = index;
+    hb = Atomic.make (Unix.gettimeofday ());
+    current = Atomic.make None;
+    retired = Atomic.make false;
+    dom = None;
+  }
+
+(* The watchdog declared [slot]'s worker hung on [r]. The CAS decides the
+   race against a worker that finishes at the same instant: the winner
+   replies and accounts, exactly once. On a win the slot is retired, its
+   request failed with a structured worker_lost (safe to retry — the
+   result was never sent), and a fresh slot+domain takes the pool index so
+   capacity is restored without a restart. *)
+let take_over t slot r =
+  if Atomic.compare_and_set r.answered false true then begin
+    let job = r.r_job in
+    Atomic.set slot.retired true;
+    Metrics.incr t.h.c_worker_lost;
+    Atomic.incr t.worker_lost_count;
+    let ra = with_admission t (fun () -> retry_after_locked t) in
+    (try
+       job.reply
+         (Protocol.error_response ~id:job.req.Protocol.id
+            {
+              Protocol.code = Protocol.Worker_lost;
+              message =
+                "worker executing this request was declared hung; its slot \
+                 was respawned and the request may be retried";
+              retry_after = Some ra;
+            })
+     with _ -> ());
+    finish_accounting t ~ok:false
+      ~dt:(Unix.gettimeofday () -. r.r_started)
+      ~update_ewma:false job;
+    with_admission t (fun () ->
+        (match slot.dom with
+        | Some d -> t.zombies <- d :: t.zombies
+        | None -> ());
+        let fresh = make_slot slot.slot_index in
+        t.slots.(slot.slot_index) <- fresh;
+        fresh.dom <- Some (Domain.spawn (fun () -> worker_loop t fresh)))
+  end
+
+let watchdog_loop t timeout =
+  let period = Float.max 0.02 (Float.min 0.5 (timeout /. 4.0)) in
+  while not (Atomic.get t.watchdog_stop) do
+    Thread.delay period;
+    if not (Atomic.get t.watchdog_stop) then begin
+      let now = Unix.gettimeofday () in
+      let slots = with_admission t (fun () -> Array.copy t.slots) in
+      Array.iter
+        (fun slot ->
+          if not (Atomic.get slot.retired) then
+            match Atomic.get slot.current with
+            | Some r when now -. Atomic.get slot.hb > timeout ->
+              take_over t slot r
+            | _ -> ())
+        slots
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Lifecycle. *)
 
 let create ?(config = default_config) ?cache () =
@@ -456,14 +703,26 @@ let create ?(config = default_config) ?cache () =
       served = Atomic.make 0;
       ok_count = Atomic.make 0;
       error_count = Atomic.make 0;
+      worker_lost_count = Atomic.make 0;
       stop = Atomic.make false;
       started_at = Unix.gettimeofday ();
-      worker_handles = [];
+      slots = [||];
+      zombies = [];
+      watchdog = None;
+      watchdog_stop = Atomic.make false;
+      idem_lock = Mutex.create ();
+      idem_table = Hashtbl.create 64;
+      idem_order = Queue.create ();
     }
   in
-  t.worker_handles <-
-    List.init (max 1 config.workers) (fun _ ->
-        Domain.spawn (fun () -> worker_loop t));
+  t.slots <- Array.init (max 1 config.workers) make_slot;
+  Array.iter
+    (fun s -> s.dom <- Some (Domain.spawn (fun () -> worker_loop t s)))
+    t.slots;
+  (match config.watchdog_timeout with
+  | Some timeout when timeout > 0.0 ->
+    t.watchdog <- Some (Thread.create (fun () -> watchdog_loop t timeout) ())
+  | _ -> ());
   t
 
 let stopping t = Atomic.get t.stop
@@ -478,15 +737,24 @@ let request_shutdown t =
 let shutdown t =
   Atomic.set t.stop true;
   Request_queue.close t.queue;
-  let to_join =
+  Atomic.set t.watchdog_stop true;
+  let to_join, wd =
     with_admission t (fun () ->
-        if t.joined then []
+        if t.joined then ([], None)
         else begin
           t.joined <- true;
-          t.worker_handles
+          (Array.to_list t.slots, t.watchdog)
         end)
   in
-  List.iter Domain.join to_join;
+  (match wd with Some th -> Thread.join th | None -> ());
+  (* Join only live slots. Zombie domains were retired precisely because
+     they may never return; joining them would hang the shutdown on the
+     fault the watchdog already routed around. *)
+  List.iter
+    (fun s ->
+      if not (Atomic.get s.retired) then
+        match s.dom with Some d -> Domain.join d | None -> ())
+    to_join;
   Quant_cache.flush t.cache
 
 let cache t = t.cache

@@ -27,7 +27,25 @@
     contained by the [Worker_crash] machinery and degrade the result;
     anything that still escapes a worker is caught per request and
     answered as a [crash] error — a poisoned request can never kill the
-    daemon or its pool. *)
+    daemon or its pool.
+
+    {b Self-healing.} With [watchdog_timeout] set, every busy worker
+    domain heartbeats through its request's guard probes; a worker silent
+    for longer than the timeout is declared {e lost}: its in-flight
+    request is failed with a structured [worker_lost] error (safe to
+    retry — the result was never sent), the slot is respawned with a fresh
+    domain so pool capacity survives, and the zombie domain — should it
+    ever wake — finds the reply already owned and exits without stealing
+    work. An [answered] compare-and-swap arbitrates the race between a
+    worker finishing and the watchdog firing, so the reply and all
+    accounting happen exactly once either way.
+
+    {b Idempotent retries.} A request carrying an [idem] key has its
+    response line remembered in a bounded per-server window
+    ([response_window]); a retry of the same (client, idem) pair is
+    answered with the verbatim original bytes instead of recomputed.
+    Watchdog [worker_lost] answers are never stored, so a retry after a
+    lost worker really re-runs the analysis. *)
 
 type config = {
   workers : int;  (** worker domains executing [analyze] requests *)
@@ -39,11 +57,18 @@ type config = {
   default_deadline : float option;
       (** guard deadline for requests that do not set one *)
   default_mem_limit_mb : int option;
+  watchdog_timeout : float option;
+      (** seconds without a heartbeat before a busy worker is declared
+          hung and its slot respawned; [None] disables the watchdog *)
+  response_window : int;
+      (** recent responses remembered per (client, idem) for idempotent
+          retries; 0 disables the window *)
 }
 
 val default_config : config
 (** 2 workers, queue 64, quota 16, 8 MiB frames, 1 solver domain per
-    request, no default deadline or memory ceiling. *)
+    request, no default deadline or memory ceiling, watchdog off,
+    response window 128. *)
 
 type t
 
@@ -84,11 +109,19 @@ val shutdown : t -> unit
 
 val cache : t -> Quant_cache.t
 
+val clamp_retry_after : float -> float
+(** Clamp a raw [retry_after] estimate into the sane band the server
+    promises on the wire: at least 0.05 s (never "retry immediately", a
+    stampede), at most 60 s (never an outage of our own pricing), NaN and
+    non-finite values mapped to the floor. Every [retry_after] the server
+    emits passes through this. *)
+
 val metrics : t -> Sdft_util.Metrics.t
 (** The aggregate server registry ([server.requests], [server.ok],
     [server.errors], [server.rejected_saturated], [server.rejected_quota],
-    [server.crashes], [server.queue_depth], [server.request_s], cache
-    roll-up gauges). *)
+    [server.crashes], [server.worker_lost], [server.idem_hits],
+    [server.queue_depth], [server.request_s], cache and breaker roll-up
+    gauges). *)
 
 val prometheus : t -> string
 (** Prometheus exposition of {!metrics} with the cache roll-up gauges

@@ -1,0 +1,56 @@
+(* Capped exponential backoff with deterministic seeded jitter — the retry
+   pacing policy shared by the analysis client (reconnects, retry_after
+   honouring) and any future batch retrier.
+
+   The delay for attempt [k] (1-based) is
+
+     min(cap, base * factor^(k-1)) * (1 - jitter + 2 * jitter * u)
+
+   where [u] in [0,1) is drawn from a splitmix64 stream keyed on
+   [(seed, k)]. Keying on the attempt index rather than on mutable RNG
+   state makes the whole schedule a pure function of (parameters, seed):
+   two clients with the same seed retry on the same schedule, and a test
+   can predict every delay exactly. *)
+
+type t = {
+  base : float;
+  factor : float;
+  cap : float;
+  jitter : float;
+  seed : int;
+  mutable attempt : int;
+}
+
+let create ?(base = 0.05) ?(factor = 2.0) ?(cap = 5.0) ?(jitter = 0.25)
+    ?(seed = 1) () =
+  if not (Float.is_finite base) || base < 0.0 then
+    invalid_arg "Backoff.create: base must be finite and >= 0";
+  if not (Float.is_finite factor) || factor < 1.0 then
+    invalid_arg "Backoff.create: factor must be finite and >= 1";
+  if not (Float.is_finite cap) || cap < base then
+    invalid_arg "Backoff.create: cap must be finite and >= base";
+  if Float.is_nan jitter || jitter < 0.0 || jitter > 1.0 then
+    invalid_arg "Backoff.create: jitter must be in [0,1]";
+  { base; factor; cap; jitter; seed; attempt = 0 }
+
+let delay_for t k =
+  if k < 1 then invalid_arg "Backoff.delay_for: attempt must be >= 1";
+  (* factor^(k-1) without drifting through huge exponents: clamp at the cap
+     as soon as the raw delay passes it. *)
+  let raw =
+    let rec go d i =
+      if i >= k || d >= t.cap then d else go (d *. t.factor) (i + 1)
+    in
+    go t.base 1
+  in
+  let capped = Float.min t.cap raw in
+  let u = Rng.float (Rng.create (t.seed lxor (k * 0x2545F491))) in
+  capped *. (1.0 -. t.jitter +. (2.0 *. t.jitter *. u))
+
+let next t =
+  t.attempt <- t.attempt + 1;
+  delay_for t t.attempt
+
+let attempt t = t.attempt
+
+let reset t = t.attempt <- 0

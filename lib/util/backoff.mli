@@ -1,0 +1,39 @@
+(** Capped exponential backoff with deterministic seeded jitter.
+
+    The delay for attempt [k] (1-based) is
+    [min(cap, base * factor^(k-1)) * (1 - jitter + 2 * jitter * u)] with
+    [u] drawn from a splitmix64 stream keyed on [(seed, k)] — the whole
+    schedule is a pure function of the parameters and the seed, so retry
+    behaviour is reproducible across runs and testable delay by delay.
+    Jittered delays stay within [±jitter] of the capped exponential, which
+    keeps a fleet of same-configured clients from thundering in lockstep
+    while never violating the cap by more than the jitter fraction. *)
+
+type t
+
+val create :
+  ?base:float ->
+  ?factor:float ->
+  ?cap:float ->
+  ?jitter:float ->
+  ?seed:int ->
+  unit ->
+  t
+(** Defaults: [base] 0.05 s, [factor] 2, [cap] 5 s, [jitter] 0.25,
+    [seed] 1. @raise Invalid_argument on non-finite or out-of-range
+    parameters ([base >= 0], [factor >= 1], [cap >= base],
+    [jitter] in [0,1]). *)
+
+val next : t -> float
+(** Advance the attempt counter and return the delay for the new attempt. *)
+
+val delay_for : t -> int -> float
+(** [delay_for t k] is the delay of the 1-based attempt [k], without
+    touching the counter — pure, for tests and precomputed schedules.
+    @raise Invalid_argument when [k < 1]. *)
+
+val attempt : t -> int
+(** Attempts consumed by {!next} since creation or the last {!reset}. *)
+
+val reset : t -> unit
+(** Rewind to attempt 0 (e.g. after a successful request). *)

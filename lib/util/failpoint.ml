@@ -9,6 +9,7 @@ type action =
 type trigger =
   | Always
   | Nth of int
+  | First of int
   | Prob of float * int
 
 type site = {
@@ -43,6 +44,8 @@ let locked t f =
 let set_in t name ?(trigger = Always) action =
   (match trigger with
   | Nth n when n <= 0 -> invalid_arg "Failpoint.set: nth trigger must be >= 1"
+  | First n when n <= 0 ->
+    invalid_arg "Failpoint.set: first trigger must be >= 1"
   | Prob (p, _) when Float.is_nan p || p < 0.0 || p > 1.0 ->
     invalid_arg "Failpoint.set: probability must be in [0,1]"
   | _ -> ());
@@ -87,6 +90,7 @@ let fire name s =
     match s.trigger with
     | Always -> true
     | Nth n -> index = n
+    | First n -> index <= n
     | Prob (p, seed) -> prob_fires p seed index
   in
   if fires then
@@ -135,13 +139,18 @@ let parse_trigger entry s =
     let n = parse_int entry "nth count" n in
     if n <= 0 then bad entry "nth count must be >= 1";
     Nth n
+  | [ "first"; n ] ->
+    let n = parse_int entry "first count" n in
+    if n <= 0 then bad entry "first count must be >= 1";
+    First n
   | [ "prob"; p; seed ] ->
     let p = parse_float entry "probability" p in
     if Float.is_nan p || p < 0.0 || p > 1.0 then
       bad entry "probability must be in [0,1]";
     Prob (p, parse_int entry "seed" seed)
   | _ ->
-    bad entry "unknown trigger %S (expected always, nth:N or prob:P:SEED)" s
+    bad entry
+      "unknown trigger %S (expected always, nth:N, first:N or prob:P:SEED)" s
 
 let parse_entry t entry =
   match String.index_opt entry '=' with

@@ -27,9 +27,12 @@
       [deadline] / [mem] / [state] / [crash] (raise the corresponding
       {!Guard.Limit_hit}), [delay:SECONDS] (sleep, then continue);
     - triggers: [always] (default), [nth:N] (fire on exactly the [N]-th hit
-      of the site, 1-based), [prob:P:SEED] (fire each hit independently with
-      probability [P], decided by a splitmix64 hash of [SEED] and the hit
-      index — deterministic for a given seed and hit numbering).
+      of the site, 1-based), [first:N] (fire on every hit up to and
+      including the [N]-th — a deterministic transient fault that heals
+      itself, made for exercising recovery paths), [prob:P:SEED] (fire each
+      hit independently with probability [P], decided by a splitmix64 hash
+      of [SEED] and the hit index — deterministic for a given seed and hit
+      numbering).
 
     Example:
     [SDFT_FAILPOINTS="parallel.worker=raise@nth:3,transient.step=delay:0.001@prob:0.1:42"].
@@ -51,6 +54,7 @@ type action =
 type trigger =
   | Always
   | Nth of int  (** fire on exactly the n-th hit (1-based) *)
+  | First of int  (** fire on hits 1..n, then heal *)
   | Prob of float * int  (** probability, seed *)
 
 (** {1 Registries} *)

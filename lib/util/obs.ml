@@ -4,6 +4,7 @@ type t = {
   failpoints : Failpoint.t;
   progress : Progress.t option;
   peak_heap : Metrics.gauge;
+  probe : (unit -> unit) option;
 }
 
 let word_mb = float_of_int (Sys.word_size / 8) /. (1024.0 *. 1024.0)
@@ -17,6 +18,7 @@ let default =
     failpoints = Failpoint.default;
     progress = None;
     peak_heap = peak_heap_gauge Metrics.default;
+    probe = None;
   }
 
 let create ?metrics ?trace ?failpoints ?progress () =
@@ -30,9 +32,12 @@ let create ?metrics ?trace ?failpoints ?progress () =
       (match failpoints with Some f -> f | None -> Failpoint.create ());
     progress;
     peak_heap = peak_heap_gauge metrics;
+    probe = None;
   }
 
 let with_progress obs progress = { obs with progress = Some progress }
+
+let with_on_probe obs f = { obs with probe = Some f }
 
 let heap_mb () =
   float_of_int (Gc.quick_stat ()).Gc.heap_words *. word_mb
@@ -52,18 +57,24 @@ let step obs ?cost () =
     Metrics.set_max obs.peak_heap (heap_mb ());
     Progress.step p ?cost ()
 
-let begin_phase obs name ?total ?cost_total () =
+let begin_phase obs name ?total ?cost_total ?skipped ?n_done () =
   match obs.progress with
   | None -> ()
-  | Some p -> Progress.begin_phase p name ?total ?cost_total ()
+  | Some p -> Progress.begin_phase p name ?total ?cost_total ?skipped ?n_done ()
 
 let finish_progress obs =
   match obs.progress with None -> () | Some p -> Progress.finish p
 
-(* The probe hook for Guard.create: [None] when there is no progress
-   reporter, so guards without limits stay completely passive and the hot
-   loops pay nothing beyond the existing [active] test. *)
+(* The probe hook for Guard.create: [None] when nothing wants the
+   heartbeat, so guards without limits stay completely passive and the hot
+   loops pay nothing beyond the existing [active] test. An extra [probe]
+   (the server's worker-watchdog heartbeat) composes with the progress
+   tick. *)
 let on_probe obs =
-  match obs.progress with
-  | None -> None
-  | Some _ -> Some (fun () -> tick obs)
+  match (obs.progress, obs.probe) with
+  | None, None -> None
+  | _, _ ->
+    Some
+      (fun () ->
+        (match obs.probe with Some f -> f () | None -> ());
+        tick obs)

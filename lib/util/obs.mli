@@ -24,6 +24,9 @@ type t = {
   peak_heap : Metrics.gauge;
       (** the context's ["analysis.peak_heap_mb"] gauge, updated with
           [set_max] at every {!tick}/{!step} *)
+  probe : (unit -> unit) option;
+      (** extra liveness callback folded into {!on_probe} — the analysis
+          server's worker-watchdog heartbeat (see {!with_on_probe}) *)
 }
 
 val default : t
@@ -44,6 +47,12 @@ val with_progress : t -> Progress.t -> t
 (** The same context with a progress reporter attached — how the CLI adds
     [--progress] to {!default}. *)
 
+val with_on_probe : t -> (unit -> unit) -> t
+(** The same context with an extra probe callback: {!on_probe} then fires
+    it on every guard probe, before the progress tick. The analysis server
+    uses this to feed per-worker heartbeats to its watchdog without
+    touching the progress machinery. *)
+
 (** {1 Progress driving}
 
     All of these are no-ops when the context has no progress reporter. *)
@@ -55,14 +64,24 @@ val tick : t -> unit
 val step : t -> ?cost:float -> unit -> unit
 (** One work item (cutset) finished, with its schedule-cost proxy. *)
 
-val begin_phase : t -> string -> ?total:int -> ?cost_total:float -> unit -> unit
+val begin_phase :
+  t ->
+  string ->
+  ?total:int ->
+  ?cost_total:float ->
+  ?skipped:int ->
+  ?n_done:int ->
+  unit ->
+  unit
+(** See {!Progress.begin_phase}; [skipped]/[n_done] let a resumed sweep
+    report remaining work instead of the full total. *)
 
 val finish_progress : t -> unit
 
 val on_probe : t -> (unit -> unit) option
 (** [Some] probe callback for [Guard.create ?on_probe] when the context has
-    a progress reporter, [None] otherwise — so guards stay passive when
-    nothing wants the heartbeat. *)
+    a progress reporter or an extra probe ({!with_on_probe}), [None]
+    otherwise — so guards stay passive when nothing wants the heartbeat. *)
 
 val heap_mb : unit -> float
 (** Current major-heap size in MB ([Gc.quick_stat]). *)

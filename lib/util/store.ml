@@ -262,6 +262,8 @@ let mode t = t.mode
 
 let path t = t.path
 
+let healthy t = t.mode = Writer && t.fd <> None
+
 let appended t = t.appended
 
 let write_all fd s =

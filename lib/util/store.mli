@@ -44,6 +44,14 @@ val mode : t -> mode
 
 val path : t -> string
 
+val healthy : t -> bool
+(** [true] while the handle is a {!Writer} whose descriptor is still live —
+    i.e. appends can reach the disk. Becomes [false] permanently once an IO
+    failure tears the handle down (or after {!close}); always [false] for a
+    {!Reader}. Circuit-breaker callers use this to distinguish an injected
+    (recoverable) append failure from a torn-down handle that needs a
+    reopen. *)
+
 val append : t -> string -> bool
 (** Buffer one record for writing; flushes automatically every [batch]
     appends. Returns [false] — and drops the record — in {!Reader} mode or

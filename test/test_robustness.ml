@@ -304,6 +304,140 @@ let test_product_guard_limit () =
       | exception Guard.Limit_hit Guard.Mem_limit -> ()
       | _ -> Alcotest.fail "exploration should hit the injected limit")
 
+let test_failpoint_first () =
+  Fun.protect ~finally:Failpoint.clear_all (fun () ->
+      Failpoint.configure_string "t.first=raise@first:2";
+      (* A transient fault: fires on hits 1..2, then heals for good. *)
+      (match Failpoint.hit "t.first" with
+      | exception Failpoint.Injected "t.first" -> ()
+      | _ -> Alcotest.fail "1st hit should fire");
+      (match Failpoint.hit "t.first" with
+      | exception Failpoint.Injected "t.first" -> ()
+      | _ -> Alcotest.fail "2nd hit should fire");
+      Failpoint.hit "t.first";
+      Failpoint.hit "t.first";
+      Alcotest.(check int) "hit count" 4 (Failpoint.hit_count "t.first"))
+
+(* ------------------------------------------------------------------ *)
+(* Process-level chaos: kill -9 a checkpointed sweep mid-run, resume it,
+   and demand output bit-identical to an uninterrupted run. *)
+
+let sdft_bin = "../bin/main.exe"
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* Spawn the CLI with stdout redirected to [out]; [extra_env] entries
+   replace same-named inherited variables. Returns the pid. *)
+let spawn_cli ?(extra_env = []) args ~out =
+  let fd =
+    Unix.openfile out [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o600
+  in
+  let overridden = List.map (fun kv -> String.sub kv 0 (String.index kv '=')) extra_env in
+  let inherited =
+    Unix.environment () |> Array.to_list
+    |> List.filter (fun kv ->
+           match String.index_opt kv '=' with
+           | None -> true
+           | Some i -> not (List.mem (String.sub kv 0 i) overridden))
+  in
+  let env = Array.of_list (inherited @ extra_env) in
+  let pid =
+    Unix.create_process_env sdft_bin
+      (Array.of_list (sdft_bin :: args))
+      env Unix.stdin fd Unix.stderr
+  in
+  Unix.close fd;
+  pid
+
+let run_cli ?extra_env args ~out =
+  snd (Unix.waitpid [] (spawn_cli ?extra_env args ~out))
+
+(* The numeric content of a sweep table: the printed (horizon,
+   frequency, cutsets) columns of each data row. String equality on the
+   printed representation is bit-identity at full printf precision. *)
+let data_rows text =
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         match
+           String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+         with
+         | h :: f :: c :: _ when float_of_string_opt h <> None ->
+           Some (h ^ " " ^ f ^ " " ^ c)
+         | _ -> None)
+
+let test_chaos_sweep_kill9_resume () =
+  if not (Sys.file_exists sdft_bin) then Alcotest.skip ()
+  else begin
+    let dir = Filename.temp_file "sdft_chaos" "" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o700;
+    Fun.protect
+      ~finally:(fun () ->
+        Array.iter
+          (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+          (Sys.readdir dir);
+        try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    @@ fun () ->
+    let path name = Filename.concat dir name in
+    let model = path "pumps.sdft" in
+    (match run_cli [ "gen"; "pumps"; "-o"; model ] ~out:(path "gen.out") with
+    | Unix.WEXITED 0 -> ()
+    | _ -> Alcotest.fail "gen failed");
+    let sweep = [ "sweep"; model; "--horizons"; "6,12,18" ] in
+    let golden_out = path "golden.out" in
+    (match run_cli sweep ~out:golden_out with
+    | Unix.WEXITED 0 -> ()
+    | _ -> Alcotest.fail "golden sweep failed");
+    let golden = data_rows (read_file golden_out) in
+    Alcotest.(check int) "golden has 3 points" 3 (List.length golden);
+    (* Interrupted pass: every point slowed to >= 0.45 s by a delay
+       failpoint (delays never change results), then SIGKILL as soon as
+       the first data row appears. A printed row means the point is
+       already journaled: rows are emitted by the [on_point] hook, which
+       runs after [record_point]. *)
+    let ck = path "sweep.ckpt" in
+    let killed_out = path "killed.out" in
+    let pid =
+      spawn_cli
+        ~extra_env:[ "SDFT_FAILPOINTS=cache.lookup=delay:0.15" ]
+        (sweep @ [ "--checkpoint"; ck ])
+        ~out:killed_out
+    in
+    let deadline = Unix.gettimeofday () +. 60.0 in
+    let rec poll () =
+      if data_rows (read_file killed_out) <> [] then ()
+      else if Unix.gettimeofday () > deadline then begin
+        Unix.kill pid Sys.sigkill;
+        ignore (Unix.waitpid [] pid);
+        Alcotest.fail "sweep produced no data row within 60 s"
+      end
+      else
+        match Unix.waitpid [ Unix.WNOHANG ] pid with
+        | 0, _ ->
+          ignore (Unix.select [] [] [] 0.01);
+          poll ()
+        | _ -> Alcotest.fail "sweep exited before producing a data row"
+    in
+    poll ();
+    Unix.kill pid Sys.sigkill;
+    ignore (Unix.waitpid [] pid);
+    (* Resume at full speed: journaled points are replayed, the rest
+       recomputed, and the table is bit-identical to the golden run. *)
+    let resumed_out = path "resumed.out" in
+    (match run_cli (sweep @ [ "--checkpoint"; ck; "--resume" ]) ~out:resumed_out with
+    | Unix.WEXITED 0 -> ()
+    | _ -> Alcotest.fail "resumed sweep failed");
+    let resumed_text = read_file resumed_out in
+    Alcotest.(check (list string)) "resume bit-identical to uninterrupted run"
+      golden (data_rows resumed_text);
+    Alcotest.(check bool) "at least one point served from the journal" true
+      (contains resumed_text "(checkpointed)")
+  end
+
 (* Degradation soundness under randomized fault injection: whatever the
    failpoints do to the pipeline, the analysis must terminate and its
    certified interval must still contain the exact product-semantics
@@ -346,6 +480,8 @@ let () =
           Alcotest.test_case "prob trigger" `Quick test_failpoint_prob_deterministic;
           Alcotest.test_case "configure string" `Quick test_failpoint_configure_string;
           Alcotest.test_case "env" `Quick test_failpoint_env;
+          Alcotest.test_case "first:N transient trigger" `Quick
+            test_failpoint_first;
         ] );
       ( "parallel",
         [
@@ -367,4 +503,9 @@ let () =
           Alcotest.test_case "product limit" `Quick test_product_guard_limit;
         ]
         @ qc [ prop_degraded_interval_sound ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "kill -9 checkpointed sweep, resume bit-identical"
+            `Quick test_chaos_sweep_kill9_resume;
+        ] );
     ]

@@ -678,6 +678,204 @@ let test_store_append_fault_keeps_store_intact () =
   Quant_cache.close reopened
 
 (* ------------------------------------------------------------------ *)
+(* Self-healing: retry_after clamping, health op, watchdog, idem window *)
+
+let test_clamp_retry_after () =
+  let check_clamp label expected raw =
+    Alcotest.(check (float 0.0)) label expected (Core.clamp_retry_after raw)
+  in
+  check_clamp "in-band value passes through" 0.5 0.5;
+  check_clamp "floor" 0.05 0.0;
+  check_clamp "negative maps to the floor" 0.05 (-3.0);
+  check_clamp "ceiling" 60.0 1e9;
+  check_clamp "nan maps to the floor" 0.05 Float.nan;
+  check_clamp "infinity maps to the ceiling" 60.0 Float.infinity;
+  (* Every retry_after on the wire is clamped: saturate a tiny server
+     whose EWMA is still zero and check the floor is respected. *)
+  let config =
+    { Core.default_config with workers = 1; queue_capacity = 1 }
+  in
+  let core = Core.create ~config () in
+  Fun.protect ~finally:(fun () -> Core.shutdown core) @@ fun () ->
+  Failpoint.set "server.handle" ~trigger:(Failpoint.Nth 1)
+    (Failpoint.Delay 0.2);
+  Fun.protect ~finally:(fun () -> Failpoint.clear "server.handle")
+  @@ fun () ->
+  let slow_reply, slow_wait = waiter () in
+  Core.submit core ~client:"a" ~reply:slow_reply
+    (Protocol.analyze_line ~id:"slow" ~model:(Lazy.force pumps_text) ());
+  wait_until "worker busy" (fun () -> stat_int core "running" = 1);
+  let fill_reply, fill_wait = waiter () in
+  Core.submit core ~client:"b" ~reply:fill_reply
+    (Protocol.analyze_line ~id:"fill" ~model:(Lazy.force pumps_text) ());
+  let rejected =
+    Core.call core ~client:"c"
+      (Protocol.analyze_line ~id:"rej" ~model:(Lazy.force pumps_text) ())
+  in
+  Alcotest.(check string) "saturated" "saturated" (error_code rejected);
+  (match retry_after rejected with
+  | Some ra ->
+    Alcotest.(check bool) "clamped into [0.05, 60]" true
+      (ra >= 0.05 && ra <= 60.0)
+  | None -> Alcotest.fail "saturated without retry_after");
+  ignore (slow_wait ());
+  ignore (fill_wait ())
+
+let test_health_op () =
+  let core = Core.create () in
+  Fun.protect ~finally:(fun () -> Core.shutdown core) @@ fun () ->
+  let h = Core.call core ~client:"probe" (Protocol.simple_line "health") in
+  Alcotest.(check bool) "ok" true (response_ok h);
+  Alcotest.(check (option bool)) "healthy" (Some true)
+    (result_bool h "healthy");
+  Alcotest.(check (option int)) "workers" (Some 2) (result_int h "workers");
+  Alcotest.(check (option int)) "none busy" (Some 0)
+    (result_int h "workers_busy");
+  Alcotest.(check (option int)) "none lost" (Some 0)
+    (result_int h "workers_lost");
+  Alcotest.(check (option int)) "queue empty" (Some 0) (result_int h "queued");
+  Alcotest.(check bool) "uptime present" true
+    (Option.is_some
+       (Option.bind (result_field h "uptime_s") Json.to_float))
+
+let test_watchdog_respawns_hung_worker () =
+  let config =
+    { Core.default_config with workers = 1; watchdog_timeout = Some 0.15 }
+  in
+  let core = Core.create ~config () in
+  Fun.protect ~finally:(fun () -> Core.shutdown core) @@ fun () ->
+  let reply, wait = waiter () in
+  (* The per-request delay failpoint stalls the worker inside the handler,
+     where it emits no heartbeats — indistinguishable from a hang. *)
+  Core.submit core ~client:"w" ~reply
+    (Protocol.analyze_line ~id:"hung" ~failpoints:"server.handle=delay:0.8"
+       ~model:(Lazy.force pumps_text) ());
+  let lost = wait () in
+  Alcotest.(check string) "declared worker_lost" "worker_lost"
+    (error_code lost);
+  Alcotest.(check bool) "safe to retry: carries retry_after" true
+    (retry_after lost <> None);
+  (* The slot was respawned under the same index: a follow-up request is
+     served by the fresh domain long before the zombie wakes up. *)
+  let after =
+    Core.call core ~client:"w"
+      (Protocol.analyze_line ~id:"after" ~model:(Lazy.force pumps_text) ())
+  in
+  Alcotest.(check bool) "fresh worker serves immediately" true
+    (response_ok after);
+  let h = Core.call core ~client:"w" (Protocol.simple_line "health") in
+  Alcotest.(check (option int)) "health counts the lost worker" (Some 1)
+    (result_int h "workers_lost");
+  Alcotest.(check (option bool)) "pool capacity restored: still healthy"
+    (Some true) (result_bool h "healthy");
+  let snap = Metrics.snapshot_in (Core.metrics core) in
+  Alcotest.(check int) "server.worker_lost counted" 1
+    (counter_of snap "server.worker_lost");
+  (* Let the zombie finish its nap and discover the reply is already
+     owned, so shutdown below observes a quiet pool. *)
+  Unix.sleepf 0.9
+
+let test_idem_replay_bit_identical () =
+  let core = Core.create () in
+  Fun.protect ~finally:(fun () -> Core.shutdown core) @@ fun () ->
+  (* verbose:true makes the response carry wall-clock timing — two real
+     executions could never be byte-identical, so byte identity proves
+     the second answer came verbatim from the response window. *)
+  let line =
+    Protocol.analyze_line ~id:"i1" ~idem:"retry-key-1" ~verbose:true
+      ~model:(Lazy.force pumps_text) ()
+  in
+  let r1 = Core.call core ~client:"c" line in
+  Alcotest.(check bool) "first execution ok" true (response_ok r1);
+  let r2 = Core.call core ~client:"c" line in
+  Alcotest.(check string) "retry answered with the verbatim bytes" r1 r2;
+  let snap = Metrics.snapshot_in (Core.metrics core) in
+  Alcotest.(check int) "replay counted" 1 (counter_of snap "server.idem_hits");
+  (* The window is keyed by (client, idem): another client with the same
+     key gets its own execution. *)
+  let r3 = Core.call core ~client:"other" line in
+  Alcotest.(check bool) "other client recomputes" true (response_ok r3);
+  let snap = Metrics.snapshot_in (Core.metrics core) in
+  Alcotest.(check int) "no cross-client replay" 1
+    (counter_of snap "server.idem_hits")
+
+let test_idem_window_bounded () =
+  let config = { Core.default_config with response_window = 2 } in
+  let core = Core.create ~config () in
+  Fun.protect ~finally:(fun () -> Core.shutdown core) @@ fun () ->
+  let ask idem =
+    Core.call core ~client:"c"
+      (Protocol.analyze_line ~id:idem ~idem ~model:(Lazy.force pumps_text) ())
+  in
+  ignore (ask "k1");
+  ignore (ask "k2");
+  ignore (ask "k3");
+  (* k1 was evicted FIFO; k3 is still cached. *)
+  ignore (ask "k3");
+  ignore (ask "k1");
+  let snap = Metrics.snapshot_in (Core.metrics core) in
+  Alcotest.(check int) "only the still-windowed key replays" 1
+    (counter_of snap "server.idem_hits")
+
+(* ------------------------------------------------------------------ *)
+(* Process-level chaos: kill -9 the real daemon binary mid-conversation,
+   warm-restart it on the same socket and cache, and drive a retrying
+   client straight through the outage. *)
+
+let sdft_bin = "../bin/main.exe"
+
+let spawn_daemon ~sock ~cache ~log =
+  let fd =
+    Unix.openfile log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o600
+  in
+  let pid =
+    Unix.create_process sdft_bin
+      [|
+        sdft_bin; "serve"; "--listen"; "unix:" ^ sock; "--workers"; "2";
+        "--cache"; cache;
+      |]
+      Unix.stdin fd fd
+  in
+  Unix.close fd;
+  pid
+
+let test_daemon_kill9_warm_restart () =
+  if not (Sys.file_exists sdft_bin) then
+    Alcotest.skip ()
+  else
+    with_temp_dir @@ fun dir ->
+    let sock = Filename.concat dir "chaos.sock" in
+    let cache = Filename.concat dir "chaos.store" in
+    let model = Lazy.force pumps_text in
+    let pid1 =
+      spawn_daemon ~sock ~cache ~log:(Filename.concat dir "serve1.log")
+    in
+    let cl =
+      Sdft_server.Client.connect ~timeout:30.0 ~retries:12
+        (Sdft_server.Daemon.Unix_sock sock)
+    in
+    Fun.protect ~finally:(fun () -> Sdft_server.Client.close cl) @@ fun () ->
+    let line = Protocol.analyze_line ~id:"chaos" ~idem:"chaos-1" ~model () in
+    let r1 = Sdft_server.Client.request cl line in
+    Alcotest.(check bool) "first daemon answers" true (response_ok r1);
+    (* SIGKILL: no drain, no flush, socket left stale on disk. *)
+    Unix.kill pid1 Sys.sigkill;
+    ignore (Unix.waitpid [] pid1);
+    let pid2 =
+      spawn_daemon ~sock ~cache ~log:(Filename.concat dir "serve2.log")
+    in
+    (* The same client object rides through the outage: broken-socket
+       reconnects with backoff until the restarted daemon binds. *)
+    let r2 = Sdft_server.Client.request cl line in
+    Alcotest.(check string) "answer after kill -9 is bit-identical" r1 r2;
+    Alcotest.(check bool) "the outage actually cost retries" true
+      (Sdft_server.Client.retries_used cl > 0);
+    let bye = Sdft_server.Client.request cl (Protocol.simple_line "shutdown") in
+    Alcotest.(check bool) "restarted daemon shuts down gracefully" true
+      (response_ok bye);
+    ignore (Unix.waitpid [] pid2)
+
+(* ------------------------------------------------------------------ *)
 
 let qcheck = List.map QCheck_alcotest.to_alcotest
 
@@ -723,5 +921,23 @@ let () =
             test_parallel_worker_crash;
           Alcotest.test_case "failing disk append leaves the store intact"
             `Quick test_store_append_fault_keeps_store_intact;
+        ] );
+      ( "self-healing",
+        [
+          Alcotest.test_case "retry_after is clamped to [floor, ceiling]"
+            `Quick test_clamp_retry_after;
+          Alcotest.test_case "health op reports pool state" `Quick
+            test_health_op;
+          Alcotest.test_case "watchdog respawns a hung worker" `Quick
+            test_watchdog_respawns_hung_worker;
+          Alcotest.test_case "idempotent retry replays verbatim bytes" `Quick
+            test_idem_replay_bit_identical;
+          Alcotest.test_case "response window is bounded FIFO" `Quick
+            test_idem_window_bounded;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "kill -9 daemon, warm restart, client rides through"
+            `Quick test_daemon_kill9_warm_restart;
         ] );
     ]

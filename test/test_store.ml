@@ -68,6 +68,44 @@ let test_store_truncated_tail () =
         [ "alpha"; "beta-record"; "gamma with spaces"; ""; "epsilon" ]
         (read_records path "stamp/1"))
 
+(* A read-only snapshot opened while a writer is mid-append must see a
+   valid prefix of the log — flushed frames exactly, and never a torn
+   frame even if half-written bytes are already on disk. *)
+let test_store_reader_snapshot_of_active_writer () =
+  with_store (fun path ->
+      let w, _ = Store.open_ ~batch:1 ~stamp:"stamp/1" path in
+      Fun.protect ~finally:(fun () -> Store.close w) @@ fun () ->
+      Alcotest.(check bool) "first handle writes" true
+        (Store.mode w = Store.Writer);
+      ignore (Store.append w "one");
+      ignore (Store.append w "two");
+      (* Snapshot while the writer holds the lock: read-only, flushed
+         prefix visible. *)
+      let r, loaded = Store.open_ ~stamp:"stamp/1" path in
+      Alcotest.(check bool) "snapshot is read-only" true
+        (Store.mode r = Store.Reader);
+      Alcotest.(check (list string)) "snapshot sees the flushed prefix"
+        [ "one"; "two" ] loaded;
+      Store.close r;
+      ignore (Store.append w "three");
+      (* Simulate catching the writer mid-write: raw half-frame bytes on
+         the tail (a length header promising more than exists). The
+         snapshot must stop at the last whole frame, not surface garbage
+         — and must not truncate the live writer's file. *)
+      let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 in
+      let torn = "\xff\xff\xff\x7f torn frame" in
+      ignore (Unix.write_substring fd torn 0 (String.length torn));
+      Unix.close fd;
+      let size_before = (Unix.stat path).Unix.st_size in
+      let r2, loaded2 = Store.open_ ~stamp:"stamp/1" path in
+      Alcotest.(check (list string))
+        "torn tail invisible, whole frames intact"
+        [ "one"; "two"; "three" ] loaded2;
+      Store.close r2;
+      Alcotest.(check int) "reader did not truncate the writer's file"
+        size_before
+        (Unix.stat path).Unix.st_size)
+
 let test_store_flipped_byte () =
   with_store (fun path ->
       write_records path "stamp/1" records;
@@ -265,6 +303,201 @@ let test_cache_append_failure_degrades () =
             (stats.disk_error <> None);
           check_same_result "append failure" r baseline))
 
+(* Circuit breaker: an injected append failure trips the breaker; after
+   the deterministic cooldown the half-open probe heals the tier in place
+   — same process, no reopen by the caller — and backfills every record
+   that failed or was skipped while the breaker was open. Pumps analysis
+   appends exactly 3 records, so with threshold 1 and cooldown 1 the walk
+   is: append 1 fails (trip), append 2 skipped (cooldown ends), append 3
+   probes and recovers. *)
+let test_cache_breaker_recovers_in_place () =
+  with_store (fun path ->
+      let sd = Pumps.sd_tree () in
+      let baseline = Sdft_analysis.analyze sd in
+      Failpoint.configure_string "store.append=raise@first:1";
+      Fun.protect ~finally:Failpoint.clear_all (fun () ->
+          let cache =
+            Quant_cache.open_disk ~breaker_threshold:1 ~breaker_cooldown:1
+              path
+          in
+          let r = Sdft_analysis.analyze ~cache sd in
+          check_same_result "result unharmed by the breaker cycle" r baseline;
+          let s = Option.get (Quant_cache.disk_stats cache) in
+          Alcotest.(check string) "breaker closed again" "closed"
+            s.Quant_cache.breaker;
+          Alcotest.(check int) "tripped once" 1 s.Quant_cache.breaker_opens;
+          Alcotest.(check int) "probed once" 1 s.Quant_cache.breaker_probes;
+          Alcotest.(check int) "recovered once" 1
+            s.Quant_cache.breaker_recoveries;
+          Alcotest.(check (option string)) "error cleared by the recovery"
+            None s.Quant_cache.disk_error;
+          Alcotest.(check int) "failed and skipped appends backfilled" 3
+            s.Quant_cache.appends;
+          Quant_cache.close cache;
+          (* Nothing was lost: a warm reopen loads every record, including
+             the two that originally failed or were skipped. *)
+          let warm = Quant_cache.open_disk path in
+          let ws = Option.get (Quant_cache.disk_stats warm) in
+          Alcotest.(check int) "every entry reached the disk" 3
+            ws.Quant_cache.entries_loaded;
+          Quant_cache.close warm))
+
+(* A persistent fault leaves the breaker open with the failure recorded —
+   the signal [report_disk_cache] and the server surface as degraded. *)
+let test_cache_breaker_stays_open_under_persistent_fault () =
+  with_store (fun path ->
+      let sd = Pumps.sd_tree () in
+      Failpoint.configure_string "store.append=raise";
+      Fun.protect ~finally:Failpoint.clear_all (fun () ->
+          let cache =
+            Quant_cache.open_disk ~breaker_threshold:1 ~breaker_cooldown:1
+              path
+          in
+          ignore (Sdft_analysis.analyze ~cache sd);
+          let s = Option.get (Quant_cache.disk_stats cache) in
+          Alcotest.(check bool) "breaker not closed" true
+            (s.Quant_cache.breaker <> "closed");
+          Alcotest.(check bool) "failure recorded" true
+            (s.Quant_cache.disk_error <> None);
+          Alcotest.(check int) "nothing appended" 0 s.Quant_cache.appends;
+          Quant_cache.close cache))
+
+(* Checkpoint journal: the sweep-level crash-safety layer on the same
+   store framing. *)
+
+let sweep_options_at horizons =
+  List.map
+    (fun horizon -> { Sdft_analysis.default_options with horizon })
+    horizons
+
+let sweep_horizons = [ 6.0; 12.0; 18.0 ]
+
+let check_point_matches_golden label (p : Checkpoint.point)
+    (g : Sdft_analysis.sweep_point) =
+  Alcotest.(check bool) (label ^ ": total bit-identical") true
+    (p.Checkpoint.pt_total = g.Sdft_analysis.sweep_result.Sdft_analysis.total);
+  Alcotest.(check bool) (label ^ ": lower bit-identical") true
+    (p.Checkpoint.pt_lower
+    = g.Sdft_analysis.sweep_result.Sdft_analysis.budget.Sdft_analysis.lower);
+  Alcotest.(check bool) (label ^ ": upper bit-identical") true
+    (p.Checkpoint.pt_upper
+    = g.Sdft_analysis.sweep_result.Sdft_analysis.budget.Sdft_analysis.upper);
+  Alcotest.(check int) (label ^ ": cutsets")
+    g.Sdft_analysis.sweep_result.Sdft_analysis.n_cutsets
+    p.Checkpoint.pt_n_cutsets
+
+let test_checkpoint_point_codec () =
+  let roundtrip p =
+    match Checkpoint.decode_point (Checkpoint.encode_point p) with
+    | None -> Alcotest.fail "point failed to decode"
+    | Some p' -> Alcotest.(check bool) "point round-trips" true (p = p')
+  in
+  roundtrip
+    {
+      Checkpoint.pt_key = "abc123";
+      pt_horizon = 24.0;
+      pt_total = 3.5216110815998225e-04;
+      pt_lower = 1.9787536570744333e-04;
+      pt_upper = 3.5216110916598228e-04;
+      pt_vacuous = false;
+      pt_n_cutsets = 5;
+      pt_n_dynamic = 3;
+      pt_degraded = None;
+    };
+  (* The degradation description is free text — it may contain the field
+     separator and must still round-trip. *)
+  roundtrip
+    {
+      Checkpoint.pt_key = "k";
+      pt_horizon = 1e-300;
+      pt_total = Float.min_float;
+      pt_lower = 0.0;
+      pt_upper = 1.0;
+      pt_vacuous = true;
+      pt_n_cutsets = 0;
+      pt_n_dynamic = 0;
+      pt_degraded = Some "deadline expired | 3 fallbacks | cutoff";
+    };
+  Alcotest.(check (option Alcotest.reject)) "garbage rejects" None
+    (Checkpoint.decode_point "p|not|a|point")
+
+let test_checkpoint_resume_bit_identical () =
+  let sd = Pumps.sd_tree () in
+  let golden, _ = Sdft_analysis.sweep sd (sweep_options_at sweep_horizons) in
+  with_store (fun jpath ->
+      (* Interrupted run: only the first point completes before the
+         "crash" (we simply stop driving the sweep). *)
+      let j = Checkpoint.open_ jpath in
+      let _ =
+        Sdft_analysis.sweep_checkpointed ~journal:j ~resume:false sd
+          (sweep_options_at [ List.hd sweep_horizons ])
+      in
+      Checkpoint.close j;
+      (* Resume over the full horizon set. *)
+      let j2 = Checkpoint.open_ jpath in
+      Alcotest.(check int) "one certified point in the journal" 1
+        (Checkpoint.n_points j2);
+      Alcotest.(check bool) "warm entries in the journal" true
+        (Checkpoint.entries j2 <> []);
+      let items, cache =
+        Sdft_analysis.sweep_checkpointed ~journal:j2 ~resume:true sd
+          (sweep_options_at sweep_horizons)
+      in
+      Checkpoint.close j2;
+      (match (items, golden) with
+      | ( [ Sdft_analysis.Sweep_skipped p; Sdft_analysis.Sweep_run b;
+            Sdft_analysis.Sweep_run c ],
+          [ g1; g2; g3 ] ) ->
+        check_point_matches_golden "skipped point" p g1;
+        Alcotest.(check bool) "second point bit-identical" true
+          (b.Sdft_analysis.sweep_result.Sdft_analysis.total
+          = g2.Sdft_analysis.sweep_result.Sdft_analysis.total);
+        Alcotest.(check bool) "third point bit-identical" true
+          (c.Sdft_analysis.sweep_result.Sdft_analysis.total
+          = g3.Sdft_analysis.sweep_result.Sdft_analysis.total)
+      | _ ->
+        Alcotest.failf "expected skip+run+run, got %d items"
+          (List.length items));
+      (* The resumed run only quantified the two unfinished points. *)
+      Alcotest.(check int) "only unfinished points quantified" 6
+        (Quant_cache.misses cache))
+
+let test_checkpoint_torn_tail_reruns_last_point () =
+  let sd = Pumps.sd_tree () in
+  let golden, _ = Sdft_analysis.sweep sd (sweep_options_at sweep_horizons) in
+  with_store (fun jpath ->
+      let j = Checkpoint.open_ jpath in
+      let _ =
+        Sdft_analysis.sweep_checkpointed ~journal:j ~resume:false sd
+          (sweep_options_at [ List.hd sweep_horizons ])
+      in
+      Checkpoint.close j;
+      (* SIGKILL mid-write: the last frame (the point record) is torn. *)
+      let size = (Unix.stat jpath).Unix.st_size in
+      let fd = Unix.openfile jpath [ Unix.O_WRONLY ] 0o644 in
+      Unix.ftruncate fd (size - 3);
+      Unix.close fd;
+      let j2 = Checkpoint.open_ jpath in
+      Alcotest.(check int) "torn point certificate discarded" 0
+        (Checkpoint.n_points j2);
+      let items, _ =
+        Sdft_analysis.sweep_checkpointed ~journal:j2 ~resume:true sd
+          (sweep_options_at sweep_horizons)
+      in
+      Checkpoint.close j2;
+      (* Every point re-runs (the torn certificate cannot be trusted), but
+         the surviving cache entries still make the replay bit-identical. *)
+      List.iter2
+        (fun item (g : Sdft_analysis.sweep_point) ->
+          match item with
+          | Sdft_analysis.Sweep_run p ->
+            Alcotest.(check bool) "re-run point bit-identical" true
+              (p.Sdft_analysis.sweep_result.Sdft_analysis.total
+              = g.Sdft_analysis.sweep_result.Sdft_analysis.total)
+          | Sdft_analysis.Sweep_skipped _ ->
+            Alcotest.fail "no point should be trusted after the torn tail")
+        items golden)
+
 (* Warm-start export/seed (the manifest payload path). *)
 
 let test_cache_export_seed () =
@@ -407,6 +640,8 @@ let () =
         [
           Alcotest.test_case "round trip" `Quick test_store_round_trip;
           Alcotest.test_case "truncated tail" `Quick test_store_truncated_tail;
+          Alcotest.test_case "reader snapshot of active writer" `Quick
+            test_store_reader_snapshot_of_active_writer;
           Alcotest.test_case "flipped byte" `Quick test_store_flipped_byte;
           Alcotest.test_case "stamp mismatch" `Quick test_store_stamp_mismatch;
           Alcotest.test_case "reader sharing" `Quick test_store_reader_sharing;
@@ -428,6 +663,19 @@ let () =
             test_cache_open_failure_degrades;
           Alcotest.test_case "append failure degrades" `Quick
             test_cache_append_failure_degrades;
+          Alcotest.test_case "breaker recovers in place" `Quick
+            test_cache_breaker_recovers_in_place;
+          Alcotest.test_case "breaker stays open under persistent fault"
+            `Quick test_cache_breaker_stays_open_under_persistent_fault;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "point codec round-trip" `Quick
+            test_checkpoint_point_codec;
+          Alcotest.test_case "resume bit-identical" `Quick
+            test_checkpoint_resume_bit_identical;
+          Alcotest.test_case "torn tail re-runs the last point" `Quick
+            test_checkpoint_torn_tail_reruns_last_point;
         ] );
       ( "warm start",
         [

@@ -575,6 +575,72 @@ let test_parallel_init_exception () =
   Alcotest.check_raises "init failure surfaces" (Failure "bad init") (fun () ->
       ignore (Parallel.map_init ~domains:4 (fun () -> failwith "bad init") (fun () x -> x) work))
 
+(* Backoff *)
+
+let test_backoff_deterministic () =
+  let delays b = List.init 10 (fun _ -> Backoff.next b) in
+  let a = delays (Backoff.create ~seed:7 ()) in
+  let b = delays (Backoff.create ~seed:7 ()) in
+  Alcotest.(check (list (float 0.0))) "same seed, same schedule" a b;
+  let c = delays (Backoff.create ~seed:8 ()) in
+  Alcotest.(check bool) "different seed differs somewhere" true (a <> c)
+
+let test_backoff_delay_for_matches_next () =
+  let stateful = Backoff.create ~seed:3 () in
+  let pure = Backoff.create ~seed:3 () in
+  for k = 1 to 12 do
+    let d = Backoff.next stateful in
+    Alcotest.(check (float 0.0))
+      (Printf.sprintf "attempt %d" k)
+      d (Backoff.delay_for pure k)
+  done;
+  Alcotest.(check int) "stateful consumed attempts" 12
+    (Backoff.attempt stateful);
+  Alcotest.(check int) "delay_for left the counter alone" 0
+    (Backoff.attempt pure)
+
+let test_backoff_bounds_and_cap () =
+  let base = 0.05 and factor = 2.0 and cap = 5.0 and jitter = 0.25 in
+  let b = Backoff.create ~base ~factor ~cap ~jitter ~seed:11 () in
+  for k = 1 to 30 do
+    let ideal = Float.min cap (base *. (factor ** float_of_int (k - 1))) in
+    let d = Backoff.delay_for b k in
+    Alcotest.(check bool)
+      (Printf.sprintf "attempt %d within jitter band" k)
+      true
+      (d >= ideal *. (1.0 -. jitter) -. 1e-12
+      && d <= ideal *. (1.0 +. jitter) +. 1e-12)
+  done;
+  (* Without jitter the schedule is exactly the capped exponential. *)
+  let exact = Backoff.create ~base ~factor ~cap ~jitter:0.0 () in
+  Alcotest.(check (float 1e-15)) "first delay is base" base
+    (Backoff.delay_for exact 1);
+  Alcotest.(check (float 1e-15)) "deep attempts sit on the cap" cap
+    (Backoff.delay_for exact 20)
+
+let test_backoff_reset () =
+  let b = Backoff.create ~seed:5 () in
+  let first = Backoff.next b in
+  ignore (Backoff.next b);
+  Backoff.reset b;
+  Alcotest.(check int) "reset rewinds the counter" 0 (Backoff.attempt b);
+  Alcotest.(check (float 0.0)) "schedule restarts identically" first
+    (Backoff.next b)
+
+let test_backoff_invalid_args () =
+  let invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s should be rejected" name
+  in
+  invalid "negative base" (fun () -> Backoff.create ~base:(-1.0) ());
+  invalid "factor below one" (fun () -> Backoff.create ~factor:0.5 ());
+  invalid "cap below base" (fun () -> Backoff.create ~base:1.0 ~cap:0.5 ());
+  invalid "jitter above one" (fun () -> Backoff.create ~jitter:1.5 ());
+  invalid "non-finite cap" (fun () -> Backoff.create ~cap:Float.nan ());
+  invalid "attempt zero" (fun () ->
+      Backoff.delay_for (Backoff.create ()) 0)
+
 let () =
   let qc = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "util"
@@ -654,5 +720,13 @@ let () =
           Alcotest.test_case "map_init state" `Quick test_parallel_map_init;
           Alcotest.test_case "worker exception" `Quick test_parallel_worker_exception;
           Alcotest.test_case "init exception" `Quick test_parallel_init_exception;
+        ] );
+      ( "backoff",
+        [
+          Alcotest.test_case "deterministic schedule" `Quick test_backoff_deterministic;
+          Alcotest.test_case "delay_for matches next" `Quick test_backoff_delay_for_matches_next;
+          Alcotest.test_case "jitter bounds and cap" `Quick test_backoff_bounds_and_cap;
+          Alcotest.test_case "reset" `Quick test_backoff_reset;
+          Alcotest.test_case "invalid args" `Quick test_backoff_invalid_args;
         ] );
     ]
